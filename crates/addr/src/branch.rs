@@ -1,0 +1,104 @@
+//! The arc tags `‖0` and `‖1` of the tree of sequential processes.
+
+use std::fmt;
+
+/// An arc tag in the binary tree of sequential processes.
+///
+/// The paper labels the arc to the left component of a parallel
+/// composition with `‖0` and the arc to the right component with `‖1`
+/// (Figure 1).  [`Branch::Left`] is `‖0`, [`Branch::Right`] is `‖1`.
+///
+/// # Example
+///
+/// ```
+/// use spi_addr::Branch;
+///
+/// assert_eq!(Branch::Left.flip(), Branch::Right);
+/// assert_eq!(Branch::Left.to_string(), "‖0");
+/// assert_eq!(Branch::from_bit(1), Branch::Right);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Branch {
+    /// The left component of a parallel composition: `‖0`.
+    Left,
+    /// The right component of a parallel composition: `‖1`.
+    Right,
+}
+
+impl Branch {
+    /// Returns the opposite tag: `‖0.flip() = ‖1` and vice versa.
+    ///
+    /// Definition 1 of the paper requires that the two components of a
+    /// relative address, when both non-empty, start with *flipped* tags
+    /// (`ϑ₀ = ‖i ϑ₀′ ⇒ ϑ₁ = ‖1−i ϑ₁′`); this is the `1−i` operation.
+    #[must_use]
+    pub fn flip(self) -> Branch {
+        match self {
+            Branch::Left => Branch::Right,
+            Branch::Right => Branch::Left,
+        }
+    }
+
+    /// Returns the numeric index of the tag: `0` for `‖0`, `1` for `‖1`.
+    #[must_use]
+    pub fn bit(self) -> u8 {
+        match self {
+            Branch::Left => 0,
+            Branch::Right => 1,
+        }
+    }
+
+    /// Builds a tag from a bit: even values give `‖0`, odd give `‖1`.
+    #[must_use]
+    pub fn from_bit(bit: u8) -> Branch {
+        if bit.is_multiple_of(2) {
+            Branch::Left
+        } else {
+            Branch::Right
+        }
+    }
+}
+
+impl fmt::Display for Branch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Branch::Left => write!(f, "‖0"),
+            Branch::Right => write!(f, "‖1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        assert_eq!(Branch::Left.flip().flip(), Branch::Left);
+        assert_eq!(Branch::Right.flip().flip(), Branch::Right);
+    }
+
+    #[test]
+    fn flip_swaps() {
+        assert_eq!(Branch::Left.flip(), Branch::Right);
+        assert_eq!(Branch::Right.flip(), Branch::Left);
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for b in [Branch::Left, Branch::Right] {
+            assert_eq!(Branch::from_bit(b.bit()), b);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Branch::Left.to_string(), "‖0");
+        assert_eq!(Branch::Right.to_string(), "‖1");
+    }
+
+    #[test]
+    fn ordering_left_before_right() {
+        assert!(Branch::Left < Branch::Right);
+    }
+}

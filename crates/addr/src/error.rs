@@ -1,0 +1,113 @@
+//! Error type for address operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Path;
+
+/// Errors raised by the relative-address algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AddrError {
+    /// A relative address violated the minimality invariant of
+    /// Definition 1: the two components start with the same tag, so the
+    /// alleged common ancestor is not minimal.
+    NotMinimal {
+        /// The observer component `ϑ₀`.
+        observer: Path,
+        /// The target component `ϑ₁`.
+        target: Path,
+    },
+    /// Two relative addresses could not be composed because they do not
+    /// describe the position of a shared intermediate process: the pivot
+    /// components are not suffix-compatible.
+    IncoherentComposition {
+        /// The pivot component of the datum tag (ancestor → forwarder).
+        tag_pivot: Path,
+        /// The pivot component of the communication address
+        /// (ancestor → forwarder).
+        comm_pivot: Path,
+    },
+    /// A relative address could not be resolved against an absolute
+    /// position because the observer component is not a suffix of that
+    /// position.
+    UnresolvableAt {
+        /// The absolute position of the process holding the address.
+        position: Path,
+        /// The observer component that failed to match.
+        observer: Path,
+    },
+    /// A character other than `0` or `1` occurred while parsing a path.
+    BadPathChar {
+        /// The offending character.
+        ch: char,
+    },
+    /// A relative address string was missing the `•` separator.
+    MissingSeparator,
+    /// A tree path pointed below a leaf or above the root.
+    PathOutOfTree {
+        /// The path that fell off the tree.
+        path: Path,
+    },
+}
+
+impl fmt::Display for AddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrError::NotMinimal { observer, target } => write!(
+                f,
+                "relative address {observer}\u{2022}{target} is not minimal: both components start with the same tag"
+            ),
+            AddrError::IncoherentComposition {
+                tag_pivot,
+                comm_pivot,
+            } => write!(
+                f,
+                "addresses cannot be composed: pivot paths {tag_pivot} and {comm_pivot} are not suffix-compatible"
+            ),
+            AddrError::UnresolvableAt { position, observer } => write!(
+                f,
+                "address observer component {observer} is not a suffix of position {position}"
+            ),
+            AddrError::BadPathChar { ch } => {
+                write!(f, "invalid path character {ch:?}, expected 0 or 1")
+            }
+            AddrError::MissingSeparator => {
+                write!(f, "relative address is missing the \u{2022} separator")
+            }
+            AddrError::PathOutOfTree { path } => {
+                write!(f, "path {path} does not denote a node of the tree")
+            }
+        }
+    }
+}
+
+impl Error for AddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<AddrError> = vec![
+            AddrError::NotMinimal {
+                observer: Path::default(),
+                target: Path::default(),
+            },
+            AddrError::MissingSeparator,
+            AddrError::BadPathChar { ch: 'x' },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(AddrError::MissingSeparator);
+    }
+}

@@ -1,0 +1,60 @@
+//! Relative-address algebra for the proved spi calculus.
+//!
+//! This crate implements the address machinery of *"Authentication
+//! Primitives for Protocol Specifications"* (Bodei, Degano, Focardi,
+//! Priami, 2003), Section 3:
+//!
+//! * [`Branch`] — the tags `‖0` / `‖1` labelling the left/right arcs of the
+//!   tree of sequential processes (Figure 1 of the paper);
+//! * [`Path`] — a downward path in that tree, i.e. a string over
+//!   `{‖0, ‖1}`;
+//! * [`RelAddr`] — a *relative address* `ϑ₀ • ϑ₁` (Definition 1): the pair
+//!   of paths from the minimal common ancestor of two sequential processes
+//!   down to each of them, together with inversion, compatibility
+//!   (Definition 2), resolution against absolute positions and the address
+//!   *composition* used when a located datum is forwarded;
+//! * [`ProcTree`] — the binary tree of sequential processes, whose leaves
+//!   are the parallel components of a system and whose internal nodes are
+//!   occurrences of the parallel operator.
+//!
+//! # Orientation convention
+//!
+//! The paper writes the address of `P3` relative to `P1` in Figure 1 as
+//! `‖0‖1 • ‖1‖1‖0`: the first component is the path from the minimal common
+//! ancestor down to the *observer* (`P1`, the process holding the address)
+//! and the second component the path down to the *target* (`P3`, the
+//! process being pointed at).  The prose of the paper occasionally flips
+//! the two components; this crate uses the Figure 1 orientation everywhere
+//! (observer first, target second) and derives every address from absolute
+//! positions, so the orientation is consistent by construction.
+//!
+//! # Example
+//!
+//! Reconstructing Figure 1 of the paper, the tree of
+//! `(P0 | P1) | (P2 | (P3 | P4))`:
+//!
+//! ```
+//! use spi_addr::{Path, RelAddr};
+//!
+//! let p1: Path = "01".parse()?;    // ‖0‖1
+//! let p3: Path = "110".parse()?;   // ‖1‖1‖0
+//! let l = RelAddr::between(&p1, &p3);
+//! assert_eq!(l.to_string(), "‖0‖1•‖1‖1‖0");
+//! assert_eq!(l.inverse(), RelAddr::between(&p3, &p1));
+//! # Ok::<(), spi_addr::AddrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod error;
+mod path;
+mod rel;
+mod tree;
+
+pub use branch::Branch;
+pub use error::AddrError;
+pub use path::Path;
+pub use rel::RelAddr;
+pub use tree::{Leaves, ProcTree, TreeNode};

@@ -1,0 +1,366 @@
+//! Downward paths in the tree of sequential processes.
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use crate::{AddrError, Branch};
+
+/// A downward path in the binary tree of sequential processes: a finite
+/// string over the arc tags `{‖0, ‖1}`.
+///
+/// Paths are used both as *absolute positions* (the path from the root of
+/// the tree down to a sequential process) and as the two components of a
+/// [`RelAddr`](crate::RelAddr).
+///
+/// # Example
+///
+/// ```
+/// use spi_addr::{Branch, Path};
+///
+/// let p: Path = "110".parse()?;            // ‖1‖1‖0, P3 in Figure 1
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p[0], Branch::Right);
+/// assert_eq!(p.to_string(), "‖1‖1‖0");
+/// assert!(Path::from_str("11")?.is_prefix_of(&p));
+/// # use std::str::FromStr;
+/// # Ok::<(), spi_addr::AddrError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path {
+    tags: Vec<Branch>,
+}
+
+impl Path {
+    /// The empty path `ε`, denoting the root of the tree.
+    #[must_use]
+    pub fn root() -> Path {
+        Path::default()
+    }
+
+    /// Builds a path from its arc tags, outermost first.
+    #[must_use]
+    pub fn new(tags: Vec<Branch>) -> Path {
+        Path { tags }
+    }
+
+    /// Returns `true` when the path is `ε`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The number of arcs in the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The first (outermost) tag, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<Branch> {
+        self.tags.first().copied()
+    }
+
+    /// The last (innermost) tag, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<Branch> {
+        self.tags.last().copied()
+    }
+
+    /// Iterates over the tags, outermost first.
+    pub fn iter(&self) -> impl Iterator<Item = Branch> + '_ {
+        self.tags.iter().copied()
+    }
+
+    /// Extends the path downward by one arc, in place.
+    pub fn push(&mut self, b: Branch) {
+        self.tags.push(b);
+    }
+
+    /// Removes and returns the innermost arc, if any.
+    pub fn pop(&mut self) -> Option<Branch> {
+        self.tags.pop()
+    }
+
+    /// Returns the path extended downward by one arc.
+    #[must_use]
+    pub fn child(&self, b: Branch) -> Path {
+        let mut tags = self.tags.clone();
+        tags.push(b);
+        Path { tags }
+    }
+
+    /// Returns the path of the parent node, or `None` at the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<Path> {
+        if self.tags.is_empty() {
+            None
+        } else {
+            Some(Path {
+                tags: self.tags[..self.tags.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Concatenates two paths: `self` followed by `rest`.
+    #[must_use]
+    pub fn join(&self, rest: &Path) -> Path {
+        let mut tags = self.tags.clone();
+        tags.extend_from_slice(&rest.tags);
+        Path { tags }
+    }
+
+    /// Returns `true` when `self` is a (possibly equal) prefix of `other`:
+    /// the node at `self` is an ancestor of, or equal to, the node at
+    /// `other`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.tags.len() >= self.tags.len() && other.tags[..self.tags.len()] == self.tags[..]
+    }
+
+    /// Returns `true` when `self` is a (possibly equal) suffix of `other`.
+    #[must_use]
+    pub fn is_suffix_of(&self, other: &Path) -> bool {
+        other.tags.len() >= self.tags.len()
+            && other.tags[other.tags.len() - self.tags.len()..] == self.tags[..]
+    }
+
+    /// The number of leading arcs shared by `self` and `other`, i.e. the
+    /// depth of their minimal common ancestor.
+    #[must_use]
+    pub fn common_prefix_len(&self, other: &Path) -> usize {
+        self.tags
+            .iter()
+            .zip(other.tags.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The path of the minimal common ancestor of `self` and `other`.
+    #[must_use]
+    pub fn common_ancestor(&self, other: &Path) -> Path {
+        Path {
+            tags: self.tags[..self.common_prefix_len(other)].to_vec(),
+        }
+    }
+
+    /// The suffix of the path after dropping its first `n` arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn suffix_from(&self, n: usize) -> Path {
+        Path {
+            tags: self.tags[n..].to_vec(),
+        }
+    }
+
+    /// The prefix consisting of the first `n` arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Path {
+        Path {
+            tags: self.tags[..n].to_vec(),
+        }
+    }
+
+    /// Strips `prefix` from the front of the path, returning the rest, or
+    /// `None` when `prefix` is not a prefix of `self`.
+    #[must_use]
+    pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
+        if prefix.is_prefix_of(self) {
+            Some(self.suffix_from(prefix.len()))
+        } else {
+            None
+        }
+    }
+
+    /// Strips `suffix` from the back of the path, returning the front, or
+    /// `None` when `suffix` is not a suffix of `self`.
+    #[must_use]
+    pub fn strip_suffix(&self, suffix: &Path) -> Option<Path> {
+        if suffix.is_suffix_of(self) {
+            Some(self.prefix(self.len() - suffix.len()))
+        } else {
+            None
+        }
+    }
+
+    /// Renders the path as a compact bit string (`"110"` for `‖1‖1‖0`),
+    /// the format accepted by [`FromStr`].  The empty path renders as
+    /// `"e"` (for `ε`).
+    #[must_use]
+    pub fn to_bits(&self) -> String {
+        if self.tags.is_empty() {
+            "e".to_owned()
+        } else {
+            self.tags
+                .iter()
+                .map(|b| if b.bit() == 0 { '0' } else { '1' })
+                .collect()
+        }
+    }
+}
+
+impl Index<usize> for Path {
+    type Output = Branch;
+
+    fn index(&self, i: usize) -> &Branch {
+        &self.tags[i]
+    }
+}
+
+impl FromIterator<Branch> for Path {
+    fn from_iter<I: IntoIterator<Item = Branch>>(iter: I) -> Path {
+        Path {
+            tags: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Branch> for Path {
+    fn extend<I: IntoIterator<Item = Branch>>(&mut self, iter: I) {
+        self.tags.extend(iter);
+    }
+}
+
+impl From<Vec<Branch>> for Path {
+    fn from(tags: Vec<Branch>) -> Path {
+        Path { tags }
+    }
+}
+
+impl fmt::Display for Path {
+    /// Renders in the paper's notation: `‖1‖1‖0`; the empty path renders
+    /// as `ε`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tags.is_empty() {
+            return write!(f, "\u{3b5}");
+        }
+        for t in &self.tags {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = AddrError;
+
+    /// Parses a compact bit string: `"0"` and `"1"` are arcs, `""` or
+    /// `"e"` denote the empty path.
+    fn from_str(s: &str) -> Result<Path, AddrError> {
+        if s == "e" || s == "\u{3b5}" {
+            return Ok(Path::root());
+        }
+        let mut tags = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '0' => tags.push(Branch::Left),
+                '1' => tags.push(Branch::Right),
+                _ => return Err(AddrError::BadPathChar { ch }),
+            }
+        }
+        Ok(Path { tags })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().expect("valid path literal")
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let path = p("0110");
+        assert_eq!(path.to_string(), "‖0‖1‖1‖0");
+        assert_eq!(path.to_bits(), "0110");
+        assert_eq!(p(&path.to_bits()), path);
+    }
+
+    #[test]
+    fn empty_path_displays_epsilon() {
+        assert_eq!(Path::root().to_string(), "\u{3b5}");
+        assert_eq!(p("e"), Path::root());
+        assert_eq!(p(""), Path::root());
+        assert_eq!(Path::root().to_bits(), "e");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            "01x".parse::<Path>(),
+            Err(AddrError::BadPathChar { ch: 'x' })
+        );
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let path = p("01");
+        assert_eq!(path.child(Branch::Right).parent(), Some(path.clone()));
+        assert_eq!(Path::root().parent(), None);
+    }
+
+    #[test]
+    fn prefix_suffix_relations() {
+        let long = p("0110");
+        assert!(p("01").is_prefix_of(&long));
+        assert!(!p("11").is_prefix_of(&long));
+        assert!(p("10").is_suffix_of(&long));
+        assert!(!p("00").is_suffix_of(&long));
+        assert!(Path::root().is_prefix_of(&long));
+        assert!(Path::root().is_suffix_of(&long));
+        assert!(long.is_prefix_of(&long));
+        assert!(long.is_suffix_of(&long));
+    }
+
+    #[test]
+    fn strip_prefix_and_suffix() {
+        let long = p("0110");
+        assert_eq!(long.strip_prefix(&p("01")), Some(p("10")));
+        assert_eq!(long.strip_prefix(&p("11")), None);
+        assert_eq!(long.strip_suffix(&p("10")), Some(p("01")));
+        assert_eq!(long.strip_suffix(&p("11")), None);
+    }
+
+    #[test]
+    fn common_ancestor_matches_figure_1() {
+        // P1 at ‖0‖1, P3 at ‖1‖1‖0: common ancestor is the root.
+        assert_eq!(p("01").common_ancestor(&p("110")), Path::root());
+        // P2 at ‖1‖0, P3 at ‖1‖1‖0: common ancestor is the node at ‖1.
+        assert_eq!(p("10").common_ancestor(&p("110")), p("1"));
+        // P3 and P4 share the node at ‖1‖1.
+        assert_eq!(p("110").common_ancestor(&p("111")), p("11"));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        assert_eq!(p("01").join(&p("10")), p("0110"));
+        assert_eq!(Path::root().join(&p("1")), p("1"));
+        assert_eq!(p("1").join(&Path::root()), p("1"));
+    }
+
+    #[test]
+    fn indexing_and_iteration() {
+        let path = p("10");
+        assert_eq!(path[0], Branch::Right);
+        assert_eq!(path[1], Branch::Left);
+        let collected: Path = path.iter().collect();
+        assert_eq!(collected, path);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut path = p("0");
+        path.extend([Branch::Right, Branch::Left]);
+        assert_eq!(path, p("010"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Relative addresses (Definitions 1 and 2 of the paper) and their algebra.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{AddrError, Path};
+
+/// A *relative address* `ϑ₀ • ϑ₁` between two sequential processes
+/// (Definition 1 of the paper).
+///
+/// The address held by an *observer* process `O` and pointing at a
+/// *target* process `T` consists of the path `ϑ₀` from their minimal
+/// common ancestor down to `O` and the path `ϑ₁` from that ancestor down
+/// to `T`.  In Figure 1 of the paper the address of `P3` relative to `P1`
+/// is `‖0‖1 • ‖1‖1‖0`.
+///
+/// The minimality invariant of Definition 1 — when both components are
+/// non-empty they start with flipped tags — is enforced by every
+/// constructor; [`RelAddr::between`] satisfies it by construction because
+/// it strips the longest common prefix of the two absolute positions.
+///
+/// # Example
+///
+/// ```
+/// use spi_addr::{Path, RelAddr};
+///
+/// let p1: Path = "01".parse()?;
+/// let p3: Path = "110".parse()?;
+/// let l = RelAddr::between(&p1, &p3);
+/// assert_eq!(l.to_string(), "‖0‖1•‖1‖1‖0");
+/// // Definition 2: the inverse address is compatible with `l`.
+/// assert!(l.is_compatible(&l.inverse()));
+/// // Resolving `l` at P1's position recovers P3's position.
+/// assert_eq!(l.resolve_at(&p1)?, p3);
+/// # Ok::<(), spi_addr::AddrError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelAddr {
+    observer: Path,
+    target: Path,
+}
+
+impl RelAddr {
+    /// Builds a relative address from its two components, checking the
+    /// minimality invariant of Definition 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrError::NotMinimal`] when both components are
+    /// non-empty and start with the same tag: the alleged common ancestor
+    /// would not be minimal.
+    pub fn new(observer: Path, target: Path) -> Result<RelAddr, AddrError> {
+        match (observer.first(), target.first()) {
+            (Some(a), Some(b)) if a == b => Err(AddrError::NotMinimal { observer, target }),
+            _ => Ok(RelAddr { observer, target }),
+        }
+    }
+
+    /// The identity address `ε•ε`: the address of a process relative to
+    /// itself.
+    #[must_use]
+    pub fn identity() -> RelAddr {
+        RelAddr::default()
+    }
+
+    /// Computes the address of the process at absolute position `target`
+    /// relative to the process at absolute position `observer`, by
+    /// stripping their common prefix (the path of the minimal common
+    /// ancestor).
+    ///
+    /// The result always satisfies the Definition 1 invariant.
+    #[must_use]
+    pub fn between(observer: &Path, target: &Path) -> RelAddr {
+        let k = observer.common_prefix_len(target);
+        RelAddr {
+            observer: observer.suffix_from(k),
+            target: target.suffix_from(k),
+        }
+    }
+
+    /// The component `ϑ₀`: the path from the minimal common ancestor down
+    /// to the observer (the process holding the address).
+    #[must_use]
+    pub fn observer(&self) -> &Path {
+        &self.observer
+    }
+
+    /// The component `ϑ₁`: the path from the minimal common ancestor down
+    /// to the target (the process being pointed at).
+    #[must_use]
+    pub fn target(&self) -> &Path {
+        &self.target
+    }
+
+    /// Returns `true` for the identity address `ε•ε`.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.observer.is_empty() && self.target.is_empty()
+    }
+
+    /// The inverse address `l⁻¹`, obtained by swapping the two
+    /// components: the same path read from the other end.
+    ///
+    /// The paper writes the address of `P3` w.r.t. `P1` as `l` and the
+    /// address of `P1` w.r.t. `P3` as `l⁻¹`.
+    #[must_use]
+    pub fn inverse(&self) -> RelAddr {
+        RelAddr {
+            observer: self.target.clone(),
+            target: self.observer.clone(),
+        }
+    }
+
+    /// Definition 2: `other` is *compatible* with `self` when both refer
+    /// to the same path with source and target exchanged, i.e.
+    /// `other = self⁻¹`.
+    #[must_use]
+    pub fn is_compatible(&self, other: &RelAddr) -> bool {
+        *other == self.inverse()
+    }
+
+    /// Resolves the address against the absolute position of its
+    /// observer, returning the absolute position of the target.
+    ///
+    /// This inverts [`RelAddr::between`]:
+    /// `RelAddr::between(o, t).resolve_at(o) == t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrError::UnresolvableAt`] when the observer component
+    /// is not a suffix of `position` — the address cannot have been formed
+    /// at that position.
+    pub fn resolve_at(&self, position: &Path) -> Result<Path, AddrError> {
+        match position.strip_suffix(&self.observer) {
+            Some(ancestor) => Ok(ancestor.join(&self.target)),
+            None => Err(AddrError::UnresolvableAt {
+                position: position.clone(),
+                observer: self.observer.clone(),
+            }),
+        }
+    }
+
+    /// The address-composition operation used when a located datum is
+    /// forwarded (Section 3.2 of the paper, defined in its reference
+    /// \[4\]).
+    ///
+    /// Let `self` be the tag carried by a datum held by a forwarder `S`,
+    /// i.e. the address of the datum's *creator* `C` relative to `S`, and
+    /// let `comm` be the address of `S` relative to the *receiver* `R` of
+    /// the forwarding communication.  The composition computes the address
+    /// of `C` relative to `R` — the updated tag the receiver stores, "so
+    /// that the identity of names is maintained".
+    ///
+    /// Writing `self = s₁•c₁` (paths from an ancestor `A₁` to `S` and `C`)
+    /// and `comm = r₂•s₂` (paths from an ancestor `A₂` to `R` and `S`),
+    /// the two pivot components `s₁`, `s₂` are suffixes of the absolute
+    /// position of `S`, hence one is a suffix of the other; the composite
+    /// is obtained by transporting both paths to the higher of the two
+    /// ancestors and stripping the common prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrError::IncoherentComposition`] when neither pivot is
+    /// a suffix of the other: the two addresses cannot have been observed
+    /// from the same process.
+    pub fn compose(&self, comm: &RelAddr) -> Result<RelAddr, AddrError> {
+        let s1 = &self.observer; // A₁ → S
+        let c1 = &self.target; // A₁ → C
+        let r2 = &comm.observer; // A₂ → R
+        let s2 = &comm.target; // A₂ → S
+        if let Some(t) = s2.strip_suffix(s1) {
+            // A₂ is an ancestor of (or equal to) A₁, with A₂ → A₁ = t.
+            Ok(RelAddr::between(r2, &t.join(c1)))
+        } else if let Some(t) = s1.strip_suffix(s2) {
+            // A₁ is a strict ancestor of A₂, with A₁ → A₂ = t.
+            Ok(RelAddr::between(&t.join(r2), c1))
+        } else {
+            Err(AddrError::IncoherentComposition {
+                tag_pivot: s1.clone(),
+                comm_pivot: s2.clone(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for RelAddr {
+    /// Renders in the paper's notation: `‖0‖1•‖1‖1‖0`.  Empty components
+    /// are left blank, so the identity renders as `•`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.observer.is_empty() {
+            write!(f, "{}", self.observer)?;
+        }
+        write!(f, "\u{2022}")?;
+        if !self.target.is_empty() {
+            write!(f, "{}", self.target)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for RelAddr {
+    type Err = AddrError;
+
+    /// Parses the compact form `"<bits>.<bits>"` (a dot separates the two
+    /// components, `e` or nothing denotes an empty component), e.g.
+    /// `"01.110"` for `‖0‖1•‖1‖1‖0`.  The pretty separator `•` is also
+    /// accepted.
+    fn from_str(s: &str) -> Result<RelAddr, AddrError> {
+        let (obs, tgt) = s
+            .split_once('.')
+            .or_else(|| s.split_once('\u{2022}'))
+            .ok_or(AddrError::MissingSeparator)?;
+        RelAddr::new(obs.parse()?, tgt.parse()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().expect("valid path literal")
+    }
+
+    fn ra(s: &str) -> RelAddr {
+        s.parse().expect("valid address literal")
+    }
+
+    #[test]
+    fn figure_1_address_of_p3_relative_to_p1() {
+        // The paper: "the address of P3 relative to P1 is l = ‖0‖1•‖1‖1‖0".
+        let l = RelAddr::between(&p("01"), &p("110"));
+        assert_eq!(l.to_string(), "‖0‖1•‖1‖1‖0");
+        // And its inverse is ‖1‖1‖0•‖0‖1.
+        assert_eq!(l.inverse().to_string(), "‖1‖1‖0•‖0‖1");
+    }
+
+    #[test]
+    fn new_rejects_non_minimal() {
+        assert!(matches!(
+            RelAddr::new(p("01"), p("00")),
+            Err(AddrError::NotMinimal { .. })
+        ));
+        assert!(RelAddr::new(p("01"), p("10")).is_ok());
+        // One-sided empty components are allowed, as in the paper's
+        // top-level restrictions (ν •‖0‖0 M).
+        assert!(RelAddr::new(Path::root(), p("00")).is_ok());
+        assert!(RelAddr::new(p("00"), Path::root()).is_ok());
+    }
+
+    #[test]
+    fn between_strips_common_prefix() {
+        // P2 at ‖1‖0 and P3 at ‖1‖1‖0 meet at the node ‖1.
+        let a = RelAddr::between(&p("10"), &p("110"));
+        assert_eq!(a.observer(), &p("0"));
+        assert_eq!(a.target(), &p("10"));
+    }
+
+    #[test]
+    fn identity_and_self_address() {
+        let a = RelAddr::between(&p("0110"), &p("0110"));
+        assert!(a.is_identity());
+        assert_eq!(a, RelAddr::identity());
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_compatible() {
+        let l = RelAddr::between(&p("01"), &p("110"));
+        assert_eq!(l.inverse().inverse(), l);
+        assert!(l.is_compatible(&l.inverse()));
+        assert!(!l.is_compatible(&l));
+    }
+
+    #[test]
+    fn resolve_inverts_between() {
+        let o = p("0101");
+        let t = p("0110");
+        let l = RelAddr::between(&o, &t);
+        assert_eq!(l.resolve_at(&o).unwrap(), t);
+        assert_eq!(l.inverse().resolve_at(&t).unwrap(), o);
+    }
+
+    #[test]
+    fn resolve_fails_at_incompatible_position() {
+        let l = RelAddr::between(&p("01"), &p("110"));
+        assert!(matches!(
+            l.resolve_at(&p("10")),
+            Err(AddrError::UnresolvableAt { .. })
+        ));
+    }
+
+    #[test]
+    fn composition_matches_the_forwarding_example() {
+        // Section 3.2: P3 (at ‖1‖1‖0) creates n and sends it to P1 (at
+        // ‖0‖1); P1 forwards it to P2 (at ‖1‖0).  The updated tag must be
+        // the address of P3 relative to P2.
+        let p1 = p("01");
+        let p2 = p("10");
+        let p3 = p("110");
+        let tag_at_p1 = RelAddr::between(&p1, &p3);
+        let comm = RelAddr::between(&p2, &p1);
+        let tag_at_p2 = tag_at_p1.compose(&comm).unwrap();
+        assert_eq!(tag_at_p2, RelAddr::between(&p2, &p3));
+        // In the paper's notation the components are ‖0 (ancestor ‖1 down
+        // to P2) and ‖1‖0 (down to P3).
+        assert_eq!(tag_at_p2.observer(), &p("0"));
+        assert_eq!(tag_at_p2.target(), &p("10"));
+    }
+
+    #[test]
+    fn composition_coherence_on_a_grid() {
+        // compose(between(S,C), between(R,S)) == between(R,C) for all
+        // choices of C, S, R among a set of tree positions.
+        let positions = [
+            p("00"),
+            p("01"),
+            p("10"),
+            p("110"),
+            p("111"),
+            p("0100"),
+            p("0101"),
+        ];
+        for c in &positions {
+            for s in &positions {
+                for r in &positions {
+                    let tag = RelAddr::between(s, c);
+                    let comm = RelAddr::between(r, s);
+                    let got = tag.compose(&comm).unwrap();
+                    assert_eq!(got, RelAddr::between(r, c), "C={c} S={s} R={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_with_identity_tag() {
+        // A datum created by the sender itself carries the identity tag;
+        // composing transports it to the plain communication address.
+        let s = p("00");
+        let r = p("1");
+        let got = RelAddr::identity()
+            .compose(&RelAddr::between(&r, &s))
+            .unwrap();
+        assert_eq!(got, RelAddr::between(&r, &s));
+    }
+
+    #[test]
+    fn composition_rejects_incoherent_pivots() {
+        // Pivots ‖0‖1 and ‖1‖0: neither is a suffix of the other.
+        let tag = RelAddr::new(p("01"), p("10")).unwrap();
+        let comm = RelAddr::new(p("01"), p("10")).unwrap();
+        assert!(matches!(
+            tag.compose(&comm),
+            Err(AddrError::IncoherentComposition { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let l = ra("01.110");
+        assert_eq!(l, RelAddr::between(&p("01"), &p("110")));
+        assert_eq!(ra("e.00"), RelAddr::new(Path::root(), p("00")).unwrap());
+        assert_eq!(".".parse::<RelAddr>().unwrap(), RelAddr::identity());
+        assert_eq!(RelAddr::identity().to_string(), "\u{2022}");
+        assert!(matches!(
+            "0110".parse::<RelAddr>(),
+            Err(AddrError::MissingSeparator)
+        ));
+        assert!(matches!(
+            "00.01".parse::<RelAddr>(),
+            Err(AddrError::NotMinimal { .. })
+        ));
+    }
+}

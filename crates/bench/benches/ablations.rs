@@ -1,0 +1,82 @@
+//! Ablation studies: how the verifier's bounds and strategies trade cost
+//! for coverage.
+//!
+//! * intruder fresh-name budget (0, 1, 2) — does giving the attacker more
+//!   invented names blow up the search?
+//! * decision procedure — the trace-inclusion check vs. running
+//!   Definition 3 directly over synthesized testers;
+//! * the reflection study (E9/E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spi_auth::{Verdict, Verifier};
+use spi_protocols::{multi, reflection, single};
+
+fn bench_fresh_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fresh_budget");
+    group.sample_size(10);
+    let pm2 = multi::shared_key("c", "observe");
+    for budget in [0u32, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                let verifier = Verifier::new(["c"]).sessions(2).fresh_budget(budget);
+                b.iter(|| verifier.explore(&pm2).expect("explores").stats);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decision_procedures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_procedure");
+    group.sample_size(10);
+    let verifier = Verifier::new(["c"]);
+    let p2 = single::shared_key("c", "observe");
+    let p = single::abstract_protocol("c", "observe").expect("builds");
+    group.bench_function("trace_inclusion_p2", |b| {
+        b.iter(|| {
+            let report = verifier.check(&p2, &p).expect("checks");
+            assert!(matches!(report.verdict, Verdict::SecurelyImplements));
+            report.traces_checked
+        });
+    });
+    group.bench_function("definition3_testers_p2", |b| {
+        b.iter(|| {
+            let outcome = verifier.check_definition3(&p2, &p).expect("checks");
+            assert!(outcome.holds());
+            outcome.testers
+        });
+    });
+    group.finish();
+}
+
+fn bench_reflection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reflection");
+    group.sample_size(10);
+    let verifier = Verifier::new(["c"]).sessions(1).max_states(400_000);
+    let spec = reflection::bidirectional_abstract("c", "oa", "ob").expect("builds");
+    let vulnerable = reflection::bidirectional_challenge_response("c", "oa", "ob");
+    let fixed = reflection::bidirectional_tagged("c", "oa", "ob");
+    group.bench_function("e9_find_reflection", |b| {
+        b.iter(|| {
+            let report = verifier.check(&vulnerable, &spec).expect("checks");
+            assert!(matches!(report.verdict, Verdict::Attack(_)));
+        });
+    });
+    group.bench_function("e10_verify_repair", |b| {
+        b.iter(|| {
+            let report = verifier.check(&fixed, &spec).expect("checks");
+            assert!(matches!(report.verdict, Verdict::SecurelyImplements));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_fresh_budget,
+    bench_decision_procedures,
+    bench_reflection
+);
+criterion_main!(ablations);

@@ -1,0 +1,84 @@
+//! E1 / micro: the relative-address algebra — `between`, `inverse`,
+//! `compose`, `resolve_at` — at several path depths, plus Figure 1 tree
+//! operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spi_addr::{ProcTree, RelAddr};
+use spi_bench::{random_path, rng};
+
+fn bench_between_and_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("addr_ops");
+    for depth in [4usize, 16, 64] {
+        let mut r = rng(1);
+        let triples: Vec<_> = (0..256)
+            .map(|_| {
+                (
+                    random_path(&mut r, depth),
+                    random_path(&mut r, depth),
+                    random_path(&mut r, depth),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("between", depth), &triples, |b, ts| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (s, t, _) in ts {
+                    acc += RelAddr::between(s, t).observer().len();
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("compose", depth), &triples, |b, ts| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (creator, sender, receiver) in ts {
+                    let tag = RelAddr::between(sender, creator);
+                    let comm = RelAddr::between(receiver, sender);
+                    acc += tag.compose(&comm).expect("coherent").target().len();
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("resolve", depth), &triples, |b, ts| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (s, t, _) in ts {
+                    acc += RelAddr::between(s, t)
+                        .resolve_at(s)
+                        .expect("resolves")
+                        .len();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proc_tree");
+    for leaves in [8usize, 64, 512] {
+        // A right spine of the requested width.
+        let mut tree = ProcTree::leaf(0usize);
+        for i in 1..leaves {
+            tree = ProcTree::node(ProcTree::leaf(i), tree);
+        }
+        group.bench_with_input(BenchmarkId::new("iterate", leaves), &tree, |b, t| {
+            b.iter(|| t.leaves().map(|(p, _)| p.len()).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("lookup", leaves), &tree, |b, t| {
+            let paths: Vec<_> = t.leaves().map(|(p, _)| p).collect();
+            b.iter(|| {
+                let mut acc = 0usize;
+                for p in &paths {
+                    acc += *t.leaf_at(p).expect("leaf");
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(addr, bench_between_and_compose, bench_tree_ops);
+criterion_main!(addr);

@@ -1,0 +1,102 @@
+//! One benchmark per experiment of the paper (E3–E8): the time to
+//! re-derive each proposition / counterexample mechanically.
+//!
+//! The paper reports no timings (it has no implementation); these benches
+//! are the measured counterpart recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spi_auth::propositions;
+use spi_auth::{Verdict, Verifier};
+use spi_protocols::{multi, single};
+
+fn e3_proposition_1(c: &mut Criterion) {
+    c.bench_function("e3_prop1_startup_audit", |b| {
+        b.iter(|| {
+            let audit = propositions::proposition_1().expect("explores");
+            assert!(audit.all_from_a);
+            audit
+        });
+    });
+}
+
+fn e4_attack_search_p1(c: &mut Criterion) {
+    c.bench_function("e4_attack_search_p1", |b| {
+        b.iter(|| {
+            propositions::counterexample_p1()
+                .expect("explores")
+                .expect("attack found")
+        });
+    });
+}
+
+fn e5_verify_p2(c: &mut Criterion) {
+    c.bench_function("e5_verify_p2_implements_p", |b| {
+        b.iter(|| {
+            let report = propositions::proposition_2().expect("explores");
+            assert!(matches!(report.verdict, Verdict::SecurelyImplements));
+            report
+        });
+    });
+}
+
+fn e6_proposition_3(c: &mut Criterion) {
+    c.bench_function("e6_prop3_multisession_audit", |b| {
+        b.iter(|| {
+            let audit = propositions::proposition_3(2).expect("explores");
+            assert!(audit.all_from_a && !audit.replay_found);
+            audit
+        });
+    });
+}
+
+fn e7_attack_search_pm2(c: &mut Criterion) {
+    c.bench_function("e7_attack_search_pm2_replay", |b| {
+        b.iter(|| {
+            propositions::counterexample_pm2(2)
+                .expect("explores")
+                .expect("replay found")
+        });
+    });
+}
+
+fn e8_verify_pm3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8");
+    group.sample_size(10);
+    group.bench_function("verify_pm3_implements_pm", |b| {
+        b.iter(|| {
+            let report = propositions::proposition_4(2).expect("explores");
+            assert!(matches!(report.verdict, Verdict::SecurelyImplements));
+            report
+        });
+    });
+    group.finish();
+}
+
+/// Ablation: the same checks driven through the generic verifier with the
+/// simulation diagnostic disabled vs enabled exploration reuse.
+fn ablation_exploration_reuse(c: &mut Criterion) {
+    let verifier = Verifier::new(["c"]);
+    let p2 = single::shared_key("c", "observe");
+    let p = single::abstract_protocol("c", "observe").expect("builds");
+    c.bench_function("ablation_explore_only_p2", |b| {
+        b.iter(|| verifier.explore(&p2).expect("explores").stats);
+    });
+    let pm2 = multi::shared_key("c", "observe");
+    let verifier2 = Verifier::new(["c"]).sessions(2);
+    c.bench_function("ablation_explore_only_pm2", |b| {
+        b.iter(|| verifier2.explore(&pm2).expect("explores").stats);
+    });
+    let _ = p;
+}
+
+criterion_group!(
+    experiments,
+    e3_proposition_1,
+    e4_attack_search_p1,
+    e5_verify_p2,
+    e6_proposition_3,
+    e7_attack_search_pm2,
+    e8_verify_pm3,
+    ablation_exploration_reuse,
+);
+criterion_main!(experiments);

@@ -1,0 +1,67 @@
+//! S1 — state-space scaling: exploration size and time versus the number
+//! of sessions and versus protocol width, for the abstract `Pm`, the
+//! naive `Pm2` and the challenge-response `Pm3`.
+//!
+//! The shape to expect (recorded in `EXPERIMENTS.md`): the abstract
+//! protocol stays small (localization prunes the intruder's moves), the
+//! naive cipher protocol grows moderately, and the challenge-response
+//! grows fastest (nonces multiply the intruder's choices) while remaining
+//! tractable at the paper's two sessions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spi_auth::Verifier;
+use spi_bench::independent_pairs;
+use spi_protocols::multi;
+use spi_verify::{ExploreOptions, Explorer};
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_sessions");
+    group.sample_size(10);
+    let pm = multi::abstract_protocol("c", "observe").expect("builds");
+    let pm2 = multi::shared_key("c", "observe");
+    let pm3 = multi::challenge_response("c", "observe");
+    for sessions in [1u32, 2] {
+        for (name, protocol) in [
+            ("pm_abstract", &pm),
+            ("pm2_naive", &pm2),
+            ("pm3_nonce", &pm3),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, sessions),
+                &sessions,
+                |b, &sessions| {
+                    let verifier = Verifier::new(["c"]).sessions(sessions);
+                    b.iter(|| verifier.explore(protocol).expect("explores").stats);
+                },
+            );
+        }
+    }
+    // Pm and Pm2 stay cheap enough for a third session.
+    for (name, protocol) in [("pm_abstract", &pm), ("pm2_naive", &pm2)] {
+        group.bench_with_input(BenchmarkId::new(name, 3u32), &3u32, |b, &sessions| {
+            let verifier = Verifier::new(["c"]).sessions(sessions);
+            b.iter(|| verifier.explore(protocol).expect("explores").stats);
+        });
+    }
+    group.finish();
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_width");
+    group.sample_size(10);
+    for pairs in [2usize, 4, 6] {
+        let system = independent_pairs(pairs);
+        group.bench_with_input(
+            BenchmarkId::new("independent_pairs", pairs),
+            &system,
+            |b, s| {
+                let explorer = Explorer::new(ExploreOptions::default());
+                b.iter(|| explorer.explore(s).expect("explores").stats);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(scaling, bench_sessions, bench_width);
+criterion_main!(scaling);

@@ -1,0 +1,77 @@
+//! S2 — Dolev–Yao knowledge scaling: analysis-closure and derivability
+//! cost versus the number and depth of learnt messages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spi_bench::{random_messages, rng};
+use spi_semantics::NameTable;
+use spi_verify::Knowledge;
+
+fn bench_learn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_learn");
+    for count in [8usize, 32, 128] {
+        let mut r = rng(11);
+        let mut names = NameTable::new();
+        let msgs = random_messages(&mut r, &mut names, 6, count, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &msgs, |b, msgs| {
+            b.iter(|| {
+                let mut kn = Knowledge::new();
+                for m in msgs {
+                    kn.learn(m.clone());
+                }
+                kn.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_depth");
+    for depth in [2usize, 4, 6] {
+        let mut r = rng(13);
+        let mut names = NameTable::new();
+        let msgs = random_messages(&mut r, &mut names, 6, 32, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &msgs, |b, msgs| {
+            b.iter(|| {
+                let mut kn = Knowledge::new();
+                for m in msgs {
+                    kn.learn(m.clone());
+                }
+                kn.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_derive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_derive");
+    for count in [8usize, 32, 128] {
+        let mut r = rng(17);
+        let mut names = NameTable::new();
+        let msgs = random_messages(&mut r, &mut names, 6, count, 3);
+        let mut kn = Knowledge::new();
+        for m in &msgs {
+            kn.learn(m.clone());
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &(kn, msgs),
+            |b, (kn, msgs)| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for m in msgs {
+                        if kn.can_derive(m) {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(knowledge, bench_learn, bench_depth, bench_derive);
+criterion_main!(knowledge);

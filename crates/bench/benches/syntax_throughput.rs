@@ -1,0 +1,85 @@
+//! S3 — front-end throughput: lexing+parsing and pretty-printing of
+//! generated processes, plus substitution on deep terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spi_bench::{output_chain, output_chain_source};
+use spi_syntax::{parse, Term, Var};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for n in [32usize, 256, 1024] {
+        let src = output_chain_source(n);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| parse(src).expect("parses"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_print(c: &mut Criterion) {
+    let mut group = c.benchmark_group("print");
+    for n in [32usize, 256, 1024] {
+        let p = output_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p.to_string().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_subst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subst");
+    for n in [32usize, 256, 1024] {
+        // A chain where x occurs in every payload.
+        let mut p = spi_syntax::Process::input(Term::name("c"), "x", spi_syntax::Process::Nil);
+        if let spi_syntax::Process::Input(_, _, cont) = &mut p {
+            let mut body = spi_syntax::Process::Nil;
+            for i in (0..n).rev() {
+                body = spi_syntax::Process::output(
+                    Term::name(format!("d{}", i % 7)),
+                    Term::pair(Term::var("x"), Term::name("m")),
+                    body,
+                );
+            }
+            **cont = body;
+        }
+        // Substituting into the open body (not through the binder).
+        let open = match &p {
+            spi_syntax::Process::Input(_, _, cont) => (**cont).clone(),
+            _ => unreachable!(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &open, |b, open| {
+            let x = Var::new("x");
+            let v = Term::name("value");
+            b.iter(|| open.subst_var(&x, &v).size());
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplify");
+    for n in [32usize, 256, 1024] {
+        // A chain interleaved with trivially-true matchings.
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("[m = m] c{}<a>.", i % 7));
+        }
+        src.push('0');
+        let p = parse(&src).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p.simplify().size());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    syntax,
+    bench_parse,
+    bench_print,
+    bench_subst,
+    bench_simplify
+);
+criterion_main!(syntax);

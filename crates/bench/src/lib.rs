@@ -1,0 +1,149 @@
+//! Workload generators shared by the benchmark harness.
+//!
+//! The generators are deterministic (seeded) so benchmark runs are
+//! comparable; they are also unit-tested here so the benches cannot rot.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spi_addr::{Branch, Path};
+use spi_semantics::{NameTable, RtTerm};
+use spi_syntax::{Name, Process, Term};
+
+/// A deterministic RNG for workload generation.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random tree path of the given length.
+pub fn random_path(rng: &mut StdRng, len: usize) -> Path {
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Branch::Left
+            } else {
+                Branch::Right
+            }
+        })
+        .collect()
+}
+
+/// A chain of `n` sequential outputs `c⟨m⟩.…`, used as a parser/printer
+/// workload.
+#[must_use]
+pub fn output_chain(n: usize) -> Process {
+    let mut p = Process::Nil;
+    for i in (0..n).rev() {
+        p = Process::output(
+            Term::name(format!("c{}", i % 7)),
+            Term::enc(
+                vec![Term::name(format!("m{}", i % 5)), Term::name("n")],
+                Term::name("k"),
+            ),
+            p,
+        );
+    }
+    p
+}
+
+/// A wide parallel system of `n` send/receive pairs on distinct
+/// restricted channels — a state-space workload with no interference.
+#[must_use]
+pub fn independent_pairs(n: usize) -> Process {
+    let mut components = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = format!("c{i}");
+        components.push(Process::restrict(
+            Name::new(c.as_str()),
+            Process::par(
+                Process::restrict(
+                    "m",
+                    Process::output(Term::name(c.as_str()), Term::name("m"), Process::Nil),
+                ),
+                Process::input(Term::name(c.as_str()), "x", Process::Nil),
+            ),
+        ));
+    }
+    components.into_iter().reduce(Process::par).expect("n >= 1")
+}
+
+/// The source text of [`output_chain`], for parser benchmarks.
+#[must_use]
+pub fn output_chain_source(n: usize) -> String {
+    output_chain(n).to_string()
+}
+
+/// A batch of `count` random messages over `atoms` names, nested up to
+/// `depth` — the knowledge-closure workload.
+pub fn random_messages(
+    rng: &mut StdRng,
+    names: &mut NameTable,
+    atoms: usize,
+    count: usize,
+    depth: usize,
+) -> Vec<RtTerm> {
+    let ids: Vec<RtTerm> = (0..atoms)
+        .map(|i| {
+            RtTerm::Id(names.alloc_restricted(&Name::new(format!("a{i}")), random_path(rng, 3)))
+        })
+        .collect();
+    (0..count)
+        .map(|_| random_message(rng, &ids, depth))
+        .collect()
+}
+
+fn random_message(rng: &mut StdRng, atoms: &[RtTerm], depth: usize) -> RtTerm {
+    if depth == 0 || rng.gen_bool(0.4) {
+        atoms[rng.gen_range(0..atoms.len())].clone()
+    } else if rng.gen_bool(0.5) {
+        RtTerm::Pair {
+            fst: Box::new(random_message(rng, atoms, depth - 1)),
+            snd: Box::new(random_message(rng, atoms, depth - 1)),
+            creator: None,
+        }
+    } else {
+        RtTerm::Enc {
+            body: vec![
+                random_message(rng, atoms, depth - 1),
+                random_message(rng, atoms, depth - 1),
+            ],
+            key: Box::new(atoms[rng.gen_range(0..atoms.len())].clone()),
+            creator: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    #[test]
+    fn output_chain_round_trips() {
+        let p = output_chain(50);
+        assert_eq!(parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn independent_pairs_is_closed() {
+        let p = independent_pairs(4);
+        assert!(p.is_closed());
+        assert!(p.free_names().is_empty());
+    }
+
+    #[test]
+    fn random_messages_are_messages() {
+        let mut r = rng(7);
+        let mut names = NameTable::new();
+        for m in random_messages(&mut r, &mut names, 5, 20, 3) {
+            assert!(m.is_message());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        assert_eq!(random_path(&mut a, 10), random_path(&mut b, 10));
+    }
+}

@@ -1,0 +1,373 @@
+//! `spi` — command-line front-end for the authentication-primitives
+//! toolkit.
+//!
+//! ```text
+//! spi parse <file>                          check & pretty-print a process
+//! spi run <file> [--steps N] [--unfold N]   run a process, narrating steps
+//! spi verify <concrete> <abstract>          check secure implementation
+//!            [--chan c]... [--sessions N] [--visible N]
+//! spi explore <file> [--chan c]... [--sessions N] [--dot out.dot]
+//!                                           explore under the intruder
+//! spi narrate <narration> [--sessions N]    compile a narration both ways
+//!                                           and check the implementation
+//! spi paper [--sessions N]                  re-derive the paper's results
+//! ```
+//!
+//! Exit code 0 on success / property holds, 1 on an attack or a failed
+//! parse, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use spi_auth::protocols::compile::{compile_abstract, compile_concrete, CompileOptions};
+use spi_auth::protocols::narration::Narration;
+use spi_auth::semantics::{Config, Narrator, RoleMap};
+use spi_auth::syntax::parse;
+use spi_auth::{propositions, Verdict, Verifier};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "parse" => cmd_parse(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "explore" => cmd_explore(&args[1..]),
+        "narrate" => cmd_narrate(&args[1..]),
+        "paper" => cmd_paper(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}; try `spi help`")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  spi parse <file>\n  spi run <file> [--steps N] [--unfold N]\n  \
+         spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n  \
+         spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
+         spi narrate <narration-file> [--sessions N]\n  spi paper [--sessions N]"
+    );
+}
+
+/// Positional arguments and `--flag value` pairs, as borrowed slices.
+type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits positional arguments from `--flag value` options.
+fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+        } else {
+            pos.push(a.as_str());
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+}
+
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &[(&str, &str)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{name} expects a number, got {v:?}")),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Parses either a bare process or a program file (`def … system …`).
+fn parse_any(src: &str) -> Result<spi_auth::syntax::Process, spi_auth::syntax::SyntaxError> {
+    if src
+        .lines()
+        .any(|l| l.trim_start().starts_with("def ") || l.trim_start().starts_with("system"))
+    {
+        spi_auth::syntax::parse_program(src).map(|prog| prog.system)
+    } else {
+        parse(src)
+    }
+}
+
+fn cmd_parse(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, _) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("parse expects one file".into());
+    };
+    let src = read(path)?;
+    match parse_any(&src) {
+        Ok(p) => {
+            println!("{p}");
+            let free = p.free_names();
+            if !free.is_empty() {
+                let names: Vec<String> = free.iter().map(ToString::to_string).collect();
+                println!("-- free names: {}", names.join(", "));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("{}", e.render(&src));
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("run expects one file".into());
+    };
+    let steps: usize = numeric_flag(&flags, "steps", 64)?;
+    let unfold: u32 = numeric_flag(&flags, "unfold", 2)?;
+    let src = read(path)?;
+    let p = parse_any(&src).map_err(|e| e.render(&src))?;
+    let mut cfg = Config::from_process(&p).map_err(|e| e.to_string())?;
+    let mut narrator = Narrator::new(RoleMap::new());
+    for _ in 0..steps {
+        let actions = cfg.enabled(unfold);
+        let Some(action) = actions.first() else {
+            break;
+        };
+        let info = cfg.fire(action).map_err(|e| e.to_string())?;
+        println!("{}", narrator.narrate(&info, &cfg));
+    }
+    let barbs = cfg.barbs();
+    if !barbs.is_empty() {
+        let shown: Vec<String> = barbs
+            .iter()
+            .map(|b| format!("{}{}", b.chan, if b.output { "!" } else { "?" }))
+            .collect();
+        println!("-- barbs: {}", shown.join(", "));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
+    let channels: Vec<&str> = flags
+        .iter()
+        .filter(|(n, _)| *n == "chan")
+        .map(|(_, v)| *v)
+        .collect();
+    let channels = if channels.is_empty() {
+        vec!["c"]
+    } else {
+        channels
+    };
+    Ok(Verifier::new(channels)
+        .sessions(numeric_flag(flags, "sessions", 2)?)
+        .max_visible(numeric_flag(flags, "visible", 6)?)
+        .max_states(numeric_flag(flags, "max-states", 200_000)?))
+}
+
+fn report_verdict(verdict: &Verdict) -> ExitCode {
+    match verdict {
+        Verdict::SecurelyImplements => {
+            println!("VERDICT: securely implements the specification (within bounds)");
+            ExitCode::SUCCESS
+        }
+        Verdict::Attack(attack) => {
+            println!("VERDICT: ATTACK");
+            for line in &attack.narration {
+                println!("  {line}");
+            }
+            println!("  distinguishing trace: {:?}", attack.trace);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [concrete_path, abstract_path] = pos.as_slice() else {
+        return Err("verify expects <concrete> <abstract>".into());
+    };
+    let concrete_src = read(concrete_path)?;
+    let abstract_src = read(abstract_path)?;
+    let concrete = parse_any(&concrete_src).map_err(|e| e.render(&concrete_src))?;
+    let spec = parse_any(&abstract_src).map_err(|e| e.render(&abstract_src))?;
+    let verifier = build_verifier(&flags)?;
+    let report = verifier
+        .check(&concrete, &spec)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "explored {} concrete / {} abstract states",
+        report.concrete_stats.states, report.abstract_stats.states
+    );
+    Ok(report_verdict(&report.verdict))
+}
+
+fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("explore expects one file".into());
+    };
+    let src = read(path)?;
+    let p = parse_any(&src).map_err(|e| e.render(&src))?;
+    let verifier = build_verifier(&flags)?;
+    let lts = verifier.explore(&p).map_err(|e| e.to_string())?;
+    println!("{} states, {} edges", lts.stats.states, lts.stats.edges);
+    let barbs = lts.weak_barbs();
+    if !barbs.is_empty() {
+        let shown: Vec<String> = barbs
+            .iter()
+            .map(|b| format!("{}{}", b.chan, if b.output { "!" } else { "?" }))
+            .collect();
+        println!("weakly reachable barbs: {}", shown.join(", "));
+    }
+    if let Some(out) = flag(&flags, "dot") {
+        std::fs::write(out, spi_auth::verify::to_dot(&lts))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_narrate(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("narrate expects one narration file".into());
+    };
+    let sessions: u32 = numeric_flag(&flags, "sessions", 2)?;
+    let src = read(path)?;
+    let narration = Narration::parse(&src).map_err(|e| e.to_string())?;
+    let opts = CompileOptions {
+        replicate: sessions > 1,
+        ..CompileOptions::default()
+    };
+    let concrete = compile_concrete(&narration, &opts).map_err(|e| e.to_string())?;
+    println!("concrete  = {concrete}");
+    let spec = compile_abstract(&narration, &opts).map_err(|e| e.to_string())?;
+    println!("abstract  = {spec}");
+    let verifier = build_verifier(&flags)?.sessions(sessions);
+    let report = verifier
+        .check(&concrete, &spec)
+        .map_err(|e| e.to_string())?;
+    Ok(report_verdict(&report.verdict))
+}
+
+fn cmd_paper(args: &[String]) -> Result<ExitCode, String> {
+    let (_, flags) = split_flags(args)?;
+    let sessions: u32 = numeric_flag(&flags, "sessions", 2)?;
+
+    let p1 = propositions::proposition_1().map_err(|e| e.to_string())?;
+    println!(
+        "Proposition 1: {} observations, all from A: {}",
+        p1.observations, p1.all_from_a
+    );
+
+    match propositions::counterexample_p1().map_err(|e| e.to_string())? {
+        Some(a) => {
+            println!("P1 ⋢ P:");
+            for l in &a.narration {
+                println!("  {l}");
+            }
+        }
+        None => println!("P1 ⋢ P: NOT REPRODUCED"),
+    }
+
+    let p2 = propositions::proposition_2().map_err(|e| e.to_string())?;
+    println!("Proposition 2: {}", propositions::verdict_line(&p2));
+
+    let p3 = propositions::proposition_3(sessions).map_err(|e| e.to_string())?;
+    println!(
+        "Proposition 3 ({sessions} sessions): all from A: {}, replay: {}",
+        p3.all_from_a, p3.replay_found
+    );
+
+    match propositions::counterexample_pm2(sessions).map_err(|e| e.to_string())? {
+        Some(a) => {
+            println!("Pm2 ⋢ Pm (replay):");
+            for l in &a.narration {
+                println!("  {l}");
+            }
+        }
+        None => println!("Pm2 ⋢ Pm: NOT REPRODUCED"),
+    }
+
+    let p4 = propositions::proposition_4(sessions).map_err(|e| e.to_string())?;
+    println!("Proposition 4: {}", propositions::verdict_line(&p4));
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn split_flags_separates_positionals() {
+        let args = strs(&["a.spi", "--sessions", "3", "b.spi", "--chan", "net"]);
+        let (pos, flags) = split_flags(&args).unwrap();
+        assert_eq!(pos, vec!["a.spi", "b.spi"]);
+        assert_eq!(flags, vec![("sessions", "3"), ("chan", "net")]);
+    }
+
+    #[test]
+    fn split_flags_rejects_dangling_flags() {
+        let err = split_flags(&strs(&["--sessions"])).unwrap_err();
+        assert!(err.contains("--sessions"));
+    }
+
+    #[test]
+    fn numeric_flag_parses_and_defaults() {
+        let flags = vec![("sessions", "3")];
+        assert_eq!(numeric_flag(&flags, "sessions", 2u32).unwrap(), 3);
+        assert_eq!(numeric_flag(&flags, "visible", 6usize).unwrap(), 6);
+        assert!(numeric_flag(&flags, "sessions", 2i64).is_ok());
+        let bad = vec![("sessions", "many")];
+        assert!(numeric_flag(&bad, "sessions", 2u32).is_err());
+    }
+
+    #[test]
+    fn flag_takes_the_last_occurrence() {
+        let flags = vec![("chan", "a"), ("chan", "b")];
+        assert_eq!(flag(&flags, "chan"), Some("b"));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn build_verifier_defaults_to_channel_c() {
+        assert!(build_verifier(&[]).is_ok());
+    }
+}

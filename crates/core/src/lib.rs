@@ -1,0 +1,53 @@
+//! Authentication primitives for protocol specifications.
+//!
+//! `spi-auth` is a full implementation of *"Authentication Primitives for
+//! Protocol Specifications"* (Bodei, Degano, Focardi, Priami, 2003): a
+//! spi calculus extended with two semantic authentication primitives —
+//! **partner authentication** (channels localized at relative addresses
+//! in the tree of sequential processes) and **message authentication**
+//! (located datums that carry their creator's address) — together with
+//! the paper's verification methodology: write the *abstract* protocol,
+//! secure by construction; then prove that a *concrete* cryptographic
+//! protocol **securely implements** it, by checking that no attacker and
+//! no tester can tell them apart (Definition 4).
+//!
+//! This crate is the facade: it re-exports the layered crates and adds
+//! the top-level API.
+//!
+//! * [`Verifier`] — checks `concrete ⊑ abstract` under the most-general
+//!   bounded intruder and narrates any attack it finds in the paper's
+//!   message-sequence notation;
+//! * [`propositions`] — mechanical re-derivations of the paper's formal
+//!   results (Propositions 1–4 and the two counterexamples of Section 5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spi_auth::{Verifier, Verdict};
+//! use spi_auth::protocols::single;
+//!
+//! // The paper's Section 5.1: the shared-key protocol implements the
+//! // abstract one, the plaintext protocol does not.
+//! let abstract_p = single::abstract_protocol("c", "observe")?;
+//! let verifier = Verifier::new(["c"]);
+//! let report = verifier.check(&single::shared_key("c", "observe"), &abstract_p)?;
+//! assert!(matches!(report.verdict, Verdict::SecurelyImplements));
+//!
+//! let report = verifier.check(&single::plaintext("c", "observe"), &abstract_p)?;
+//! assert!(matches!(report.verdict, Verdict::Attack(_)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod propositions;
+mod verifier;
+
+pub use verifier::{Attack, EquivDirection, Verdict, VerificationReport, Verifier};
+
+pub use spi_addr as addr;
+pub use spi_protocols as protocols;
+pub use spi_semantics as semantics;
+pub use spi_syntax as syntax;
+pub use spi_verify as verify;

@@ -1,0 +1,488 @@
+//! The secure-implementation checker (Definition 4 of the paper).
+
+use spi_addr::Path;
+use spi_semantics::{RoleMap, StepInfo};
+use spi_syntax::{Name, Process};
+use spi_verify::{
+    find_realization, trace_preorder, ExploreOptions, ExploreStats, Explorer, IntruderSpec, Lts,
+    StepDesc, TraceVerdict, VerifyError,
+};
+
+/// Which inclusion failed in an equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivDirection {
+    /// The left system has a behaviour the right one lacks.
+    LeftNotInRight,
+    /// The right system has a behaviour the left one lacks.
+    RightNotInLeft,
+}
+
+/// An attack found by the verifier: a behaviour of the concrete protocol
+/// under some attacker that the abstract protocol can never show.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attack {
+    /// The distinguishing canonical trace (what a tester observes).
+    pub trace: Vec<String>,
+    /// The run realizing it, rendered in the paper's message-sequence
+    /// notation.
+    pub narration: Vec<String>,
+}
+
+/// The verifier's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the configured bounds, every attacked behaviour of the
+    /// concrete protocol is an attacked behaviour of the abstract one.
+    SecurelyImplements,
+    /// A distinguishing behaviour exists: the implementation is insecure.
+    Attack(Attack),
+}
+
+/// The full result of a check, including the exploration sizes so bounded
+/// claims are auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Exploration statistics of the concrete system under attack.
+    pub concrete_stats: ExploreStats,
+    /// Exploration statistics of the abstract system under attack.
+    pub abstract_stats: ExploreStats,
+    /// How many concrete traces were checked for inclusion.
+    pub traces_checked: usize,
+}
+
+/// Checks that a concrete protocol securely implements an abstract one.
+///
+/// Following Definition 4, both protocols are closed under the most
+/// general attacker of `E_C`: the verifier builds `(νC)(P | X)` with the
+/// intruder slot `X` as the protocol's right sibling, explores both
+/// systems with the bounded most-general intruder, and decides may-testing
+/// as weak trace inclusion over origin-annotated observations.
+///
+/// # Example
+///
+/// ```
+/// use spi_auth::{Verifier, Verdict};
+/// use spi_auth::protocols::multi;
+///
+/// let verifier = Verifier::new(["c"]).sessions(2);
+/// let pm = multi::abstract_protocol("c", "observe")?;
+/// // The naive replication suffers the replay attack...
+/// let report = verifier.check(&multi::shared_key("c", "observe"), &pm)?;
+/// assert!(matches!(report.verdict, Verdict::Attack(_)));
+/// // ...the challenge-response repairs it.
+/// let report = verifier.check(&multi::challenge_response("c", "observe"), &pm)?;
+/// assert!(matches!(report.verdict, Verdict::SecurelyImplements));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    channels: Vec<Name>,
+    unfold_bound: u32,
+    max_states: usize,
+    max_visible: usize,
+    fresh_budget: u32,
+    roles: Vec<(String, String)>,
+}
+
+impl Verifier {
+    /// A verifier for protocols communicating over `channels` (the set
+    /// `C` of Definition 4), with defaults: 2 sessions, 6 visible
+    /// observations, one intruder-invented name.
+    #[must_use]
+    pub fn new<I, N>(channels: I) -> Verifier
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        Verifier {
+            channels: channels.into_iter().map(Into::into).collect(),
+            unfold_bound: 2,
+            max_states: 200_000,
+            max_visible: 6,
+            fresh_budget: 1,
+            roles: vec![("A".into(), "0".into()), ("B".into(), "1".into())],
+        }
+    }
+
+    /// Sets how many instances each replication may spawn.
+    #[must_use]
+    pub fn sessions(mut self, n: u32) -> Verifier {
+        self.unfold_bound = n;
+        self
+    }
+
+    /// Sets the visible-trace depth of the may-testing check.
+    #[must_use]
+    pub fn max_visible(mut self, n: usize) -> Verifier {
+        self.max_visible = n;
+        self
+    }
+
+    /// Sets the state budget per exploration.
+    #[must_use]
+    pub fn max_states(mut self, n: usize) -> Verifier {
+        self.max_states = n;
+        self
+    }
+
+    /// Sets how many fresh names the intruder may invent.
+    #[must_use]
+    pub fn fresh_budget(mut self, n: u32) -> Verifier {
+        self.fresh_budget = n;
+        self
+    }
+
+    /// Replaces the role map used for narration: pairs of role name and
+    /// position (bit path) *within* the protocol.  The default is the
+    /// two-party layout `A ↦ ‖0`, `B ↦ ‖1` of the paper's protocols
+    /// (restrictions do not contribute tree nodes, so in `(νs)(A | B)`
+    /// the parties sit directly under the parallel).
+    #[must_use]
+    pub fn roles<I, S, T>(mut self, roles: I) -> Verifier
+    where
+        I: IntoIterator<Item = (S, T)>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        self.roles = roles
+            .into_iter()
+            .map(|(n, p)| (n.into(), p.into()))
+            .collect();
+        self
+    }
+
+    /// The system under attack: `(νC)(P | X)` with the intruder slot as
+    /// the right sibling of the protocol.
+    #[must_use]
+    pub fn under_attack(&self, protocol: &Process) -> Process {
+        Process::restrict_all(
+            self.channels.iter().cloned(),
+            Process::par(protocol.clone(), Process::Nil),
+        )
+    }
+
+    fn intruder_spec(&self) -> IntruderSpec {
+        let mut spec = IntruderSpec::new(
+            "1".parse::<Path>().expect("static path"),
+            self.channels.iter().cloned(),
+        );
+        spec.fresh_budget = self.fresh_budget;
+        spec
+    }
+
+    fn explore_opts(&self) -> ExploreOptions {
+        ExploreOptions {
+            max_states: self.max_states,
+            unfold_bound: self.unfold_bound,
+            intruder: Some(self.intruder_spec()),
+        }
+    }
+
+    /// Explores a protocol under the most-general intruder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures (open process, state budget).
+    pub fn explore(&self, protocol: &Process) -> Result<Lts, VerifyError> {
+        Explorer::new(self.explore_opts()).explore(&self.under_attack(protocol))
+    }
+
+    /// Checks Definition 4: does `concrete` securely implement
+    /// `abstract_spec`?
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures.
+    pub fn check(
+        &self,
+        concrete: &Process,
+        abstract_spec: &Process,
+    ) -> Result<VerificationReport, VerifyError> {
+        let concrete_lts = self.explore(concrete)?;
+        let abstract_lts = self.explore(abstract_spec)?;
+        let (verdict, traces_checked) =
+            match trace_preorder(&concrete_lts, &abstract_lts, self.max_visible) {
+                TraceVerdict::Holds { checked } => (Verdict::SecurelyImplements, checked),
+                TraceVerdict::Fails { witness } => {
+                    let narration = self.narrate_witness(&concrete_lts, &witness);
+                    (
+                        Verdict::Attack(Attack {
+                            trace: witness,
+                            narration,
+                        }),
+                        0,
+                    )
+                }
+            };
+        Ok(VerificationReport {
+            verdict,
+            concrete_stats: concrete_lts.stats,
+            abstract_stats: abstract_lts.stats,
+            traces_checked,
+        })
+    }
+
+    /// Checks **testing equivalence**: the may-testing preorder in both
+    /// directions under the most-general intruder.  This is the notion
+    /// the paper's title methodology rests on — "two processes have the
+    /// same behaviour if no distinction can be detected by an external
+    /// process interacting with each of them".
+    ///
+    /// Returns `Ok(None)` when the systems are equivalent, and the
+    /// distinguishing [`Attack`] (labelled by direction) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures.
+    pub fn check_equivalence(
+        &self,
+        left: &Process,
+        right: &Process,
+    ) -> Result<Option<(EquivDirection, Attack)>, VerifyError> {
+        if let Verdict::Attack(a) = self.check(left, right)?.verdict {
+            return Ok(Some((EquivDirection::LeftNotInRight, a)));
+        }
+        if let Verdict::Attack(a) = self.check(right, left)?.verdict {
+            return Ok(Some((EquivDirection::RightNotInLeft, a)));
+        }
+        Ok(None)
+    }
+
+    /// Cross-validates a verdict by running **Definition 3 directly**:
+    /// synthesizes the paper's tester families (origin tests and replay
+    /// tests) from the concrete system's observations and compares
+    /// pass-sets of `(νC)(P | X) | T` between the two protocols.
+    ///
+    /// Slower than [`Verifier::check`] (one exploration per tester) but
+    /// conceptually primitive: each violation is literally a test `(T, β)`
+    /// the implementation passes and the specification does not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures.
+    pub fn check_definition3(
+        &self,
+        concrete: &Process,
+        abstract_spec: &Process,
+    ) -> Result<spi_verify::Definition3Outcome, VerifyError> {
+        let concrete_lts = self.explore(concrete)?;
+        let testers = spi_verify::synthesize_testers(&concrete_lts);
+        // Under `system | T` the intruder slot shifts from ‖1 to ‖0‖1.
+        let mut spec = self.intruder_spec();
+        spec.position = "01".parse().expect("static path");
+        let opts = ExploreOptions {
+            max_states: self.max_states,
+            unfold_bound: self.unfold_bound,
+            intruder: Some(spec),
+        };
+        spi_verify::definition3_preorder(
+            &self.under_attack(concrete),
+            &self.under_attack(abstract_spec),
+            &testers,
+            &opts,
+        )
+    }
+
+    /// Checks Dolev–Yao secrecy: under the most-general intruder, can a
+    /// restricted name with one of the given base spellings ever be
+    /// derived?  (The paper's Section 5.1 remark: localized outputs give
+    /// secrecy; so does encryption.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures.
+    pub fn check_secrecy(
+        &self,
+        protocol: &Process,
+        secrets: &[Name],
+    ) -> Result<spi_verify::SecrecyReport, VerifyError> {
+        let lts = self.explore(protocol)?;
+        Ok(spi_verify::check_secrecy(&lts, secrets))
+    }
+
+    /// Convenience: the attack found by [`Verifier::check`], if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures.
+    pub fn find_attack(
+        &self,
+        concrete: &Process,
+        abstract_spec: &Process,
+    ) -> Result<Option<Attack>, VerifyError> {
+        Ok(match self.check(concrete, abstract_spec)?.verdict {
+            Verdict::Attack(a) => Some(a),
+            Verdict::SecurelyImplements => None,
+        })
+    }
+
+    fn role_map(&self) -> RoleMap {
+        let mut roles = RoleMap::new();
+        for (name, bits) in &self.roles {
+            // Positions are within the protocol, which sits at ‖0 of
+            // (νC)(P | X).
+            let path: Path = format!("0{bits}")
+                .parse()
+                .expect("role paths are bit strings");
+            roles.role(name.clone(), path);
+        }
+        roles
+    }
+
+    /// Renders the run realizing `witness` in the paper's notation.
+    fn narrate_witness(&self, lts: &Lts, witness: &[String]) -> Vec<String> {
+        let Some(path) = find_realization(lts, witness) else {
+            return vec!["(no realization found)".into()];
+        };
+        let roles = self.role_map();
+        let mut counter = 0usize;
+        let mut lines = Vec::new();
+        for (_, label, tgt) in path {
+            let names = lts.states[tgt].config.names();
+            let who = |p: &Path| roles.role_of(p).unwrap_or_else(|| p.to_bits());
+            match label.desc() {
+                StepDesc::Internal(StepInfo::Comm(ci)) => {
+                    counter += 1;
+                    lines.push(format!(
+                        "Message {counter}   {} → {} : {}",
+                        who(&ci.sender),
+                        who(&ci.receiver),
+                        ci.payload.display(names)
+                    ));
+                }
+                StepDesc::Internal(StepInfo::Unfold { path }) => {
+                    lines.push(format!(
+                        "            {} spawns a new session instance",
+                        who(path)
+                    ));
+                }
+                StepDesc::Intercept { from, payload, .. } => {
+                    counter += 1;
+                    lines.push(format!(
+                        "Message {counter}   {} → E : {}    E intercepts",
+                        who(from),
+                        payload.display(names)
+                    ));
+                }
+                StepDesc::Inject { to, payload, .. } => {
+                    counter += 1;
+                    let target = who(to);
+                    let pretending = self
+                        .roles
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .find(|n| !target.starts_with(*n))
+                        .unwrap_or("A");
+                    lines.push(format!(
+                        "Message {counter}   E({pretending}) → {target} : {}    E pretending to be {pretending}",
+                        payload.display(names)
+                    ));
+                }
+                StepDesc::Observe {
+                    from,
+                    chan,
+                    payload,
+                } => {
+                    lines.push(format!(
+                        "            {} reveals {} on {}",
+                        who(from),
+                        payload.display(names),
+                        chan
+                    ));
+                }
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_protocols::single;
+
+    #[test]
+    fn under_attack_places_the_intruder_slot() {
+        let v = Verifier::new(["c"]);
+        let sys = v.under_attack(&single::plaintext("c", "observe"));
+        // (νc)((A1 | B1) | 0)
+        match &sys {
+            Process::Restrict(c, body) => {
+                assert_eq!(c.as_str(), "c");
+                match body.as_ref() {
+                    Process::Par(_, slot) => assert!(slot.is_nil()),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_key_single_session_holds() {
+        let v = Verifier::new(["c"]);
+        let report = v
+            .check(
+                &single::shared_key("c", "observe"),
+                &single::abstract_protocol("c", "observe").unwrap(),
+            )
+            .unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::SecurelyImplements),
+            "{report:?}"
+        );
+        assert!(report.traces_checked > 0);
+    }
+
+    #[test]
+    fn equivalence_is_symmetric_on_identical_protocols() {
+        let v = Verifier::new(["c"]);
+        let p2 = single::shared_key("c", "observe");
+        assert!(v.check_equivalence(&p2, &p2).unwrap().is_none());
+    }
+
+    #[test]
+    fn equivalence_reports_the_failing_direction() {
+        let v = Verifier::new(["c"]);
+        let p = spi_protocols::single::abstract_protocol("c", "observe").unwrap();
+        let p1 = single::plaintext("c", "observe");
+        // P1 has behaviours P lacks (the injected message).
+        match v.check_equivalence(&p1, &p).unwrap() {
+            Some((crate::EquivDirection::LeftNotInRight, _)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match v.check_equivalence(&p, &p1).unwrap() {
+            Some((crate::EquivDirection::RightNotInLeft, _)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn p2_and_p_are_not_equivalent_only_preordered() {
+        // P2 implements P, but P has behaviours P2 lacks?  In fact both
+        // directions hold here: under the intruder both systems produce
+        // the same observable set (deliver M or nothing).  The check
+        // documents it.
+        let v = Verifier::new(["c"]);
+        let p2 = single::shared_key("c", "observe");
+        let p = spi_protocols::single::abstract_protocol("c", "observe").unwrap();
+        assert!(v.check_equivalence(&p2, &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn plaintext_single_session_fails_with_narration() {
+        let v = Verifier::new(["c"]);
+        let attack = v
+            .find_attack(
+                &single::plaintext("c", "observe"),
+                &single::abstract_protocol("c", "observe").unwrap(),
+            )
+            .unwrap()
+            .expect("the plaintext protocol is attackable");
+        assert!(!attack.narration.is_empty());
+        let text = attack.narration.join("\n");
+        assert!(text.contains("E"), "the intruder appears: {text}");
+    }
+}

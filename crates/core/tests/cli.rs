@@ -1,0 +1,138 @@
+//! End-to-end tests of the `spi` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn spi() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spi"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("spi-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const P2: &str = "(^kAB)((^m) c<{m}kAB> | c(z).case z of {w}kAB in observe<w>)\n";
+const P1: &str = "(^m) c<m> | c(z).observe<z>\n";
+const P_ABS: &str = "(^s)(s<s>.(^m)c<m> | s@lamB(x_s).c@lamB(z).observe<z>)\n";
+
+#[test]
+fn parse_round_trips_and_reports_free_names() {
+    let file = write_temp("p2.spi", P2);
+    let out = spi().arg("parse").arg(&file).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("case z of"));
+    assert!(stdout.contains("free names: c, observe"));
+}
+
+#[test]
+fn parse_renders_diagnostics_on_bad_input() {
+    let file = write_temp("bad.spi", "c<m\n");
+    let out = spi().arg("parse").arg(&file).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("expected"), "{stderr}");
+    assert!(stderr.contains('^'), "a caret diagnostic: {stderr}");
+}
+
+#[test]
+fn run_narrates_and_lists_barbs() {
+    let file = write_temp("run.spi", P2);
+    let out = spi().arg("run").arg(&file).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Message 1"));
+    assert!(stdout.contains("barbs: observe!"));
+}
+
+#[test]
+fn verify_distinguishes_good_from_bad() {
+    let concrete = write_temp("v_p2.spi", P2);
+    let abstract_ = write_temp("v_p.spi", P_ABS);
+    let bad = write_temp("v_p1.spi", P1);
+
+    let out = spi()
+        .args(["verify"])
+        .arg(&concrete)
+        .arg(&abstract_)
+        .args(["--sessions", "1"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "P2 verifies");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("securely implements"));
+
+    let out = spi()
+        .args(["verify"])
+        .arg(&bad)
+        .arg(&abstract_)
+        .args(["--sessions", "1"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "an attack exits 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ATTACK"));
+    assert!(stdout.contains("E pretending to be A"), "{stdout}");
+}
+
+#[test]
+fn explore_writes_dot_files() {
+    let file = write_temp("e.spi", P2);
+    let dot = std::env::temp_dir().join("spi-cli-tests").join("e.dot");
+    let out = spi()
+        .arg("explore")
+        .arg(&file)
+        .arg("--dot")
+        .arg(&dot)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let contents = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(contents.starts_with("digraph lts {"));
+}
+
+#[test]
+fn program_files_are_accepted_everywhere() {
+    let prog = write_temp(
+        "prog.spi",
+        "def A = (^m) c<{m}kAB>\n\
+         def B = c(z).case z of {w}kAB in observe<w>\n\
+         system (^kAB)($A | $B)\n",
+    );
+    let out = spi().arg("run").arg(&prog).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("barbs: observe!"));
+}
+
+#[test]
+fn narrate_compiles_and_verifies() {
+    let nar = write_temp(
+        "cr.nar",
+        "protocol cr\nroles A, B\nshare A B : kab\nfresh A : m\nfresh B : nb\n\
+         1. B -> A : nb\n2. A -> B : {m, nb}kab\nclaim B authenticates m from A\n",
+    );
+    let out = spi()
+        .arg("narrate")
+        .arg(&nar)
+        .args(["--sessions", "2"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("securely implements"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = spi().arg("frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = spi().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,540 @@
+//! Compiling narrations to spi processes.
+//!
+//! Two backends realize the paper's methodology:
+//!
+//! * [`compile_concrete`] — the *cryptographic* implementation: each role
+//!   becomes a sequential process that sends what it can build and
+//!   destructures what it receives (decrypting under known keys, checking
+//!   the atoms it already knows, binding the rest), with fresh atoms
+//!   restricted at the role and shared atoms restricted around the whole
+//!   system;
+//! * [`compile_abstract`] — the *secure-by-construction* specification:
+//!   following the paper's observation that the abstract protocol is
+//!   unique, a two-party narration with an authentication claim compiles
+//!   to the canonical localized transfer (`startup` + `c_λ`), single- or
+//!   multi-session.
+//!
+//! A concrete compilation is *correct* when it securely implements the
+//! abstract one — exactly the check `spi-auth` performs.
+
+use std::collections::BTreeMap;
+
+use spi_syntax::builder::{ch, nil, out, par_all};
+use spi_syntax::{Name, Process, Term, Var};
+
+use crate::narration::{Claim, Decl, Narration, Step};
+use crate::{m_startup, startup, ProtocolError, StartupIndex};
+
+/// Options shared by both backends.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// The channel every message travels on (the paper uses a single
+    /// public channel).  This is the channel set `C` of Definition 4.
+    pub chan: String,
+    /// The continuation channel claims report on.
+    pub observe: String,
+    /// Replicate every role (multisession).
+    pub replicate: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            chan: "c".into(),
+            observe: "observe".into(),
+            replicate: false,
+        }
+    }
+}
+
+/// Compiles the concrete (cryptographic) system.
+///
+/// Roles are composed left-associatively in declaration order, so the
+/// role at index `i` sits at tree position `‖0…‖0‖1…` as usual; shared
+/// atoms are restricted around the composition.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Unbuildable`] when a role must send a term it
+/// cannot construct or receive under a key it cannot derive, and
+/// propagates narration validation errors.
+///
+/// # Example
+///
+/// ```
+/// use spi_protocols::compile::{compile_concrete, CompileOptions};
+/// use spi_protocols::narration::Narration;
+///
+/// let n = Narration::parse(
+///     "protocol p\nroles A, B\nshare A B : kab\nfresh A : m\n\
+///      1. A -> B : {m}kab\nclaim B authenticates m from A\n",
+/// )?;
+/// let p = compile_concrete(&n, &CompileOptions::default())?;
+/// assert!(p.is_closed());
+/// # Ok::<(), spi_protocols::ProtocolError>(())
+/// ```
+pub fn compile_concrete(n: &Narration, opts: &CompileOptions) -> Result<Process, ProtocolError> {
+    let mut role_procs = Vec::with_capacity(n.roles.len());
+    for role in &n.roles {
+        role_procs.push(compile_role(n, role, opts)?);
+    }
+    let mut system = par_all(role_procs);
+    if opts.replicate {
+        // Replication is per role, so sessions interleave freely.
+        system = match system_into_bangs(system) {
+            Some(s) => s,
+            None => unreachable!("par_all returns a parallel or a single role"),
+        };
+    }
+    // Shared atoms are long-term secrets of the whole system.
+    let shared: Vec<Name> = n
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Share { atom, .. } => Some(Name::new(atom.as_str())),
+            _ => None,
+        })
+        .collect();
+    Ok(Process::restrict_all(shared, system))
+}
+
+/// Wraps every component of a (left-associated) parallel in `!`.
+fn system_into_bangs(p: Process) -> Option<Process> {
+    match p {
+        Process::Par(l, r) => {
+            let l = system_into_bangs(*l)?;
+            Some(Process::par(l, Process::bang(*r)))
+        }
+        other => Some(Process::bang(other)),
+    }
+}
+
+/// Compiles the abstract specification: the canonical localized transfer
+/// of the claimed atom.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::AbstractArity`] unless the narration has
+/// exactly two roles, and [`ProtocolError::Unbuildable`] unless there is
+/// exactly one claim whose atom is fresh at the claimed originator.
+pub fn compile_abstract(n: &Narration, opts: &CompileOptions) -> Result<Process, ProtocolError> {
+    if n.roles.len() != 2 {
+        return Err(ProtocolError::AbstractArity {
+            roles: n.roles.len(),
+        });
+    }
+    let [claim]: [&Claim; 1] = n
+        .claims
+        .iter()
+        .collect::<Vec<_>>()
+        .try_into()
+        .map_err(|_| ProtocolError::Unbuildable {
+            role: "-".into(),
+            what: format!("exactly one claim (found {})", n.claims.len()),
+        })?;
+    match n.decl_of(&claim.atom) {
+        Some(Decl::Fresh { role, .. }) if role == &claim.from => {}
+        _ => {
+            return Err(ProtocolError::Unbuildable {
+                role: claim.role.clone(),
+                what: format!(
+                    "claimed atom {} must be fresh at {}",
+                    claim.atom, claim.from
+                ),
+            })
+        }
+    }
+    // Sender first: keep the (sender | receiver) shape of the paper.
+    let sender = Process::restrict(
+        claim.atom.as_str(),
+        out(
+            ch(opts.chan.as_str()),
+            Term::name(claim.atom.as_str()),
+            nil(),
+        ),
+    );
+    let receiver = Process::input(
+        spi_syntax::Channel::loc(Term::name(opts.chan.as_str()), "lamB"),
+        "z",
+        out(ch(opts.observe.as_str()), Term::var("z"), nil()),
+    );
+    if opts.replicate {
+        m_startup(StartupIndex::Star, sender, "lamB".into(), receiver)
+    } else {
+        startup(StartupIndex::Star, sender, "lamB".into(), receiver)
+    }
+}
+
+/// The compilation state of one role.
+struct RoleCtx<'n> {
+    narration: &'n Narration,
+    role: &'n str,
+    /// atom spelling → how this role currently refers to it.
+    knowledge: BTreeMap<String, Term>,
+    /// Whole message patterns received under keys this role cannot open,
+    /// bound opaquely (e.g. the ticket `{K_ab, a}K_bs` that `A` forwards
+    /// blindly in Needham–Schroeder) → how the role refers to the blob.
+    opaque: BTreeMap<Term, Term>,
+    /// Counter for input and decryption binders.
+    counter: usize,
+    chan: Name,
+    observe: Name,
+}
+
+fn compile_role(
+    n: &Narration,
+    role: &str,
+    opts: &CompileOptions,
+) -> Result<Process, ProtocolError> {
+    let mut knowledge = BTreeMap::new();
+    for atom in n.initial_knowledge(role) {
+        knowledge.insert(atom.clone(), Term::name(atom.as_str()));
+    }
+    let mut ctx = RoleCtx {
+        narration: n,
+        role,
+        knowledge,
+        opaque: BTreeMap::new(),
+        counter: 0,
+        chan: Name::new(opts.chan.as_str()),
+        observe: Name::new(opts.observe.as_str()),
+    };
+    let body = build_steps(&mut ctx, 0)?;
+    // Fresh atoms are created by the role itself, innermost-last so each
+    // session of a replicated role gets new ones.
+    let fresh: Vec<Name> = n
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Fresh { role: r, atom } if r == role => Some(Name::new(atom.as_str())),
+            _ => None,
+        })
+        .collect();
+    Ok(Process::restrict_all(fresh, body))
+}
+
+fn build_steps(ctx: &mut RoleCtx<'_>, idx: usize) -> Result<Process, ProtocolError> {
+    let Some(step) = ctx.narration.steps.get(idx) else {
+        return Ok(build_claims(ctx));
+    };
+    if step.from == ctx.role {
+        let msg = build_term(ctx, &step.message, step)?;
+        let cont = build_steps(ctx, idx + 1)?;
+        Ok(out(ch(ctx.chan.as_str()), msg, cont))
+    } else if step.to == ctx.role {
+        ctx.counter += 1;
+        let x = Var::new(format!("x{}", ctx.counter));
+        let mut wraps = Vec::new();
+        destructure(ctx, &step.message, Term::Var(x.clone()), step, &mut wraps)?;
+        let mut cont = build_steps(ctx, idx + 1)?;
+        for w in wraps.into_iter().rev() {
+            cont = w.wrap(cont);
+        }
+        Ok(Process::input(ch(ctx.chan.as_str()), x, cont))
+    } else {
+        build_steps(ctx, idx + 1)
+    }
+}
+
+fn build_claims(ctx: &RoleCtx<'_>) -> Process {
+    let mut p = nil();
+    for claim in ctx.narration.claims.iter().rev() {
+        if claim.role != ctx.role {
+            continue;
+        }
+        if let Some(value) = ctx.knowledge.get(&claim.atom) {
+            p = out(ch(ctx.observe.as_str()), value.clone(), p);
+        }
+    }
+    p
+}
+
+/// Builds a message from the role's knowledge.
+fn build_term(ctx: &RoleCtx<'_>, pattern: &Term, step: &Step) -> Result<Term, ProtocolError> {
+    // A blob received under an unopenable key is forwarded as-is.
+    if let Some(blob) = ctx.opaque.get(pattern) {
+        return Ok(blob.clone());
+    }
+    match pattern {
+        Term::Name(a) => {
+            ctx.knowledge
+                .get(a.as_str())
+                .cloned()
+                .ok_or_else(|| ProtocolError::Unbuildable {
+                    role: ctx.role.to_owned(),
+                    what: format!("atom {a} in message {}", step.number),
+                })
+        }
+        Term::Var(a) => {
+            ctx.knowledge
+                .get(a.as_str())
+                .cloned()
+                .ok_or_else(|| ProtocolError::Unbuildable {
+                    role: ctx.role.to_owned(),
+                    what: format!("atom {a} in message {}", step.number),
+                })
+        }
+        Term::Pair(a, b) => Ok(Term::pair(
+            build_term(ctx, a, step)?,
+            build_term(ctx, b, step)?,
+        )),
+        Term::Enc { body, key } => {
+            let body = body
+                .iter()
+                .map(|t| build_term(ctx, t, step))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Term::enc(body, build_term(ctx, key, step)?))
+        }
+        Term::Located { .. } => Err(ProtocolError::Unbuildable {
+            role: ctx.role.to_owned(),
+            what: "located literals do not occur in narrations".into(),
+        }),
+    }
+}
+
+/// A deferred wrapper produced while destructuring a received message.
+enum Wrap {
+    Match(Term, Term),
+    Case {
+        scrutinee: Term,
+        binders: Vec<Var>,
+        key: Term,
+    },
+    Split {
+        pair: Term,
+        fst: Var,
+        snd: Var,
+    },
+}
+
+impl Wrap {
+    fn wrap(self, cont: Process) -> Process {
+        match self {
+            Wrap::Match(a, b) => Process::matching(a, b, cont),
+            Wrap::Case {
+                scrutinee,
+                binders,
+                key,
+            } => Process::case(scrutinee, binders, key, cont),
+            Wrap::Split { pair, fst, snd } => Process::split(pair, fst, snd, cont),
+        }
+    }
+}
+
+/// Destructures a received `value` against `pattern`, updating the role's
+/// knowledge and queueing the checks/decryptions to wrap around the
+/// continuation.
+fn destructure(
+    ctx: &mut RoleCtx<'_>,
+    pattern: &Term,
+    value: Term,
+    step: &Step,
+    wraps: &mut Vec<Wrap>,
+) -> Result<(), ProtocolError> {
+    match pattern {
+        Term::Name(a) => {
+            let atom = a.as_str();
+            if let Some(known) = ctx.knowledge.get(atom) {
+                // The role can check this component (e.g. a nonce echo).
+                wraps.push(Wrap::Match(value, known.clone()));
+            } else {
+                ctx.knowledge.insert(atom.to_owned(), value);
+            }
+            Ok(())
+        }
+        Term::Var(a) => {
+            // Narration terms parse unbound identifiers as names, but be
+            // liberal: treat variables the same way.
+            let atom = a.as_str();
+            if let Some(known) = ctx.knowledge.get(atom) {
+                wraps.push(Wrap::Match(value, known.clone()));
+            } else {
+                ctx.knowledge.insert(atom.to_owned(), value);
+            }
+            Ok(())
+        }
+        Term::Enc { body, key } => {
+            let Ok(key_term) = build_term(ctx, key, step) else {
+                // The role cannot open this ciphertext: bind it opaquely
+                // so it can still forward the blob verbatim later.
+                ctx.opaque.insert(pattern.clone(), value);
+                return Ok(());
+            };
+            let binders: Vec<Var> = body
+                .iter()
+                .map(|_| {
+                    ctx.counter += 1;
+                    Var::new(format!("y{}", ctx.counter))
+                })
+                .collect();
+            wraps.push(Wrap::Case {
+                scrutinee: value,
+                binders: binders.clone(),
+                key: key_term,
+            });
+            for (component, binder) in body.iter().zip(binders) {
+                destructure(ctx, component, Term::Var(binder), step, wraps)?;
+            }
+            Ok(())
+        }
+        Term::Pair(a, b) => {
+            // Plaintext pairs destructure with the full-calculus
+            // projection `let (y, z) = value in …`.
+            ctx.counter += 1;
+            let fst = Var::new(format!("y{}", ctx.counter));
+            ctx.counter += 1;
+            let snd = Var::new(format!("y{}", ctx.counter));
+            wraps.push(Wrap::Split {
+                pair: value,
+                fst: fst.clone(),
+                snd: snd.clone(),
+            });
+            destructure(ctx, a, Term::Var(fst), step, wraps)?;
+            destructure(ctx, b, Term::Var(snd), step, wraps)
+        }
+        Term::Located { .. } => Err(ProtocolError::Unbuildable {
+            role: ctx.role.to_owned(),
+            what: "located literals do not occur in narrations".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{multi, single};
+
+    const SINGLE: &str = "\
+protocol paper-single
+roles A, B
+share A B : kab
+fresh A : m
+1. A -> B : {m}kab
+claim B authenticates m from A
+";
+
+    const CHALLENGE: &str = "\
+protocol paper-cr
+roles A, B
+share A B : kab
+fresh A : m
+fresh B : nb
+1. B -> A : nb
+2. A -> B : {m, nb}kab
+claim B authenticates m from A
+";
+
+    fn opts() -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    #[test]
+    fn concrete_single_is_the_paper_p2() {
+        let n = Narration::parse(SINGLE).unwrap();
+        let compiled = compile_concrete(&n, &opts()).unwrap();
+        let p2 = single::shared_key("c", "observe");
+        assert!(
+            compiled.alpha_eq(&p2),
+            "compiled:\n{compiled}\npaper:\n{p2}"
+        );
+    }
+
+    #[test]
+    fn concrete_challenge_response_is_the_paper_pm3_body() {
+        let n = Narration::parse(CHALLENGE).unwrap();
+        let compiled = compile_concrete(
+            &n,
+            &CompileOptions {
+                replicate: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        let pm3 = multi::challenge_response("c", "observe");
+        assert!(
+            compiled.alpha_eq(&pm3),
+            "compiled:\n{compiled}\npaper:\n{pm3}"
+        );
+    }
+
+    #[test]
+    fn abstract_backend_is_the_canonical_protocol() {
+        let n = Narration::parse(SINGLE).unwrap();
+        let compiled = compile_abstract(&n, &opts()).unwrap();
+        let p = single::abstract_protocol("c", "observe").unwrap();
+        assert!(compiled.alpha_eq(&p));
+        // Multisession too — and notably the SAME abstract protocol
+        // serves the challenge-response narration: the spec is unique.
+        let ncr = Narration::parse(CHALLENGE).unwrap();
+        let compiled = compile_abstract(
+            &ncr,
+            &CompileOptions {
+                replicate: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        let pm = multi::abstract_protocol("c", "observe").unwrap();
+        assert!(compiled.alpha_eq(&pm));
+    }
+
+    #[test]
+    fn nonce_echoes_become_matchings() {
+        let n = Narration::parse(CHALLENGE).unwrap();
+        let compiled = compile_concrete(&n, &opts()).unwrap();
+        let shown = compiled.to_string();
+        assert!(shown.contains("["), "B checks its nonce: {shown}");
+    }
+
+    #[test]
+    fn unbuildable_sends_are_rejected() {
+        // A sends an atom only B knows.
+        let n =
+            Narration::parse("protocol bad\nroles A, B\nfresh B : secret\n1. A -> B : secret\n")
+                .unwrap();
+        let err = compile_concrete(&n, &opts()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Unbuildable { .. }));
+    }
+
+    #[test]
+    fn unopenable_ciphertexts_bind_opaquely_and_forward() {
+        // B cannot open {m}k, but can relay the blob to C verbatim — the
+        // Needham–Schroeder "ticket" pattern.
+        let n = Narration::parse(
+            "protocol relay\nroles A, B, C\nshare A C : k\nfresh A : m\n             1. A -> B : {m}k\n2. B -> C : {m}k\nclaim C authenticates m from A\n",
+        )
+        .unwrap();
+        let compiled = compile_concrete(&n, &opts()).unwrap();
+        assert!(compiled.is_closed());
+        let shown = compiled.to_string();
+        // B's process inputs and re-outputs the same bound variable.
+        assert!(shown.contains("c(x1).c<x1>"), "{shown}");
+    }
+
+    #[test]
+    fn plaintext_pairs_destructure_with_split() {
+        let n = Narration::parse(
+            "protocol pairy\nroles A, B\nfresh A : m\nfresh A : n\n1. A -> B : (m, n)\n",
+        )
+        .unwrap();
+        let compiled = compile_concrete(&n, &opts()).unwrap();
+        let shown = compiled.to_string();
+        assert!(shown.contains("let ("), "the projection appears: {shown}");
+        assert!(compiled.is_closed());
+    }
+
+    #[test]
+    fn abstract_backend_requires_two_roles_and_one_claim() {
+        let three = Narration::parse(
+            "protocol t\nroles A, B, S\nfresh A : m\n1. A -> B : m\nclaim B authenticates m from A\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile_abstract(&three, &opts()),
+            Err(ProtocolError::AbstractArity { roles: 3 })
+        ));
+        let no_claim =
+            Narration::parse("protocol t\nroles A, B\nfresh A : m\n1. A -> B : m\n").unwrap();
+        assert!(compile_abstract(&no_claim, &opts()).is_err());
+    }
+}

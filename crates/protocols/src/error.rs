@@ -1,0 +1,80 @@
+//! Errors raised while building or compiling protocols.
+
+use std::error::Error;
+use std::fmt;
+
+use spi_syntax::Span;
+
+/// An error raised by the protocol builders and the narration compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The startup channel name would be captured by the processes it
+    /// wires together.
+    StartupNameClash {
+        /// The clashing name.
+        name: String,
+    },
+    /// A narration failed to parse.
+    Narration {
+        /// What went wrong.
+        message: String,
+        /// Where in the narration source.
+        span: Span,
+    },
+    /// A narration is not compilable: a role uses something it cannot
+    /// know or build.
+    Unbuildable {
+        /// The role that got stuck.
+        role: String,
+        /// What it could not build or check.
+        what: String,
+    },
+    /// The abstract backend supports exactly two roles.
+    AbstractArity {
+        /// The number of roles found.
+        roles: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::StartupNameClash { name } => {
+                write!(
+                    f,
+                    "startup channel {name} clashes with a free name of the parties"
+                )
+            }
+            ProtocolError::Narration { message, span } => {
+                write!(f, "narration error at {span}: {message}")
+            }
+            ProtocolError::Unbuildable { role, what } => {
+                write!(f, "role {role} cannot build or check {what}")
+            }
+            ProtocolError::AbstractArity { roles } => {
+                write!(
+                    f,
+                    "the abstract backend localizes a two-party session, got {roles} roles"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ProtocolError::Unbuildable {
+            role: "A".into(),
+            what: "{m}k".into(),
+        };
+        assert!(e.to_string().contains("A"));
+        assert!(e.to_string().contains("{m}k"));
+    }
+}

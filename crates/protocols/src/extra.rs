@@ -1,0 +1,269 @@
+//! Classic protocols beyond the paper's running examples.
+//!
+//! These exercise the narration compiler and the verification pipeline on
+//! protocols with three roles and key transport — the workloads the
+//! paper's introduction motivates ("specifications for message exchange
+//! … defined on the basis of cryptographic algorithms").
+
+use spi_syntax::Process;
+
+use crate::compile::{compile_concrete, CompileOptions};
+use crate::narration::Narration;
+use crate::ProtocolError;
+
+/// The wide-mouthed-frog key-transport protocol, as a narration:
+///
+/// ```text
+/// 1. A → S : {b, K_ab}K_as
+/// 2. S → B : {a, K_ab}K_bs
+/// 3. A → B : {M}K_ab
+/// ```
+///
+/// `S` relays a session key from `A` to `B`; `B` then authenticates the
+/// payload `M`.  (The classic narration carries a timestamp which the
+/// untimed calculus cannot express; without it the protocol is replayable
+/// across sessions, which makes it a good stress case for the tooling.)
+#[must_use]
+pub fn wide_mouthed_frog_narration() -> Narration {
+    Narration::parse(
+        "\
+protocol wide-mouthed-frog
+roles A, B, S
+public a, b
+share A S : kas
+share B S : kbs
+fresh A : kab
+fresh A : m
+1. A -> S : {b, kab}kas
+2. S -> B : {a, kab}kbs
+3. A -> B : {m}kab
+claim B authenticates m from A
+",
+    )
+    .expect("the built-in narration is well-formed")
+}
+
+/// The wide-mouthed-frog system compiled to spi processes
+/// (`(νK_as)(νK_bs)(A | B | S)`).
+///
+/// # Errors
+///
+/// Never fails for the built-in narration; the `Result` mirrors the
+/// compiler API.
+pub fn wide_mouthed_frog(opts: &CompileOptions) -> Result<Process, ProtocolError> {
+    compile_concrete(&wide_mouthed_frog_narration(), opts)
+}
+
+/// The Needham–Schroeder shared-key protocol (key-establishment core),
+/// as a narration:
+///
+/// ```text
+/// 1. A → S : (a, b, Na)
+/// 2. S → A : {Na, b, K_ab, {K_ab, a}K_bs}K_as
+/// 3. A → B : {K_ab, a}K_bs
+/// 4. A → B : {M}K_ab
+/// ```
+///
+/// Message 1 is a *plaintext tuple* (destructured with the full-calculus
+/// projection) and the ticket `{K_ab, a}K_bs` is *opaque to `A`* — it is
+/// bound blindly and forwarded verbatim, exercising the compiler's opaque
+/// bindings.  (The classic nonce handshake 4–5 uses arithmetic on nonces,
+/// which the symbolic calculus does not model; the payload message stands
+/// in for it.)
+#[must_use]
+pub fn needham_schroeder_narration() -> Narration {
+    Narration::parse(
+        "\
+protocol needham-schroeder-sk
+roles A, B, S
+public a, b
+share A S : kas
+share B S : kbs
+fresh S : kab
+fresh A : na
+fresh A : m
+1. A -> S : (a, b, na)
+2. S -> A : {na, b, kab, {kab, a}kbs}kas
+3. A -> B : {kab, a}kbs
+4. A -> B : {m}kab
+claim B authenticates m from A
+",
+    )
+    .expect("the built-in narration is well-formed")
+}
+
+/// The Needham–Schroeder system compiled to spi processes.
+///
+/// # Errors
+///
+/// Never fails for the built-in narration; the `Result` mirrors the
+/// compiler API.
+pub fn needham_schroeder(opts: &CompileOptions) -> Result<Process, ProtocolError> {
+    compile_concrete(&needham_schroeder_narration(), opts)
+}
+
+/// The Otway–Rees key-distribution protocol, as a narration:
+///
+/// ```text
+/// 1. A → B : (i, a, b, {na, i, a, b}K_as)
+/// 2. B → S : (i, a, b, {na, i, a, b}K_as, {nb, i, a, b}K_bs)
+/// 3. S → B : (i, {na, K_ab}K_as, {nb, K_ab}K_bs)
+/// 4. B → A : (i, {na, K_ab}K_as)
+/// 5. A → B : {M}K_ab
+/// ```
+///
+/// Both `A`'s request (at `B`) and the ticket for `A` (at `B`) are opaque
+/// blobs forwarded verbatim; the run identifier `i` is fresh but travels
+/// in clear.  This is the heaviest workout for the compiler: nested
+/// plaintext tuples, two opaque bindings and bound-key decryption.
+#[must_use]
+pub fn otway_rees_narration() -> Narration {
+    Narration::parse(
+        "\
+protocol otway-rees
+roles A, B, S
+public a, b
+share A S : kas
+share B S : kbs
+fresh A : i
+fresh A : na
+fresh B : nb
+fresh S : kab
+fresh A : m
+1. A -> B : (i, a, b, {na, i, a, b}kas)
+2. B -> S : (i, a, b, {na, i, a, b}kas, {nb, i, a, b}kbs)
+3. S -> B : (i, {na, kab}kas, {nb, kab}kbs)
+4. B -> A : (i, {na, kab}kas)
+5. A -> B : {m}kab
+claim B authenticates m from A
+",
+    )
+    .expect("the built-in narration is well-formed")
+}
+
+/// The Otway–Rees system compiled to spi processes.
+///
+/// # Errors
+///
+/// Never fails for the built-in narration; the `Result` mirrors the
+/// compiler API.
+pub fn otway_rees(opts: &CompileOptions) -> Result<Process, ProtocolError> {
+    compile_concrete(&otway_rees_narration(), opts)
+}
+
+/// A two-message mutual exchange: both parties contribute a fresh payload
+/// under a pre-shared key.
+///
+/// ```text
+/// 1. A → B : {ma}K_ab
+/// 2. B → A : {mb, ma}K_ab
+/// ```
+///
+/// `A` authenticates `mb` (it is bound to `A`'s own fresh `ma`).
+#[must_use]
+pub fn mutual_exchange_narration() -> Narration {
+    Narration::parse(
+        "\
+protocol mutual-exchange
+roles A, B
+share A B : kab
+fresh A : ma
+fresh B : mb
+1. A -> B : {ma}kab
+2. B -> A : {mb, ma}kab
+claim A authenticates mb from B
+",
+    )
+    .expect("the built-in narration is well-formed")
+}
+
+/// The mutual exchange compiled to spi processes.
+///
+/// # Errors
+///
+/// Never fails for the built-in narration; the `Result` mirrors the
+/// compiler API.
+pub fn mutual_exchange(opts: &CompileOptions) -> Result<Process, ProtocolError> {
+    compile_concrete(&mutual_exchange_narration(), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_mouthed_frog_compiles_closed() {
+        let p = wide_mouthed_frog(&CompileOptions::default()).unwrap();
+        assert!(p.is_closed());
+        let free = p.free_names();
+        assert!(free.contains("c"), "the public channel is free");
+        assert!(!free.contains("kas"), "long-term keys are restricted");
+        assert!(!free.contains("kbs"));
+    }
+
+    #[test]
+    fn wide_mouthed_frog_has_three_components() {
+        let p = wide_mouthed_frog(&CompileOptions::default()).unwrap();
+        // (νkas)(νkbs)((A | B) | S)
+        let mut cur = &p;
+        while let Process::Restrict(_, body) = cur {
+            cur = body;
+        }
+        match cur {
+            Process::Par(l, _) => assert!(matches!(**l, Process::Par(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_relays_the_session_key() {
+        let p = wide_mouthed_frog(&CompileOptions::default()).unwrap();
+        let shown = p.to_string();
+        // S decrypts under kas and re-encrypts under kbs.
+        assert!(shown.contains("case"), "{shown}");
+        assert!(shown.contains("}kbs"), "{shown}");
+    }
+
+    #[test]
+    fn needham_schroeder_compiles_closed() {
+        let p = needham_schroeder(&CompileOptions::default()).unwrap();
+        assert!(p.is_closed());
+        let shown = p.to_string();
+        // S destructures the plaintext tuple with projections.
+        assert!(shown.contains("let ("), "{shown}");
+        // Only B decrypts under kbs; A forwards the opaque ticket (c<y5>).
+        assert_eq!(shown.matches("}kbs in").count(), 1, "{shown}");
+        assert!(
+            shown.contains("c<y5>"),
+            "A forwards the blob verbatim: {shown}"
+        );
+    }
+
+    #[test]
+    fn needham_schroeder_server_issues_the_ticket() {
+        let p = needham_schroeder(&CompileOptions::default()).unwrap();
+        let shown = p.to_string();
+        // S builds {na-variable, b, kab, {kab, a}kbs}kas.
+        assert!(
+            shown.contains("}kbs}kas") || shown.contains("}kbs"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn otway_rees_compiles_closed() {
+        let p = otway_rees(&CompileOptions::default()).unwrap();
+        assert!(p.is_closed());
+        let shown = p.to_string();
+        // Two opaque forwards happen at B: A's request and A's ticket.
+        assert!(shown.contains("let ("), "tuples destructure: {shown}");
+    }
+
+    #[test]
+    fn mutual_exchange_compiles_and_checks_the_echo() {
+        let p = mutual_exchange(&CompileOptions::default()).unwrap();
+        assert!(p.is_closed());
+        let shown = p.to_string();
+        assert!(shown.contains("["), "A checks its own ma echo: {shown}");
+    }
+}

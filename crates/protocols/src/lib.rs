@@ -1,0 +1,39 @@
+//! Protocol library for the authentication-primitives calculus.
+//!
+//! This crate packages Section 5 of *"Authentication Primitives for
+//! Protocol Specifications"* (Bodei, Degano, Focardi, Priami, 2003):
+//!
+//! * [`startup`] / [`m_startup`] — the paper's trusted-startup macros that
+//!   bind location variables to the partners' relative addresses (single
+//!   and multi-session);
+//! * [`single`] — the single-session protocols: the abstract,
+//!   secure-by-construction `P`, the insecure plaintext `P1` and the
+//!   shared-key `P2`;
+//! * [`multi`] — the multisession protocols: abstract `Pm`, the
+//!   replay-vulnerable `Pm2` and the challenge-response `Pm3`;
+//! * [`narration`] / [`compile`] — an Alice&Bob narration front-end: parse
+//!   message-sequence specifications (`A -> B : {m, n}kab`) and compile
+//!   them into spi processes, either with the *concrete* cryptographic
+//!   backend or with the *abstract* authentication-primitives backend;
+//! * [`extra`] — classic protocols beyond the paper's examples (e.g. the
+//!   wide-mouthed-frog key exchange) exercising the same machinery;
+//! * [`reflection`] — the reflection attack the paper flags as future
+//!   work (both parties playing both roles) and its classic repair.
+//!
+//! Every protocol is parameterized by its channel and continuation names,
+//! and each module documents the paper line it transcribes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+mod error;
+pub mod extra;
+pub mod multi;
+pub mod narration;
+pub mod reflection;
+pub mod single;
+mod startup;
+
+pub use error::ProtocolError;
+pub use startup::{m_startup, startup, StartupIndex};

@@ -1,0 +1,146 @@
+//! The multisession protocols of Section 5.2.
+//!
+//! * [`abstract_protocol`] — `Pm = m_startup(⋆, A, λ_B, B)`: each session
+//!   instance of `B` hooks one instance of `A`, so authentication *and*
+//!   freshness hold by construction (Proposition 3);
+//! * [`shared_key`] — `Pm2 = (νK_AB)(!A2 | !B2)`: the single-session
+//!   cipher protocol naively replicated.  It does **not** implement `Pm`:
+//!   an attacker can replay `{M}K_AB` into a second session;
+//! * [`challenge_response`] — `Pm3 = (νK_AB)(!A3 | !B3)`:
+//!
+//!   ```text
+//!   Message 1   B → A : N
+//!   Message 2   A → B : {M, N}K_AB
+//!   ```
+//!
+//!   the nonce challenge restores freshness; `Pm3` securely implements
+//!   `Pm` (Proposition 4).
+
+use spi_syntax::builder::{bang, case, ch, ch_loc, enc, inp, mat, n, new, nil, out, par, v};
+use spi_syntax::Process;
+
+use crate::{m_startup, ProtocolError, StartupIndex};
+
+/// The abstract multisession protocol `Pm`:
+///
+/// ```text
+/// Pm = m_startup(⋆, A, λ_B, B)
+/// A  = (νM) c̄⟨M⟩
+/// B  = c_{λB}(z).B'(z)
+/// ```
+///
+/// Each unfolded pair of instances shares its own binding of `λ_B`, so
+/// instance `B#i` only ever receives from the instance of `A` it hooked
+/// at startup: no cross-session replay is possible, by construction.
+///
+/// # Errors
+///
+/// Propagates [`ProtocolError::StartupNameClash`].
+pub fn abstract_protocol(chan: &str, observe: &str) -> Result<Process, ProtocolError> {
+    let a = new("m", out(ch(chan), n("m"), nil()));
+    let b = inp(ch_loc(chan, "lamB"), "z", out(ch(observe), v("z"), nil()));
+    m_startup(StartupIndex::Star, a, "lamB".into(), b)
+}
+
+/// The naively replicated cipher protocol `Pm2 = (νK_AB)(!A2 | !B2)`.
+///
+/// Secure for one session (Proposition 2), broken for many: the paper's
+/// replay —
+///
+/// ```text
+/// Message 1:a   A → E(B) : {M}K_AB    E intercepts
+/// Message 2:a   E(A) → B : {M}K_AB    E pretending to be A
+/// Message 2:b   E(A) → B : {M}K_AB    E pretending to be A
+/// ```
+///
+/// makes two instances of `B` accept the *same* message, which `Pm` can
+/// never do.
+#[must_use]
+pub fn shared_key(chan: &str, observe: &str) -> Process {
+    let a2 = new("m", out(ch(chan), enc([n("m")], n("kAB")), nil()));
+    let b2 = inp(
+        ch(chan),
+        "z",
+        case(v("z"), ["w"], n("kAB"), out(ch(observe), v("w"), nil())),
+    );
+    new("kAB", par(bang(a2), bang(b2)))
+}
+
+/// The challenge-response protocol `Pm3 = (νK_AB)(!A3 | !B3)`:
+///
+/// ```text
+/// A3 = (νM) c(ns). c̄⟨{M, ns}K_AB⟩
+/// B3 = (νN) c̄⟨N⟩. c(x). case x of {z, w}K_AB in [w = N] B'(z)
+/// ```
+///
+/// The fresh nonce `N` is the challenge; `B` only accepts a ciphertext
+/// echoing its own nonce, so replays from other runs are rejected and
+/// `Pm3` securely implements `Pm` (Proposition 4).
+#[must_use]
+pub fn challenge_response(chan: &str, observe: &str) -> Process {
+    let a3 = new(
+        "m",
+        inp(
+            ch(chan),
+            "ns",
+            out(ch(chan), enc([n("m"), v("ns")], n("kAB")), nil()),
+        ),
+    );
+    let b3 = new(
+        "nb",
+        out(
+            ch(chan),
+            n("nb"),
+            inp(
+                ch(chan),
+                "x",
+                case(
+                    v("x"),
+                    ["z", "w"],
+                    n("kAB"),
+                    mat(v("w"), n("nb"), out(ch(observe), v("z"), nil())),
+                ),
+            ),
+        ),
+    );
+    new("kAB", par(bang(a3), bang(b3)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    #[test]
+    fn abstract_protocol_matches_the_paper() {
+        let p = abstract_protocol("c", "observe").unwrap();
+        let expected = parse("(^s)(!s<s>.(^m)c<m> | !s@lamB(x_s).c@lamB(z).observe<z>)").unwrap();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn shared_key_replicates_both_roles() {
+        let p = shared_key("c", "observe");
+        let expected =
+            parse("(^kAB)(!(^m)c<{m}kAB> | !c(z).case z of {w}kAB in observe<w>)").unwrap();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn challenge_response_matches_the_paper() {
+        let p = challenge_response("c", "observe");
+        let expected = parse(
+            "(^kAB)(!(^m)c(ns).c<{m, ns}kAB> | \
+             !(^nb)c<nb>.c(x).case x of {z, w}kAB in [w = nb]observe<z>)",
+        )
+        .unwrap();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn all_protocols_are_closed() {
+        assert!(abstract_protocol("c", "observe").unwrap().is_closed());
+        assert!(shared_key("c", "observe").is_closed());
+        assert!(challenge_response("c", "observe").is_closed());
+    }
+}

@@ -1,0 +1,434 @@
+//! Alice&Bob protocol narrations.
+//!
+//! The paper presents every protocol twice: as an informal narration
+//! (`Message 1  A → B : {M}K_AB`) and as a spi process.  This module
+//! provides the narration side as a first-class artifact: an AST
+//! ([`Narration`]) with a small text format, which [`compile`](crate::compile)
+//! turns into spi processes.
+//!
+//! # Text format
+//!
+//! ```text
+//! protocol wide-mouthed-frog
+//! roles A, B, S
+//! public a, b
+//! share A S : kas
+//! share B S : kbs
+//! fresh A : kab
+//! fresh A : m
+//! 1. A -> S : {b, kab}kas
+//! 2. S -> B : {a, kab}kbs
+//! 3. A -> B : {m}kab
+//! claim B authenticates m from A
+//! ```
+//!
+//! Lines are independent; `--` starts a comment.  Message terms use the
+//! spi term syntax (atoms, pairs, `{…}key` encryptions).
+
+use std::collections::BTreeSet;
+
+use spi_syntax::{parse_term, Span, Term};
+
+use crate::ProtocolError;
+
+/// A declared atom and who knows it initially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `public a` — a free name everyone (including the attacker) knows.
+    Public {
+        /// The atom.
+        atom: String,
+    },
+    /// `share A B : k` — a restricted name initially known to the listed
+    /// roles (a long-term shared key).
+    Share {
+        /// The roles that know the atom.
+        roles: Vec<String>,
+        /// The atom.
+        atom: String,
+    },
+    /// `fresh A : m` — a name the role creates freshly in each run
+    /// (message payloads, session keys, nonces).
+    Fresh {
+        /// The creating role.
+        role: String,
+        /// The atom.
+        atom: String,
+    },
+}
+
+impl Decl {
+    /// The declared atom's spelling.
+    #[must_use]
+    pub fn atom(&self) -> &str {
+        match self {
+            Decl::Public { atom } | Decl::Share { atom, .. } | Decl::Fresh { atom, .. } => atom,
+        }
+    }
+}
+
+/// One message exchange: `n. from -> to : term`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The message number, as written.
+    pub number: usize,
+    /// The sending role.
+    pub from: String,
+    /// The receiving role.
+    pub to: String,
+    /// The message pattern, over declared atoms.
+    pub message: Term,
+}
+
+/// An authentication claim: `claim B authenticates m from A`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// The role that requires authentication.
+    pub role: String,
+    /// The atom whose received value must originate from `from`.
+    pub atom: String,
+    /// The expected originator.
+    pub from: String,
+}
+
+/// A parsed protocol narration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Narration {
+    /// The protocol's name.
+    pub name: String,
+    /// The roles, in declaration order (this fixes tree positions).
+    pub roles: Vec<String>,
+    /// Atom declarations.
+    pub decls: Vec<Decl>,
+    /// The message exchanges, in order.
+    pub steps: Vec<Step>,
+    /// The authentication claims.
+    pub claims: Vec<Claim>,
+}
+
+impl Narration {
+    /// Parses the text format described in the
+    /// [module documentation](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Narration`] for malformed lines, unknown
+    /// roles and undeclared atoms.
+    pub fn parse(src: &str) -> Result<Narration, ProtocolError> {
+        let mut name = String::new();
+        let mut roles: Vec<String> = Vec::new();
+        let mut decls: Vec<Decl> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut claims: Vec<Claim> = Vec::new();
+
+        let mut offset = 0usize;
+        for raw_line in src.lines() {
+            let line_span = Span::new(offset, offset + raw_line.len());
+            offset += raw_line.len() + 1;
+            let line = raw_line.split("--").next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| ProtocolError::Narration {
+                message,
+                span: line_span,
+            };
+
+            if let Some(rest) = line.strip_prefix("protocol ") {
+                name = rest.trim().to_owned();
+            } else if let Some(rest) = line.strip_prefix("roles ") {
+                roles = rest.split(',').map(|r| r.trim().to_owned()).collect();
+                if roles.iter().any(String::is_empty) {
+                    return Err(err("empty role name".into()));
+                }
+            } else if let Some(rest) = line.strip_prefix("public ") {
+                for atom in rest.split(',') {
+                    decls.push(Decl::Public {
+                        atom: atom.trim().to_owned(),
+                    });
+                }
+            } else if let Some(rest) = line.strip_prefix("share ") {
+                let (who, atom) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("share needs `roles : atom`".into()))?;
+                let share_roles: Vec<String> = who.split_whitespace().map(str::to_owned).collect();
+                for r in &share_roles {
+                    if !roles.contains(r) {
+                        return Err(err(format!("unknown role {r}")));
+                    }
+                }
+                decls.push(Decl::Share {
+                    roles: share_roles,
+                    atom: atom.trim().to_owned(),
+                });
+            } else if let Some(rest) = line.strip_prefix("fresh ") {
+                let (role, atom) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("fresh needs `role : atom`".into()))?;
+                let role = role.trim().to_owned();
+                if !roles.contains(&role) {
+                    return Err(err(format!("unknown role {role}")));
+                }
+                decls.push(Decl::Fresh {
+                    role,
+                    atom: atom.trim().to_owned(),
+                });
+            } else if let Some(rest) = line.strip_prefix("claim ") {
+                // claim <role> authenticates <atom> from <role>
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                match words.as_slice() {
+                    [role, "authenticates", atom, "from", from] => {
+                        for r in [role, from] {
+                            if !roles.iter().any(|x| x == r) {
+                                return Err(err(format!("unknown role {r}")));
+                            }
+                        }
+                        claims.push(Claim {
+                            role: (*role).to_owned(),
+                            atom: (*atom).to_owned(),
+                            from: (*from).to_owned(),
+                        });
+                    }
+                    _ => {
+                        return Err(err(
+                            "claim syntax: claim <role> authenticates <atom> from <role>".into(),
+                        ))
+                    }
+                }
+            } else if line.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                // n. A -> B : term
+                let (num, rest) = line
+                    .split_once('.')
+                    .ok_or_else(|| err("step needs `n. A -> B : term`".into()))?;
+                let number: usize = num
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad step number {num:?}")))?;
+                let (route, message) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("step needs `: term`".into()))?;
+                let (from, to) = route
+                    .split_once("->")
+                    .ok_or_else(|| err("step needs `A -> B`".into()))?;
+                let (from, to) = (from.trim().to_owned(), to.trim().to_owned());
+                for r in [&from, &to] {
+                    if !roles.contains(r) {
+                        return Err(err(format!("unknown role {r}")));
+                    }
+                }
+                let message = parse_term(message.trim())
+                    .map_err(|e| err(format!("bad message term: {e}")))?;
+                steps.push(Step {
+                    number,
+                    from,
+                    to,
+                    message,
+                });
+            } else {
+                return Err(err(format!("unrecognized line {line:?}")));
+            }
+        }
+
+        let n = Narration {
+            name,
+            roles,
+            decls,
+            steps,
+            claims,
+        };
+        n.validate()?;
+        Ok(n)
+    }
+
+    /// The declaration for `atom`, if any.
+    #[must_use]
+    pub fn decl_of(&self, atom: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.atom() == atom)
+    }
+
+    /// The atoms a role knows before the run starts: its fresh atoms,
+    /// shared atoms listing it, and all public atoms.
+    #[must_use]
+    pub fn initial_knowledge(&self, role: &str) -> BTreeSet<String> {
+        self.decls
+            .iter()
+            .filter(|d| match d {
+                Decl::Public { .. } => true,
+                Decl::Share { roles, .. } => roles.iter().any(|r| r == role),
+                Decl::Fresh { role: r, .. } => r == role,
+            })
+            .map(|d| d.atom().to_owned())
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), ProtocolError> {
+        let bad = |message: String| ProtocolError::Narration {
+            message,
+            span: Span::default(),
+        };
+        if self.roles.is_empty() {
+            return Err(bad("a narration needs at least one role".into()));
+        }
+        for s in &self.steps {
+            for atom in atoms_of(&s.message) {
+                if self.decl_of(&atom).is_none() {
+                    return Err(bad(format!(
+                        "message {} uses undeclared atom {atom}",
+                        s.number
+                    )));
+                }
+            }
+        }
+        for c in &self.claims {
+            if self.decl_of(&c.atom).is_none() {
+                return Err(bad(format!("claim uses undeclared atom {}", c.atom)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the narration back in the text format.
+    #[must_use]
+    pub fn display(&self) -> String {
+        let mut out = format!("protocol {}\nroles {}\n", self.name, self.roles.join(", "));
+        for d in &self.decls {
+            match d {
+                Decl::Public { atom } => out.push_str(&format!("public {atom}\n")),
+                Decl::Share { roles, atom } => {
+                    out.push_str(&format!("share {} : {atom}\n", roles.join(" ")));
+                }
+                Decl::Fresh { role, atom } => {
+                    out.push_str(&format!("fresh {role} : {atom}\n"));
+                }
+            }
+        }
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{}. {} -> {} : {}\n",
+                s.number, s.from, s.to, s.message
+            ));
+        }
+        for c in &self.claims {
+            out.push_str(&format!(
+                "claim {} authenticates {} from {}\n",
+                c.role, c.atom, c.from
+            ));
+        }
+        out
+    }
+}
+
+/// All atom spellings occurring in a message pattern.
+pub(crate) fn atoms_of(t: &Term) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    fn go(t: &Term, out: &mut BTreeSet<String>) {
+        match t {
+            Term::Name(n) => {
+                out.insert(n.to_string());
+            }
+            Term::Var(v) => {
+                out.insert(v.to_string());
+            }
+            Term::Pair(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            Term::Enc { body, key } => {
+                for x in body {
+                    go(x, out);
+                }
+                go(key, out);
+            }
+            Term::Located { inner, .. } => go(inner, out),
+        }
+    }
+    go(t, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WMF: &str = "\
+protocol wide-mouthed-frog
+roles A, B, S
+public a, b
+share A S : kas
+share B S : kbs
+fresh A : kab
+fresh A : m
+1. A -> S : {b, kab}kas
+2. S -> B : {a, kab}kbs
+3. A -> B : {m}kab
+claim B authenticates m from A
+";
+
+    #[test]
+    fn parses_the_wide_mouthed_frog() {
+        let n = Narration::parse(WMF).unwrap();
+        assert_eq!(n.name, "wide-mouthed-frog");
+        assert_eq!(n.roles, vec!["A", "B", "S"]);
+        assert_eq!(n.steps.len(), 3);
+        assert_eq!(n.claims.len(), 1);
+        assert_eq!(n.steps[0].from, "A");
+        assert_eq!(n.steps[0].to, "S");
+    }
+
+    #[test]
+    fn initial_knowledge_follows_declarations() {
+        let n = Narration::parse(WMF).unwrap();
+        let a = n.initial_knowledge("A");
+        assert!(a.contains("kas") && a.contains("kab") && a.contains("m") && a.contains("a"));
+        assert!(!a.contains("kbs"));
+        let s = n.initial_knowledge("S");
+        assert!(s.contains("kas") && s.contains("kbs"));
+        assert!(!s.contains("m"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let n = Narration::parse(WMF).unwrap();
+        let again = Narration::parse(&n.display()).unwrap();
+        assert_eq!(n, again);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let n = Narration::parse(
+            "protocol t\n\nroles A, B -- two parties\nfresh A : m\n1. A -> B : m\n",
+        )
+        .unwrap();
+        assert_eq!(n.steps.len(), 1);
+    }
+
+    #[test]
+    fn unknown_roles_are_rejected() {
+        let err = Narration::parse("protocol t\nroles A\n1. A -> B : m\n").unwrap_err();
+        assert!(err.to_string().contains("unknown role B"));
+    }
+
+    #[test]
+    fn undeclared_atoms_are_rejected() {
+        let err = Narration::parse("protocol t\nroles A, B\n1. A -> B : m\n").unwrap_err();
+        assert!(err.to_string().contains("undeclared atom m"));
+    }
+
+    #[test]
+    fn malformed_lines_carry_spans() {
+        let err = Narration::parse("protocol t\nroles A\nnonsense here\n").unwrap_err();
+        match err {
+            ProtocolError::Narration { span, .. } => assert!(span.start > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_claims_are_rejected() {
+        let err = Narration::parse(
+            "protocol t\nroles A, B\nfresh A : m\n1. A -> B : m\nclaim B trusts m\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("claim syntax"));
+    }
+}

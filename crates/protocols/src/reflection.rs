@@ -1,0 +1,223 @@
+//! The reflection attack the paper leaves as future work.
+//!
+//! Section 5.2 closes: *"Note that we are only considering protocols in
+//! which the roles of the initiator and responder are clearly separated.
+//! If A and B could play both the two roles in parallel sessions, then
+//! the protocol above would suffer of a well-known reflection attack."*
+//!
+//! This module builds that scenario and its classic repair:
+//!
+//! * [`bidirectional_abstract`] — the secure-by-construction
+//!   specification: two multisession localized transfers, one per
+//!   direction, with per-party continuation channels;
+//! * [`bidirectional_challenge_response`] — both parties run both roles
+//!   of `Pm3` under the *same* shared key: vulnerable, the intruder can
+//!   reflect a party's own response back at it;
+//! * [`bidirectional_tagged`] — the classic fix: the responder includes
+//!   its identity inside the encryption and the challenger checks it,
+//!   which rules the reflection out.
+//!
+//! The tree layout aligns the three systems so the verifier can compare
+//! them: party `A` is the left component (its responder role at `‖·‖0`,
+//! its challenger role at `‖·‖1`), party `B` the right one.
+
+use spi_syntax::builder::{bang, case, ch, ch_loc, enc, inp, mat, n, new, nil, out, par, v};
+use spi_syntax::{Name, Process};
+
+use crate::ProtocolError;
+
+/// Builds one direction of the abstract specification:
+/// `(νs)(!s̄⟨s⟩.(νm)c̄⟨m⟩ | !s_λ(x).c_λ(z).obs⟨z⟩)` with the two ends
+/// placed by the caller.
+fn abstract_direction(chan: &str, observe: &str, lam: &str, s: &str) -> (Process, Process) {
+    let sender = Process::output(
+        ch(s),
+        spi_syntax::Term::name(s),
+        new("m", out(ch(chan), n("m"), nil())),
+    );
+    let receiver = Process::input(
+        spi_syntax::Channel::loc(spi_syntax::Term::name(s), lam),
+        "x_s",
+        inp(ch_loc(chan, lam), "z", out(ch(observe), v("z"), nil())),
+    );
+    (bang(sender), bang(receiver))
+}
+
+/// The abstract bidirectional specification.
+///
+/// Party `A` reveals what it authenticated from `B` on `observe_a`;
+/// party `B` reveals what it authenticated from `A` on `observe_b`.
+/// Layout: `(νs_ab)(νs_ba)((sendA | recvA) | (sendB | recvB))`.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::StartupNameClash`] when the channel names
+/// collide with the reserved startup names.
+pub fn bidirectional_abstract(
+    chan: &str,
+    observe_a: &str,
+    observe_b: &str,
+) -> Result<Process, ProtocolError> {
+    for reserved in ["sAB", "sBA"] {
+        if [chan, observe_a, observe_b].contains(&reserved) {
+            return Err(ProtocolError::StartupNameClash {
+                name: reserved.into(),
+            });
+        }
+    }
+    // A → B direction: A's sender hooks B's receiver over sAB.
+    let (send_a, recv_b) = abstract_direction(chan, observe_b, "lamAB", "sAB");
+    // B → A direction.
+    let (send_b, recv_a) = abstract_direction(chan, observe_a, "lamBA", "sBA");
+    let party_a = par(send_a, recv_a);
+    let party_b = par(send_b, recv_b);
+    Ok(Process::restrict(
+        Name::new("sAB"),
+        Process::restrict(Name::new("sBA"), par(party_a, party_b)),
+    ))
+}
+
+/// One party of the vulnerable bidirectional `Pm3`: a replicated
+/// responder (answers any challenge with `{m, ns}k`) next to a replicated
+/// challenger (challenges with a fresh nonce, reveals on this party's
+/// observe channel).
+fn party_untagged(chan: &str, observe: &str, key: &str) -> Process {
+    let responder = new(
+        "m",
+        inp(
+            ch(chan),
+            "ns",
+            out(ch(chan), enc([n("m"), v("ns")], n(key)), nil()),
+        ),
+    );
+    let challenger = new(
+        "nb",
+        out(
+            ch(chan),
+            n("nb"),
+            inp(
+                ch(chan),
+                "x",
+                case(
+                    v("x"),
+                    ["z", "w"],
+                    n(key),
+                    mat(v("w"), n("nb"), out(ch(observe), v("z"), nil())),
+                ),
+            ),
+        ),
+    );
+    par(bang(responder), bang(challenger))
+}
+
+/// The vulnerable system: both parties run both roles of the paper's
+/// `Pm3` under one shared key.
+///
+/// An intruder can *reflect*: take party `B`'s challenge `N`, feed it to
+/// `B`'s own responder, and return the resulting `{M_B, N}K` to `B`'s
+/// challenger — `B` then "authenticates from A" a message its own
+/// responder created.
+#[must_use]
+pub fn bidirectional_challenge_response(chan: &str, observe_a: &str, observe_b: &str) -> Process {
+    let party_a = party_untagged(chan, observe_a, "kAB");
+    let party_b = party_untagged(chan, observe_b, "kAB");
+    new("kAB", par(party_a, party_b))
+}
+
+/// One party of the repaired protocol: the responder embeds its own
+/// identity in the ciphertext and the challenger insists on the *peer's*
+/// identity.
+fn party_tagged(chan: &str, observe: &str, key: &str, me: &str, peer: &str) -> Process {
+    let responder = new(
+        "m",
+        inp(
+            ch(chan),
+            "ns",
+            out(ch(chan), enc([n("m"), v("ns"), n(me)], n(key)), nil()),
+        ),
+    );
+    let challenger = new(
+        "nb",
+        out(
+            ch(chan),
+            n("nb"),
+            inp(
+                ch(chan),
+                "x",
+                case(
+                    v("x"),
+                    ["z", "w", "idr"],
+                    n(key),
+                    mat(
+                        v("w"),
+                        n("nb"),
+                        mat(v("idr"), n(peer), out(ch(observe), v("z"), nil())),
+                    ),
+                ),
+            ),
+        ),
+    );
+    par(bang(responder), bang(challenger))
+}
+
+/// The classic repair: responses are `{M, N, id}K` and each challenger
+/// checks that `id` names the *other* party — reflections carry the wrong
+/// identity and are rejected.
+///
+/// The identities `ida`/`idb` are public names (everyone, including the
+/// intruder, knows them — the protection comes from the encryption).
+#[must_use]
+pub fn bidirectional_tagged(chan: &str, observe_a: &str, observe_b: &str) -> Process {
+    let party_a = party_tagged(chan, observe_a, "kAB", "ida", "idb");
+    let party_b = party_tagged(chan, observe_b, "kAB", "idb", "ida");
+    new("kAB", par(party_a, party_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_systems_are_closed() {
+        assert!(bidirectional_abstract("c", "oa", "ob").unwrap().is_closed());
+        assert!(bidirectional_challenge_response("c", "oa", "ob").is_closed());
+        assert!(bidirectional_tagged("c", "oa", "ob").is_closed());
+    }
+
+    #[test]
+    fn layouts_align() {
+        // All three systems are a restriction stack over
+        // ((x | y) | (x | y)).
+        for p in [
+            bidirectional_abstract("c", "oa", "ob").unwrap(),
+            bidirectional_challenge_response("c", "oa", "ob"),
+            bidirectional_tagged("c", "oa", "ob"),
+        ] {
+            let mut cur = &p;
+            while let Process::Restrict(_, body) = cur {
+                cur = body;
+            }
+            match cur {
+                Process::Par(l, r) => {
+                    assert!(matches!(**l, Process::Par(_, _)));
+                    assert!(matches!(**r, Process::Par(_, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn identities_are_public_in_the_tagged_variant() {
+        let p = bidirectional_tagged("c", "oa", "ob");
+        let free = p.free_names();
+        assert!(free.contains("ida"));
+        assert!(free.contains("idb"));
+        assert!(!free.contains("kAB"));
+    }
+
+    #[test]
+    fn reserved_names_are_rejected() {
+        assert!(bidirectional_abstract("sAB", "oa", "ob").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! The single-session protocols of Section 5.1.
+//!
+//! All three share the shape "A sends a freshly generated message `M` to
+//! B; B requires message authentication":
+//!
+//! ```text
+//! (A freshly generates M)
+//! Message 1   A --auth--> B : M
+//! ```
+//!
+//! * [`abstract_protocol`] — the paper's `P`: secure by construction via
+//!   partner authentication (`B` receives on a channel localized at `A`);
+//! * [`plaintext`] — `P1`: `M` travels in clear on an open channel, and
+//!   does **not** implement `P` (man-in-the-middle);
+//! * [`shared_key`] — `P2 = (νK_AB)(A2 | B2)`: `M` travels encrypted
+//!   under a shared key, and securely implements `P` for one session.
+//!
+//! Every builder takes the protocol channel and the continuation channel,
+//! and models the continuation `B'(z)` as `observe⟨z⟩` — the paper's own
+//! choice when it runs the testing scenario.
+
+use spi_syntax::builder::{case, ch, ch_loc, enc, inp, n, new, nil, out, par, v};
+use spi_syntax::Process;
+
+use crate::{startup, ProtocolError, StartupIndex};
+
+/// The abstract protocol `P` (Section 5.1):
+///
+/// ```text
+/// P = startup(⋆, A, λ_B, B)
+/// A = (νM) c̄⟨M⟩
+/// B = c_{λB}(z).B'(z)        with B'(z) = observe⟨z⟩
+/// ```
+///
+/// After startup, `λ_B` is bound to `A`'s relative address, so `B` can
+/// only receive `z` from `A`: authentication holds by construction
+/// (Proposition 1 plus the localization discipline).
+///
+/// # Errors
+///
+/// Propagates [`ProtocolError::StartupNameClash`] when `chan` or
+/// `observe` is the reserved startup name `s`.
+pub fn abstract_protocol(chan: &str, observe: &str) -> Result<Process, ProtocolError> {
+    let a = new("m", out(ch(chan), n("m"), nil()));
+    let b = inp(ch_loc(chan, "lamB"), "z", out(ch(observe), v("z"), nil()));
+    startup(StartupIndex::Star, a, "lamB".into(), b)
+}
+
+/// The insecure plaintext protocol `P1`:
+///
+/// ```text
+/// P1 = A1 | B1
+/// A1 = (νM) c̄⟨M⟩
+/// B1 = c(z).B'(z)
+/// ```
+///
+/// Anyone can send on `c`, so an attacker `E = (νM_E) c̄⟨M_E⟩` makes `B1`
+/// accept a faked message: `P1` does not securely implement
+/// [`abstract_protocol`].
+#[must_use]
+pub fn plaintext(chan: &str, observe: &str) -> Process {
+    let a1 = new("m", out(ch(chan), n("m"), nil()));
+    let b1 = inp(ch(chan), "z", out(ch(observe), v("z"), nil()));
+    par(a1, b1)
+}
+
+/// The shared-key protocol `P2` (`Message 1  A → B : {M}K_AB`):
+///
+/// ```text
+/// P2 = (νK_AB)(A2 | B2)
+/// A2 = (νM) c̄⟨{M}K_AB⟩
+/// B2 = c(z). case z of {w}K_AB in B'(w)
+/// ```
+///
+/// Proposition 2: `P2` securely implements the abstract protocol in a
+/// single session — the encryption plays the role of the localized
+/// channel.
+#[must_use]
+pub fn shared_key(chan: &str, observe: &str) -> Process {
+    let a2 = new("m", out(ch(chan), enc([n("m")], n("kAB")), nil()));
+    let b2 = inp(
+        ch(chan),
+        "z",
+        case(v("z"), ["w"], n("kAB"), out(ch(observe), v("w"), nil())),
+    );
+    new("kAB", par(a2, b2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    #[test]
+    fn abstract_protocol_matches_the_paper() {
+        let p = abstract_protocol("c", "observe").unwrap();
+        let expected = parse("(^s)(s<s>.(^m)c<m> | s@lamB(x_s).c@lamB(z).observe<z>)").unwrap();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn plaintext_matches_the_paper() {
+        let p = plaintext("c", "observe");
+        assert_eq!(p, parse("(^m)c<m> | c(z).observe<z>").unwrap());
+    }
+
+    #[test]
+    fn shared_key_matches_the_paper() {
+        let p = shared_key("c", "observe");
+        assert_eq!(
+            p,
+            parse("(^kAB)((^m)c<{m}kAB> | c(z).case z of {w}kAB in observe<w>)").unwrap()
+        );
+    }
+
+    #[test]
+    fn all_protocols_are_closed() {
+        assert!(abstract_protocol("c", "observe").unwrap().is_closed());
+        assert!(plaintext("c", "observe").is_closed());
+        assert!(shared_key("c", "observe").is_closed());
+    }
+
+    #[test]
+    fn channel_names_are_parameters() {
+        let p = plaintext("net", "done");
+        let free = p.free_names();
+        assert!(free.contains("net"));
+        assert!(free.contains("done"));
+    }
+}

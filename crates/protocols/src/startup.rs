@@ -1,0 +1,211 @@
+//! The paper's `startup` and `m_startup` macros (Sections 5.1–5.2).
+
+use spi_syntax::{ChanIndex, Channel, LocVar, Name, Process, Term, Var};
+
+use crate::ProtocolError;
+
+/// How a startup party indexes the startup channel: the paper's `t_A` /
+/// `t_B` parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartupIndex {
+    /// No localization (`⋆` in the paper): the party does not pin its
+    /// startup partner.
+    Star,
+    /// A location variable, bound during startup to the partner's
+    /// relative address and usable throughout the party's continuation.
+    Loc(LocVar),
+}
+
+impl StartupIndex {
+    fn to_chan_index(&self) -> ChanIndex {
+        match self {
+            StartupIndex::Star => ChanIndex::Plain,
+            StartupIndex::Loc(l) => ChanIndex::Loc(l.clone()),
+        }
+    }
+}
+
+impl From<&str> for StartupIndex {
+    /// `"*"` is [`StartupIndex::Star`]; anything else names a location
+    /// variable.
+    fn from(s: &str) -> StartupIndex {
+        if s == "*" {
+            StartupIndex::Star
+        } else {
+            StartupIndex::Loc(LocVar::new(s))
+        }
+    }
+}
+
+/// The paper's startup macro:
+///
+/// ```text
+/// startup(t_A, A, t_B, B) ≜ (νs)( s̄_{t_A}⟨s⟩.A | s_{t_B}(x).B )
+/// ```
+///
+/// The two parties exchange their locations over a fresh private channel
+/// `s`, so (Proposition 1) the location variables can only be bound to
+/// each other's relative addresses, in any environment.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::StartupNameClash`] when `s` (or the dummy
+/// input variable) occurs free in `a` or `b` — pick different names in
+/// the parties.
+///
+/// # Example
+///
+/// ```
+/// use spi_protocols::{startup, StartupIndex};
+/// use spi_syntax::parse;
+///
+/// // The abstract protocol P of Section 5.1.
+/// let a = parse("(^m) c<m>")?;
+/// let b = parse("c@lamB(z).observe<z>")?;
+/// let p = startup(StartupIndex::Star, a, "lamB".into(), b)?;
+/// assert_eq!(p.to_string(), "(^s)(s<s>.(^m)c<m> | s@lamB(x_s).c@lamB(z).observe<z>)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn startup(
+    t_a: StartupIndex,
+    a: Process,
+    t_b: StartupIndex,
+    b: Process,
+) -> Result<Process, ProtocolError> {
+    let s = Name::new("s");
+    let x = Var::new("x_s");
+    for p in [&a, &b] {
+        if p.free_names().contains(&s) {
+            return Err(ProtocolError::StartupNameClash {
+                name: s.to_string(),
+            });
+        }
+        if p.free_vars().contains(&x) {
+            return Err(ProtocolError::StartupNameClash {
+                name: x.to_string(),
+            });
+        }
+    }
+    let sender = Process::Output(
+        Channel::with_index(Term::Name(s.clone()), t_a.to_chan_index()),
+        Term::Name(s.clone()),
+        Box::new(a),
+    );
+    let receiver = Process::Input(
+        Channel::with_index(Term::Name(s.clone()), t_b.to_chan_index()),
+        x,
+        Box::new(b),
+    );
+    Ok(Process::restrict(s, Process::par(sender, receiver)))
+}
+
+/// The multisession startup macro (Section 5.2):
+///
+/// ```text
+/// m_startup(t_A, A, t_B, B) ≜ (νs)( !s̄_{t_A}⟨s⟩.A | !s_{t_B}(x).B )
+/// ```
+///
+/// Each communication over `s` hooks one fresh instance of `A` to one
+/// fresh instance of `B`; by Proposition 3 the instances pair off and no
+/// message of one run can be received in another — freshness by
+/// construction.
+///
+/// # Errors
+///
+/// As for [`startup`].
+pub fn m_startup(
+    t_a: StartupIndex,
+    a: Process,
+    t_b: StartupIndex,
+    b: Process,
+) -> Result<Process, ProtocolError> {
+    let wired = startup(t_a, a, t_b, b)?;
+    // Distribute the replication over the two components of the macro.
+    match wired {
+        Process::Restrict(s, body) => match *body {
+            Process::Par(sender, receiver) => Ok(Process::restrict(
+                s,
+                Process::par(Process::bang(*sender), Process::bang(*receiver)),
+            )),
+            other => unreachable!("startup always builds a parallel: {other:?}"),
+        },
+        other => unreachable!("startup always builds a restriction: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    #[test]
+    fn startup_wires_the_parties() {
+        let a = parse("(^m) c<m>").unwrap();
+        let b = parse("c@lamB(z).observe<z>").unwrap();
+        let p = startup(
+            StartupIndex::Star,
+            a,
+            StartupIndex::Loc(LocVar::new("lamB")),
+            b,
+        )
+        .unwrap();
+        match &p {
+            Process::Restrict(s, body) => {
+                assert_eq!(s, &Name::new("s"));
+                assert!(matches!(**body, Process::Par(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.is_closed());
+    }
+
+    #[test]
+    fn m_startup_replicates_both_sides() {
+        let a = parse("c<m>").unwrap();
+        let b = parse("c@lamB(z).observe<z>").unwrap();
+        let p = m_startup(
+            StartupIndex::Star,
+            a,
+            StartupIndex::Loc(LocVar::new("lamB")),
+            b,
+        )
+        .unwrap();
+        assert_eq!(
+            p.to_string(),
+            "(^s)(!s<s>.c<m> | !s@lamB(x_s).c@lamB(z).observe<z>)"
+        );
+    }
+
+    #[test]
+    fn name_clash_is_rejected() {
+        let a = parse("s<m>").unwrap();
+        let b = parse("c(z)").unwrap();
+        let err = startup(StartupIndex::Star, a, StartupIndex::Star, b).unwrap_err();
+        assert!(matches!(err, ProtocolError::StartupNameClash { .. }));
+    }
+
+    #[test]
+    fn index_conversion_from_str() {
+        assert_eq!(StartupIndex::from("*"), StartupIndex::Star);
+        assert_eq!(
+            StartupIndex::from("lamB"),
+            StartupIndex::Loc(LocVar::new("lamB"))
+        );
+    }
+
+    #[test]
+    fn both_sides_may_localize() {
+        let a = parse("c@lamA<m>").unwrap();
+        let b = parse("c@lamB(z)").unwrap();
+        let p = startup(
+            StartupIndex::Loc(LocVar::new("lamA")),
+            a,
+            StartupIndex::Loc(LocVar::new("lamB")),
+            b,
+        )
+        .unwrap();
+        let locs = p.loc_vars();
+        assert!(locs.contains(&LocVar::new("lamA")));
+        assert!(locs.contains(&LocVar::new("lamB")));
+    }
+}

@@ -1,0 +1,336 @@
+//! Canonical state keys: configuration identity up to renaming of
+//! machine-generated names.
+//!
+//! Two interleavings that allocate the same restricted names in different
+//! orders produce configurations that differ only in [`NameId`] numbering.
+//! The canonical key renumbers ids by first occurrence in a deterministic
+//! left-to-right traversal, so explorers can deduplicate such states.
+//! Free names are serialized by spelling (their identity), restricted
+//! names by their creator position (which is part of the semantics — it
+//! is what the authentication primitives observe).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use spi_addr::{Path, ProcTree};
+
+use crate::{Config, LeafState, NameId, NameTable, RtChanIndex, RtChannel, RtProcess, RtTerm};
+
+/// Serializes a composite node's creator stamp.
+fn write_creator(creator: &Option<Path>, out: &mut String) {
+    match creator {
+        Some(p) => {
+            let _ = write!(out, "#{}", p.to_bits());
+        }
+        None => out.push_str("#-"),
+    }
+}
+
+/// Renumbers [`NameId`]s by first occurrence while serializing terms.
+///
+/// Explorers that carry extra state (e.g. intruder knowledge) extend the
+/// configuration key by serializing their terms through the same
+/// canonicalizer.
+#[derive(Debug, Default)]
+pub struct Canonicalizer {
+    map: HashMap<NameId, usize>,
+}
+
+impl Canonicalizer {
+    /// A fresh canonicalizer.
+    #[must_use]
+    pub fn new() -> Canonicalizer {
+        Canonicalizer::default()
+    }
+
+    fn canon_id(&mut self, id: NameId, names: &NameTable, out: &mut String) {
+        let e = names.entry(id);
+        if e.restricted {
+            let next = self.map.len();
+            let k = *self.map.entry(id).or_insert(next);
+            let creator = e
+                .creator
+                .as_ref()
+                .map_or_else(|| "-".to_owned(), Path::to_bits);
+            let _ = write!(out, "r{k}@{creator}");
+        } else {
+            let _ = write!(out, "f:{}", e.base);
+        }
+    }
+
+    /// Serializes a term into `out` with canonical name numbering.
+    pub fn write_term(&mut self, t: &RtTerm, names: &NameTable, out: &mut String) {
+        match t {
+            RtTerm::Var(v) => {
+                let _ = write!(out, "v:{v}");
+            }
+            RtTerm::Sym(n) => {
+                let _ = write!(out, "s:{n}");
+            }
+            RtTerm::Id(id) => self.canon_id(*id, names, out),
+            RtTerm::Pair { fst, snd, creator } => {
+                out.push('(');
+                self.write_term(fst, names, out);
+                out.push(',');
+                self.write_term(snd, names, out);
+                out.push(')');
+                write_creator(creator, out);
+            }
+            RtTerm::Enc { body, key, creator } => {
+                out.push('{');
+                for (i, x) in body.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.write_term(x, names, out);
+                }
+                out.push('}');
+                self.write_term(key, names, out);
+                write_creator(creator, out);
+            }
+            RtTerm::LocatedLit { addr, inner } => {
+                let _ = write!(
+                    out,
+                    "L[{}.{}]",
+                    addr.observer().to_bits(),
+                    addr.target().to_bits()
+                );
+                self.write_term(inner, names, out);
+            }
+        }
+    }
+
+    fn write_channel(&mut self, ch: &RtChannel, names: &NameTable, out: &mut String) {
+        self.write_term(&ch.subject, names, out);
+        match &ch.index {
+            RtChanIndex::Plain => {}
+            RtChanIndex::At(a) => {
+                let _ = write!(out, "@?{}.{}", a.observer().to_bits(), a.target().to_bits());
+            }
+            RtChanIndex::AtAbs(p) => {
+                let _ = write!(out, "@{}", p.to_bits());
+            }
+            RtChanIndex::Loc(l) => {
+                let _ = write!(out, "@^{l}");
+            }
+        }
+    }
+
+    /// Serializes a residual process into `out`.
+    pub fn write_process(&mut self, p: &RtProcess, names: &NameTable, out: &mut String) {
+        match p {
+            RtProcess::Nil => out.push('0'),
+            RtProcess::Output(ch, t, cont) => {
+                out.push('O');
+                self.write_channel(ch, names, out);
+                out.push('<');
+                self.write_term(t, names, out);
+                out.push('>');
+                self.write_process(cont, names, out);
+            }
+            RtProcess::Input(ch, x, cont) => {
+                out.push('I');
+                self.write_channel(ch, names, out);
+                let _ = write!(out, "({x})");
+                self.write_process(cont, names, out);
+            }
+            RtProcess::Restrict(n, body) => {
+                let _ = write!(out, "N({n})");
+                self.write_process(body, names, out);
+            }
+            RtProcess::Par(l, r) => {
+                out.push('[');
+                self.write_process(l, names, out);
+                out.push('|');
+                self.write_process(r, names, out);
+                out.push(']');
+            }
+            RtProcess::Match(a, b, cont) => {
+                out.push('M');
+                self.write_term(a, names, out);
+                out.push('=');
+                self.write_term(b, names, out);
+                self.write_process(cont, names, out);
+            }
+            RtProcess::AddrMatchT(a, b, cont) => {
+                out.push('A');
+                self.write_term(a, names, out);
+                out.push('~');
+                self.write_term(b, names, out);
+                self.write_process(cont, names, out);
+            }
+            RtProcess::AddrMatchL(a, l, cont) => {
+                out.push('A');
+                self.write_term(a, names, out);
+                let _ = write!(out, "~@{}.{}", l.observer().to_bits(), l.target().to_bits());
+                self.write_process(cont, names, out);
+            }
+            RtProcess::Bang(body) => {
+                out.push('!');
+                self.write_process(body, names, out);
+            }
+            RtProcess::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => {
+                out.push('S');
+                self.write_term(pair, names, out);
+                let _ = write!(out, "({fst},{snd})");
+                self.write_process(body, names, out);
+            }
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => {
+                out.push('C');
+                self.write_term(scrutinee, names, out);
+                out.push('{');
+                for (i, b) in binders.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push('}');
+                self.write_term(key, names, out);
+                out.push(':');
+                self.write_process(body, names, out);
+            }
+        }
+    }
+
+    fn write_leaf(&mut self, leaf: &LeafState, names: &NameTable, out: &mut String) {
+        match leaf {
+            LeafState::Dead => out.push('D'),
+            LeafState::Out {
+                chan,
+                payload,
+                cont,
+            } => {
+                out.push('o');
+                self.write_channel(chan, names, out);
+                out.push('<');
+                self.write_term(payload, names, out);
+                out.push('>');
+                self.write_process(cont, names, out);
+            }
+            LeafState::In { chan, var, cont } => {
+                out.push('i');
+                self.write_channel(chan, names, out);
+                let _ = write!(out, "({var})");
+                self.write_process(cont, names, out);
+            }
+            LeafState::Bang { body, unfolded } => {
+                let _ = write!(out, "b{unfolded}");
+                self.write_process(body, names, out);
+            }
+        }
+    }
+
+    fn write_tree(&mut self, tree: &ProcTree<LeafState>, names: &NameTable, out: &mut String) {
+        match tree {
+            ProcTree::Leaf(l) => self.write_leaf(l, names, out),
+            ProcTree::Node(l, r) => {
+                out.push('(');
+                self.write_tree(l, names, out);
+                out.push(';');
+                self.write_tree(r, names, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+impl Config {
+    /// Serializes the configuration into `out` through `canon`, renaming
+    /// machine names canonically.  Explorers append their own state (e.g.
+    /// intruder knowledge) with the same canonicalizer to form a full
+    /// state key.
+    pub fn write_canonical(&self, canon: &mut Canonicalizer, out: &mut String) {
+        canon.write_tree(&self.tree, &self.names, out);
+    }
+
+    /// The canonical key of this configuration alone.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let mut canon = Canonicalizer::new();
+        let mut out = String::new();
+        self.write_canonical(&mut canon, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Action;
+    use spi_syntax::parse;
+
+    fn cfg(src: &str) -> Config {
+        Config::from_process(&parse(src).expect("parses")).expect("loads")
+    }
+
+    fn p(s: &str) -> Path {
+        s.parse().expect("valid path")
+    }
+
+    #[test]
+    fn keys_are_stable_for_equal_configs() {
+        let a = cfg("(^m) c<m> | d(x)");
+        let b = cfg("(^m) c<m> | d(x)");
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn keys_distinguish_different_configs() {
+        assert_ne!(
+            cfg("(^m) c<m>").canonical_key(),
+            cfg("(^m) d<m>").canonical_key()
+        );
+        assert_ne!(
+            cfg("c<m> | d(x)").canonical_key(),
+            cfg("d(x) | c<m>").canonical_key(),
+            "tree shape is semantically relevant (addresses)"
+        );
+    }
+
+    #[test]
+    fn keys_identify_interleavings_with_permuted_allocation() {
+        // Two independent pairs; allocate in either order.
+        let src = "((^m) c<m> | c(x)) | ((^n) d<n> | d(y))";
+        let mut left_first = cfg(src);
+        let mut right_first = cfg(src);
+        let comm_left = Action::Comm {
+            out_path: p("00"),
+            in_path: p("01"),
+        };
+        let comm_right = Action::Comm {
+            out_path: p("10"),
+            in_path: p("11"),
+        };
+        left_first.fire(&comm_left).unwrap();
+        left_first.fire(&comm_right).unwrap();
+        right_first.fire(&comm_right).unwrap();
+        right_first.fire(&comm_left).unwrap();
+        // The raw configurations differ in NameId numbering...
+        // ...but the canonical keys agree.
+        assert_eq!(left_first.canonical_key(), right_first.canonical_key());
+    }
+
+    #[test]
+    fn free_names_serialize_by_spelling() {
+        let key = cfg("c<m>").canonical_key();
+        assert!(key.contains("f:c"));
+        assert!(key.contains("f:m"));
+    }
+
+    #[test]
+    fn restricted_names_serialize_with_creator() {
+        let key = cfg("(^m) c<m>").canonical_key();
+        assert!(key.contains("r0@e"), "creator position recorded: {key}");
+    }
+}

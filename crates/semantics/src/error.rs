@@ -1,0 +1,102 @@
+//! Errors raised by the abstract machine.
+
+use std::error::Error;
+use std::fmt;
+
+use spi_addr::{AddrError, Path};
+
+/// An error raised while loading or stepping a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The loaded process had free variables and cannot be executed.
+    OpenProcess {
+        /// A description of the offending variables.
+        vars: String,
+    },
+    /// A term that is not a transmissible message (e.g. a located literal
+    /// `l M`, which is a pattern) appeared in message position.
+    NotAMessage {
+        /// A description of the offending term.
+        term: String,
+    },
+    /// An action referred to a tree position that is not a leaf of the
+    /// expected kind.
+    NotALeaf {
+        /// The offending position.
+        path: Path,
+    },
+    /// An action was fired that the current configuration does not enable.
+    NotEnabled {
+        /// Why the action is not enabled.
+        reason: String,
+    },
+    /// A replication was asked to unfold beyond the exploration bound.
+    UnfoldBoundReached {
+        /// The position of the replication.
+        path: Path,
+    },
+    /// An address operation failed.
+    Addr(AddrError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::OpenProcess { vars } => {
+                write!(f, "process has free variables: {vars}")
+            }
+            MachineError::NotAMessage { term } => {
+                write!(f, "term {term} is not a transmissible message")
+            }
+            MachineError::NotALeaf { path } => {
+                write!(f, "position {path} is not a leaf of the expected kind")
+            }
+            MachineError::NotEnabled { reason } => {
+                write!(f, "action is not enabled: {reason}")
+            }
+            MachineError::UnfoldBoundReached { path } => {
+                write!(f, "replication at {path} reached its unfold bound")
+            }
+            MachineError::Addr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for MachineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MachineError::Addr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AddrError> for MachineError {
+    fn from(e: AddrError) -> MachineError {
+        MachineError::Addr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MachineError::NotEnabled {
+            reason: "subjects differ".into(),
+        };
+        assert!(e.to_string().contains("subjects differ"));
+        let e = MachineError::Addr(AddrError::MissingSeparator);
+        assert!(e.to_string().contains("separator"));
+    }
+
+    #[test]
+    fn source_chains_addr_errors() {
+        let e = MachineError::Addr(AddrError::MissingSeparator);
+        assert!(e.source().is_some());
+        let e = MachineError::OpenProcess { vars: "x".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,563 @@
+//! Run-time processes: the residuals the machine stores at tree leaves.
+
+use spi_addr::{Path, RelAddr};
+use spi_syntax::{AddrSide, ChanIndex, LocVar, Name, Process, Var};
+
+use crate::{NameId, NameTable, RtTerm};
+
+/// The localization index of a run-time channel.
+///
+/// Source indexes written as relative addresses stay relative
+/// ([`RtChanIndex::At`]) until the owning prefix reaches a leaf, where the
+/// machine resolves them against the leaf position into an absolute
+/// partner position ([`RtChanIndex::AtAbs`]).  Location variables are
+/// instantiated directly to the partner's absolute position at first
+/// contact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RtChanIndex {
+    /// No localization.
+    Plain,
+    /// A source-level relative address, not yet resolved.
+    At(RelAddr),
+    /// Localized at an absolute tree position.
+    AtAbs(Path),
+    /// An uninstantiated location variable.
+    Loc(LocVar),
+}
+
+/// A run-time channel: subject term plus localization index.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RtChannel {
+    /// The term naming the channel.
+    pub subject: RtTerm,
+    /// The localization index.
+    pub index: RtChanIndex,
+}
+
+/// A run-time process, mirroring [`Process`] with run-time terms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RtProcess {
+    /// The inert process.
+    Nil,
+    /// Output prefix.
+    Output(RtChannel, RtTerm, Box<RtProcess>),
+    /// Input prefix.
+    Input(RtChannel, Var, Box<RtProcess>),
+    /// Unexecuted restriction.
+    Restrict(Name, Box<RtProcess>),
+    /// Parallel composition (split into two leaves when placed).
+    Par(Box<RtProcess>, Box<RtProcess>),
+    /// Matching.
+    Match(RtTerm, RtTerm, Box<RtProcess>),
+    /// Address matching against another term's origin.
+    AddrMatchT(RtTerm, RtTerm, Box<RtProcess>),
+    /// Address matching against a literal relative address.
+    AddrMatchL(RtTerm, RelAddr, Box<RtProcess>),
+    /// Replication.
+    Bang(Box<RtProcess>),
+    /// Pair splitting (full-calculus projection).
+    Split {
+        /// Term to project.
+        pair: RtTerm,
+        /// First-component binder.
+        fst: Var,
+        /// Second-component binder.
+        snd: Var,
+        /// Continuation.
+        body: Box<RtProcess>,
+    },
+    /// Shared-key decryption.
+    Case {
+        /// Term to decrypt.
+        scrutinee: RtTerm,
+        /// Variables bound to the decrypted components.
+        binders: Vec<Var>,
+        /// Decryption key.
+        key: RtTerm,
+        /// Continuation.
+        body: Box<RtProcess>,
+    },
+}
+
+impl RtChannel {
+    fn from_static(ch: &spi_syntax::Channel) -> RtChannel {
+        RtChannel {
+            subject: RtTerm::from_static(&ch.subject),
+            index: match &ch.index {
+                ChanIndex::Plain => RtChanIndex::Plain,
+                ChanIndex::At(a) => RtChanIndex::At(a.clone()),
+                ChanIndex::Loc(l) => RtChanIndex::Loc(l.clone()),
+            },
+        }
+    }
+
+    fn map_terms(&self, f: &mut impl FnMut(&RtTerm) -> RtTerm) -> RtChannel {
+        RtChannel {
+            subject: f(&self.subject),
+            index: self.index.clone(),
+        }
+    }
+
+    /// Renders the channel using the table's display names.
+    #[must_use]
+    pub fn display(&self, names: &NameTable) -> String {
+        let idx = match &self.index {
+            RtChanIndex::Plain => String::new(),
+            RtChanIndex::At(a) => format!("@({a})"),
+            RtChanIndex::AtAbs(p) => format!("@[{}]", p.to_bits()),
+            RtChanIndex::Loc(l) => format!("@{l}"),
+        };
+        format!("{}{idx}", self.subject.display(names))
+    }
+}
+
+impl RtProcess {
+    /// Converts a source process.  Names become symbolic
+    /// ([`RtTerm::Sym`]); the configuration loader interns the free ones.
+    #[must_use]
+    pub fn from_static(p: &Process) -> RtProcess {
+        match p {
+            Process::Nil => RtProcess::Nil,
+            Process::Output(ch, t, cont) => RtProcess::Output(
+                RtChannel::from_static(ch),
+                RtTerm::from_static(t),
+                Box::new(RtProcess::from_static(cont)),
+            ),
+            Process::Input(ch, x, cont) => RtProcess::Input(
+                RtChannel::from_static(ch),
+                x.clone(),
+                Box::new(RtProcess::from_static(cont)),
+            ),
+            Process::Restrict(n, body) => {
+                RtProcess::Restrict(n.clone(), Box::new(RtProcess::from_static(body)))
+            }
+            Process::Par(l, r) => RtProcess::Par(
+                Box::new(RtProcess::from_static(l)),
+                Box::new(RtProcess::from_static(r)),
+            ),
+            Process::Match(a, b, cont) => RtProcess::Match(
+                RtTerm::from_static(a),
+                RtTerm::from_static(b),
+                Box::new(RtProcess::from_static(cont)),
+            ),
+            Process::AddrMatch(a, side, cont) => match side {
+                AddrSide::Term(b) => RtProcess::AddrMatchT(
+                    RtTerm::from_static(a),
+                    RtTerm::from_static(b),
+                    Box::new(RtProcess::from_static(cont)),
+                ),
+                AddrSide::Lit(l) => RtProcess::AddrMatchL(
+                    RtTerm::from_static(a),
+                    l.clone(),
+                    Box::new(RtProcess::from_static(cont)),
+                ),
+            },
+            Process::Bang(body) => RtProcess::Bang(Box::new(RtProcess::from_static(body))),
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => RtProcess::Split {
+                pair: RtTerm::from_static(pair),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: Box::new(RtProcess::from_static(body)),
+            },
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => RtProcess::Case {
+                scrutinee: RtTerm::from_static(scrutinee),
+                binders: binders.clone(),
+                key: RtTerm::from_static(key),
+                body: Box::new(RtProcess::from_static(body)),
+            },
+        }
+    }
+
+    /// Applies `f` to every term of the process, stopping descent when
+    /// `stop` says a construct shadows what `f` substitutes.
+    fn map<S, F>(&self, stop: &S, f: &mut F) -> RtProcess
+    where
+        S: Fn(&RtProcess) -> bool,
+        F: FnMut(&RtTerm) -> RtTerm,
+    {
+        if stop(self) {
+            return self.clone();
+        }
+        match self {
+            RtProcess::Nil => RtProcess::Nil,
+            RtProcess::Output(ch, t, cont) => {
+                RtProcess::Output(ch.map_terms(f), f(t), Box::new(cont.map(stop, f)))
+            }
+            RtProcess::Input(ch, x, cont) => {
+                RtProcess::Input(ch.map_terms(f), x.clone(), Box::new(cont.map(stop, f)))
+            }
+            RtProcess::Restrict(n, body) => {
+                RtProcess::Restrict(n.clone(), Box::new(body.map(stop, f)))
+            }
+            RtProcess::Par(l, r) => {
+                RtProcess::Par(Box::new(l.map(stop, f)), Box::new(r.map(stop, f)))
+            }
+            RtProcess::Match(a, b, cont) => {
+                RtProcess::Match(f(a), f(b), Box::new(cont.map(stop, f)))
+            }
+            RtProcess::AddrMatchT(a, b, cont) => {
+                RtProcess::AddrMatchT(f(a), f(b), Box::new(cont.map(stop, f)))
+            }
+            RtProcess::AddrMatchL(a, l, cont) => {
+                RtProcess::AddrMatchL(f(a), l.clone(), Box::new(cont.map(stop, f)))
+            }
+            RtProcess::Bang(body) => RtProcess::Bang(Box::new(body.map(stop, f))),
+            RtProcess::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => RtProcess::Split {
+                pair: f(pair),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: Box::new(body.map(stop, f)),
+            },
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => RtProcess::Case {
+                scrutinee: f(scrutinee),
+                binders: binders.clone(),
+                key: f(key),
+                body: Box::new(body.map(stop, f)),
+            },
+        }
+    }
+
+    /// Substitutes a (closed) message for a variable.  Messages contain no
+    /// variables and no symbolic names, so no capture can occur; descent
+    /// stops below binders that shadow `var` (their channel subject and
+    /// scrutinee are still substituted, as they lie outside the binder's
+    /// scope).
+    #[must_use]
+    pub fn subst_var(&self, var: &Var, value: &RtTerm) -> RtProcess {
+        debug_assert!(value.is_message(), "only messages are substituted");
+        match self {
+            RtProcess::Nil => RtProcess::Nil,
+            RtProcess::Output(ch, t, cont) => RtProcess::Output(
+                ch.map_terms(&mut |x| x.subst_var(var, value)),
+                t.subst_var(var, value),
+                Box::new(cont.subst_var(var, value)),
+            ),
+            RtProcess::Input(ch, x, cont) => {
+                let ch = ch.map_terms(&mut |t| t.subst_var(var, value));
+                if x == var {
+                    RtProcess::Input(ch, x.clone(), cont.clone())
+                } else {
+                    RtProcess::Input(ch, x.clone(), Box::new(cont.subst_var(var, value)))
+                }
+            }
+            RtProcess::Restrict(n, body) => {
+                RtProcess::Restrict(n.clone(), Box::new(body.subst_var(var, value)))
+            }
+            RtProcess::Par(l, r) => RtProcess::Par(
+                Box::new(l.subst_var(var, value)),
+                Box::new(r.subst_var(var, value)),
+            ),
+            RtProcess::Match(a, b, cont) => RtProcess::Match(
+                a.subst_var(var, value),
+                b.subst_var(var, value),
+                Box::new(cont.subst_var(var, value)),
+            ),
+            RtProcess::AddrMatchT(a, b, cont) => RtProcess::AddrMatchT(
+                a.subst_var(var, value),
+                b.subst_var(var, value),
+                Box::new(cont.subst_var(var, value)),
+            ),
+            RtProcess::AddrMatchL(a, l, cont) => RtProcess::AddrMatchL(
+                a.subst_var(var, value),
+                l.clone(),
+                Box::new(cont.subst_var(var, value)),
+            ),
+            RtProcess::Bang(body) => RtProcess::Bang(Box::new(body.subst_var(var, value))),
+            RtProcess::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => RtProcess::Split {
+                pair: pair.subst_var(var, value),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: if fst == var || snd == var {
+                    body.clone()
+                } else {
+                    Box::new(body.subst_var(var, value))
+                },
+            },
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => RtProcess::Case {
+                scrutinee: scrutinee.subst_var(var, value),
+                binders: binders.clone(),
+                key: key.subst_var(var, value),
+                body: if binders.contains(var) {
+                    body.clone()
+                } else {
+                    Box::new(body.subst_var(var, value))
+                },
+            },
+        }
+    }
+
+    /// Substitutes an allocated name for a symbolic one, stopping below
+    /// restrictions that rebind the same spelling.
+    #[must_use]
+    pub fn subst_sym(&self, sym: &Name, id: NameId) -> RtProcess {
+        if let RtProcess::Restrict(n, _) = self {
+            if n == sym {
+                return self.clone();
+            }
+        }
+        match self {
+            RtProcess::Restrict(n, body) => {
+                RtProcess::Restrict(n.clone(), Box::new(body.subst_sym(sym, id)))
+            }
+            _ => self.map(
+                &|p| matches!(p, RtProcess::Restrict(n, _) if n == sym),
+                &mut |t| t.subst_sym(sym, id),
+            ),
+        }
+    }
+
+    /// Instantiates a location variable with the partner's absolute
+    /// position — the effect of a first contact on a channel `c_λ`.
+    #[must_use]
+    pub fn subst_loc(&self, lam: &LocVar, partner: &Path) -> RtProcess {
+        fn fix(ch: &RtChannel, lam: &LocVar, partner: &Path) -> RtChannel {
+            RtChannel {
+                subject: ch.subject.clone(),
+                index: match &ch.index {
+                    RtChanIndex::Loc(l) if l == lam => RtChanIndex::AtAbs(partner.clone()),
+                    other => other.clone(),
+                },
+            }
+        }
+        match self {
+            RtProcess::Nil => RtProcess::Nil,
+            RtProcess::Output(ch, t, cont) => RtProcess::Output(
+                fix(ch, lam, partner),
+                t.clone(),
+                Box::new(cont.subst_loc(lam, partner)),
+            ),
+            RtProcess::Input(ch, x, cont) => RtProcess::Input(
+                fix(ch, lam, partner),
+                x.clone(),
+                Box::new(cont.subst_loc(lam, partner)),
+            ),
+            RtProcess::Restrict(n, body) => {
+                RtProcess::Restrict(n.clone(), Box::new(body.subst_loc(lam, partner)))
+            }
+            RtProcess::Par(l, r) => RtProcess::Par(
+                Box::new(l.subst_loc(lam, partner)),
+                Box::new(r.subst_loc(lam, partner)),
+            ),
+            RtProcess::Match(a, b, cont) => {
+                RtProcess::Match(a.clone(), b.clone(), Box::new(cont.subst_loc(lam, partner)))
+            }
+            RtProcess::AddrMatchT(a, b, cont) => {
+                RtProcess::AddrMatchT(a.clone(), b.clone(), Box::new(cont.subst_loc(lam, partner)))
+            }
+            RtProcess::AddrMatchL(a, l, cont) => {
+                RtProcess::AddrMatchL(a.clone(), l.clone(), Box::new(cont.subst_loc(lam, partner)))
+            }
+            RtProcess::Bang(body) => RtProcess::Bang(Box::new(body.subst_loc(lam, partner))),
+            RtProcess::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => RtProcess::Split {
+                pair: pair.clone(),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: Box::new(body.subst_loc(lam, partner)),
+            },
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => RtProcess::Case {
+                scrutinee: scrutinee.clone(),
+                binders: binders.clone(),
+                key: key.clone(),
+                body: Box::new(body.subst_loc(lam, partner)),
+            },
+        }
+    }
+
+    /// Renders the residual using the table's display names (for
+    /// diagnostics).
+    #[must_use]
+    pub fn display(&self, names: &NameTable) -> String {
+        match self {
+            RtProcess::Nil => "0".into(),
+            RtProcess::Output(ch, t, cont) => format!(
+                "{}<{}>.{}",
+                ch.display(names),
+                t.display(names),
+                cont.display(names)
+            ),
+            RtProcess::Input(ch, x, cont) => {
+                format!("{}({x}).{}", ch.display(names), cont.display(names))
+            }
+            RtProcess::Restrict(n, body) => format!("(^{n}){}", body.display(names)),
+            RtProcess::Par(l, r) => format!("({} | {})", l.display(names), r.display(names)),
+            RtProcess::Match(a, b, cont) => format!(
+                "[{} = {}]{}",
+                a.display(names),
+                b.display(names),
+                cont.display(names)
+            ),
+            RtProcess::AddrMatchT(a, b, cont) => format!(
+                "[{} ~ {}]{}",
+                a.display(names),
+                b.display(names),
+                cont.display(names)
+            ),
+            RtProcess::AddrMatchL(a, l, cont) => {
+                format!("[{} ~ @({l})]{}", a.display(names), cont.display(names))
+            }
+            RtProcess::Bang(body) => format!("!{}", body.display(names)),
+            RtProcess::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => format!(
+                "let ({fst}, {snd}) = {} in {}",
+                pair.display(names),
+                body.display(names)
+            ),
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => {
+                let bs: Vec<String> = binders.iter().map(ToString::to_string).collect();
+                format!(
+                    "case {} of {{{}}}{} in {}",
+                    scrutinee.display(names),
+                    bs.join(", "),
+                    key.display(names),
+                    body.display(names)
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    fn rt(src: &str) -> RtProcess {
+        RtProcess::from_static(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn conversion_mirrors_shape() {
+        let p = rt("(^m) c<{m}k> | d(x)");
+        assert!(matches!(p, RtProcess::Par(_, _)));
+    }
+
+    #[test]
+    fn subst_sym_respects_shadowing() {
+        let mut names = NameTable::new();
+        let id = names.intern_free(&Name::new("m"));
+        let p = rt("c<m>.(^m) d<m>");
+        let q = p.subst_sym(&Name::new("m"), id);
+        match q {
+            RtProcess::Output(_, payload, cont) => {
+                assert_eq!(payload, RtTerm::Id(id));
+                match *cont {
+                    RtProcess::Restrict(_, body) => match *body {
+                        RtProcess::Output(_, inner, _) => {
+                            assert_eq!(inner, RtTerm::Sym(Name::new("m")), "shadowed m untouched");
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    },
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_var_respects_shadowing() {
+        let mut names = NameTable::new();
+        let id = names.intern_free(&Name::new("v"));
+        // c(x).d<x> — substituting for x outside must not touch the bound one.
+        let p = rt("c(x).d<x>");
+        let q = p.subst_var(&Var::new("x"), &RtTerm::Id(id));
+        assert_eq!(q, p, "x is bound at the top level");
+    }
+
+    #[test]
+    fn subst_var_replaces_in_open_continuation() {
+        let mut names = NameTable::new();
+        let id = names.intern_free(&Name::new("v"));
+        // Build d<x> directly (x free).
+        let open = RtProcess::Output(
+            RtChannel {
+                subject: RtTerm::Sym(Name::new("d")),
+                index: RtChanIndex::Plain,
+            },
+            RtTerm::Var(Var::new("x")),
+            Box::new(RtProcess::Nil),
+        );
+        let q = open.subst_var(&Var::new("x"), &RtTerm::Id(id));
+        match q {
+            RtProcess::Output(_, payload, _) => assert_eq!(payload, RtTerm::Id(id)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_loc_instantiates_to_absolute_position() {
+        let p = rt("c@lam(x).c@lam<x>");
+        let partner: Path = "00".parse().unwrap();
+        let q = p.subst_loc(&LocVar::new("lam"), &partner);
+        match q {
+            RtProcess::Input(ch, _, cont) => {
+                assert_eq!(ch.index, RtChanIndex::AtAbs(partner.clone()));
+                match *cont {
+                    RtProcess::Output(ch2, _, _) => {
+                        assert_eq!(ch2.index, RtChanIndex::AtAbs(partner));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let names = NameTable::new();
+        let p = rt("(^m) c<{m}k>");
+        let shown = p.display(&names);
+        assert!(shown.contains("(^m)"));
+        assert!(shown.contains("^c"), "unresolved names marked: {shown}");
+    }
+}

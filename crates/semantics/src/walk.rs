@@ -1,0 +1,167 @@
+//! Deterministic random walks — scheduling one run out of many.
+//!
+//! Explorers enumerate *all* interleavings; a walk picks one, pseudo-
+//! randomly but reproducibly (seeded xorshift, no external RNG), which is
+//! what demos, fuzzing loops and long-run smoke tests want.
+
+use crate::{Action, Config, MachineError, StepInfo};
+
+/// A tiny xorshift64* generator — deterministic, dependency-free.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        // Avoid the all-zero fixed point.
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The record of one walk: the steps taken, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// The steps, in execution order.
+    pub steps: Vec<StepInfo>,
+    /// `true` when the walk stopped because nothing was enabled (rather
+    /// than hitting the step budget).
+    pub quiescent: bool,
+}
+
+impl Config {
+    /// Performs up to `max_steps` pseudo-random steps (seeded, fully
+    /// reproducible), unfolding replications up to `unfold_bound` copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors — which, for enabled actions, indicate a
+    /// bug (see the property tests).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spi_semantics::Config;
+    /// use spi_syntax::parse;
+    ///
+    /// let p = parse("(^m)(c<m> | c(x).observe<x>)")?;
+    /// let mut cfg = Config::from_process(&p)?;
+    /// let walk = cfg.random_walk(42, 16, 1)?;
+    /// assert_eq!(walk.steps.len(), 1, "one communication, then quiescent");
+    /// assert!(walk.quiescent);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn random_walk(
+        &mut self,
+        seed: u64,
+        max_steps: usize,
+        unfold_bound: u32,
+    ) -> Result<Walk, MachineError> {
+        let mut rng = XorShift::new(seed);
+        let mut steps = Vec::new();
+        for _ in 0..max_steps {
+            let actions = self.enabled(unfold_bound);
+            if actions.is_empty() {
+                return Ok(Walk {
+                    steps,
+                    quiescent: true,
+                });
+            }
+            // Prefer communications over unfoldings 3:1 so walks of
+            // replicated systems make progress instead of spawning
+            // copies forever.
+            let comms: Vec<&Action> = actions
+                .iter()
+                .filter(|a| matches!(a, Action::Comm { .. }))
+                .collect();
+            let action = if !comms.is_empty() && rng.pick(4) != 0 {
+                comms[rng.pick(comms.len())].clone()
+            } else {
+                actions[rng.pick(actions.len())].clone()
+            };
+            steps.push(self.fire(&action)?);
+        }
+        Ok(Walk {
+            steps,
+            quiescent: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    fn cfg(src: &str) -> Config {
+        Config::from_process(&parse(src).expect("parses")).expect("loads")
+    }
+
+    #[test]
+    fn walks_are_reproducible() {
+        let src = "(^s)(!s<s>.(^m)c<m> | !s(x).c(z).observe<z>)";
+        let a = cfg(src).random_walk(7, 24, 2).unwrap();
+        let b = cfg(src).random_walk(7, 24, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_may_differ() {
+        // A system with real scheduling choices.
+        let src = "(c<m> | c<n>) | (c(x).o<x> | c(y).o<y>)";
+        let walks: Vec<Walk> = (0..16)
+            .map(|seed| cfg(src).random_walk(seed, 8, 0).unwrap())
+            .collect();
+        let distinct: std::collections::BTreeSet<String> =
+            walks.iter().map(|w| format!("{w:?}")).collect();
+        assert!(distinct.len() > 1, "some seeds schedule differently");
+    }
+
+    #[test]
+    fn walks_reach_quiescence_on_finite_systems() {
+        let mut c = cfg("(^m)(c<m> | c(x).observe<x>)");
+        let walk = c.random_walk(1, 100, 0).unwrap();
+        assert!(walk.quiescent);
+        assert_eq!(walk.steps.len(), 1);
+        // The observe output remains as a barb, not a step (no partner).
+        assert!(c.barbs().iter().any(|b| b.chan == "observe"));
+    }
+
+    #[test]
+    fn replicated_systems_keep_walking_until_the_budget() {
+        let mut c = cfg("(^s)(!s<s> | !s(x))");
+        let walk = c.random_walk(3, 20, u32::MAX).unwrap();
+        assert!(!walk.quiescent, "replication never exhausts");
+        assert_eq!(walk.steps.len(), 20);
+    }
+
+    #[test]
+    fn walks_prefer_progress_over_unfolding() {
+        // Each communication consumes one copy per side, so the steady
+        // state is two unfolds per communication; the bias keeps the walk
+        // near that upper bound instead of unfolding forever.
+        let mut c = cfg("!c<m> | !c(x)");
+        let walk = c.random_walk(11, 40, u32::MAX).unwrap();
+        let comms = walk
+            .steps
+            .iter()
+            .filter(|s| matches!(s, StepInfo::Comm(_)))
+            .count();
+        assert!(
+            comms >= walk.steps.len() / 5,
+            "{comms}/{}",
+            walk.steps.len()
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Channels and the localization indexes of the partner-authentication
+//! primitive.
+
+use spi_addr::RelAddr;
+
+use crate::{LocVar, Term};
+
+/// The localization index of a channel (Section 3.1 of the paper).
+///
+/// * [`ChanIndex::Plain`] — an ordinary spi-calculus channel, open to any
+///   partner.  The paper writes `c_⋆` or simply `c`.
+/// * [`ChanIndex::At`] — a channel `c_l` localized at the relative address
+///   `l`: the semantics lets it synchronize only with the process
+///   reachable through `l`.
+/// * [`ChanIndex::Loc`] — a channel `c_λ` indexed by a location variable:
+///   the first synchronization instantiates `λ` with the partner's
+///   relative address, pinning every later use of `λ` to that partner.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ChanIndex {
+    /// No localization: any partner may synchronize.
+    #[default]
+    Plain,
+    /// Localized at a fixed relative address.
+    At(RelAddr),
+    /// Localized at a location variable, instantiated at first contact.
+    Loc(LocVar),
+}
+
+/// A channel occurrence: the subject term naming the channel plus its
+/// localization index.
+///
+/// The subject is a full [`Term`] because the calculus is first-order on
+/// channels: a variable bound by an input may later be used as a channel
+/// (`M⟨N⟩.P` where `M` is "a name, or a variable to be bound to").
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::{ChanIndex, Channel, LocVar, Term};
+///
+/// // c@lam — the channel c localized at the location variable lam.
+/// let ch = Channel::with_index(Term::name("c"), ChanIndex::Loc(LocVar::new("lam")));
+/// assert_eq!(ch.to_string(), "c@lam");
+/// assert!(Channel::plain(Term::name("c")).index.is_plain());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// The term naming the channel.
+    pub subject: Term,
+    /// The localization index.
+    pub index: ChanIndex,
+}
+
+impl ChanIndex {
+    /// Returns `true` for the plain (unlocalized) index.
+    #[must_use]
+    pub fn is_plain(&self) -> bool {
+        matches!(self, ChanIndex::Plain)
+    }
+}
+
+impl Channel {
+    /// Builds an unlocalized channel.
+    #[must_use]
+    pub fn plain(subject: Term) -> Channel {
+        Channel {
+            subject,
+            index: ChanIndex::Plain,
+        }
+    }
+
+    /// Builds a channel with an explicit localization index.
+    #[must_use]
+    pub fn with_index(subject: Term, index: ChanIndex) -> Channel {
+        Channel { subject, index }
+    }
+
+    /// Builds a channel localized at a relative address.
+    #[must_use]
+    pub fn at(subject: Term, addr: RelAddr) -> Channel {
+        Channel {
+            subject,
+            index: ChanIndex::At(addr),
+        }
+    }
+
+    /// Builds a channel localized at a location variable.
+    #[must_use]
+    pub fn loc(subject: Term, lam: impl Into<LocVar>) -> Channel {
+        Channel {
+            subject,
+            index: ChanIndex::Loc(lam.into()),
+        }
+    }
+}
+
+impl From<Term> for Channel {
+    fn from(subject: Term) -> Channel {
+        Channel::plain(subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_index_is_plain() {
+        assert_eq!(ChanIndex::default(), ChanIndex::Plain);
+        assert!(ChanIndex::Plain.is_plain());
+        assert!(!ChanIndex::Loc(LocVar::new("l")).is_plain());
+    }
+
+    #[test]
+    fn constructors_set_indexes() {
+        let c = Term::name("c");
+        assert_eq!(Channel::plain(c.clone()).index, ChanIndex::Plain);
+        assert_eq!(
+            Channel::loc(c.clone(), "lam").index,
+            ChanIndex::Loc(LocVar::new("lam"))
+        );
+        let addr = RelAddr::identity();
+        assert_eq!(
+            Channel::at(c.clone(), addr.clone()).index,
+            ChanIndex::At(addr)
+        );
+        let via_from: Channel = c.clone().into();
+        assert_eq!(via_from, Channel::plain(c));
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostics for the concrete syntax.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Span;
+
+/// An error produced while lexing or parsing the concrete syntax.
+///
+/// Carries a human-readable message and the [`Span`] of the offending
+/// input; [`SyntaxError::render`] produces a caret diagnostic against the
+/// original source.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::parse;
+///
+/// let err = parse("c<m").unwrap_err();
+/// let msg = err.to_string();
+/// assert!(msg.contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    /// Builds an error with a message and the span it refers to.
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> SyntaxError {
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable description of the problem.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The span of the offending input.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders a multi-line caret diagnostic against the source text the
+    /// input was parsed from:
+    ///
+    /// ```text
+    /// error: expected `>`, found end of input
+    ///   --> line 1, column 4
+    ///    | c<m
+    ///    |    ^
+    /// ```
+    #[must_use]
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        let caret_pad = " ".repeat(col.saturating_sub(1));
+        let caret_len = self
+            .span
+            .slice(source)
+            .chars()
+            .count()
+            .clamp(1, line_text.chars().count().saturating_sub(col - 1).max(1));
+        let carets = "^".repeat(caret_len);
+        format!(
+            "error: {msg}\n  --> line {line}, column {col}\n   | {line_text}\n   | {caret_pad}{carets}",
+            msg = self.message,
+        )
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span() {
+        let e = SyntaxError::new("expected `>`", Span::new(3, 4));
+        assert_eq!(e.to_string(), "expected `>` at 3..4");
+        assert_eq!(e.message(), "expected `>`");
+        assert_eq!(e.span(), Span::new(3, 4));
+    }
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "c<m";
+        let e = SyntaxError::new("expected `>`, found end of input", Span::point(3));
+        let rendered = e.render(src);
+        assert!(rendered.contains("line 1, column 4"));
+        assert!(rendered.contains("c<m"));
+        assert!(rendered.contains('^'));
+    }
+
+    #[test]
+    fn render_handles_multiline_sources() {
+        let src = "c<m>.\n[x = ]0";
+        let e = SyntaxError::new("expected a term", Span::new(11, 12));
+        let rendered = e.render(src);
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains("[x = ]0"));
+    }
+}

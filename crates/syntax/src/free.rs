@@ -1,0 +1,382 @@
+//! Free names, free variables and free location variables.
+
+use std::collections::BTreeSet;
+
+use crate::{AddrSide, ChanIndex, Channel, LocVar, Name, Process, Term, Var};
+
+impl Term {
+    /// The set of names occurring in the term.  Terms have no name
+    /// binders, so every occurrence is free.
+    #[must_use]
+    pub fn free_names(&self) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_names(&self, out: &mut BTreeSet<Name>) {
+        match self {
+            Term::Name(n) => {
+                out.insert(n.clone());
+            }
+            Term::Var(_) => {}
+            Term::Pair(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            Term::Enc { body, key } => {
+                for t in body {
+                    t.collect_names(out);
+                }
+                key.collect_names(out);
+            }
+            Term::Located { inner, .. } => inner.collect_names(out),
+        }
+    }
+
+    /// The set of variables occurring in the term.  Terms have no
+    /// variable binders, so every occurrence is free.
+    #[must_use]
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Term::Name(_) => {}
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Pair(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Enc { body, key } => {
+                for t in body {
+                    t.collect_vars(out);
+                }
+                key.collect_vars(out);
+            }
+            Term::Located { inner, .. } => inner.collect_vars(out),
+        }
+    }
+}
+
+impl Channel {
+    fn collect_names(&self, out: &mut BTreeSet<Name>) {
+        self.subject.collect_names(out);
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        self.subject.collect_vars(out);
+    }
+
+    fn collect_locs(&self, out: &mut BTreeSet<LocVar>) {
+        if let ChanIndex::Loc(l) = &self.index {
+            out.insert(l.clone());
+        }
+    }
+}
+
+impl Process {
+    /// The set of free names of the process: every name occurrence not in
+    /// the scope of a restriction binding it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spi_syntax::parse;
+    ///
+    /// let p = parse("(^m) c<{m}k>")?;
+    /// let free = p.free_names();
+    /// assert!(free.contains("c") && free.contains("k"));
+    /// assert!(!free.contains("m"));
+    /// # Ok::<(), spi_syntax::SyntaxError>(())
+    /// ```
+    #[must_use]
+    pub fn free_names(&self) -> BTreeSet<Name> {
+        fn go(p: &Process, bound: &mut Vec<Name>, out: &mut BTreeSet<Name>) {
+            let add = |t: &Term, bound: &Vec<Name>, out: &mut BTreeSet<Name>| {
+                let mut all = BTreeSet::new();
+                t.collect_names(&mut all);
+                for n in all {
+                    if !bound.contains(&n) {
+                        out.insert(n);
+                    }
+                }
+            };
+            match p {
+                Process::Nil => {}
+                Process::Output(ch, payload, cont) => {
+                    let mut chn = BTreeSet::new();
+                    ch.collect_names(&mut chn);
+                    for n in chn {
+                        if !bound.contains(&n) {
+                            out.insert(n);
+                        }
+                    }
+                    add(payload, bound, out);
+                    go(cont, bound, out);
+                }
+                Process::Input(ch, _, cont) => {
+                    let mut chn = BTreeSet::new();
+                    ch.collect_names(&mut chn);
+                    for n in chn {
+                        if !bound.contains(&n) {
+                            out.insert(n);
+                        }
+                    }
+                    go(cont, bound, out);
+                }
+                Process::Restrict(n, body) => {
+                    bound.push(n.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                Process::Par(l, r) => {
+                    go(l, bound, out);
+                    go(r, bound, out);
+                }
+                Process::Match(a, b, cont) => {
+                    add(a, bound, out);
+                    add(b, bound, out);
+                    go(cont, bound, out);
+                }
+                Process::AddrMatch(a, side, cont) => {
+                    add(a, bound, out);
+                    if let AddrSide::Term(b) = side {
+                        add(b, bound, out);
+                    }
+                    go(cont, bound, out);
+                }
+                Process::Bang(body) => go(body, bound, out),
+                Process::Split { pair, body, .. } => {
+                    add(pair, bound, out);
+                    go(body, bound, out);
+                }
+                Process::Case {
+                    scrutinee,
+                    key,
+                    body,
+                    ..
+                } => {
+                    add(scrutinee, bound, out);
+                    add(key, bound, out);
+                    go(body, bound, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// The set of free variables of the process: every variable
+    /// occurrence not bound by an enclosing input or decryption.
+    ///
+    /// A process with no free variables is *closed* and can be executed.
+    #[must_use]
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(p: &Process, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+            let add = |t: &Term, bound: &Vec<Var>, out: &mut BTreeSet<Var>| {
+                let mut all = BTreeSet::new();
+                t.collect_vars(&mut all);
+                for v in all {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            };
+            match p {
+                Process::Nil => {}
+                Process::Output(ch, payload, cont) => {
+                    let mut chv = BTreeSet::new();
+                    ch.collect_vars(&mut chv);
+                    for v in chv {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                    add(payload, bound, out);
+                    go(cont, bound, out);
+                }
+                Process::Input(ch, x, cont) => {
+                    let mut chv = BTreeSet::new();
+                    ch.collect_vars(&mut chv);
+                    for v in chv {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                    bound.push(x.clone());
+                    go(cont, bound, out);
+                    bound.pop();
+                }
+                Process::Restrict(_, body) => go(body, bound, out),
+                Process::Par(l, r) => {
+                    go(l, bound, out);
+                    go(r, bound, out);
+                }
+                Process::Match(a, b, cont) => {
+                    add(a, bound, out);
+                    add(b, bound, out);
+                    go(cont, bound, out);
+                }
+                Process::AddrMatch(a, side, cont) => {
+                    add(a, bound, out);
+                    if let AddrSide::Term(b) = side {
+                        add(b, bound, out);
+                    }
+                    go(cont, bound, out);
+                }
+                Process::Bang(body) => go(body, bound, out),
+                Process::Split {
+                    pair,
+                    fst,
+                    snd,
+                    body,
+                } => {
+                    add(pair, bound, out);
+                    let depth = bound.len();
+                    bound.push(fst.clone());
+                    bound.push(snd.clone());
+                    go(body, bound, out);
+                    bound.truncate(depth);
+                }
+                Process::Case {
+                    scrutinee,
+                    binders,
+                    key,
+                    body,
+                } => {
+                    add(scrutinee, bound, out);
+                    add(key, bound, out);
+                    let depth = bound.len();
+                    bound.extend(binders.iter().cloned());
+                    go(body, bound, out);
+                    bound.truncate(depth);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Returns `true` when the process has no free variables and can be
+    /// executed by the abstract machine.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// The set of location variables occurring in channel indexes.
+    ///
+    /// Location variables have no syntactic binder — they are
+    /// instantiated by the semantics at first contact (Section 3.1) — so
+    /// all occurrences are reported.
+    #[must_use]
+    pub fn loc_vars(&self) -> BTreeSet<LocVar> {
+        fn go(p: &Process, out: &mut BTreeSet<LocVar>) {
+            match p {
+                Process::Nil => {}
+                Process::Output(ch, _, cont) | Process::Input(ch, _, cont) => {
+                    ch.collect_locs(out);
+                    go(cont, out);
+                }
+                Process::Restrict(_, body) | Process::Bang(body) => go(body, out),
+                Process::Par(l, r) => {
+                    go(l, out);
+                    go(r, out);
+                }
+                Process::Match(_, _, cont)
+                | Process::AddrMatch(_, _, cont)
+                | Process::Split { body: cont, .. }
+                | Process::Case { body: cont, .. } => go(cont, out),
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn free_names_respect_restriction() {
+        let p = parse("(^m) c<{m}k>").unwrap();
+        let free = p.free_names();
+        assert!(free.contains("c"));
+        assert!(free.contains("k"));
+        assert!(!free.contains("m"));
+    }
+
+    #[test]
+    fn restriction_scopes_do_not_leak_sideways() {
+        let p = parse("(^m) c<m> | d<m>").unwrap();
+        // `(^m)` binds only in the left component of the parallel: the
+        // prefix binds tighter than `|` in the concrete syntax.
+        let free = p.free_names();
+        assert!(free.contains("m"), "right occurrence of m is free");
+    }
+
+    #[test]
+    fn free_vars_respect_input_binding() {
+        // The parser resolves bound identifiers to variables and unbound
+        // ones to names, so a parsed `y` with no binder is a free *name*.
+        let p = parse("c(x).d<x> | e<y>").unwrap();
+        assert!(p.free_vars().is_empty());
+        assert!(p.free_names().contains("y"));
+        assert!(p.is_closed());
+        // An open process must be built directly.
+        let open = Process::output(Term::name("e"), Term::var("y"), Process::Nil);
+        assert!(open.free_vars().contains(&Var::new("y")));
+        assert!(!open.is_closed());
+    }
+
+    #[test]
+    fn case_binds_its_components() {
+        let p = Process::case(
+            Term::var("z"),
+            ["x", "y"],
+            Term::name("k"),
+            Process::output(
+                Term::name("d"),
+                Term::pair(Term::var("x"), Term::var("y")),
+                Process::Nil,
+            ),
+        );
+        let free = p.free_vars();
+        assert_eq!(free.into_iter().collect::<Vec<_>>(), vec![Var::new("z")]);
+    }
+
+    #[test]
+    fn closed_process_is_closed() {
+        let p = parse("c(x).case x of {y}k in d<y>").unwrap();
+        assert!(p.is_closed());
+    }
+
+    #[test]
+    fn loc_vars_are_collected_from_channels() {
+        let p = parse("c@lam(x).c@lam<x> | d(y)").unwrap();
+        let locs = p.loc_vars();
+        assert_eq!(locs.len(), 1);
+        assert!(locs.contains(&LocVar::new("lam")));
+    }
+
+    #[test]
+    fn channel_subject_variables_are_free() {
+        // A variable bound by an input can be used as a channel subject.
+        let p = parse("c(x).x<m>").unwrap();
+        assert!(p.is_closed());
+        // Used without a binder, a variable subject is free.
+        let q = Process::output(Term::var("x"), Term::name("m"), Process::Nil);
+        assert_eq!(q.free_vars().len(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Lexer for the concrete syntax.
+
+use std::fmt;
+
+use crate::{Span, SyntaxError};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier: a letter or `_` followed by letters, digits, `_` or
+    /// `'`.  Keywords (`case`, `of`, `in`) are reported as identifiers and
+    /// recognized by the parser.
+    Ident(String),
+    /// A run of decimal digits, used for the nil process `0` and for the
+    /// bit strings of address literals.
+    Number(String),
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `~`
+    Tilde,
+    /// `@`
+    At,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(s) => format!("number `{s}`"),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Tilde => "`~`".into(),
+            TokenKind::At => "`@`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+/// A lexer over a source string.
+///
+/// Whitespace separates tokens; line comments start with `--` or `//` and
+/// run to the end of the line.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::{Lexer, TokenKind};
+///
+/// let tokens = Lexer::new("c<m>.0 -- send m").tokenize()?;
+/// assert_eq!(tokens.len(), 7); // c < m > . 0 EOF
+/// assert_eq!(tokens[0].kind, TokenKind::Ident("c".into()));
+/// assert_eq!(tokens[5].kind, TokenKind::Number("0".into()));
+/// assert_eq!(tokens[6].kind, TokenKind::Eof);
+/// # Ok::<(), spi_syntax::SyntaxError>(())
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    /// Builds a lexer over `src`.
+    #[must_use]
+    pub fn new(src: &'s str) -> Lexer<'s> {
+        Lexer { src, pos: 0 }
+    }
+
+    /// Lexes the whole input, ending with a [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SyntaxError`] at the first character that cannot start
+    /// a token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SyntaxError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_char() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.src[self.pos..].starts_with("--") => self.skip_line(),
+                Some('/') if self.src[self.pos..].starts_with("//") => self.skip_line(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(c) = self.peek_char() {
+            self.bump();
+            if c == '\n' {
+                return;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, SyntaxError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let Some(c) = self.peek_char() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::point(start),
+            });
+        };
+        let kind = match c {
+            '<' => self.single(TokenKind::Lt),
+            '>' => self.single(TokenKind::Gt),
+            '(' => self.single(TokenKind::LParen),
+            ')' => self.single(TokenKind::RParen),
+            '{' => self.single(TokenKind::LBrace),
+            '}' => self.single(TokenKind::RBrace),
+            '[' => self.single(TokenKind::LBracket),
+            ']' => self.single(TokenKind::RBracket),
+            '.' => self.single(TokenKind::Dot),
+            ',' => self.single(TokenKind::Comma),
+            '|' => self.single(TokenKind::Pipe),
+            '!' => self.single(TokenKind::Bang),
+            '=' => self.single(TokenKind::Eq),
+            '~' => self.single(TokenKind::Tilde),
+            '@' => self.single(TokenKind::At),
+            '^' => self.single(TokenKind::Caret),
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(d) = self.peek_char() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Number(text)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(d) = self.peek_char() {
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        text.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(text)
+            }
+            other => {
+                return Err(SyntaxError::new(
+                    format!("unexpected character {other:?}"),
+                    Span::new(start, start + other.len_utf8()),
+                ))
+            }
+        };
+        Ok(Token {
+            kind,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_basic_process() {
+        assert_eq!(
+            kinds("c<m>.0"),
+            vec![
+                TokenKind::Ident("c".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("m".into()),
+                TokenKind::Gt,
+                TokenKind::Dot,
+                TokenKind::Number("0".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_address_literal_tokens() {
+        assert_eq!(
+            kinds("@(01.110)"),
+            vec![
+                TokenKind::At,
+                TokenKind::LParen,
+                TokenKind::Number("01".into()),
+                TokenKind::Dot,
+                TokenKind::Number("110".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        assert_eq!(
+            kinds("c -- comment\n  <m> // more\n"),
+            vec![
+                TokenKind::Ident("c".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("m".into()),
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_allow_primes_and_underscores() {
+        assert_eq!(
+            kinds("B' k_AB"),
+            vec![
+                TokenKind::Ident("B'".into()),
+                TokenKind::Ident("k_AB".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = Lexer::new("c $ d").tokenize().unwrap_err();
+        assert!(err.message().contains("unexpected character"));
+        assert_eq!(err.span().start, 2);
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let toks = Lexer::new("ab cd").tokenize().unwrap();
+        assert_eq!(toks[1].span.slice("ab cd"), "cd");
+    }
+}

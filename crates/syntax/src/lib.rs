@@ -1,0 +1,83 @@
+//! Abstract and concrete syntax for the spi calculus with authentication
+//! primitives.
+//!
+//! This crate implements Section 2 of *"Authentication Primitives for
+//! Protocol Specifications"* (Bodei, Degano, Focardi, Priami, 2003) — the
+//! spi calculus of Abadi and Gordon extended with the paper's two
+//! authentication mechanisms:
+//!
+//! * **Localized channels** `c_l` / `c_λ` ([`ChanIndex`]): a channel may be
+//!   indexed by a relative address (partner authentication) or by a
+//!   *location variable* instantiated at first contact;
+//! * **Located terms** `l M` ([`Term::Located`]) and the **address
+//!   matching** operator `[M ≗ N]` ([`Process::AddrMatch`]): the message
+//!   authentication primitive.
+//!
+//! The crate provides:
+//!
+//! * the term and process ASTs ([`Term`], [`Process`], [`Channel`]);
+//! * binding machinery: free names/variables ([`Process::free_names`]),
+//!   capture-avoiding substitution ([`Process::subst_var`]) and
+//!   alpha-equivalence ([`Process::alpha_eq`]);
+//! * a concrete syntax with a lexer, a recursive-descent [`parse`] function
+//!   with spans and readable errors, and a precedence-aware pretty-printer
+//!   (the [`std::fmt::Display`] impls) that round-trips with the parser;
+//! * an ergonomic [`builder`] module for constructing processes in Rust.
+//!
+//! # Concrete syntax at a glance
+//!
+//! ```text
+//! 0                          nil
+//! c<M>.P                     output M on c, continue as P
+//! c(x).P                     input on c, bind x
+//! c@lam<M>.P                 output on c localized at location variable lam
+//! c@(01.110)<M>.P            output on c localized at the address ‖0‖1•‖1‖1‖0
+//! (^m) P                     restriction (new m) P
+//! P | Q                      parallel composition
+//! [M = N] P                  matching
+//! [M ~ N] P                  address matching (compare origins)
+//! !P                         replication
+//! {M, N}K                    shared-key encryption term
+//! case L of {x, y}K in P     shared-key decryption
+//! [01.110]m                  located term: m at address ‖0‖1•‖1‖1‖0
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use spi_syntax::parse;
+//!
+//! // Example 1 of the paper: S = !P | Q.
+//! let s = parse("!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))")?;
+//! assert_eq!(s.to_string(),
+//!     "!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))");
+//! # Ok::<(), spi_syntax::SyntaxError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod channel;
+mod error;
+mod free;
+mod lex;
+mod name;
+mod parse;
+mod print;
+mod process;
+mod program;
+mod simplify;
+mod span;
+mod subst;
+mod term;
+
+pub use channel::{ChanIndex, Channel};
+pub use error::SyntaxError;
+pub use lex::{Lexer, Token, TokenKind};
+pub use name::{LocVar, Name, Var};
+pub use parse::{parse, parse_term};
+pub use process::{AddrSide, Process};
+pub use program::{parse_program, Program};
+pub use span::Span;
+pub use term::Term;

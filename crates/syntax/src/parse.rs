@@ -1,0 +1,689 @@
+//! Recursive-descent parser for the concrete syntax.
+
+use spi_addr::{Path, RelAddr};
+
+use crate::lex::{Lexer, Token, TokenKind};
+use crate::{AddrSide, ChanIndex, Channel, LocVar, Name, Process, Span, SyntaxError, Term, Var};
+
+/// Parses a process from its concrete syntax.
+///
+/// See the [crate documentation](crate) for the grammar.  Identifiers are
+/// resolved to [`Var`]s when bound by an enclosing input or decryption and
+/// to [`Name`]s otherwise, exactly as in the paper's convention that
+/// `x, y, z, w` are variables and other letters names.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] with the span of the first offending token.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::parse;
+///
+/// // B2 of the paper: c(z). case z of {w}K in B'(w), with the
+/// // continuation modelled as an output on `observe`.
+/// let b2 = parse("c(z).case z of {w}kAB in observe<w>")?;
+/// assert!(b2.is_closed());
+/// # Ok::<(), spi_syntax::SyntaxError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Process, SyntaxError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let proc = p.par()?;
+    p.expect_eof()?;
+    Ok(proc)
+}
+
+/// Parses a single term from its concrete syntax.
+///
+/// Identifiers resolve to free [`Name`]s (there is no enclosing binder).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] with the span of the first offending token.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::parse_term;
+///
+/// let t = parse_term("{m, n}k")?;
+/// assert_eq!(t.to_string(), "{m, n}k");
+/// # Ok::<(), spi_syntax::SyntaxError>(())
+/// ```
+pub fn parse_term(src: &str) -> Result<Term, SyntaxError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let term = p.term()?;
+    p.expect_eof()?;
+    Ok(term)
+}
+
+/// Which sort a scope entry binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinderSort {
+    Var,
+    Name,
+}
+
+#[derive(Debug)]
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Innermost binder last; identifiers resolve against this stack.
+    scopes: Vec<(String, BinderSort)>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            scopes: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, SyntaxError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), SyntaxError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> SyntaxError {
+        let t = self.peek();
+        SyntaxError::new(
+            format!("expected {expected}, found {}", t.kind.describe()),
+            t.span,
+        )
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SyntaxError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                let span = self.peek().span;
+                self.bump();
+                Ok((s, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn resolve(&self, ident: &str) -> Term {
+        for (bound, sort) in self.scopes.iter().rev() {
+            if bound == ident {
+                return match sort {
+                    BinderSort::Var => Term::var(ident),
+                    BinderSort::Name => Term::name(ident),
+                };
+            }
+        }
+        Term::name(ident)
+    }
+
+    // ---- processes ------------------------------------------------------
+
+    /// `par ::= prefix ('|' prefix)*`, left-associated.
+    fn par(&mut self) -> Result<Process, SyntaxError> {
+        let mut acc = self.prefix()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.prefix()?;
+            acc = Process::par(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn prefix(&mut self) -> Result<Process, SyntaxError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) if n == "0" => {
+                self.bump();
+                Ok(Process::Nil)
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Process::bang(self.prefix()?))
+            }
+            TokenKind::LParen => {
+                if self.peek2().kind == TokenKind::Caret {
+                    self.restriction()
+                } else {
+                    self.bump();
+                    let inner = self.par()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(inner)
+                }
+            }
+            TokenKind::LBracket => self.matching(),
+            TokenKind::Ident(ref kw) if kw == "case" => self.case(),
+            TokenKind::Ident(ref kw) if kw == "let" => self.split(),
+            TokenKind::Ident(_) => self.io(),
+            _ => Err(self.unexpected("a process")),
+        }
+    }
+
+    /// `'(' '^' ident (',' ident)* ')' prefix`
+    fn restriction(&mut self) -> Result<Process, SyntaxError> {
+        self.expect(&TokenKind::LParen)?;
+        self.expect(&TokenKind::Caret)?;
+        let mut names = Vec::new();
+        loop {
+            let (n, _) = self.ident("a restricted name")?;
+            names.push(n);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let depth = self.scopes.len();
+        for n in &names {
+            self.scopes.push((n.clone(), BinderSort::Name));
+        }
+        let body = self.prefix()?;
+        self.scopes.truncate(depth);
+        Ok(Process::restrict_all(
+            names.into_iter().map(Name::new),
+            body,
+        ))
+    }
+
+    /// `'[' term ('=' term | '~' addrside) ']' prefix`
+    fn matching(&mut self) -> Result<Process, SyntaxError> {
+        self.expect(&TokenKind::LBracket)?;
+        let left = self.term()?;
+        if self.eat(&TokenKind::Eq) {
+            let right = self.term()?;
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Process::Match(left, right, Box::new(self.prefix()?)))
+        } else if self.eat(&TokenKind::Tilde) {
+            let side = if self.peek().kind == TokenKind::At {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let addr = self.rel_addr()?;
+                self.expect(&TokenKind::RParen)?;
+                AddrSide::Lit(addr)
+            } else {
+                AddrSide::Term(Box::new(self.term()?))
+            };
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Process::AddrMatch(left, side, Box::new(self.prefix()?)))
+        } else {
+            Err(self.unexpected("`=` or `~`"))
+        }
+    }
+
+    /// `'let' '(' ident ',' ident ')' '=' term 'in' prefix`
+    fn split(&mut self) -> Result<Process, SyntaxError> {
+        self.bump(); // `let`
+        self.expect(&TokenKind::LParen)?;
+        let (fst, _) = self.ident("the first projection binder")?;
+        self.expect(&TokenKind::Comma)?;
+        let (snd, _) = self.ident("the second projection binder")?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Eq)?;
+        let pair = self.term()?;
+        let (kw, kw_span) = self.ident("`in`")?;
+        if kw != "in" {
+            return Err(SyntaxError::new("expected `in`", kw_span));
+        }
+        let depth = self.scopes.len();
+        self.scopes.push((fst.clone(), BinderSort::Var));
+        self.scopes.push((snd.clone(), BinderSort::Var));
+        let body = self.prefix()?;
+        self.scopes.truncate(depth);
+        Ok(Process::Split {
+            pair,
+            fst: Var::new(fst),
+            snd: Var::new(snd),
+            body: Box::new(body),
+        })
+    }
+
+    /// `'case' term 'of' '{' ident (',' ident)* '}' simpleterm 'in' prefix`
+    fn case(&mut self) -> Result<Process, SyntaxError> {
+        self.bump(); // `case`
+        let scrutinee = self.term()?;
+        let (of, of_span) = self.ident("`of`")?;
+        if of != "of" {
+            return Err(SyntaxError::new("expected `of`", of_span));
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut binders = Vec::new();
+        loop {
+            let (x, _) = self.ident("a decryption binder")?;
+            binders.push(x);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        let key = self.simple_term()?;
+        let (kw, kw_span) = self.ident("`in`")?;
+        if kw != "in" {
+            return Err(SyntaxError::new("expected `in`", kw_span));
+        }
+        let depth = self.scopes.len();
+        for b in &binders {
+            self.scopes.push((b.clone(), BinderSort::Var));
+        }
+        let body = self.prefix()?;
+        self.scopes.truncate(depth);
+        Ok(Process::Case {
+            scrutinee,
+            binders: binders.into_iter().map(Var::new).collect(),
+            key,
+            body: Box::new(body),
+        })
+    }
+
+    /// Output `ident index? '<' term '>' cont` or input
+    /// `ident index? '(' ident ')' cont`.
+    fn io(&mut self) -> Result<Process, SyntaxError> {
+        let (subject, _) = self.ident("a channel")?;
+        let subject = self.resolve(&subject);
+        let index = self.chan_index()?;
+        let channel = Channel::with_index(subject, index);
+        match self.peek().kind {
+            TokenKind::Lt => {
+                self.bump();
+                let payload = self.term()?;
+                self.expect(&TokenKind::Gt)?;
+                let cont = self.continuation()?;
+                Ok(Process::Output(channel, payload, Box::new(cont)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let (x, _) = self.ident("an input binder")?;
+                self.expect(&TokenKind::RParen)?;
+                self.scopes.push((x.clone(), BinderSort::Var));
+                let cont = self.continuation()?;
+                self.scopes.pop();
+                Ok(Process::Input(channel, Var::new(x), Box::new(cont)))
+            }
+            _ => Err(self.unexpected("`<` (output) or `(` (input)")),
+        }
+    }
+
+    /// `'@' ( '(' addr ')' | ident )` or nothing.
+    fn chan_index(&mut self) -> Result<ChanIndex, SyntaxError> {
+        if !self.eat(&TokenKind::At) {
+            return Ok(ChanIndex::Plain);
+        }
+        if self.eat(&TokenKind::LParen) {
+            let addr = self.rel_addr()?;
+            self.expect(&TokenKind::RParen)?;
+            Ok(ChanIndex::At(addr))
+        } else {
+            let (lam, _) = self.ident("a location variable or `(`")?;
+            Ok(ChanIndex::Loc(LocVar::new(lam)))
+        }
+    }
+
+    fn continuation(&mut self) -> Result<Process, SyntaxError> {
+        if self.eat(&TokenKind::Dot) {
+            self.prefix()
+        } else {
+            Ok(Process::Nil)
+        }
+    }
+
+    // ---- addresses ------------------------------------------------------
+
+    /// One component of an address literal: a bit string or `e` for ε.
+    fn path_bits(&mut self) -> Result<Path, SyntaxError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Number(bits) => {
+                let parsed = bits
+                    .parse::<Path>()
+                    .map_err(|e| SyntaxError::new(e.to_string(), t.span))?;
+                self.bump();
+                Ok(parsed)
+            }
+            TokenKind::Ident(s) if s == "e" => {
+                self.bump();
+                Ok(Path::root())
+            }
+            _ => Err(self.unexpected("a bit string or `e`")),
+        }
+    }
+
+    /// `addr ::= bits '.' bits`
+    fn rel_addr(&mut self) -> Result<RelAddr, SyntaxError> {
+        let start = self.peek().span;
+        let observer = self.path_bits()?;
+        self.expect(&TokenKind::Dot)?;
+        let target = self.path_bits()?;
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        RelAddr::new(observer, target)
+            .map_err(|e| SyntaxError::new(e.to_string(), start.merge(end)))
+    }
+
+    // ---- terms ----------------------------------------------------------
+
+    fn term(&mut self) -> Result<Term, SyntaxError> {
+        self.simple_term()
+    }
+
+    fn simple_term(&mut self) -> Result<Term, SyntaxError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(self.resolve(&s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let first = self.term()?;
+                if self.peek().kind == TokenKind::Comma {
+                    let mut items = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        items.push(self.term()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    // An n-ary tuple is sugar for right-nested pairs.
+                    let mut iter = items.into_iter().rev();
+                    let last = iter.next().expect("at least two items");
+                    Ok(iter.fold(last, |acc, t| Term::pair(t, acc)))
+                } else {
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(first)
+                }
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut body = vec![self.term()?];
+                while self.eat(&TokenKind::Comma) {
+                    body.push(self.term()?);
+                }
+                self.expect(&TokenKind::RBrace)?;
+                let key = self.simple_term()?;
+                Ok(Term::enc(body, key))
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let addr = self.rel_addr()?;
+                self.expect(&TokenKind::RBracket)?;
+                let inner = self.simple_term()?;
+                Ok(Term::located(addr, inner))
+            }
+            _ => Err(self.unexpected("a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nil_and_bang() {
+        assert_eq!(parse("0").unwrap(), Process::Nil);
+        assert_eq!(parse("!0").unwrap(), Process::bang(Process::Nil));
+    }
+
+    #[test]
+    fn parses_output_and_input() {
+        let p = parse("c<m>.d(x)").unwrap();
+        match p {
+            Process::Output(ch, payload, cont) => {
+                assert_eq!(ch.subject, Term::name("c"));
+                assert_eq!(payload, Term::name("m"));
+                assert!(matches!(*cont, Process::Input(_, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implicit_nil_continuations() {
+        assert_eq!(
+            parse("c<m>").unwrap(),
+            Process::output(Term::name("c"), Term::name("m"), Process::Nil)
+        );
+    }
+
+    #[test]
+    fn input_binds_variable_in_continuation() {
+        let p = parse("c(x).d<x>").unwrap();
+        match p {
+            Process::Input(_, x, cont) => {
+                assert_eq!(x, Var::new("x"));
+                match *cont {
+                    Process::Output(_, payload, _) => assert_eq!(payload, Term::var("x")),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_identifiers_are_names() {
+        let p = parse("d<x>").unwrap();
+        match p {
+            Process::Output(_, payload, _) => assert_eq!(payload, Term::name("x")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_is_left_associative() {
+        let p = parse("a<m> | b<m> | c<m>").unwrap();
+        match p {
+            Process::Par(l, r) => {
+                assert!(matches!(*l, Process::Par(_, _)));
+                assert!(matches!(*r, Process::Output(_, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_grouping_overrides_associativity() {
+        let p = parse("a<m> | (b<m> | c<m>)").unwrap();
+        match p {
+            Process::Par(l, r) => {
+                assert!(matches!(*l, Process::Output(_, _, _)));
+                assert!(matches!(*r, Process::Par(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restriction_binds_names_and_allows_lists() {
+        let p = parse("(^m, n) c<(m, n)>").unwrap();
+        let free = p.free_names();
+        assert!(free.contains("c"));
+        assert!(!free.contains("m"));
+        assert!(!free.contains("n"));
+    }
+
+    #[test]
+    fn parses_match_and_addr_match() {
+        let p = parse("[x = m] 0").unwrap();
+        assert!(matches!(p, Process::Match(_, _, _)));
+        let p = parse("[x ~ y] 0").unwrap();
+        assert!(matches!(p, Process::AddrMatch(_, AddrSide::Term(_), _)));
+        let p = parse("[x ~ @(10.0)] 0").unwrap();
+        match p {
+            Process::AddrMatch(_, AddrSide::Lit(l), _) => {
+                assert_eq!(l.to_string(), "‖1‖0•‖0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_case_with_multiple_binders() {
+        let p = parse("case z of {x, w}kAB in [w = n] observe<x>").unwrap();
+        match &p {
+            Process::Case { binders, key, .. } => {
+                assert_eq!(binders.len(), 2);
+                assert_eq!(key, &Term::name("kAB"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // z has no enclosing binder, so it resolves to a free name; the
+        // decryption binders x and w are variables.
+        assert!(p.free_vars().is_empty());
+        assert!(p.free_names().contains("z"));
+    }
+
+    #[test]
+    fn parses_pair_splitting() {
+        let p = parse("c(x).let (y, z) = x in d<(z, y)>").unwrap();
+        match &p {
+            Process::Input(_, _, cont) => match cont.as_ref() {
+                Process::Split { fst, snd, body, .. } => {
+                    assert_eq!(fst, &Var::new("y"));
+                    assert_eq!(snd, &Var::new("z"));
+                    assert!(matches!(**body, Process::Output(_, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.is_closed());
+    }
+
+    #[test]
+    fn split_binders_shadow() {
+        // The inner y is the split binder, not the input's.
+        let p = parse("c(y).let (y, z) = y in d<y>").unwrap();
+        assert!(p.is_closed());
+    }
+
+    #[test]
+    fn parses_localized_channels() {
+        let p = parse("c@lam(x).c@lam<x>").unwrap();
+        match &p {
+            Process::Input(ch, _, _) => {
+                assert_eq!(ch.index, ChanIndex::Loc(LocVar::new("lam")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse("c@(01.110)<m>").unwrap();
+        match &p {
+            Process::Output(ch, _, _) => match &ch.index {
+                ChanIndex::At(l) => assert_eq!(l.to_string(), "‖0‖1•‖1‖1‖0"),
+                other => panic!("unexpected index {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_located_term_literals() {
+        let p = parse("[x = [01.110]d] 0").unwrap();
+        match p {
+            Process::Match(_, rhs, _) => {
+                assert_eq!(rhs.location().unwrap().to_string(), "‖0‖1•‖1‖1‖0");
+                assert_eq!(rhs.unlocated(), &Term::name("d"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_terms() {
+        assert_eq!(
+            parse_term("(m, n)").unwrap(),
+            Term::pair(Term::name("m"), Term::name("n"))
+        );
+        assert_eq!(
+            parse_term("(a, b, c)").unwrap(),
+            Term::pair(
+                Term::name("a"),
+                Term::pair(Term::name("b"), Term::name("c"))
+            )
+        );
+        assert_eq!(
+            parse_term("{m, n}k").unwrap(),
+            Term::enc(vec![Term::name("m"), Term::name("n")], Term::name("k"))
+        );
+        // Nested encryption keys.
+        assert_eq!(
+            parse_term("{m}{k}h").unwrap(),
+            Term::enc(
+                vec![Term::name("m")],
+                Term::enc(vec![Term::name("k")], Term::name("h"))
+            )
+        );
+    }
+
+    #[test]
+    fn empty_address_components() {
+        let p = parse("[x ~ @(e.00)] 0").unwrap();
+        match p {
+            Process::AddrMatch(_, AddrSide::Lit(l), _) => {
+                assert!(l.observer().is_empty());
+                assert_eq!(l.target().to_bits(), "00");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_spans_are_helpful() {
+        let err = parse("c<m").unwrap_err();
+        assert!(err.to_string().contains("expected `>`"));
+        let err = parse("case z of {x}k 0").unwrap_err();
+        assert!(err.to_string().contains("expected `in`"), "{err}");
+        let err = parse("[x ~ @(02.1)] 0").unwrap_err();
+        assert!(err.to_string().contains("invalid path character"));
+        let err = parse("(^m) c<m> trailing").unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn non_minimal_address_literals_are_rejected() {
+        let err = parse("c@(00.01)<m>").unwrap_err();
+        assert!(err.to_string().contains("not minimal"));
+    }
+
+    #[test]
+    fn paper_example_1_parses() {
+        // S = !P | Q from Section 2.
+        let s = parse("!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))").unwrap();
+        match s {
+            Process::Par(l, _) => assert!(matches!(*l, Process::Bang(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

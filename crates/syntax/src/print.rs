@@ -1,0 +1,261 @@
+//! Precedence-aware pretty-printing of terms and processes.
+//!
+//! The printers are exact inverses of the parser: for every process `p`,
+//! `parse(&p.to_string())` returns `p` (checked by property tests in
+//! `tests/`).  The output uses the ASCII concrete syntax, with `•`
+//! rendered as `.` inside address literals.
+
+use std::fmt;
+
+use spi_addr::RelAddr;
+
+use crate::{AddrSide, ChanIndex, Channel, Process, Term};
+
+/// Renders a relative address in the concrete-syntax literal form
+/// `bits.bits` (with `e` for an empty component).
+fn fmt_addr(addr: &RelAddr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(
+        f,
+        "{}.{}",
+        addr.observer().to_bits(),
+        addr.target().to_bits()
+    )
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Name(n) => write!(f, "{n}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Pair(a, b) => {
+                // Right-nested pairs print as n-ary tuples, matching the
+                // parser's sugar.
+                write!(f, "({a}")?;
+                let mut rest: &Term = b;
+                while let Term::Pair(x, y) = rest {
+                    write!(f, ", {x}")?;
+                    rest = y;
+                }
+                write!(f, ", {rest})")
+            }
+            Term::Enc { body, key } => {
+                write!(f, "{{")?;
+                for (i, t) in body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}{key}")
+            }
+            Term::Located { addr, inner } => {
+                write!(f, "[")?;
+                fmt_addr(addr, f)?;
+                write!(f, "]{inner}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ChanIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChanIndex::Plain => Ok(()),
+            ChanIndex::At(addr) => {
+                write!(f, "@(")?;
+                fmt_addr(addr, f)?;
+                write!(f, ")")
+            }
+            ChanIndex::Loc(lam) => write!(f, "@{lam}"),
+        }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.subject, self.index)
+    }
+}
+
+impl fmt::Display for AddrSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrSide::Term(t) => write!(f, "{t}"),
+            AddrSide::Lit(addr) => {
+                write!(f, "@(")?;
+                fmt_addr(addr, f)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Prints `p` at prefix level: parallel compositions get parenthesized so
+/// the structure survives re-parsing.
+fn fmt_prefix(p: &Process, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if matches!(p, Process::Par(_, _)) {
+        write!(f, "({p})")
+    } else {
+        write!(f, "{p}")
+    }
+}
+
+/// Prints an I/O continuation: nothing when nil, `.P` otherwise.
+fn fmt_cont(p: &Process, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if p.is_nil() {
+        Ok(())
+    } else {
+        write!(f, ".")?;
+        fmt_prefix(p, f)
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Process::Nil => write!(f, "0"),
+            Process::Output(ch, payload, cont) => {
+                write!(f, "{ch}<{payload}>")?;
+                fmt_cont(cont, f)
+            }
+            Process::Input(ch, x, cont) => {
+                write!(f, "{ch}({x})")?;
+                fmt_cont(cont, f)
+            }
+            Process::Restrict(n, body) => {
+                write!(f, "(^{n})")?;
+                fmt_prefix(body, f)
+            }
+            Process::Par(l, r) => {
+                // Left-associative: the left child prints bare, the right
+                // child is parenthesized when it is itself a parallel.
+                write!(f, "{l} | ")?;
+                fmt_prefix(r, f)
+            }
+            Process::Match(a, b, cont) => {
+                write!(f, "[{a} = {b}]")?;
+                fmt_prefix(cont, f)
+            }
+            Process::AddrMatch(a, side, cont) => {
+                write!(f, "[{a} ~ {side}]")?;
+                fmt_prefix(cont, f)
+            }
+            Process::Bang(body) => {
+                write!(f, "!")?;
+                fmt_prefix(body, f)
+            }
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => {
+                write!(f, "let ({fst}, {snd}) = {pair} in ")?;
+                fmt_prefix(body, f)
+            }
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => {
+                write!(f, "case {scrutinee} of {{")?;
+                for (i, b) in binders.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, "}}{key} in ")?;
+                fmt_prefix(body, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, parse_term};
+
+    /// Asserts that `src` parses and reprints as `expected`, and that the
+    /// reprint re-parses to the same AST.
+    fn round_trip(src: &str, expected: &str) {
+        let p = parse(src).expect("parses");
+        let printed = p.to_string();
+        assert_eq!(printed, expected);
+        let again = parse(&printed).expect("reprint parses");
+        assert_eq!(again, p, "printing must preserve the AST");
+    }
+
+    #[test]
+    fn prints_basic_forms() {
+        round_trip("0", "0");
+        round_trip("c<m>.0", "c<m>");
+        round_trip("c ( x ) . d<x>", "c(x).d<x>");
+        round_trip("(^ m) c<m>", "(^m)c<m>");
+        round_trip("! c<m>", "!c<m>");
+    }
+
+    #[test]
+    fn prints_parallel_with_minimal_parens() {
+        round_trip("a<m> | b<m> | c<m>", "a<m> | b<m> | c<m>");
+        round_trip("a<m> | (b<m> | c<m>)", "a<m> | (b<m> | c<m>)");
+        round_trip("(a<m> | b<m>) | c<m>", "a<m> | b<m> | c<m>");
+        round_trip("(^s)(a<s> | b(x))", "(^s)(a<s> | b(x))");
+        round_trip("!(a<m> | b(x))", "!(a<m> | b(x))");
+        round_trip("c<m>.(a<m> | b(x))", "c<m>.(a<m> | b(x))");
+    }
+
+    #[test]
+    fn prints_matching_forms() {
+        round_trip("[x = m] c<m>", "[x = m]c<m>");
+        round_trip("[x ~ y] c<m>", "[x ~ y]c<m>");
+        round_trip("[x ~ @(10.0)] c<m>", "[x ~ @(10.0)]c<m>");
+        round_trip("[x = [01.110]d] 0", "[x = [01.110]d]0");
+    }
+
+    #[test]
+    fn prints_channels_with_indexes() {
+        round_trip("c@lam(x).c@lam<x>", "c@lam(x).c@lam<x>");
+        round_trip("c@(01.110)<m>", "c@(01.110)<m>");
+        round_trip("c@(e.00)<m>", "c@(e.00)<m>");
+    }
+
+    #[test]
+    fn prints_case_and_encryptions() {
+        round_trip(
+            "case z of {x, w}kAB in [w = n] observe<x>",
+            "case z of {x, w}kAB in [w = n]observe<x>",
+        );
+        round_trip("c<{m, n}k>", "c<{m, n}k>");
+        round_trip("c<{m}{k}h>", "c<{m}{k}h>");
+    }
+
+    #[test]
+    fn prints_pair_splitting() {
+        round_trip(
+            "c(x). let (y, z) = x in d<(z, y)>",
+            "c(x).let (y, z) = x in d<(z, y)>",
+        );
+        round_trip(
+            "let (y, z) = (a, b) in (d<y> | e<z>)",
+            "let (y, z) = (a, b) in (d<y> | e<z>)",
+        );
+    }
+
+    #[test]
+    fn tuples_flatten() {
+        let t = parse_term("(a, (b, c))").unwrap();
+        assert_eq!(t.to_string(), "(a, b, c)");
+        let t = parse_term("((a, b), c)").unwrap();
+        assert_eq!(t.to_string(), "((a, b), c)");
+    }
+
+    #[test]
+    fn paper_example_1_round_trips() {
+        round_trip(
+            "!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))",
+            "!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))",
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Processes of the calculus.
+
+use spi_addr::RelAddr;
+
+use crate::{Channel, Name, Term, Var};
+
+/// The right-hand operand of an address matching `[M ≗ N]P`
+/// (Section 3.2 of the paper).
+///
+/// The paper's testers compare the origin of a received message against a
+/// *literal* address (`[z ≗ ‖1‖0•‖1]`), while in-protocol uses compare two
+/// located terms; both forms are representable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AddrSide {
+    /// Compare against the location tag of another term.
+    Term(Box<Term>),
+    /// Compare against a literal relative address.
+    Lit(RelAddr),
+}
+
+/// A process `P, Q, R` of the calculus (Section 2 of the paper, plus the
+/// address matching of Section 3.2).
+///
+/// ```text
+/// P, Q, R ::= 0                         nil
+///           | M⟨N⟩.P                    output
+///           | M(x).P                    input
+///           | (νm)P                     restriction
+///           | P | P                     parallel composition
+///           | [M = N]P                  matching
+///           | [M ≗ N]P                  address matching
+///           | !P                        replication
+///           | case L of {x₁,…,xₖ}N in P shared-key decryption
+/// ```
+///
+/// Output and input subjects are [`Channel`]s, i.e. they carry the
+/// localization index of the partner-authentication primitive.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::{parse, Process};
+///
+/// // A2 of the paper: (νM) c̄⟨{M}K_AB⟩.
+/// let a2 = parse("(^m) c<{m}kAB>")?;
+/// assert!(matches!(a2, Process::Restrict(_, _)));
+/// assert_eq!(a2.to_string(), "(^m)c<{m}kAB>");
+/// # Ok::<(), spi_syntax::SyntaxError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Process {
+    /// The inert process `0`.
+    Nil,
+    /// Output `M⟨N⟩.P`: send `N` on channel `M`, continue as `P`.
+    Output(Channel, Term, Box<Process>),
+    /// Input `M(x).P`: receive on channel `M`, bind the payload to `x` in
+    /// `P`.
+    Input(Channel, Var, Box<Process>),
+    /// Restriction `(νm)P`: declare the fresh private name `m` in `P`.
+    Restrict(Name, Box<Process>),
+    /// Parallel composition `P | Q`.
+    Par(Box<Process>, Box<Process>),
+    /// Matching `[M = N]P`: behave as `P` only if `M` equals `N`.
+    Match(Term, Term, Box<Process>),
+    /// Address matching `[M ≗ N]P`: behave as `P` only if the location
+    /// tags of the two operands coincide.
+    AddrMatch(Term, AddrSide, Box<Process>),
+    /// Replication `!P`: infinitely many copies of `P` in parallel.
+    Bang(Box<Process>),
+    /// Pair splitting `let (x, y) = M in P` — the projection form of the
+    /// *full* spi calculus (the paper works in a simplified fragment and
+    /// notes that "extending our proposal to the full calculus is easy"):
+    /// if `M` is a pair, bind its components and continue; otherwise the
+    /// process is stuck.
+    Split {
+        /// The term to project.
+        pair: Term,
+        /// The variable bound to the first component.
+        fst: Var,
+        /// The variable bound to the second component.
+        snd: Var,
+        /// The continuation.
+        body: Box<Process>,
+    },
+    /// Decryption `case L of {x₁,…,xₖ}N in P`: if `L` is a ciphertext
+    /// under key `N` with arity `k`, bind its components and continue;
+    /// otherwise the process is stuck.
+    Case {
+        /// The term to decrypt.
+        scrutinee: Term,
+        /// The variables bound to the decrypted components.
+        binders: Vec<Var>,
+        /// The decryption key.
+        key: Term,
+        /// The continuation.
+        body: Box<Process>,
+    },
+}
+
+impl Process {
+    /// Builds an output with continuation.
+    #[must_use]
+    pub fn output(ch: impl Into<Channel>, payload: Term, cont: Process) -> Process {
+        Process::Output(ch.into(), payload, Box::new(cont))
+    }
+
+    /// Builds an input with continuation.
+    #[must_use]
+    pub fn input(ch: impl Into<Channel>, var: impl Into<Var>, cont: Process) -> Process {
+        Process::Input(ch.into(), var.into(), Box::new(cont))
+    }
+
+    /// Builds a restriction `(νm)P`.
+    #[must_use]
+    pub fn restrict(name: impl Into<Name>, body: Process) -> Process {
+        Process::Restrict(name.into(), Box::new(body))
+    }
+
+    /// Builds a nested restriction `(νm₁)…(νmₖ)P`.
+    #[must_use]
+    pub fn restrict_all<I>(names: I, body: Process) -> Process
+    where
+        I: IntoIterator<Item = Name>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        names
+            .into_iter()
+            .rev()
+            .fold(body, |p, n| Process::Restrict(n, Box::new(p)))
+    }
+
+    /// Builds a parallel composition.
+    #[must_use]
+    pub fn par(left: Process, right: Process) -> Process {
+        Process::Par(Box::new(left), Box::new(right))
+    }
+
+    /// Builds a matching `[m = n]P`.
+    #[must_use]
+    pub fn matching(m: Term, n: Term, cont: Process) -> Process {
+        Process::Match(m, n, Box::new(cont))
+    }
+
+    /// Builds an address matching `[m ≗ n]P` against another term's tag.
+    #[must_use]
+    pub fn addr_match(m: Term, n: Term, cont: Process) -> Process {
+        Process::AddrMatch(m, AddrSide::Term(Box::new(n)), Box::new(cont))
+    }
+
+    /// Builds an address matching `[m ≗ l]P` against a literal address.
+    #[must_use]
+    pub fn addr_match_lit(m: Term, l: RelAddr, cont: Process) -> Process {
+        Process::AddrMatch(m, AddrSide::Lit(l), Box::new(cont))
+    }
+
+    /// Builds a replication `!P`.
+    #[must_use]
+    pub fn bang(p: Process) -> Process {
+        Process::Bang(Box::new(p))
+    }
+
+    /// Builds a pair splitting `let (fst, snd) = pair in body`.
+    #[must_use]
+    pub fn split(pair: Term, fst: impl Into<Var>, snd: impl Into<Var>, body: Process) -> Process {
+        Process::Split {
+            pair,
+            fst: fst.into(),
+            snd: snd.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Builds a decryption `case scrutinee of {binders…}key in body`.
+    #[must_use]
+    pub fn case<I>(scrutinee: Term, binders: I, key: Term, body: Process) -> Process
+    where
+        I: IntoIterator,
+        I::Item: Into<Var>,
+    {
+        Process::Case {
+            scrutinee,
+            binders: binders.into_iter().map(Into::into).collect(),
+            key,
+            body: Box::new(body),
+        }
+    }
+
+    /// Returns `true` for the inert process.
+    #[must_use]
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Process::Nil)
+    }
+
+    /// The number of process constructors — a size measure for benchmarks
+    /// and exploration heuristics.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Process::Nil => 1,
+            Process::Output(_, _, p)
+            | Process::Input(_, _, p)
+            | Process::Restrict(_, p)
+            | Process::Match(_, _, p)
+            | Process::AddrMatch(_, _, p)
+            | Process::Bang(p)
+            | Process::Split { body: p, .. }
+            | Process::Case { body: p, .. } => 1 + p.size(),
+            Process::Par(p, q) => 1 + p.size() + q.size(),
+        }
+    }
+}
+
+impl Default for Process {
+    /// The default process is `0`.
+    fn default() -> Process {
+        Process::Nil
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChanIndex;
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let p = Process::output(Term::name("c"), Term::name("m"), Process::Nil);
+        match &p {
+            Process::Output(ch, payload, cont) => {
+                assert_eq!(ch.subject, Term::name("c"));
+                assert_eq!(ch.index, ChanIndex::Plain);
+                assert_eq!(payload, &Term::name("m"));
+                assert!(cont.is_nil());
+            }
+            other => panic!("expected output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restrict_all_nests_left_to_right() {
+        let p = Process::restrict_all([Name::new("a"), Name::new("b")], Process::Nil);
+        match p {
+            Process::Restrict(a, inner) => {
+                assert_eq!(a, Name::new("a"));
+                match *inner {
+                    Process::Restrict(b, body) => {
+                        assert_eq!(b, Name::new("b"));
+                        assert!(body.is_nil());
+                    }
+                    other => panic!("expected inner restriction, got {other:?}"),
+                }
+            }
+            other => panic!("expected restriction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_counts_constructors() {
+        let p = Process::par(
+            Process::Nil,
+            Process::bang(Process::output(
+                Term::name("c"),
+                Term::name("m"),
+                Process::Nil,
+            )),
+        );
+        // Par + Nil + Bang + Output + Nil.
+        assert_eq!(p.size(), 5);
+    }
+
+    #[test]
+    fn case_collects_binders() {
+        let p = Process::case(Term::var("z"), ["x", "y"], Term::name("k"), Process::Nil);
+        match p {
+            Process::Case { binders, .. } => {
+                assert_eq!(binders, vec![Var::new("x"), Var::new("y")]);
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_is_nil() {
+        assert!(Process::default().is_nil());
+    }
+}

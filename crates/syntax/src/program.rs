@@ -1,0 +1,229 @@
+//! Program files: named process definitions plus a main system.
+//!
+//! Protocol files quickly outgrow a single expression; a *program* names
+//! its roles and composes them:
+//!
+//! ```text
+//! def A = (^m) c<{m}kAB>
+//! def B = c(z).case z of {w}kAB in observe<w>
+//!
+//! system (^kAB)($A | $B)
+//! ```
+//!
+//! `def NAME = PROCESS` binds a name; `$NAME` references it (definitions
+//! may reference earlier definitions; references are inlined, so the
+//! result is an ordinary [`Process`]).  The final `system PROCESS` line is
+//! the program's meaning.  Inlining happens *before* binding analysis, so
+//! a definition may mention variables bound at its use site — definitions
+//! are templates, not closed processes.
+
+use std::collections::BTreeMap;
+
+use crate::lex::{Lexer, TokenKind};
+use crate::{parse, Process, Span, SyntaxError};
+
+/// A parsed program: the definitions in order, and the main system with
+/// references inlined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The definitions, in source order, with earlier references inlined.
+    pub defs: Vec<(String, Process)>,
+    /// The main system, fully inlined.
+    pub system: Process,
+}
+
+/// Parses a program file.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] for malformed lines, undefined or duplicate
+/// references, and any error of the process parser.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::parse_program;
+///
+/// let prog = parse_program(
+///     "def A = (^m) c<m>\n\
+///      def B = c(z).observe<z>\n\
+///      system $A | $B\n",
+/// )?;
+/// assert_eq!(prog.system.to_string(), "(^m)c<m> | c(z).observe<z>");
+/// # Ok::<(), spi_syntax::SyntaxError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, SyntaxError> {
+    let mut defs: Vec<(String, Process)> = Vec::new();
+    let mut by_name: BTreeMap<String, Process> = BTreeMap::new();
+    let mut system: Option<Process> = None;
+
+    // Definitions may span several lines: a new section starts at a line
+    // beginning with `def` or `system`.
+    let mut sections: Vec<(usize, String)> = Vec::new();
+    let mut offset = 0usize;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("def ") || trimmed == "def" || trimmed.starts_with("system") {
+            sections.push((offset, line.to_owned()));
+        } else if let Some((_, last)) = sections.last_mut() {
+            last.push('\n');
+            last.push_str(line);
+        } else if !trimmed.is_empty() && !trimmed.starts_with("--") {
+            return Err(SyntaxError::new(
+                "expected `def NAME = PROCESS` or `system PROCESS`",
+                Span::new(offset, offset + line.len()),
+            ));
+        }
+        offset += line.len() + 1;
+    }
+
+    for (start, section) in sections {
+        let at = |msg: String| SyntaxError::new(msg, Span::new(start, start + section.len()));
+        if let Some(rest) = section.trim_start().strip_prefix("def ") {
+            let (name, body_src) = rest
+                .split_once('=')
+                .ok_or_else(|| at("a definition needs `= PROCESS`".into()))?;
+            let name = name.trim().to_owned();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(at(format!("bad definition name {name:?}")));
+            }
+            if by_name.contains_key(&name) {
+                return Err(at(format!("duplicate definition of {name}")));
+            }
+            let inlined_src = inline_refs(body_src, &by_name, start)?;
+            let body = parse(&inlined_src)?;
+            by_name.insert(name.clone(), body.clone());
+            defs.push((name, body));
+        } else if let Some(rest) = section.trim_start().strip_prefix("system") {
+            if system.is_some() {
+                return Err(at("duplicate `system` line".into()));
+            }
+            let inlined_src = inline_refs(rest, &by_name, start)?;
+            system = Some(parse(&inlined_src)?);
+        }
+    }
+
+    let system = system.ok_or_else(|| {
+        SyntaxError::new(
+            "a program needs a `system PROCESS` line",
+            Span::point(src.len()),
+        )
+    })?;
+    Ok(Program { defs, system })
+}
+
+/// Replaces every `$NAME` with the *printed form* of the definition,
+/// parenthesized so it stays one prefix-level unit.
+fn inline_refs(
+    src: &str,
+    defs: &BTreeMap<String, Process>,
+    base_offset: usize,
+) -> Result<String, SyntaxError> {
+    let mut out = String::with_capacity(src.len());
+    let mut rest = src;
+    let mut consumed = 0usize;
+    while let Some(pos) = rest.find('$') {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + 1..];
+        let name_len = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .map(char::len_utf8)
+            .sum::<usize>();
+        let name = &after[..name_len];
+        let here = base_offset + consumed + pos;
+        if name.is_empty() {
+            return Err(SyntaxError::new(
+                "`$` must be followed by a definition name",
+                Span::new(here, here + 1),
+            ));
+        }
+        let def = defs.get(name).ok_or_else(|| {
+            SyntaxError::new(
+                format!("reference to undefined process {name}"),
+                Span::new(here, here + 1 + name_len),
+            )
+        })?;
+        out.push('(');
+        out.push_str(&def.to_string());
+        out.push(')');
+        consumed += pos + 1 + name_len;
+        rest = &after[name_len..];
+    }
+    out.push_str(rest);
+    // Quick sanity: the inlined text must still lex (defense against
+    // definitions whose printed form would merge with surroundings).
+    Lexer::new(&out).tokenize().map(|toks| {
+        debug_assert!(toks.last().map(|t| t.kind.clone()) == Some(TokenKind::Eof));
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_inline_references() {
+        let prog =
+            parse_program("def A = (^m) c<m>\ndef B = c(z).observe<z>\nsystem $A | $B\n").unwrap();
+        assert_eq!(prog.defs.len(), 2);
+        assert_eq!(prog.system, parse("(^m)c<m> | c(z).observe<z>").unwrap());
+    }
+
+    #[test]
+    fn definitions_may_reference_earlier_ones() {
+        // The calculus has no sequential composition of processes — only
+        // prefixes take continuations — so references compose in parallel.
+        let prog =
+            parse_program("def Send = c<m>\ndef Duo = $Send | $Send\nsystem $Duo\n").unwrap();
+        assert_eq!(prog.system, parse("c<m> | c<m>").unwrap());
+    }
+
+    #[test]
+    fn multiline_definitions_are_joined() {
+        let prog =
+            parse_program("def B = c(z).\n    case z of {w}k in\n    observe<w>\nsystem $B\n")
+                .unwrap();
+        assert!(prog.system.to_string().contains("case"));
+    }
+
+    #[test]
+    fn undefined_references_are_reported() {
+        let err = parse_program("system $Nope\n").unwrap_err();
+        assert!(err.message().contains("undefined process Nope"));
+    }
+
+    #[test]
+    fn duplicate_definitions_are_rejected() {
+        let err = parse_program("def A = 0\ndef A = 0\nsystem $A\n").unwrap_err();
+        assert!(err.message().contains("duplicate definition"));
+    }
+
+    #[test]
+    fn missing_system_is_reported() {
+        let err = parse_program("def A = 0\n").unwrap_err();
+        assert!(err.message().contains("`system PROCESS`"));
+    }
+
+    #[test]
+    fn leading_comments_and_blanks_are_fine() {
+        let prog =
+            parse_program("-- the paper's P2\n\ndef A = (^m) c<{m}kAB>\nsystem (^kAB)($A | 0)\n")
+                .unwrap();
+        assert!(prog.system.is_closed());
+    }
+
+    #[test]
+    fn stray_text_is_rejected() {
+        let err = parse_program("hello world\nsystem 0\n").unwrap_err();
+        assert!(err.message().contains("expected `def"));
+    }
+
+    #[test]
+    fn references_keep_grouping() {
+        // $P inlines parenthesized: the parallel stays one unit under !.
+        let prog = parse_program("def P = a<x> | b(y)\nsystem !$P\n").unwrap();
+        assert_eq!(prog.system, parse("!(a<x> | b(y))").unwrap());
+    }
+}

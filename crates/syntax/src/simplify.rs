@@ -1,0 +1,234 @@
+//! Static simplification of processes.
+//!
+//! The simplifier performs the reductions that are deterministic at the
+//! syntax level: matchings between closed terms, decryptions of literal
+//! ciphertexts, projections of literal pairs, unused restrictions and
+//! dead replications.  It is *address-aware*: in this calculus the tree
+//! shape of parallel compositions carries meaning (relative addresses!),
+//! so — unlike in the plain spi calculus — the simplifier never rewrites
+//! `P | 0` to `P` or reassociates parallels; that would move every
+//! component and silently break localized channels and located patterns.
+//!
+//! Terms mentioning located literals, and address matchings, are left
+//! untouched for the same reason: their meaning depends on the position
+//! where they run.
+
+use crate::{AddrSide, Process, Term};
+
+/// Is this a closed, position-independent term whose *syntactic* identity
+/// determines its run-time identity?  (Free names denote themselves;
+/// bound names denote their binder; located literals are excluded.)
+fn is_rigid(t: &Term) -> bool {
+    match t {
+        Term::Name(_) => true,
+        Term::Var(_) => false,
+        Term::Pair(a, b) => is_rigid(a) && is_rigid(b),
+        Term::Enc { body, key } => body.iter().all(is_rigid) && is_rigid(key),
+        Term::Located { .. } => false,
+    }
+}
+
+impl Process {
+    /// Simplifies the process, preserving its explored behaviour exactly
+    /// (checked by property tests): same tree shape, same addresses, same
+    /// weak traces.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spi_syntax::parse;
+    ///
+    /// let p = parse("[m = m] case {a}k of {x}k in (^unused) let (y, z) = (x, b) in d<y>")?;
+    /// assert_eq!(p.simplify().to_string(), "d<a>");
+    /// // Parallel structure is never touched: addresses depend on it.
+    /// let q = parse("0 | [m = n] d<a>")?;
+    /// assert_eq!(q.simplify().to_string(), "0 | 0");
+    /// # Ok::<(), spi_syntax::SyntaxError>(())
+    /// ```
+    #[must_use]
+    pub fn simplify(&self) -> Process {
+        match self {
+            Process::Nil => Process::Nil,
+            Process::Output(ch, t, cont) => {
+                Process::Output(ch.clone(), t.clone(), Box::new(cont.simplify()))
+            }
+            Process::Input(ch, x, cont) => {
+                Process::Input(ch.clone(), x.clone(), Box::new(cont.simplify()))
+            }
+            Process::Restrict(n, body) => {
+                let body = body.simplify();
+                if body.free_names().contains(n) {
+                    Process::Restrict(n.clone(), Box::new(body))
+                } else {
+                    // An unused restriction allocates a name nobody can
+                    // ever observe; restrictions are not tree nodes, so
+                    // dropping it moves nothing.
+                    body
+                }
+            }
+            // Parallel shape is load-bearing: simplify the children, keep
+            // the node — even when a child is 0.
+            Process::Par(l, r) => Process::par(l.simplify(), r.simplify()),
+            Process::Match(a, b, cont) => {
+                if is_rigid(a) && is_rigid(b) {
+                    if a == b {
+                        cont.simplify()
+                    } else {
+                        Process::Nil
+                    }
+                } else {
+                    Process::Match(a.clone(), b.clone(), Box::new(cont.simplify()))
+                }
+            }
+            // Address matchings are position-dependent: keep them.
+            Process::AddrMatch(a, side, cont) => Process::AddrMatch(
+                a.clone(),
+                match side {
+                    AddrSide::Term(t) => AddrSide::Term(t.clone()),
+                    AddrSide::Lit(l) => AddrSide::Lit(l.clone()),
+                },
+                Box::new(cont.simplify()),
+            ),
+            Process::Bang(body) => {
+                let body = body.simplify();
+                if body.is_nil() {
+                    // !0 only ever spawns dead copies.
+                    Process::Nil
+                } else {
+                    Process::bang(body)
+                }
+            }
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => match pair {
+                Term::Pair(a, b) if is_rigid(a) && is_rigid(b) => {
+                    body.subst_var(fst, a).subst_var(snd, b).simplify()
+                }
+                _ if is_rigid(pair) => Process::Nil, // a rigid non-pair is stuck
+                _ => Process::Split {
+                    pair: pair.clone(),
+                    fst: fst.clone(),
+                    snd: snd.clone(),
+                    body: Box::new(body.simplify()),
+                },
+            },
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => match scrutinee {
+                Term::Enc {
+                    body: parts,
+                    key: actual,
+                } if is_rigid(scrutinee)
+                    && is_rigid(key)
+                    && actual.as_ref() == key
+                    && parts.len() == binders.len() =>
+                {
+                    let mut p = (**body).clone();
+                    for (x, v) in binders.iter().zip(parts.iter()) {
+                        p = p.subst_var(x, v);
+                    }
+                    p.simplify()
+                }
+                _ if is_rigid(scrutinee) && is_rigid(key) => {
+                    // A rigid scrutinee that is not a matching ciphertext
+                    // can never decrypt.
+                    Process::Nil
+                }
+                _ => Process::Case {
+                    scrutinee: scrutinee.clone(),
+                    binders: binders.clone(),
+                    key: key.clone(),
+                    body: Box::new(body.simplify()),
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn simp(src: &str) -> String {
+        parse(src).expect("parses").simplify().to_string()
+    }
+
+    #[test]
+    fn trivial_matches_vanish() {
+        assert_eq!(simp("[m = m] c<a>"), "c<a>");
+        assert_eq!(simp("[m = n] c<a>"), "0");
+        assert_eq!(simp("[{a}k = {a}k] c<a>"), "c<a>");
+        assert_eq!(simp("[{a}k = {a}h] c<a>"), "0");
+    }
+
+    #[test]
+    fn variable_matches_stay() {
+        assert_eq!(simp("c(x).[x = m] d<x>"), "c(x).[x = m]d<x>");
+    }
+
+    #[test]
+    fn literal_decryptions_execute() {
+        assert_eq!(simp("case {a, b}k of {x, y}k in d<(x, y)>"), "d<(a, b)>");
+        assert_eq!(simp("case {a}k of {x}h in d<x>"), "0");
+        assert_eq!(simp("case m of {x}k in d<x>"), "0");
+        // Arity mismatch is stuck too.
+        assert_eq!(simp("case {a, b}k of {x}k in d<x>"), "0");
+    }
+
+    #[test]
+    fn literal_projections_execute() {
+        assert_eq!(simp("let (x, y) = (a, b) in d<(y, x)>"), "d<(b, a)>");
+        assert_eq!(simp("let (x, y) = m in d<x>"), "0");
+    }
+
+    #[test]
+    fn unused_restrictions_disappear() {
+        assert_eq!(simp("(^unused) c<a>"), "c<a>");
+        assert_eq!(simp("(^m) c<m>"), "(^m)c<m>");
+        // The use may be deep.
+        assert_eq!(simp("(^m) c(x).d<{x}m>"), "(^m)c(x).d<{x}m>");
+    }
+
+    #[test]
+    fn parallel_shape_is_preserved() {
+        // Addresses live in the parallel structure: 0 components stay.
+        assert_eq!(simp("0 | c<a>"), "0 | c<a>");
+        assert_eq!(simp("[m = n] c<a> | d<b>"), "0 | d<b>");
+    }
+
+    #[test]
+    fn dead_replications_collapse() {
+        assert_eq!(simp("![m = n] c<a>"), "0");
+        assert_eq!(simp("!c<a>"), "!c<a>");
+    }
+
+    #[test]
+    fn address_matchings_are_untouched() {
+        assert_eq!(simp("[m ~ @(0.1)] c<a>"), "[m ~ @(0.1)]c<a>");
+    }
+
+    #[test]
+    fn located_literals_are_untouched() {
+        // [0.1]m is position-dependent: even though it is closed, the
+        // simplifier must not evaluate the match.
+        assert_eq!(simp("[[0.1]m = m] c<a>"), "[[0.1]m = m]c<a>");
+    }
+
+    #[test]
+    fn simplification_is_idempotent() {
+        for src in [
+            "[m = m] case {a}k of {x}k in (^u) d<x>",
+            "c(x).[x = m] d<x> | (^m) e<m>",
+            "!(^m) c<m>",
+        ] {
+            let once = parse(src).unwrap().simplify();
+            assert_eq!(once.simplify(), once, "{src}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Byte spans for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// Produced by the lexer, threaded through the parser and carried by
+/// [`SyntaxError`](crate::SyntaxError) so diagnostics can point into the
+/// source.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::Span;
+///
+/// let sp = Span::new(4, 7);
+/// assert_eq!(sp.slice("abc def ghi"), "def");
+/// assert_eq!(sp.line_col("abc def ghi"), (1, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span from byte offsets.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for end-of-input diagnostics.
+    #[must_use]
+    pub fn point(pos: usize) -> Span {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The source text covered by the span (clamped to the source).
+    #[must_use]
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        let start = self.start.min(source.len());
+        let end = self.end.min(source.len());
+        &source[start..end]
+    }
+
+    /// The 1-based `(line, column)` of the span start within `source`.
+    #[must_use]
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.rfind('\n').map_or(upto.chars().count() + 1, |nl| {
+            upto[nl + 1..].chars().count() + 1
+        });
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_extracts_text() {
+        assert_eq!(Span::new(0, 3).slice("case x"), "cas");
+        assert_eq!(Span::new(5, 6).slice("case x"), "x");
+    }
+
+    #[test]
+    fn slice_clamps_out_of_range() {
+        assert_eq!(Span::new(3, 99).slice("abcdef"), "def");
+        assert_eq!(Span::new(99, 104).slice("abc"), "");
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncde\nf";
+        assert_eq!(Span::point(0).line_col(src), (1, 1));
+        assert_eq!(Span::point(4).line_col(src), (2, 2));
+        assert_eq!(Span::point(7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        assert_eq!(Span::new(2, 4).merge(Span::new(7, 9)), Span::new(2, 9));
+        assert_eq!(Span::new(7, 9).merge(Span::new(2, 4)), Span::new(2, 9));
+    }
+}

@@ -1,0 +1,838 @@
+//! Capture-avoiding substitution and alpha-equivalence.
+
+use std::collections::BTreeSet;
+
+use spi_addr::RelAddr;
+
+use crate::{AddrSide, ChanIndex, Channel, LocVar, Name, Process, Term, Var};
+
+/// Picks a variable not in `avoid`, derived from `base` by appending a
+/// numeric suffix.
+fn fresh_var(base: &Var, avoid: &BTreeSet<Var>) -> Var {
+    if !avoid.contains(base) {
+        return base.clone();
+    }
+    for i in 1.. {
+        let candidate = Var::new(format!("{}_{i}", base.as_str()));
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("the naturals are unbounded")
+}
+
+/// Picks a name not in `avoid`, derived from `base` by appending a numeric
+/// suffix.
+fn fresh_name(base: &Name, avoid: &BTreeSet<Name>) -> Name {
+    if !avoid.contains(base) {
+        return base.clone();
+    }
+    for i in 1.. {
+        let candidate = Name::new(format!("{}_{i}", base.as_str()));
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("the naturals are unbounded")
+}
+
+impl Term {
+    /// Substitutes `replacement` for every occurrence of `var`.
+    ///
+    /// Terms have no binders, so no capture can occur.
+    #[must_use]
+    pub fn subst_var(&self, var: &Var, replacement: &Term) -> Term {
+        match self {
+            Term::Name(_) => self.clone(),
+            Term::Var(v) => {
+                if v == var {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Term::Pair(a, b) => {
+                Term::pair(a.subst_var(var, replacement), b.subst_var(var, replacement))
+            }
+            Term::Enc { body, key } => Term::enc(
+                body.iter().map(|t| t.subst_var(var, replacement)).collect(),
+                key.subst_var(var, replacement),
+            ),
+            Term::Located { addr, inner } => {
+                Term::located(addr.clone(), inner.subst_var(var, replacement))
+            }
+        }
+    }
+
+    /// Renames every occurrence of the name `old` to `new`.
+    #[must_use]
+    pub fn rename_name(&self, old: &Name, new: &Name) -> Term {
+        match self {
+            Term::Name(n) => {
+                if n == old {
+                    Term::Name(new.clone())
+                } else {
+                    self.clone()
+                }
+            }
+            Term::Var(_) => self.clone(),
+            Term::Pair(a, b) => Term::pair(a.rename_name(old, new), b.rename_name(old, new)),
+            Term::Enc { body, key } => Term::enc(
+                body.iter().map(|t| t.rename_name(old, new)).collect(),
+                key.rename_name(old, new),
+            ),
+            Term::Located { addr, inner } => {
+                Term::located(addr.clone(), inner.rename_name(old, new))
+            }
+        }
+    }
+}
+
+impl Channel {
+    fn subst_var(&self, var: &Var, replacement: &Term) -> Channel {
+        Channel {
+            subject: self.subject.subst_var(var, replacement),
+            index: self.index.clone(),
+        }
+    }
+
+    fn rename_name(&self, old: &Name, new: &Name) -> Channel {
+        Channel {
+            subject: self.subject.rename_name(old, new),
+            index: self.index.clone(),
+        }
+    }
+
+    fn subst_loc(&self, lam: &LocVar, addr: &RelAddr) -> Channel {
+        let index = match &self.index {
+            ChanIndex::Loc(l) if l == lam => ChanIndex::At(addr.clone()),
+            other => other.clone(),
+        };
+        Channel {
+            subject: self.subject.clone(),
+            index,
+        }
+    }
+}
+
+impl AddrSide {
+    fn subst_var(&self, var: &Var, replacement: &Term) -> AddrSide {
+        match self {
+            AddrSide::Term(t) => AddrSide::Term(Box::new(t.subst_var(var, replacement))),
+            AddrSide::Lit(l) => AddrSide::Lit(l.clone()),
+        }
+    }
+
+    fn rename_name(&self, old: &Name, new: &Name) -> AddrSide {
+        match self {
+            AddrSide::Term(t) => AddrSide::Term(Box::new(t.rename_name(old, new))),
+            AddrSide::Lit(l) => AddrSide::Lit(l.clone()),
+        }
+    }
+}
+
+impl Process {
+    /// Capture-avoiding substitution of `replacement` for the free
+    /// occurrences of `var` — the operation written `P{N/x}` in the paper.
+    ///
+    /// Binders that would capture free variables of `replacement` are
+    /// alpha-renamed on the way down, so the result is always correct up
+    /// to alpha-equivalence.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spi_syntax::builder::*;
+    /// use spi_syntax::Var;
+    ///
+    /// // d<x>.c(x).e<x> — the first x is free, the second is bound.
+    /// let p = out("d", v("x"), inp("c", "x", out("e", v("x"), nil())));
+    /// let q = p.subst_var(&Var::new("x"), &n("m"));
+    /// // Only the free occurrence is replaced.
+    /// assert_eq!(q.to_string(), "d<m>.c(x).e<x>");
+    /// ```
+    #[must_use]
+    pub fn subst_var(&self, var: &Var, replacement: &Term) -> Process {
+        match self {
+            Process::Nil => Process::Nil,
+            Process::Output(ch, payload, cont) => Process::Output(
+                ch.subst_var(var, replacement),
+                payload.subst_var(var, replacement),
+                Box::new(cont.subst_var(var, replacement)),
+            ),
+            Process::Input(ch, x, cont) => {
+                let ch = ch.subst_var(var, replacement);
+                if x == var {
+                    // `var` is shadowed below.
+                    Process::Input(ch, x.clone(), cont.clone())
+                } else if replacement.free_vars().contains(x) {
+                    // Rename the binder to avoid capturing.
+                    let mut avoid = cont.free_vars();
+                    avoid.extend(replacement.free_vars());
+                    avoid.insert(var.clone());
+                    avoid.insert(x.clone());
+                    let x2 = fresh_var(&Var::new(format!("{}_r", x.as_str())), &avoid);
+                    let renamed = cont.subst_var(x, &Term::Var(x2.clone()));
+                    Process::Input(ch, x2, Box::new(renamed.subst_var(var, replacement)))
+                } else {
+                    Process::Input(ch, x.clone(), Box::new(cont.subst_var(var, replacement)))
+                }
+            }
+            Process::Restrict(n, body) => {
+                if replacement.free_names().contains(n) {
+                    let mut avoid = body.free_names();
+                    avoid.extend(replacement.free_names());
+                    avoid.insert(n.clone());
+                    let n2 = fresh_name(&Name::new(format!("{}_r", n.as_str())), &avoid);
+                    let renamed = body.rename_free_name(n, &n2);
+                    Process::Restrict(n2, Box::new(renamed.subst_var(var, replacement)))
+                } else {
+                    Process::Restrict(n.clone(), Box::new(body.subst_var(var, replacement)))
+                }
+            }
+            Process::Par(l, r) => {
+                Process::par(l.subst_var(var, replacement), r.subst_var(var, replacement))
+            }
+            Process::Match(a, b, cont) => Process::Match(
+                a.subst_var(var, replacement),
+                b.subst_var(var, replacement),
+                Box::new(cont.subst_var(var, replacement)),
+            ),
+            Process::AddrMatch(a, side, cont) => Process::AddrMatch(
+                a.subst_var(var, replacement),
+                side.subst_var(var, replacement),
+                Box::new(cont.subst_var(var, replacement)),
+            ),
+            Process::Bang(body) => Process::bang(body.subst_var(var, replacement)),
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => {
+                let pair = pair.subst_var(var, replacement);
+                if fst == var || snd == var {
+                    return Process::Split {
+                        pair,
+                        fst: fst.clone(),
+                        snd: snd.clone(),
+                        body: body.clone(),
+                    };
+                }
+                let mut fst = fst.clone();
+                let mut snd = snd.clone();
+                let mut renamed = (**body).clone();
+                let replacement_vars = replacement.free_vars();
+                if replacement_vars.contains(&fst) || replacement_vars.contains(&snd) {
+                    let mut avoid = renamed.free_vars();
+                    avoid.extend(replacement_vars.iter().cloned());
+                    avoid.insert(var.clone());
+                    avoid.insert(fst.clone());
+                    avoid.insert(snd.clone());
+                    if replacement_vars.contains(&fst) {
+                        let f2 = fresh_var(&Var::new(format!("{}_r", fst.as_str())), &avoid);
+                        avoid.insert(f2.clone());
+                        renamed = renamed.subst_var(&fst, &Term::Var(f2.clone()));
+                        fst = f2;
+                    }
+                    if replacement_vars.contains(&snd) {
+                        let s2 = fresh_var(&Var::new(format!("{}_r", snd.as_str())), &avoid);
+                        avoid.insert(s2.clone());
+                        renamed = renamed.subst_var(&snd, &Term::Var(s2.clone()));
+                        snd = s2;
+                    }
+                }
+                Process::Split {
+                    pair,
+                    fst,
+                    snd,
+                    body: Box::new(renamed.subst_var(var, replacement)),
+                }
+            }
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => {
+                let scrutinee = scrutinee.subst_var(var, replacement);
+                let key = key.subst_var(var, replacement);
+                if binders.contains(var) {
+                    return Process::Case {
+                        scrutinee,
+                        binders: binders.clone(),
+                        key,
+                        body: body.clone(),
+                    };
+                }
+                let captured: Vec<Var> = binders
+                    .iter()
+                    .filter(|b| replacement.free_vars().contains(*b))
+                    .cloned()
+                    .collect();
+                if captured.is_empty() {
+                    Process::Case {
+                        scrutinee,
+                        binders: binders.clone(),
+                        key,
+                        body: Box::new(body.subst_var(var, replacement)),
+                    }
+                } else {
+                    let mut avoid = body.free_vars();
+                    avoid.extend(replacement.free_vars());
+                    avoid.extend(binders.iter().cloned());
+                    avoid.insert(var.clone());
+                    let mut new_binders = Vec::with_capacity(binders.len());
+                    let mut renamed = (**body).clone();
+                    for b in binders {
+                        if captured.contains(b) {
+                            let b2 = fresh_var(&Var::new(format!("{}_r", b.as_str())), &avoid);
+                            avoid.insert(b2.clone());
+                            renamed = renamed.subst_var(b, &Term::Var(b2.clone()));
+                            new_binders.push(b2);
+                        } else {
+                            new_binders.push(b.clone());
+                        }
+                    }
+                    Process::Case {
+                        scrutinee,
+                        binders: new_binders,
+                        key,
+                        body: Box::new(renamed.subst_var(var, replacement)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renames the free occurrences of the name `old` to `new`,
+    /// alpha-renaming any restriction binder for `new` on the way down so
+    /// the new occurrences are not captured.
+    #[must_use]
+    pub fn rename_free_name(&self, old: &Name, new: &Name) -> Process {
+        if old == new {
+            return self.clone();
+        }
+        match self {
+            Process::Nil => Process::Nil,
+            Process::Output(ch, payload, cont) => Process::Output(
+                ch.rename_name(old, new),
+                payload.rename_name(old, new),
+                Box::new(cont.rename_free_name(old, new)),
+            ),
+            Process::Input(ch, x, cont) => Process::Input(
+                ch.rename_name(old, new),
+                x.clone(),
+                Box::new(cont.rename_free_name(old, new)),
+            ),
+            Process::Restrict(n, body) => {
+                if n == old {
+                    // Occurrences below are bound: stop.
+                    self.clone()
+                } else if n == new {
+                    // The binder would capture the renamed occurrences.
+                    let mut avoid = body.free_names();
+                    avoid.insert(old.clone());
+                    avoid.insert(new.clone());
+                    let n2 = fresh_name(&Name::new(format!("{}_r", n.as_str())), &avoid);
+                    let body2 = body.rename_free_name(n, &n2);
+                    Process::Restrict(n2, Box::new(body2.rename_free_name(old, new)))
+                } else {
+                    Process::Restrict(n.clone(), Box::new(body.rename_free_name(old, new)))
+                }
+            }
+            Process::Par(l, r) => {
+                Process::par(l.rename_free_name(old, new), r.rename_free_name(old, new))
+            }
+            Process::Match(a, b, cont) => Process::Match(
+                a.rename_name(old, new),
+                b.rename_name(old, new),
+                Box::new(cont.rename_free_name(old, new)),
+            ),
+            Process::AddrMatch(a, side, cont) => Process::AddrMatch(
+                a.rename_name(old, new),
+                side.rename_name(old, new),
+                Box::new(cont.rename_free_name(old, new)),
+            ),
+            Process::Bang(body) => Process::bang(body.rename_free_name(old, new)),
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => Process::Split {
+                pair: pair.rename_name(old, new),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: Box::new(body.rename_free_name(old, new)),
+            },
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => Process::Case {
+                scrutinee: scrutinee.rename_name(old, new),
+                binders: binders.clone(),
+                key: key.rename_name(old, new),
+                body: Box::new(body.rename_free_name(old, new)),
+            },
+        }
+    }
+
+    /// Instantiates the location variable `lam` with the relative address
+    /// `addr` in every channel index — the effect of the first
+    /// synchronization on a channel `c_λ` (Section 3.1).
+    #[must_use]
+    pub fn subst_loc(&self, lam: &LocVar, addr: &RelAddr) -> Process {
+        match self {
+            Process::Nil => Process::Nil,
+            Process::Output(ch, payload, cont) => Process::Output(
+                ch.subst_loc(lam, addr),
+                payload.clone(),
+                Box::new(cont.subst_loc(lam, addr)),
+            ),
+            Process::Input(ch, x, cont) => Process::Input(
+                ch.subst_loc(lam, addr),
+                x.clone(),
+                Box::new(cont.subst_loc(lam, addr)),
+            ),
+            Process::Restrict(n, body) => {
+                Process::Restrict(n.clone(), Box::new(body.subst_loc(lam, addr)))
+            }
+            Process::Par(l, r) => Process::par(l.subst_loc(lam, addr), r.subst_loc(lam, addr)),
+            Process::Match(a, b, cont) => {
+                Process::Match(a.clone(), b.clone(), Box::new(cont.subst_loc(lam, addr)))
+            }
+            Process::AddrMatch(a, side, cont) => {
+                Process::AddrMatch(a.clone(), side.clone(), Box::new(cont.subst_loc(lam, addr)))
+            }
+            Process::Bang(body) => Process::bang(body.subst_loc(lam, addr)),
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => Process::Split {
+                pair: pair.clone(),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: Box::new(body.subst_loc(lam, addr)),
+            },
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => Process::Case {
+                scrutinee: scrutinee.clone(),
+                binders: binders.clone(),
+                key: key.clone(),
+                body: Box::new(body.subst_loc(lam, addr)),
+            },
+        }
+    }
+
+    /// Alpha-equivalence: structural equality up to consistent renaming of
+    /// bound names and bound variables.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spi_syntax::parse;
+    ///
+    /// let p = parse("(^m) c<m>.c(x).d<x>")?;
+    /// let q = parse("(^n) c<n>.c(y).d<y>")?;
+    /// assert!(p.alpha_eq(&q));
+    /// # Ok::<(), spi_syntax::SyntaxError>(())
+    /// ```
+    #[must_use]
+    pub fn alpha_eq(&self, other: &Process) -> bool {
+        fn term_eq(a: &Term, b: &Term, names: &[(Name, Name)], vars: &[(Var, Var)]) -> bool {
+            match (a, b) {
+                (Term::Name(x), Term::Name(y)) => {
+                    // Find the innermost binding of either side.
+                    for (l, r) in names.iter().rev() {
+                        let lm = l == x;
+                        let rm = r == y;
+                        if lm || rm {
+                            return lm && rm;
+                        }
+                    }
+                    x == y
+                }
+                (Term::Var(x), Term::Var(y)) => {
+                    for (l, r) in vars.iter().rev() {
+                        let lm = l == x;
+                        let rm = r == y;
+                        if lm || rm {
+                            return lm && rm;
+                        }
+                    }
+                    x == y
+                }
+                (Term::Pair(a1, a2), Term::Pair(b1, b2)) => {
+                    term_eq(a1, b1, names, vars) && term_eq(a2, b2, names, vars)
+                }
+                (Term::Enc { body: ab, key: ak }, Term::Enc { body: bb, key: bk }) => {
+                    ab.len() == bb.len()
+                        && ab
+                            .iter()
+                            .zip(bb.iter())
+                            .all(|(x, y)| term_eq(x, y, names, vars))
+                        && term_eq(ak, bk, names, vars)
+                }
+                (
+                    Term::Located {
+                        addr: aa,
+                        inner: ai,
+                    },
+                    Term::Located {
+                        addr: ba,
+                        inner: bi,
+                    },
+                ) => aa == ba && term_eq(ai, bi, names, vars),
+                _ => false,
+            }
+        }
+
+        fn chan_eq(a: &Channel, b: &Channel, names: &[(Name, Name)], vars: &[(Var, Var)]) -> bool {
+            a.index == b.index && term_eq(&a.subject, &b.subject, names, vars)
+        }
+
+        fn go(
+            p: &Process,
+            q: &Process,
+            names: &mut Vec<(Name, Name)>,
+            vars: &mut Vec<(Var, Var)>,
+        ) -> bool {
+            match (p, q) {
+                (Process::Nil, Process::Nil) => true,
+                (Process::Output(c1, t1, p1), Process::Output(c2, t2, p2)) => {
+                    chan_eq(c1, c2, names, vars)
+                        && term_eq(t1, t2, names, vars)
+                        && go(p1, p2, names, vars)
+                }
+                (Process::Input(c1, x1, p1), Process::Input(c2, x2, p2)) => {
+                    if !chan_eq(c1, c2, names, vars) {
+                        return false;
+                    }
+                    vars.push((x1.clone(), x2.clone()));
+                    let ok = go(p1, p2, names, vars);
+                    vars.pop();
+                    ok
+                }
+                (Process::Restrict(n1, p1), Process::Restrict(n2, p2)) => {
+                    names.push((n1.clone(), n2.clone()));
+                    let ok = go(p1, p2, names, vars);
+                    names.pop();
+                    ok
+                }
+                (Process::Par(l1, r1), Process::Par(l2, r2)) => {
+                    go(l1, l2, names, vars) && go(r1, r2, names, vars)
+                }
+                (Process::Match(a1, b1, p1), Process::Match(a2, b2, p2)) => {
+                    term_eq(a1, a2, names, vars)
+                        && term_eq(b1, b2, names, vars)
+                        && go(p1, p2, names, vars)
+                }
+                (Process::AddrMatch(a1, s1, p1), Process::AddrMatch(a2, s2, p2)) => {
+                    let sides = match (s1, s2) {
+                        (AddrSide::Term(t1), AddrSide::Term(t2)) => term_eq(t1, t2, names, vars),
+                        (AddrSide::Lit(l1), AddrSide::Lit(l2)) => l1 == l2,
+                        _ => false,
+                    };
+                    sides && term_eq(a1, a2, names, vars) && go(p1, p2, names, vars)
+                }
+                (Process::Bang(p1), Process::Bang(p2)) => go(p1, p2, names, vars),
+                (
+                    Process::Split {
+                        pair: t1,
+                        fst: f1,
+                        snd: s1,
+                        body: p1,
+                    },
+                    Process::Split {
+                        pair: t2,
+                        fst: f2,
+                        snd: s2,
+                        body: p2,
+                    },
+                ) => {
+                    if !term_eq(t1, t2, names, vars) {
+                        return false;
+                    }
+                    let depth = vars.len();
+                    vars.push((f1.clone(), f2.clone()));
+                    vars.push((s1.clone(), s2.clone()));
+                    let ok = go(p1, p2, names, vars);
+                    vars.truncate(depth);
+                    ok
+                }
+                (
+                    Process::Case {
+                        scrutinee: s1,
+                        binders: b1,
+                        key: k1,
+                        body: p1,
+                    },
+                    Process::Case {
+                        scrutinee: s2,
+                        binders: b2,
+                        key: k2,
+                        body: p2,
+                    },
+                ) => {
+                    if b1.len() != b2.len()
+                        || !term_eq(s1, s2, names, vars)
+                        || !term_eq(k1, k2, names, vars)
+                    {
+                        return false;
+                    }
+                    let depth = vars.len();
+                    for (x1, x2) in b1.iter().zip(b2.iter()) {
+                        vars.push((x1.clone(), x2.clone()));
+                    }
+                    let ok = go(p1, p2, names, vars);
+                    vars.truncate(depth);
+                    ok
+                }
+                _ => false,
+            }
+        }
+
+        go(self, other, &mut Vec::new(), &mut Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn pr(s: &str) -> Process {
+        parse(s).expect("valid process literal")
+    }
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    /// Parsed, then opened: replaces the free *name* `ident` with the
+    /// variable of the same spelling, since the parser resolves unbound
+    /// identifiers to names.
+    fn open(src: &str, ident: &str) -> Process {
+        fn go(p: &Process, name: &Name, var: &Var) -> Process {
+            // A name → variable swap cannot be captured (different sorts),
+            // so plain structural replacement suffices for tests.
+            match p {
+                Process::Nil => Process::Nil,
+                Process::Output(ch, t, c) => Process::Output(
+                    Channel {
+                        subject: swap(&ch.subject, name, var),
+                        index: ch.index.clone(),
+                    },
+                    swap(t, name, var),
+                    Box::new(go(c, name, var)),
+                ),
+                Process::Input(ch, x, c) => Process::Input(
+                    Channel {
+                        subject: swap(&ch.subject, name, var),
+                        index: ch.index.clone(),
+                    },
+                    x.clone(),
+                    Box::new(go(c, name, var)),
+                ),
+                Process::Restrict(n, c) => Process::Restrict(n.clone(), Box::new(go(c, name, var))),
+                Process::Par(l, r) => Process::par(go(l, name, var), go(r, name, var)),
+                Process::Match(a, b, c) => Process::Match(
+                    swap(a, name, var),
+                    swap(b, name, var),
+                    Box::new(go(c, name, var)),
+                ),
+                Process::AddrMatch(a, s, c) => {
+                    Process::AddrMatch(swap(a, name, var), s.clone(), Box::new(go(c, name, var)))
+                }
+                Process::Bang(c) => Process::bang(go(c, name, var)),
+                Process::Split {
+                    pair,
+                    fst,
+                    snd,
+                    body,
+                } => Process::Split {
+                    pair: swap(pair, name, var),
+                    fst: fst.clone(),
+                    snd: snd.clone(),
+                    body: Box::new(go(body, name, var)),
+                },
+                Process::Case {
+                    scrutinee,
+                    binders,
+                    key,
+                    body,
+                } => Process::Case {
+                    scrutinee: swap(scrutinee, name, var),
+                    binders: binders.clone(),
+                    key: swap(key, name, var),
+                    body: Box::new(go(body, name, var)),
+                },
+            }
+        }
+        fn swap(t: &Term, name: &Name, var: &Var) -> Term {
+            match t {
+                Term::Name(n) if n == name => Term::Var(var.clone()),
+                Term::Name(_) | Term::Var(_) => t.clone(),
+                Term::Pair(a, b) => Term::pair(swap(a, name, var), swap(b, name, var)),
+                Term::Enc { body, key } => Term::enc(
+                    body.iter().map(|x| swap(x, name, var)).collect(),
+                    swap(key, name, var),
+                ),
+                Term::Located { addr, inner } => {
+                    Term::located(addr.clone(), swap(inner, name, var))
+                }
+            }
+        }
+        go(&pr(src), &Name::new(ident), &Var::new(ident))
+    }
+
+    #[test]
+    fn substitution_replaces_free_occurrences() {
+        let p = open("c<x> | d<x>", "x");
+        let q = p.subst_var(&v("x"), &Term::name("m"));
+        assert_eq!(q, pr("c<m> | d<m>"));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        // d<x>.c(x).e<x> with the first x free and the second bound.
+        let p = Process::output(Term::name("d"), Term::var("x"), pr("c(x).e<x>"));
+        let q = p.subst_var(&v("x"), &Term::name("m"));
+        assert_eq!(q.to_string(), "d<m>.c(x).e<x>");
+    }
+
+    #[test]
+    fn substitution_avoids_name_capture_under_restriction() {
+        let p = open("(^m) c<(x, m)>", "x");
+        let q = p.subst_var(&v("x"), &Term::name("m"));
+        // The bound m must be renamed so the substituted free m is not
+        // captured.
+        match &q {
+            Process::Restrict(n, _) => assert_ne!(n, &Name::new("m")),
+            other => panic!("expected restriction, got {other:?}"),
+        }
+        let free = q.free_names();
+        assert!(free.contains("m"), "the substituted m stays free");
+    }
+
+    #[test]
+    fn substitution_avoids_var_capture_under_input() {
+        let p = open("c(y).d<(x, y)>", "x");
+        let q = p.subst_var(&v("x"), &Term::var("y"));
+        // The binder y must be renamed so the substituted y stays free.
+        assert!(q.free_vars().contains(&v("y")));
+        match &q {
+            Process::Input(_, binder, _) => assert_ne!(binder, &v("y")),
+            other => panic!("expected input, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_avoids_var_capture_under_case() {
+        let p = open("case z of {y}k in d<(x, y)>", "x");
+        let q = p.subst_var(&v("x"), &Term::var("y"));
+        assert!(q.free_vars().contains(&v("y")));
+    }
+
+    #[test]
+    fn substitution_stops_at_case_binders() {
+        let p = pr("case z of {x}k in d<x>");
+        let q = p.subst_var(&v("x"), &Term::name("m"));
+        assert_eq!(q, p, "x is bound by the case, nothing changes");
+    }
+
+    #[test]
+    fn rename_free_name_respects_binders() {
+        let p = pr("c<m> | (^m) d<m>");
+        let q = p.rename_free_name(&Name::new("m"), &Name::new("n"));
+        assert_eq!(q.to_string(), "c<n> | (^m)d<m>");
+    }
+
+    #[test]
+    fn rename_free_name_avoids_capture() {
+        let p = pr("(^n) c<(m, n)>");
+        let q = p.rename_free_name(&Name::new("m"), &Name::new("n"));
+        // The restricted n must be alpha-renamed first.
+        assert!(q.free_names().contains("n"));
+        assert!(q.alpha_eq(&pr("(^w) c<(n, w)>")));
+    }
+
+    #[test]
+    fn subst_loc_localizes_channels() {
+        let p = pr("c@lam(x).c@lam<x>");
+        let addr: RelAddr = "0.1".parse().unwrap();
+        let q = p.subst_loc(&LocVar::new("lam"), &addr);
+        match &q {
+            Process::Input(ch, _, cont) => {
+                assert_eq!(ch.index, ChanIndex::At(addr.clone()));
+                match cont.as_ref() {
+                    Process::Output(ch2, _, _) => assert_eq!(ch2.index, ChanIndex::At(addr)),
+                    other => panic!("expected output, got {other:?}"),
+                }
+            }
+            other => panic!("expected input, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_respects_split_binders() {
+        // let (x, y) = z in d<(x, w)> — substituting for x is blocked,
+        // substituting for w proceeds.
+        let p = pr("c(z).let (x, y) = z in d<(x, w)>");
+        let q = p.subst_var(&v("w"), &Term::name("m"));
+        // w parsed as a free name, so nothing changes via var subst...
+        assert_eq!(q, p);
+        // ...but an opened variant substitutes under the binders.
+        let open_p = open("c(z).let (x, y) = z in d<(x, w)>", "w");
+        let q = open_p.subst_var(&v("w"), &Term::name("m"));
+        assert!(q.to_string().contains("(x, m)"), "{q}");
+        let untouched = open_p.subst_var(&v("x"), &Term::name("m"));
+        assert_eq!(untouched, open_p, "x is bound by the split");
+    }
+
+    #[test]
+    fn substitution_avoids_capture_by_split_binders() {
+        let p = open("c(z).let (x, y) = z in d<(x, w)>", "w");
+        let q = p.subst_var(&v("w"), &Term::var("x"));
+        // The binder x must be renamed so the substituted x stays free.
+        assert!(q.free_vars().contains(&v("x")), "{q}");
+    }
+
+    #[test]
+    fn alpha_eq_handles_split() {
+        assert!(pr("c(z).let (x, y) = z in d<x>").alpha_eq(&pr("c(w).let (u, q) = w in d<u>")));
+        assert!(!pr("c(z).let (x, y) = z in d<x>").alpha_eq(&pr("c(z).let (x, y) = z in d<y>")));
+    }
+
+    #[test]
+    fn alpha_eq_identifies_renamed_binders() {
+        assert!(pr("(^m) c<m>").alpha_eq(&pr("(^n) c<n>")));
+        assert!(pr("c(x).d<x>").alpha_eq(&pr("c(y).d<y>")));
+        assert!(
+            pr("case z of {x, y}k in d<(x, y)>").alpha_eq(&pr("case z of {u, w}k in d<(u, w)>"))
+        );
+    }
+
+    #[test]
+    fn alpha_eq_distinguishes_free_identifiers() {
+        assert!(!pr("c<m>").alpha_eq(&pr("c<n>")));
+        assert!(!pr("(^m) c<m>").alpha_eq(&pr("(^m) c<n>")));
+        assert!(!pr("c(x).d<x>").alpha_eq(&pr("c(x).d<y>")));
+    }
+
+    #[test]
+    fn alpha_eq_requires_consistent_pairing() {
+        // (^a)(^b) c<(a,b)> vs (^b)(^a) c<(a,b)> — the pairing is swapped.
+        assert!(pr("(^a)(^b) c<(a, b)>").alpha_eq(&pr("(^b)(^a) c<(b, a)>")));
+        assert!(!pr("(^a)(^b) c<(a, b)>").alpha_eq(&pr("(^a)(^b) c<(b, a)>")));
+    }
+}

@@ -1,0 +1,227 @@
+//! Terms of the calculus: names, variables, pairs, encryptions and located
+//! terms.
+
+use spi_addr::RelAddr;
+
+use crate::{Name, Var};
+
+/// A term `L, M, N` of the calculus (Section 2 of the paper, plus the
+/// located terms of Section 3.2).
+///
+/// ```text
+/// L, M, N ::= a, b, c, k, m, n      names
+///           | x, y, z, w            variables
+///           | (M₁, M₂)              pair
+///           | {M₁, …, Mₖ}N          shared-key encryption
+///           | l M                   located term (address-tagged)
+/// ```
+///
+/// An encryption `{M₁,…,Mₖ}N` is the ciphertext obtained by encrypting
+/// `M₁,…,Mₖ` under key `N` with a shared-key cryptosystem; cryptography is
+/// perfect, so the only way to recover the contents is `case … of …` with
+/// the correct key.
+///
+/// A located term `l M` pairs a term with the relative address of its
+/// *creator*; it is how the paper's message-authentication primitive
+/// surfaces in the syntax.  In source programs located terms appear only
+/// as literals inside matchings and testers (e.g.
+/// `[x = ‖0‖1•‖1‖1‖0 d]P`); at run time the semantics produces and
+/// maintains the tags.
+///
+/// # Example
+///
+/// ```
+/// use spi_syntax::Term;
+///
+/// // {m, n}k
+/// let t = Term::enc(
+///     vec![Term::name("m"), Term::name("n")],
+///     Term::name("k"),
+/// );
+/// assert_eq!(t.to_string(), "{m, n}k");
+/// assert!(t.is_closed() == true);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A name `n`.
+    Name(Name),
+    /// A variable `x`.
+    Var(Var),
+    /// A pair `(M₁, M₂)`.
+    Pair(Box<Term>, Box<Term>),
+    /// A shared-key encryption `{M₁, …, Mₖ}N`: the ciphertext of the body
+    /// under the key.
+    Enc {
+        /// The encrypted terms `M₁, …, Mₖ`.
+        body: Vec<Term>,
+        /// The key `N`.
+        key: Box<Term>,
+    },
+    /// A located term `l M`: `M` tagged with the relative address of its
+    /// creator as seen by the process in whose text the literal occurs.
+    Located {
+        /// The creator's relative address `l`.
+        addr: RelAddr,
+        /// The underlying term `M`.
+        inner: Box<Term>,
+    },
+}
+
+impl Term {
+    /// Builds a name term.
+    #[must_use]
+    pub fn name(n: impl Into<Name>) -> Term {
+        Term::Name(n.into())
+    }
+
+    /// Builds a variable term.
+    #[must_use]
+    pub fn var(v: impl Into<Var>) -> Term {
+        Term::Var(v.into())
+    }
+
+    /// Builds a pair `(m, n)`.
+    #[must_use]
+    pub fn pair(m: Term, n: Term) -> Term {
+        Term::Pair(Box::new(m), Box::new(n))
+    }
+
+    /// Builds an encryption `{body…}key`.
+    #[must_use]
+    pub fn enc(body: Vec<Term>, key: Term) -> Term {
+        Term::Enc {
+            body,
+            key: Box::new(key),
+        }
+    }
+
+    /// Builds a located term `addr inner`.
+    #[must_use]
+    pub fn located(addr: RelAddr, inner: Term) -> Term {
+        Term::Located {
+            addr,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Returns `true` when the term contains no variables, i.e. denotes a
+    /// message rather than a pattern.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        match self {
+            Term::Name(_) => true,
+            Term::Var(_) => false,
+            Term::Pair(a, b) => a.is_closed() && b.is_closed(),
+            Term::Enc { body, key } => body.iter().all(Term::is_closed) && key.is_closed(),
+            Term::Located { inner, .. } => inner.is_closed(),
+        }
+    }
+
+    /// The number of constructors in the term — a size measure used by
+    /// bounded intruder synthesis and by benchmarks.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Name(_) | Term::Var(_) => 1,
+            Term::Pair(a, b) => 1 + a.size() + b.size(),
+            Term::Enc { body, key } => 1 + body.iter().map(Term::size).sum::<usize>() + key.size(),
+            Term::Located { inner, .. } => 1 + inner.size(),
+        }
+    }
+
+    /// The maximum constructor nesting depth of the term.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Name(_) | Term::Var(_) => 1,
+            Term::Pair(a, b) => 1 + a.depth().max(b.depth()),
+            Term::Enc { body, key } => {
+                1 + body
+                    .iter()
+                    .map(Term::depth)
+                    .chain(std::iter::once(key.depth()))
+                    .max()
+                    .unwrap_or(0)
+            }
+            Term::Located { inner, .. } => 1 + inner.depth(),
+        }
+    }
+
+    /// Strips any outermost location tag, returning the underlying term.
+    #[must_use]
+    pub fn unlocated(&self) -> &Term {
+        match self {
+            Term::Located { inner, .. } => inner.unlocated(),
+            other => other,
+        }
+    }
+
+    /// The location tag of the term, if it is a located term.
+    #[must_use]
+    pub fn location(&self) -> Option<&RelAddr> {
+        match self {
+            Term::Located { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+}
+
+impl From<Name> for Term {
+    fn from(n: Name) -> Term {
+        Term::Name(n)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Term {
+        Term::name("m")
+    }
+
+    #[test]
+    fn closedness() {
+        assert!(m().is_closed());
+        assert!(!Term::var("x").is_closed());
+        assert!(!Term::pair(m(), Term::var("x")).is_closed());
+        assert!(Term::enc(vec![m()], Term::name("k")).is_closed());
+        assert!(!Term::enc(vec![m()], Term::var("y")).is_closed());
+    }
+
+    #[test]
+    fn size_counts_constructors() {
+        assert_eq!(m().size(), 1);
+        assert_eq!(Term::pair(m(), m()).size(), 3);
+        assert_eq!(Term::enc(vec![m(), m()], Term::name("k")).size(), 4);
+    }
+
+    #[test]
+    fn depth_measures_nesting() {
+        assert_eq!(m().depth(), 1);
+        assert_eq!(Term::pair(m(), Term::pair(m(), m())).depth(), 3);
+    }
+
+    #[test]
+    fn unlocated_strips_tags() {
+        let t = Term::located(RelAddr::identity(), m());
+        assert_eq!(t.unlocated(), &m());
+        assert_eq!(m().unlocated(), &m());
+        assert!(t.location().is_some());
+        assert!(m().location().is_none());
+    }
+
+    #[test]
+    fn conversions_from_identifiers() {
+        let t: Term = Name::new("a").into();
+        assert_eq!(t, Term::name("a"));
+        let t: Term = Var::new("x").into();
+        assert_eq!(t, Term::var("x"));
+    }
+}

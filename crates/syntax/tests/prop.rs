@@ -1,0 +1,228 @@
+//! Property-based tests for the syntax crate: printer/parser round-trip,
+//! substitution laws and alpha-equivalence.
+
+use proptest::prelude::*;
+use spi_addr::{Branch, Path, RelAddr};
+use spi_syntax::{parse, AddrSide, ChanIndex, Channel, LocVar, Name, Process, Term, Var};
+
+/// Name pool, disjoint from variables and keywords.
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop_oneof![
+        Just(Name::new("a")),
+        Just(Name::new("b")),
+        Just(Name::new("c")),
+        Just(Name::new("k")),
+        Just(Name::new("m")),
+        Just(Name::new("n")),
+    ]
+}
+
+fn arb_locvar() -> impl Strategy<Value = LocVar> {
+    prop_oneof![Just(LocVar::new("lam")), Just(LocVar::new("mu"))]
+}
+
+fn arb_branch() -> impl Strategy<Value = Branch> {
+    prop_oneof![Just(Branch::Left), Just(Branch::Right)]
+}
+
+fn arb_addr() -> impl Strategy<Value = RelAddr> {
+    (
+        prop::collection::vec(arb_branch(), 0..4),
+        prop::collection::vec(arb_branch(), 0..4),
+    )
+        .prop_map(|(a, b)| {
+            // Derive a valid (minimal) address from two absolute paths.
+            RelAddr::between(&Path::new(a), &Path::new(b))
+        })
+}
+
+/// A leaf term: a name, or a variable from `bound` when available.
+fn arb_atom(bound: &[Var]) -> BoxedStrategy<Term> {
+    if bound.is_empty() {
+        arb_name().prop_map(Term::Name).boxed()
+    } else {
+        prop_oneof![
+            arb_name().prop_map(Term::Name),
+            proptest::sample::select(bound.to_vec()).prop_map(Term::Var),
+        ]
+        .boxed()
+    }
+}
+
+/// A term whose variables are drawn from `bound` (empty ⇒ closed term).
+fn arb_term(bound: Vec<Var>) -> impl Strategy<Value = Term> {
+    let leaf = arb_atom(&bound);
+    leaf.prop_recursive(3, 24, 3, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::pair(a, b)),
+            (prop::collection::vec(inner.clone(), 1..3), inner.clone())
+                .prop_map(|(body, key)| Term::enc(body, key)),
+            (arb_addr(), inner).prop_map(|(l, t)| Term::located(l, t)),
+        ]
+    })
+}
+
+fn arb_chan(bound: Vec<Var>) -> impl Strategy<Value = Channel> {
+    let subject = arb_atom(&bound);
+    let index = prop_oneof![
+        Just(ChanIndex::Plain),
+        Just(ChanIndex::Plain),
+        arb_addr().prop_map(ChanIndex::At),
+        arb_locvar().prop_map(ChanIndex::Loc),
+    ];
+    (subject, index).prop_map(|(subject, index)| Channel { subject, index })
+}
+
+/// A well-scoped process: every variable occurrence is under its binder,
+/// and the variable pool (`x0`, `x1`, …) is disjoint from the name pool,
+/// so the printed form re-parses to the identical AST.
+fn arb_process(bound: Vec<Var>, depth: u32) -> BoxedStrategy<Process> {
+    if depth == 0 {
+        return prop_oneof![
+            Just(Process::Nil),
+            (arb_chan(bound.clone()), arb_term(bound)).prop_map(|(c, t)| Process::Output(
+                c,
+                t,
+                Box::new(Process::Nil)
+            )),
+        ]
+        .boxed();
+    }
+    let fresh = Var::new(format!("x{}", bound.len()));
+    let with_fresh = {
+        let mut b = bound.clone();
+        b.push(fresh.clone());
+        b
+    };
+    prop_oneof![
+        Just(Process::Nil),
+        (
+            arb_chan(bound.clone()),
+            arb_term(bound.clone()),
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(c, t, p)| Process::Output(c, t, Box::new(p))),
+        (
+            arb_chan(bound.clone()),
+            arb_process(with_fresh.clone(), depth - 1)
+        )
+            .prop_map({
+                let fresh = fresh.clone();
+                move |(c, p)| Process::Input(c, fresh.clone(), Box::new(p))
+            }),
+        (arb_name(), arb_process(bound.clone(), depth - 1))
+            .prop_map(|(n, p)| Process::Restrict(n, Box::new(p))),
+        (
+            arb_process(bound.clone(), depth - 1),
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(l, r)| Process::par(l, r)),
+        (
+            arb_term(bound.clone()),
+            arb_term(bound.clone()),
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(a, b, p)| Process::Match(a, b, Box::new(p))),
+        (
+            arb_term(bound.clone()),
+            prop_oneof![
+                arb_term(bound.clone()).prop_map(|t| AddrSide::Term(Box::new(t))),
+                arb_addr().prop_map(AddrSide::Lit),
+            ],
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(a, s, p)| Process::AddrMatch(a, s, Box::new(p))),
+        arb_process(bound.clone(), depth - 1).prop_map(Process::bang),
+        {
+            let fresh2 = Var::new(format!("x{}", bound.len() + 1));
+            let mut with_two = with_fresh.clone();
+            with_two.push(fresh2.clone());
+            (arb_term(bound.clone()), arb_process(with_two, depth - 1)).prop_map({
+                let fresh = fresh.clone();
+                move |(pair, p)| Process::Split {
+                    pair,
+                    fst: fresh.clone(),
+                    snd: fresh2.clone(),
+                    body: Box::new(p),
+                }
+            })
+        },
+        (
+            arb_term(bound.clone()),
+            arb_term(bound.clone()),
+            arb_process(with_fresh, depth - 1)
+        )
+            .prop_map(move |(scrutinee, key, p)| Process::Case {
+                scrutinee,
+                binders: vec![fresh.clone()],
+                key,
+                body: Box::new(p),
+            }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn print_parse_round_trip(p in arb_process(Vec::new(), 3)) {
+        let printed = p.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn printed_size_is_linear(p in arb_process(Vec::new(), 3)) {
+        // A sanity bound: printing never explodes (no quadratic escaping).
+        let printed = p.to_string();
+        prop_assert!(printed.len() <= 96 * p.size().max(1) + 64);
+    }
+
+    #[test]
+    fn alpha_eq_is_reflexive(p in arb_process(Vec::new(), 3)) {
+        prop_assert!(p.alpha_eq(&p));
+    }
+
+    #[test]
+    fn subst_of_fresh_var_is_identity(p in arb_process(Vec::new(), 3), t in arb_term(Vec::new())) {
+        // No free occurrence of `zz` exists, so substitution is a no-op up
+        // to alpha-equivalence (binders may be renamed defensively).
+        let q = p.subst_var(&Var::new("zz"), &t);
+        prop_assert!(q.alpha_eq(&p));
+    }
+
+    #[test]
+    fn subst_then_free_vars_shrink(
+        p in arb_process(vec![Var::new("x0")], 3),
+        t in arb_term(Vec::new()),
+    ) {
+        // Substituting a closed term for x0 removes it from the free
+        // variables.
+        let q = p.subst_var(&Var::new("x0"), &t);
+        prop_assert!(!q.free_vars().contains(&Var::new("x0")));
+    }
+
+    #[test]
+    fn rename_free_name_preserves_alpha_class_of_closed(
+        p in arb_process(Vec::new(), 3),
+    ) {
+        // Renaming a name to itself is the identity.
+        let n = Name::new("a");
+        prop_assert_eq!(p.rename_free_name(&n, &n), p);
+    }
+
+    #[test]
+    fn closedness_detects_generated_scoping(p in arb_process(Vec::new(), 3)) {
+        prop_assert!(p.is_closed(), "generator only builds well-scoped processes");
+    }
+
+    #[test]
+    fn term_display_round_trips(t in arb_term(Vec::new())) {
+        let printed = t.to_string();
+        let reparsed = spi_syntax::parse_term(&printed)
+            .unwrap_or_else(|e| panic!("printed term failed to parse: {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, t);
+    }
+}

@@ -1,0 +1,62 @@
+//! Errors raised by the verification toolkit.
+
+use std::error::Error;
+use std::fmt;
+
+use spi_semantics::MachineError;
+
+/// An error raised while exploring or checking a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The underlying abstract machine failed.
+    Machine(MachineError),
+    /// The state-space exploration exceeded its state budget before the
+    /// check could conclude.  Raise [`max_states`] or tighten the system.
+    ///
+    /// [`max_states`]: crate::ExploreOptions::max_states
+    StateBudgetExceeded {
+        /// The budget that was exceeded.
+        max_states: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Machine(e) => write!(f, "{e}"),
+            VerifyError::StateBudgetExceeded { max_states } => {
+                write!(f, "exploration exceeded the state budget of {max_states}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Machine(e) => Some(e),
+            VerifyError::StateBudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<MachineError> for VerifyError {
+    fn from(e: MachineError) -> VerifyError {
+        VerifyError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VerifyError::StateBudgetExceeded { max_states: 10 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+        let e = VerifyError::Machine(MachineError::NotEnabled { reason: "x".into() });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,799 @@
+//! Bounded state-space exploration with the most-general intruder.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use spi_addr::Path;
+use spi_semantics::{
+    Barb, Canonicalizer, Config, LeafState, NameTable, RtChanIndex, RtProcess, RtTerm, StepInfo,
+};
+use spi_syntax::{Name, Process};
+
+use crate::{Knowledge, ObsEvent, ObsTerm, VerifyError};
+
+/// The most-general bounded intruder of the paper's attacker class `E_C`.
+///
+/// The intruder occupies a fixed position of the process tree (usually
+/// the right sibling of the protocol in `(νC)(P | X)`), communicates only
+/// over the channels whose base spelling is listed in `channels` — the
+/// set `C` of Definition 4 — and may invent up to `fresh_budget` fresh
+/// names of its own (the `(νM_E)` of the paper's attack on `P1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntruderSpec {
+    /// The intruder's tree position.
+    pub position: Path,
+    /// The base spellings of the protocol channels `C`.
+    pub channels: BTreeSet<Name>,
+    /// How many fresh names the intruder may create.
+    pub fresh_budget: u32,
+    /// Cap on freshly synthesized ciphertext candidates per injection.
+    pub synth_cap: usize,
+}
+
+impl IntruderSpec {
+    /// An intruder at `position` talking over `channels`, with one fresh
+    /// name and a small synthesis cap.
+    #[must_use]
+    pub fn new<I, N>(position: Path, channels: I) -> IntruderSpec
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        IntruderSpec {
+            position,
+            channels: channels.into_iter().map(Into::into).collect(),
+            fresh_budget: 1,
+            synth_cap: 16,
+        }
+    }
+}
+
+/// Bounds and switches for exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Hard cap on distinct states; exceeding it raises
+    /// [`VerifyError::StateBudgetExceeded`].
+    pub max_states: usize,
+    /// How many copies each replication may spawn.
+    pub unfold_bound: u32,
+    /// The intruder, if any.
+    pub intruder: Option<IntruderSpec>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> ExploreOptions {
+        ExploreOptions {
+            max_states: 50_000,
+            unfold_bound: 2,
+            intruder: None,
+        }
+    }
+}
+
+/// What a silent edge did — kept for narration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepDesc {
+    /// An internal machine step (communication or unfolding).
+    Internal(StepInfo),
+    /// The intruder intercepted an output.
+    Intercept {
+        /// The sender's position.
+        from: Path,
+        /// The channel subject.
+        subject: RtTerm,
+        /// The intercepted message.
+        payload: RtTerm,
+    },
+    /// The intruder injected a message into an input.
+    Inject {
+        /// The receiver's position.
+        to: Path,
+        /// The channel subject.
+        subject: RtTerm,
+        /// The injected message.
+        payload: RtTerm,
+    },
+    /// A continuation output was consumed by the (notional) tester.
+    Observe {
+        /// The sender's position.
+        from: Path,
+        /// The free channel.
+        chan: Name,
+        /// The observed message.
+        payload: RtTerm,
+    },
+}
+
+impl StepDesc {
+    /// Renders the step for diagnostics, using `names` for display.
+    #[must_use]
+    pub fn display(&self, names: &NameTable) -> String {
+        match self {
+            StepDesc::Internal(StepInfo::Comm(ci)) => format!(
+                "comm {} → {} : {} on {}",
+                ci.sender.to_bits(),
+                ci.receiver.to_bits(),
+                ci.payload.display(names),
+                ci.subject.display(names)
+            ),
+            StepDesc::Internal(StepInfo::Unfold { path }) => {
+                format!("unfold at {}", path.to_bits())
+            }
+            StepDesc::Intercept {
+                from,
+                subject,
+                payload,
+            } => format!(
+                "intercept {} : {} on {}",
+                from.to_bits(),
+                payload.display(names),
+                subject.display(names)
+            ),
+            StepDesc::Inject {
+                to,
+                subject,
+                payload,
+            } => format!(
+                "inject → {} : {} on {}",
+                to.to_bits(),
+                payload.display(names),
+                subject.display(names)
+            ),
+            StepDesc::Observe {
+                from,
+                chan,
+                payload,
+            } => format!(
+                "observe {} : {} on {}",
+                from.to_bits(),
+                payload.display(names),
+                chan
+            ),
+        }
+    }
+}
+
+/// An edge label: silent or visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Label {
+    /// A silent step (internal, or an intruder move — the paper's testing
+    /// scenario makes the attacker's activity unobservable).
+    Tau(StepDesc),
+    /// A visible observation by the tester.
+    Obs(ObsEvent, StepDesc),
+}
+
+impl Label {
+    /// The observation, for visible edges.
+    #[must_use]
+    pub fn obs(&self) -> Option<&ObsEvent> {
+        match self {
+            Label::Obs(ev, _) => Some(ev),
+            Label::Tau(_) => None,
+        }
+    }
+
+    /// The step description.
+    #[must_use]
+    pub fn desc(&self) -> &StepDesc {
+        match self {
+            Label::Tau(d) | Label::Obs(_, d) => d,
+        }
+    }
+}
+
+/// One explored state.
+#[derive(Debug, Clone)]
+pub struct LtsState {
+    /// Canonical identity.
+    pub key: String,
+    /// The barbs exhibited here.
+    pub barbs: BTreeSet<Barb>,
+    /// Outgoing edges.
+    pub edges: Vec<(Label, usize)>,
+    /// The configuration (for narration and diagnostics).
+    pub config: Config,
+    /// The intruder knowledge at this state.
+    pub knowledge: Knowledge,
+}
+
+/// Exploration statistics, reported with every verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Number of distinct states.
+    pub states: usize,
+    /// Number of edges.
+    pub edges: usize,
+}
+
+/// The labelled transition system produced by an [`Explorer`].
+#[derive(Debug, Clone)]
+pub struct Lts {
+    /// All states; index 0 is the initial one.
+    pub states: Vec<LtsState>,
+    /// Statistics.
+    pub stats: ExploreStats,
+}
+
+impl Lts {
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> &LtsState {
+        &self.states[0]
+    }
+
+    /// All states reachable from `from` by silent steps (including
+    /// `from`).
+    #[must_use]
+    pub fn tau_closure(&self, from: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::from([from]);
+        let mut work = vec![from];
+        while let Some(s) = work.pop() {
+            for (label, tgt) in &self.states[s].edges {
+                if matches!(label, Label::Tau(_)) && seen.insert(*tgt) {
+                    work.push(*tgt);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The indices of *stuck* states: no outgoing edge, yet some live
+    /// component remains (an I/O prefix waiting forever, or a replication
+    /// at its unfold bound).  Fully exhausted terminal states are not
+    /// reported — graceful termination is not a deadlock.
+    #[must_use]
+    pub fn deadlocks(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.edges.is_empty() && !s.config.is_exhausted())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The barbs weakly reachable from the initial state:
+    /// `P ⇓ β` for every reported barb.
+    #[must_use]
+    pub fn weak_barbs(&self) -> BTreeSet<Barb> {
+        let mut out = BTreeSet::new();
+        let mut seen = vec![false; self.states.len()];
+        let mut work = vec![0usize];
+        seen[0] = true;
+        while let Some(s) = work.pop() {
+            out.extend(self.states[s].barbs.iter().cloned());
+            for (_, tgt) in &self.states[s].edges {
+                if !seen[*tgt] {
+                    seen[*tgt] = true;
+                    work.push(*tgt);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Explores the bounded state space of a closed process, optionally under
+/// attack by the most-general intruder.
+///
+/// # Example
+///
+/// ```
+/// use spi_verify::{Explorer, ExploreOptions};
+/// use spi_syntax::parse;
+///
+/// let p = parse("(^m)(c<m> | c(x).observe<x>)")?;
+/// let lts = Explorer::new(ExploreOptions::default()).explore(&p)?;
+/// assert!(lts.stats.states >= 2);
+/// assert!(lts.weak_barbs().iter().any(|b| b.chan == "observe"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    opts: ExploreOptions,
+}
+
+#[derive(Debug, Clone)]
+struct StateData {
+    cfg: Config,
+    knowledge: Knowledge,
+    fresh_made: u32,
+}
+
+impl StateData {
+    fn key(&self) -> String {
+        let mut canon = Canonicalizer::new();
+        let mut out = String::new();
+        self.cfg.write_canonical(&mut canon, &mut out);
+        out.push('|');
+        for t in self.knowledge.iter() {
+            canon.write_term(t, self.cfg.names(), &mut out);
+            out.push(',');
+        }
+        out.push('|');
+        out.push_str(&self.fresh_made.to_string());
+        out
+    }
+}
+
+impl Explorer {
+    /// An explorer with the given options.
+    #[must_use]
+    pub fn new(opts: ExploreOptions) -> Explorer {
+        Explorer { opts }
+    }
+
+    /// Explores the state space of `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::StateBudgetExceeded`] when the bounded state
+    /// space does not fit in [`ExploreOptions::max_states`], and machine
+    /// errors on malformed processes.
+    pub fn explore(&self, process: &Process) -> Result<Lts, VerifyError> {
+        let cfg = Config::from_process(process)?;
+        let mut knowledge = Knowledge::new();
+        if let Some(spec) = &self.opts.intruder {
+            // Initial knowledge: every free name, plus the restricted
+            // channel set C allocated at load.
+            for (id, e) in cfg.names().iter() {
+                if !e.restricted || spec.channels.contains(&e.base) {
+                    knowledge.learn(RtTerm::Id(id));
+                }
+            }
+        }
+        let initial = StateData {
+            cfg,
+            knowledge,
+            fresh_made: 0,
+        };
+
+        let mut states: Vec<LtsState> = Vec::new();
+        let mut data: Vec<StateData> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let intern = |sd: StateData,
+                      states: &mut Vec<LtsState>,
+                      data: &mut Vec<StateData>,
+                      index: &mut HashMap<String, usize>,
+                      queue: &mut VecDeque<usize>|
+         -> Result<usize, VerifyError> {
+            let key = sd.key();
+            if let Some(&i) = index.get(&key) {
+                return Ok(i);
+            }
+            if states.len() >= self.opts.max_states {
+                return Err(VerifyError::StateBudgetExceeded {
+                    max_states: self.opts.max_states,
+                });
+            }
+            let i = states.len();
+            states.push(LtsState {
+                key: key.clone(),
+                barbs: sd.cfg.barbs(),
+                edges: Vec::new(),
+                config: sd.cfg.clone(),
+                knowledge: sd.knowledge.clone(),
+            });
+            data.push(sd);
+            index.insert(key, i);
+            queue.push_back(i);
+            Ok(i)
+        };
+
+        intern(initial, &mut states, &mut data, &mut index, &mut queue)?;
+
+        let mut edges_total = 0usize;
+        while let Some(cur) = queue.pop_front() {
+            let sd = data[cur].clone();
+            for (label, next) in self.successors(&sd)? {
+                let tgt = intern(next, &mut states, &mut data, &mut index, &mut queue)?;
+                states[cur].edges.push((label, tgt));
+                edges_total += 1;
+            }
+        }
+
+        let stats = ExploreStats {
+            states: states.len(),
+            edges: edges_total,
+        };
+        Ok(Lts { states, stats })
+    }
+
+    /// All successor states of `sd` with their labels.
+    fn successors(&self, sd: &StateData) -> Result<Vec<(Label, StateData)>, VerifyError> {
+        let mut out = Vec::new();
+
+        // Internal machine actions.
+        for action in sd.cfg.enabled(self.opts.unfold_bound) {
+            let mut next = sd.clone();
+            let info = next.cfg.fire(&action)?;
+            out.push((Label::Tau(StepDesc::Internal(info)), next));
+        }
+
+        // Visible outputs: continuation outputs on free, unlocalized
+        // channels, consumed by the notional tester.
+        for (path, leaf) in sd.cfg.tree().leaves() {
+            let LeafState::Out { chan, .. } = leaf else {
+                continue;
+            };
+            let RtTerm::Id(id) = &chan.subject else {
+                continue;
+            };
+            if !sd.cfg.names().is_free(*id) || chan.index != RtChanIndex::Plain {
+                continue;
+            }
+            let chan_base = sd.cfg.names().entry(*id).base.clone();
+            if let Some(spec) = &self.opts.intruder {
+                // Channels in C are never tester-visible (Definition 4
+                // restricts them); if the user left them free, keep them
+                // intruder-only.
+                if spec.channels.contains(&chan_base) {
+                    continue;
+                }
+            }
+            let mut next = sd.clone();
+            let (payload, _) = next.cfg.take_output(&path, &path)?;
+            let ev = ObsEvent {
+                chan: chan_base.clone(),
+                payload: ObsTerm::from_rt(&payload, next.cfg.names()),
+            };
+            let desc = StepDesc::Observe {
+                from: path.clone(),
+                chan: chan_base,
+                payload,
+            };
+            out.push((Label::Obs(ev, desc), next));
+        }
+
+        // Intruder moves.
+        if let Some(spec) = &self.opts.intruder {
+            self.intruder_moves(sd, spec, &mut out)?;
+        }
+
+        Ok(out)
+    }
+
+    fn intruder_moves(
+        &self,
+        sd: &StateData,
+        spec: &IntruderSpec,
+        out: &mut Vec<(Label, StateData)>,
+    ) -> Result<(), VerifyError> {
+        let on_c = |subject: &RtTerm, names: &NameTable| -> bool {
+            match subject {
+                RtTerm::Id(id) => spec.channels.contains(&names.entry(*id).base),
+                _ => false,
+            }
+        };
+
+        for (path, leaf) in sd.cfg.tree().leaves() {
+            match leaf {
+                LeafState::Out { chan, .. } if on_c(&chan.subject, sd.cfg.names()) => {
+                    // Intercept, if the localization lets the intruder in.
+                    let mut next = sd.clone();
+                    // A failed take_output means the localization refused
+                    // the intruder — simply no intercept move.
+                    if let Ok((payload, _)) = next.cfg.take_output(&path, &spec.position) {
+                        next.knowledge.learn(payload.clone());
+                        out.push((
+                            Label::Tau(StepDesc::Intercept {
+                                from: path.clone(),
+                                subject: chan.subject.clone(),
+                                payload,
+                            }),
+                            next,
+                        ));
+                    }
+                }
+                LeafState::In { chan, var, cont } if on_c(&chan.subject, sd.cfg.names()) => {
+                    for candidate in self.injection_candidates(sd, spec, var, cont) {
+                        let mut next = sd.clone();
+                        let payload = match candidate {
+                            Candidate::Known(t) => t,
+                            Candidate::Fresh => {
+                                let id = next
+                                    .cfg
+                                    .alloc_env_name(&Name::new("mE"), spec.position.clone());
+                                next.fresh_made += 1;
+                                next.knowledge.learn(RtTerm::Id(id));
+                                RtTerm::Id(id)
+                            }
+                        };
+                        // As above: a refusal just means no inject move.
+                        if next
+                            .cfg
+                            .deliver(&path, payload.clone(), spec.position.clone())
+                            .is_ok()
+                        {
+                            out.push((
+                                Label::Tau(StepDesc::Inject {
+                                    to: path.clone(),
+                                    subject: chan.subject.clone(),
+                                    payload,
+                                }),
+                                next,
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Candidate payloads for injecting into an input: everything
+    /// analyzed, one fresh name (budget permitting), and — when the
+    /// receiver's continuation immediately decrypts under a known shape —
+    /// ciphertexts of that shape.
+    fn injection_candidates(
+        &self,
+        sd: &StateData,
+        spec: &IntruderSpec,
+        var: &spi_syntax::Var,
+        cont: &RtProcess,
+    ) -> Vec<Candidate> {
+        let mut cands: Vec<Candidate> =
+            sd.knowledge.iter().cloned().map(Candidate::Known).collect();
+        if sd.fresh_made < spec.fresh_budget {
+            cands.push(Candidate::Fresh);
+        }
+        match expected_shape(var, cont) {
+            Some(Shape::Cipher { key, arity }) => {
+                for t in sd
+                    .knowledge
+                    .ciphertext_candidates(&key, arity, spec.synth_cap)
+                {
+                    let c = Candidate::Known(t);
+                    if !cands.contains(&c) {
+                        cands.push(c);
+                    }
+                }
+            }
+            Some(Shape::Pair) => {
+                // Synthesize pairs of analyzed messages, capped.
+                let atoms: Vec<RtTerm> = sd.knowledge.iter().cloned().collect();
+                'outer: for a in &atoms {
+                    for b in &atoms {
+                        let c = Candidate::Known(RtTerm::Pair {
+                            fst: Box::new(a.clone()),
+                            snd: Box::new(b.clone()),
+                            creator: None,
+                        });
+                        if !cands.contains(&c) {
+                            cands.push(c);
+                        }
+                        if cands.len() > spec.synth_cap + sd.knowledge.len() + 1 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+        cands
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Candidate {
+    Known(RtTerm),
+    Fresh,
+}
+
+/// The message shape the receiver's continuation expects of its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Shape {
+    /// The input is immediately decrypted: `case x of {…}key`.
+    Cipher { key: RtTerm, arity: usize },
+    /// The input is immediately projected: `let (y, z) = x in …`.
+    Pair,
+}
+
+/// When the continuation of an input binding `var` immediately destructs
+/// `var` (possibly under restrictions and matchings), the expected shape
+/// guides injection synthesis.
+fn expected_shape(var: &spi_syntax::Var, cont: &RtProcess) -> Option<Shape> {
+    let mut cur = cont;
+    loop {
+        match cur {
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                ..
+            } if scrutinee == &RtTerm::Var(var.clone()) && key.is_message() => {
+                return Some(Shape::Cipher {
+                    key: key.clone(),
+                    arity: binders.len(),
+                });
+            }
+            RtProcess::Split { pair, .. } if pair == &RtTerm::Var(var.clone()) => {
+                return Some(Shape::Pair);
+            }
+            RtProcess::Restrict(_, body) => cur = body,
+            RtProcess::Match(_, _, c)
+            | RtProcess::AddrMatchT(_, _, c)
+            | RtProcess::AddrMatchL(_, _, c) => cur = c,
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    fn explore(src: &str, opts: ExploreOptions) -> Lts {
+        Explorer::new(opts)
+            .explore(&parse(src).expect("parses"))
+            .expect("explores")
+    }
+
+    #[test]
+    fn tiny_system_explores_fully() {
+        let lts = explore("(^m)(c<m> | c(x).observe<x>)", ExploreOptions::default());
+        // τ comm, then an observation.
+        assert!(lts.stats.states >= 3);
+        assert!(lts.weak_barbs().iter().any(|b| b.chan == "observe"));
+    }
+
+    #[test]
+    fn deterministic_exploration_dedupes_interleavings() {
+        let lts = explore(
+            "(^c, d)(((^m) c<m> | c(x)) | ((^n) d<n> | d(y)))",
+            ExploreOptions::default(),
+        );
+        // Four states: nothing fired, left fired, right fired, both — the
+        // two interleavings of "both" merge canonically.
+        assert_eq!(lts.stats.states, 4);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let err = Explorer::new(ExploreOptions {
+            max_states: 2,
+            ..ExploreOptions::default()
+        })
+        .explore(&parse("(^m)(c<m> | c(x).observe<x>)").unwrap())
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::StateBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn intruder_intercepts_unlocalized_outputs() {
+        let spec = IntruderSpec::new("1".parse().unwrap(), ["c"]);
+        let lts = explore(
+            "(^c)(((^m) c<m> | c(x).observe<x>) | 0)",
+            ExploreOptions {
+                intruder: Some(spec),
+                ..ExploreOptions::default()
+            },
+        );
+        // Some edge is an intercept.
+        let has_intercept = lts.states.iter().any(|s| {
+            s.edges
+                .iter()
+                .any(|(l, _)| matches!(l.desc(), StepDesc::Intercept { .. }))
+        });
+        assert!(has_intercept);
+    }
+
+    #[test]
+    fn intruder_injects_fresh_names() {
+        // B accepts anything on c and reveals it.
+        let spec = IntruderSpec::new("1".parse().unwrap(), ["c"]);
+        let lts = explore(
+            "(^c)((c(x).observe<x>) | 0)",
+            ExploreOptions {
+                intruder: Some(spec),
+                ..ExploreOptions::default()
+            },
+        );
+        let has_inject = lts.states.iter().any(|s| {
+            s.edges
+                .iter()
+                .any(|(l, _)| matches!(l.desc(), StepDesc::Inject { .. }))
+        });
+        assert!(has_inject, "the intruder can invent and inject a name");
+        assert!(lts.weak_barbs().iter().any(|b| b.chan == "observe"));
+    }
+
+    #[test]
+    fn intruder_respects_partner_authentication() {
+        // The input is localized at the honest sender's position ‖0‖0:
+        // the intruder (at ‖1) cannot inject.
+        let spec = IntruderSpec::new("1".parse().unwrap(), ["c"]);
+        let lts = explore(
+            "(^c)(((^m) c<m> | c@(1.0)(x).observe<x>) | 0)",
+            ExploreOptions {
+                intruder: Some(spec),
+                ..ExploreOptions::default()
+            },
+        );
+        let has_inject = lts.states.iter().any(|s| {
+            s.edges
+                .iter()
+                .any(|(l, _)| matches!(l.desc(), StepDesc::Inject { .. }))
+        });
+        assert!(!has_inject, "localized input refuses the intruder");
+        // The honest communication still happens.
+        assert!(lts.weak_barbs().iter().any(|b| b.chan == "observe"));
+    }
+
+    #[test]
+    fn intruder_cannot_touch_unknown_channels() {
+        // The protocol talks on a restricted s ∉ C.
+        let spec = IntruderSpec::new("1".parse().unwrap(), ["c"]);
+        let lts = explore(
+            "(^s)((s<m> | s(x).observe<x>) | 0)",
+            ExploreOptions {
+                intruder: Some(spec),
+                ..ExploreOptions::default()
+            },
+        );
+        let touched = lts.states.iter().any(|s| {
+            s.edges.iter().any(|(l, _)| {
+                matches!(
+                    l.desc(),
+                    StepDesc::Intercept { .. } | StepDesc::Inject { .. }
+                )
+            })
+        });
+        assert!(!touched);
+    }
+
+    #[test]
+    fn observations_record_origin() {
+        let lts = explore("(^m)(c<m> | c(x).observe<x>)", ExploreOptions::default());
+        let mut found = false;
+        for s in &lts.states {
+            for (l, _) in &s.edges {
+                if let Some(ev) = l.obs() {
+                    if let ObsTerm::Fresh { creator, .. } = &ev.payload {
+                        assert_eq!(creator.to_bits(), "e");
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "the observation carries the creator position");
+    }
+
+    #[test]
+    fn deadlocks_report_stuck_states_only() {
+        // A receiver that can never be served: stuck, not exhausted.
+        let lts = explore("(^c) c(x).observe<x>", ExploreOptions::default());
+        assert_eq!(lts.deadlocks(), vec![0]);
+        // A system that runs to completion (the protocol channel is
+        // restricted so the observer cannot steal the message): the
+        // terminal state is exhausted — no deadlock.
+        let lts = explore("(^c, m)(c<m> | c(x).observe<x>)", ExploreOptions::default());
+        assert!(lts.deadlocks().is_empty(), "completion is not a deadlock");
+        // With the channel free, the observer may eat the message and
+        // starve the receiver: that IS a deadlock.
+        let lts = explore("(^m)(c<m> | c(x).observe<x>)", ExploreOptions::default());
+        assert!(!lts.deadlocks().is_empty(), "a starved receiver is stuck");
+    }
+
+    #[test]
+    fn replication_explores_up_to_the_unfold_bound() {
+        let lts1 = explore(
+            "!(^m) c<m> | c(x).observe<x>",
+            ExploreOptions {
+                unfold_bound: 1,
+                ..ExploreOptions::default()
+            },
+        );
+        let lts2 = explore(
+            "!(^m) c<m> | c(x).observe<x>",
+            ExploreOptions {
+                unfold_bound: 2,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(lts2.stats.states > lts1.stats.states);
+    }
+}

@@ -1,0 +1,195 @@
+//! Weak barbed simulation — the paper's proof technique for the positive
+//! results (Propositions 2 and 4).
+//!
+//! The paper proves `P₂` secure by exhibiting a *barbed weak simulation*
+//! between the cryptographic protocol and the abstract one.  This module
+//! checks the analogous property on explored transition systems: every
+//! implementation state must be matched by a set of specification states
+//! that can weakly mirror its barbs and visible moves.
+//!
+//! Observations are compared event-locally (each event canonicalized on
+//! its own), which is slightly coarser than the trace-level linking used
+//! by [`trace_preorder`](crate::trace_preorder); the simulation check is
+//! therefore a fast diagnostic and a faithful rendition of the paper's
+//! proof style, while the trace check is the verdict-producing procedure.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::{Label, Lts, ObsEvent, TraceRenamer};
+
+/// The outcome of a simulation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulationResult {
+    /// The specification weakly simulates the implementation.
+    Simulates {
+        /// The number of game positions examined.
+        positions: usize,
+    },
+    /// A position where the specification cannot match the
+    /// implementation.
+    Fails {
+        /// The stuck implementation state.
+        impl_state: usize,
+        /// What the specification could not match.
+        reason: String,
+    },
+}
+
+impl SimulationResult {
+    /// Returns `true` when the simulation holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, SimulationResult::Simulates { .. })
+    }
+}
+
+fn event_key(ev: &ObsEvent) -> String {
+    TraceRenamer::new().canon(ev)
+}
+
+/// Checks that `specification` weakly simulates `implementation`: from
+/// the initial pair, every visible move and every barb of the
+/// implementation can be weakly matched by the specification.
+///
+/// # Example
+///
+/// ```
+/// use spi_verify::{simulates, Explorer, ExploreOptions};
+/// use spi_syntax::parse;
+///
+/// let impl_ = Explorer::new(ExploreOptions::default())
+///     .explore(&parse("observe<a>")?)?;
+/// let spec = Explorer::new(ExploreOptions::default())
+///     .explore(&parse("observe<a> | observe<b>")?)?;
+/// assert!(simulates(&spec, &impl_).holds());
+/// assert!(!simulates(&impl_, &spec).holds());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn simulates(specification: &Lts, implementation: &Lts) -> SimulationResult {
+    // Game positions: (implementation state, τ-closed set of spec states).
+    let start = (0usize, specification.tau_closure(0));
+    let mut seen: HashSet<(usize, Vec<usize>)> = HashSet::new();
+    let mut queue: VecDeque<(usize, BTreeSet<usize>)> = VecDeque::new();
+    seen.insert((start.0, start.1.iter().copied().collect()));
+    queue.push_back(start);
+    let mut positions = 0usize;
+
+    while let Some((i, spec_set)) = queue.pop_front() {
+        positions += 1;
+
+        // Barb preservation: every (strong) barb of the implementation
+        // state must be a weak barb of the matching set.
+        let spec_barbs: BTreeSet<_> = spec_set
+            .iter()
+            .flat_map(|&s| specification.states[s].barbs.iter().cloned())
+            .collect();
+        for b in &implementation.states[i].barbs {
+            if !spec_barbs.contains(b) {
+                return SimulationResult::Fails {
+                    impl_state: i,
+                    reason: format!(
+                        "barb {}{} not matched",
+                        b.chan,
+                        if b.output { "!" } else { "?" }
+                    ),
+                };
+            }
+        }
+
+        for (label, tgt) in &implementation.states[i].edges {
+            match label {
+                Label::Tau(_) => {
+                    // The spec set is already τ-closed: match by idling.
+                    let key = (*tgt, spec_set.iter().copied().collect::<Vec<_>>());
+                    if seen.insert(key) {
+                        queue.push_back((*tgt, spec_set.clone()));
+                    }
+                }
+                Label::Obs(ev, _) => {
+                    let want = event_key(ev);
+                    let mut matched: BTreeSet<usize> = BTreeSet::new();
+                    for &s in &spec_set {
+                        for (sl, st) in &specification.states[s].edges {
+                            if let Label::Obs(sev, _) = sl {
+                                if event_key(sev) == want {
+                                    matched.extend(specification.tau_closure(*st));
+                                }
+                            }
+                        }
+                    }
+                    if matched.is_empty() {
+                        return SimulationResult::Fails {
+                            impl_state: i,
+                            reason: format!("observation {want} not matched"),
+                        };
+                    }
+                    let key = (*tgt, matched.iter().copied().collect::<Vec<_>>());
+                    if seen.insert(key) {
+                        queue.push_back((*tgt, matched));
+                    }
+                }
+            }
+        }
+    }
+
+    SimulationResult::Simulates { positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExploreOptions, Explorer};
+    use spi_syntax::parse;
+
+    fn lts(src: &str) -> Lts {
+        Explorer::new(ExploreOptions::default())
+            .explore(&parse(src).expect("parses"))
+            .expect("explores")
+    }
+
+    #[test]
+    fn simulation_is_reflexive() {
+        for src in ["0", "observe<a>", "(^m)(c<m> | c(x).observe<x>)"] {
+            let l = lts(src);
+            assert!(simulates(&l, &l).holds(), "{src}");
+        }
+    }
+
+    #[test]
+    fn more_behaviour_simulates_less() {
+        let small = lts("observe<a>");
+        let big = lts("observe<a>.observe<b> | done<ok>");
+        assert!(simulates(&big, &small).holds());
+        assert!(!simulates(&small, &big).holds());
+    }
+
+    #[test]
+    fn barbs_must_be_matched() {
+        let impl_ = lts("observe<a>");
+        let spec = lts("reply(x)");
+        match simulates(&spec, &impl_) {
+            SimulationResult::Fails { reason, .. } => {
+                assert!(reason.contains("observe"), "{reason}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weak_matching_crosses_tau_steps() {
+        // The spec needs an internal communication before it can observe.
+        let impl_ = lts("observe<a>");
+        let spec = lts("(^s)(s<go> | s(x).observe<a>)");
+        assert!(simulates(&spec, &impl_).holds());
+    }
+
+    #[test]
+    fn origins_are_part_of_observations() {
+        // Same shape, different creator positions.
+        let left = lts("(^m) observe<m> | 0");
+        let right = lts("0 | (^m) observe<m>");
+        assert!(!simulates(&left, &right).holds());
+        assert!(!simulates(&right, &left).holds());
+    }
+}

@@ -1,0 +1,298 @@
+//! Weak traces and may-testing as trace inclusion.
+//!
+//! The paper's Definition 3 quantifies over all testers; over the
+//! observations our explorer exposes (continuation outputs with their
+//! full structure, fresh-name linking and origins), the may-testing
+//! preorder coincides with inclusion of weak trace sets, so
+//! [`trace_preorder`] is the decision procedure behind "P securely
+//! implements P′" (Definition 4).
+
+use std::collections::BTreeSet;
+
+use crate::{Label, Lts, ObsEvent, TraceRenamer};
+
+/// A set of canonical weak traces; each trace is the sequence of
+/// canonicalized observations.  The set contains every prefix of every
+/// trace (including the empty one).
+pub type TraceSet = BTreeSet<Vec<String>>;
+
+/// Enumerates the weak traces of `lts` up to `max_visible` observations.
+///
+/// Fresh names are renamed per trace (first occurrence order), so traces
+/// of different systems compare by pattern; creator positions are kept
+/// verbatim — they are what testers observe through address matching.
+///
+/// # Example
+///
+/// ```
+/// use spi_verify::{weak_traces, Explorer, ExploreOptions};
+/// use spi_syntax::parse;
+///
+/// let p = parse("(^m)(c<m> | c(x).observe<x>)")?;
+/// let lts = Explorer::new(ExploreOptions::default()).explore(&p)?;
+/// let traces = weak_traces(&lts, 4);
+/// assert!(traces.contains(&Vec::new()), "the empty trace is always there");
+/// assert!(traces.iter().any(|t| t.len() == 1), "one observation happens");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn weak_traces(lts: &Lts, max_visible: usize) -> TraceSet {
+    let mut out = TraceSet::new();
+    let initial: BTreeSet<usize> = lts.tau_closure(0);
+    let mut prefix = Vec::new();
+    collect(
+        lts,
+        &initial,
+        &TraceRenamer::new(),
+        max_visible,
+        &mut prefix,
+        &mut out,
+    );
+    out
+}
+
+fn collect(
+    lts: &Lts,
+    subset: &BTreeSet<usize>,
+    renamer: &TraceRenamer,
+    budget: usize,
+    prefix: &mut Vec<String>,
+    out: &mut TraceSet,
+) {
+    out.insert(prefix.clone());
+    if budget == 0 {
+        return;
+    }
+    // Group visible successors by raw event.
+    let mut by_event: Vec<(&ObsEvent, BTreeSet<usize>)> = Vec::new();
+    for &s in subset {
+        for (label, tgt) in &lts.states[s].edges {
+            if let Label::Obs(ev, _) = label {
+                match by_event.iter_mut().find(|(e, _)| *e == ev) {
+                    Some((_, set)) => {
+                        set.extend(lts.tau_closure(*tgt));
+                    }
+                    None => by_event.push((ev, lts.tau_closure(*tgt))),
+                }
+            }
+        }
+    }
+    for (ev, targets) in by_event {
+        let mut r = renamer.clone();
+        let canon = r.canon(ev);
+        prefix.push(canon);
+        collect(lts, &targets, &r, budget - 1, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// The outcome of a trace-inclusion check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// Every implementation trace is a specification trace.
+    Holds {
+        /// How many implementation traces were checked.
+        checked: usize,
+    },
+    /// A trace of the implementation that the specification cannot
+    /// produce — a may-testing counterexample, hence an attack.
+    Fails {
+        /// The offending canonical trace, shortest first.
+        witness: Vec<String>,
+    },
+}
+
+impl TraceVerdict {
+    /// Returns `true` when the inclusion holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, TraceVerdict::Holds { .. })
+    }
+}
+
+/// Checks the may-testing preorder `implementation ⊑ specification` as
+/// weak trace inclusion up to `max_visible` observations.
+#[must_use]
+pub fn trace_preorder(
+    implementation: &Lts,
+    specification: &Lts,
+    max_visible: usize,
+) -> TraceVerdict {
+    let impl_traces = weak_traces(implementation, max_visible);
+    let spec_traces = weak_traces(specification, max_visible);
+    let mut missing: Vec<&Vec<String>> = impl_traces.difference(&spec_traces).collect();
+    // Shortest witness first; among equals prefer the one carrying the
+    // most origin annotations — those are the authentication-relevant
+    // counterexamples (the paper's attacks inject located fresh names).
+    missing.sort_by_key(|t| {
+        let origins: usize = t.iter().map(|e| e.matches('@').count()).sum();
+        (t.len(), usize::MAX - origins, t.join("\u{1f}"))
+    });
+    match missing.first() {
+        None => TraceVerdict::Holds {
+            checked: impl_traces.len(),
+        },
+        Some(w) => TraceVerdict::Fails {
+            witness: (*w).clone(),
+        },
+    }
+}
+
+/// Finds a concrete run of `lts` realizing the canonical `trace`,
+/// returning the full edge sequence (silent steps included) for
+/// narration.
+#[must_use]
+pub fn find_realization<'l>(
+    lts: &'l Lts,
+    trace: &[String],
+) -> Option<Vec<(usize, &'l Label, usize)>> {
+    let mut path = Vec::new();
+    let mut visited = BTreeSet::new();
+    if dfs(
+        lts,
+        0,
+        trace,
+        0,
+        &TraceRenamer::new(),
+        &mut path,
+        &mut visited,
+    ) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn dfs<'l>(
+    lts: &'l Lts,
+    state: usize,
+    trace: &[String],
+    pos: usize,
+    renamer: &TraceRenamer,
+    path: &mut Vec<(usize, &'l Label, usize)>,
+    visited: &mut BTreeSet<(usize, usize)>,
+) -> bool {
+    if pos == trace.len() {
+        return true;
+    }
+    if !visited.insert((state, pos)) {
+        return false;
+    }
+    for (label, tgt) in &lts.states[state].edges {
+        match label {
+            Label::Tau(_) => {
+                path.push((state, label, *tgt));
+                if dfs(lts, *tgt, trace, pos, renamer, path, visited) {
+                    return true;
+                }
+                path.pop();
+            }
+            Label::Obs(ev, _) => {
+                let mut r = renamer.clone();
+                if r.canon(ev) == trace[pos] {
+                    path.push((state, label, *tgt));
+                    // Deeper positions may revisit states: clear the
+                    // guard for the next segment.
+                    let mut fresh_visited = BTreeSet::new();
+                    if dfs(lts, *tgt, trace, pos + 1, &r, path, &mut fresh_visited) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExploreOptions, Explorer};
+    use spi_syntax::parse;
+
+    fn lts(src: &str) -> Lts {
+        Explorer::new(ExploreOptions::default())
+            .explore(&parse(src).expect("parses"))
+            .expect("explores")
+    }
+
+    #[test]
+    fn traces_include_all_prefixes() {
+        let l = lts("observe<a>.observe<b>");
+        let t = weak_traces(&l, 4);
+        assert!(t.contains(&Vec::new()));
+        assert!(t.iter().any(|tr| tr.len() == 1));
+        assert!(t.iter().any(|tr| tr.len() == 2));
+        assert_eq!(t.len(), 3, "a deterministic two-output system");
+    }
+
+    #[test]
+    fn trace_canonicalization_forgets_raw_ids() {
+        // Two alpha-equivalent systems have identical trace sets.
+        let a = lts("(^m) observe<m>");
+        let b = lts("(^n) observe<n>");
+        assert_eq!(weak_traces(&a, 2), weak_traces(&b, 2));
+    }
+
+    #[test]
+    fn linking_distinguishes_replays() {
+        // Same fresh name twice vs two fresh names.
+        let twice = lts("(^m)(observe<m>.observe<m>)");
+        let two = lts("(^m)(^n)(observe<m>.observe<n>)");
+        assert_ne!(weak_traces(&twice, 3), weak_traces(&two, 3));
+        // And inclusion fails in both directions.
+        assert!(!trace_preorder(&twice, &two, 3).holds());
+        assert!(!trace_preorder(&two, &twice, 3).holds());
+    }
+
+    #[test]
+    fn origins_distinguish_traces() {
+        // The same pattern of outputs, but the name is created by a
+        // different component.
+        let left = lts("(^m) observe<m> | 0");
+        let right = lts("0 | (^m) observe<m>");
+        assert_ne!(weak_traces(&left, 2), weak_traces(&right, 2));
+    }
+
+    #[test]
+    fn preorder_holds_for_subsets() {
+        let small = lts("observe<a>");
+        let big = lts("observe<a> | observe<b>");
+        assert!(trace_preorder(&small, &big, 3).holds());
+        assert!(!trace_preorder(&big, &small, 3).holds());
+    }
+
+    #[test]
+    fn witness_is_shortest_and_realizable() {
+        let impl_ = lts("observe<a>.observe<bad>");
+        let spec = lts("observe<a>");
+        match trace_preorder(&impl_, &spec, 4) {
+            TraceVerdict::Fails { witness } => {
+                assert_eq!(witness.len(), 2, "shortest counterexample");
+                assert!(witness[1].contains("bad"));
+                let path = find_realization(&impl_, &witness).expect("realizable");
+                // Two visible edges.
+                let visible = path
+                    .iter()
+                    .filter(|(_, l, _)| matches!(l, Label::Obs(_, _)))
+                    .count();
+                assert_eq!(visible, 2);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nondeterminism_is_covered() {
+        // A system that may output either a or b.
+        let l = lts("observe<a> | observe<b>");
+        let t = weak_traces(&l, 2);
+        assert!(t
+            .iter()
+            .any(|tr| tr.first().is_some_and(|e| e.contains("f:a"))));
+        assert!(t
+            .iter()
+            .any(|tr| tr.first().is_some_and(|e| e.contains("f:b"))));
+    }
+}

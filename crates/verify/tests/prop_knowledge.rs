@@ -1,0 +1,143 @@
+//! Property-based tests of the Dolev–Yao knowledge engine.
+
+use proptest::prelude::*;
+use spi_semantics::{NameTable, RtTerm};
+use spi_syntax::Name;
+use spi_verify::Knowledge;
+
+/// A pool of atoms (restricted names) in a shared table.
+fn pool() -> (NameTable, Vec<RtTerm>) {
+    let mut names = NameTable::new();
+    let atoms = (0..6)
+        .map(|i| {
+            RtTerm::Id(names.alloc_restricted(
+                &Name::new(format!("a{i}")),
+                if i % 2 == 0 { "0" } else { "1" }.parse().unwrap(),
+            ))
+        })
+        .collect();
+    (names, atoms)
+}
+
+fn arb_msg(atoms: Vec<RtTerm>) -> impl Strategy<Value = RtTerm> {
+    let leaf = proptest::sample::select(atoms.clone());
+    leaf.prop_recursive(3, 16, 2, move |inner| {
+        let atoms = atoms.clone();
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RtTerm::Pair {
+                fst: Box::new(a),
+                snd: Box::new(b),
+                creator: None,
+            }),
+            (inner, proptest::sample::select(atoms)).prop_map(|(b, k)| RtTerm::Enc {
+                body: vec![b],
+                key: Box::new(k),
+                creator: None,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn learning_is_monotone(msgs in prop::collection::vec(arb_msg(pool().1), 1..8)) {
+        // Everything derivable before learning stays derivable after.
+        let mut kn = Knowledge::new();
+        for m in &msgs[..msgs.len() / 2] {
+            kn.learn(m.clone());
+        }
+        let before: Vec<RtTerm> = kn.iter().cloned().collect();
+        for m in &msgs[msgs.len() / 2..] {
+            kn.learn(m.clone());
+        }
+        for t in &before {
+            prop_assert!(kn.can_derive(t));
+        }
+    }
+
+    #[test]
+    fn learning_order_is_irrelevant(msgs in prop::collection::vec(arb_msg(pool().1), 1..8)) {
+        let mut forward = Knowledge::new();
+        for m in &msgs {
+            forward.learn(m.clone());
+        }
+        let mut backward = Knowledge::new();
+        for m in msgs.iter().rev() {
+            backward.learn(m.clone());
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn learning_is_idempotent(msgs in prop::collection::vec(arb_msg(pool().1), 1..6)) {
+        let mut once = Knowledge::new();
+        for m in &msgs {
+            once.learn(m.clone());
+        }
+        let mut twice = once.clone();
+        for m in &msgs {
+            twice.learn(m.clone());
+        }
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn learnt_messages_are_derivable(msgs in prop::collection::vec(arb_msg(pool().1), 1..8)) {
+        let mut kn = Knowledge::new();
+        for m in &msgs {
+            kn.learn(m.clone());
+        }
+        for m in &msgs {
+            prop_assert!(kn.can_derive(m));
+        }
+    }
+
+    #[test]
+    fn derivability_is_closed_under_construction(
+        msgs in prop::collection::vec(arb_msg(pool().1), 1..6),
+        key_idx in 0usize..6,
+    ) {
+        let (_, atoms) = pool();
+        let mut kn = Knowledge::new();
+        for m in &msgs {
+            kn.learn(m.clone());
+        }
+        // Anything buildable from two derivable parts is derivable.
+        if kn.can_derive(&msgs[0]) && kn.can_derive(&atoms[key_idx]) {
+            let pair = RtTerm::Pair {
+                fst: Box::new(msgs[0].clone()),
+                snd: Box::new(atoms[key_idx].clone()),
+                creator: None,
+            };
+            prop_assert!(kn.can_derive(&pair));
+            let enc = RtTerm::Enc {
+                body: vec![msgs[0].clone()],
+                key: Box::new(atoms[key_idx].clone()),
+                creator: None,
+            };
+            prop_assert!(kn.can_derive(&enc));
+        }
+    }
+
+    #[test]
+    fn sealed_contents_are_underivable_without_the_key(
+        payload_idx in 0usize..3,
+        key_idx in 3usize..6,
+    ) {
+        // Learn only {payload}key: neither part leaks.
+        let (_, atoms) = pool();
+        let payload = atoms[payload_idx].clone();
+        let key = atoms[key_idx].clone();
+        let sealed = RtTerm::Enc {
+            body: vec![payload.clone()],
+            key: Box::new(key.clone()),
+            creator: None,
+        };
+        let mut kn = Knowledge::new();
+        kn.learn(sealed);
+        prop_assert!(!kn.can_derive(&payload));
+        prop_assert!(!kn.can_derive(&key));
+    }
+}

@@ -1,0 +1,119 @@
+//! The protocol zoo: run every bundled protocol through the full
+//! pipeline — honest completion, exploration under the most-general
+//! intruder, secrecy of its long-term secrets — and print a summary
+//! table.
+//!
+//! ```sh
+//! cargo run --release --example protocol_zoo
+//! ```
+
+use spi_auth::protocols::compile::CompileOptions;
+use spi_auth::protocols::{extra, multi, single};
+use spi_auth::semantics::Barb;
+use spi_auth::syntax::{Name, Process};
+use spi_auth::verify::{check_secrecy, may_exhibit, ExploreOptions};
+use spi_auth::Verifier;
+
+struct Entry {
+    name: &'static str,
+    process: Process,
+    roles: Vec<(&'static str, &'static str)>,
+    sessions: u32,
+    secrets: Vec<&'static str>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let single_opts = CompileOptions::default();
+    let zoo = vec![
+        Entry {
+            name: "paper P (abstract)",
+            process: single::abstract_protocol("c", "observe")?,
+            roles: vec![("A", "0"), ("B", "1")],
+            sessions: 1,
+            secrets: vec![],
+        },
+        Entry {
+            name: "paper P1 (plaintext)",
+            process: single::plaintext("c", "observe"),
+            roles: vec![("A", "0"), ("B", "1")],
+            sessions: 1,
+            secrets: vec!["m"],
+        },
+        Entry {
+            name: "paper P2 (shared key)",
+            process: single::shared_key("c", "observe"),
+            roles: vec![("A", "0"), ("B", "1")],
+            sessions: 1,
+            secrets: vec!["m", "kAB"],
+        },
+        Entry {
+            name: "paper Pm3 (challenge-response)",
+            process: multi::challenge_response("c", "observe"),
+            roles: vec![("A", "0"), ("B", "1")],
+            sessions: 2,
+            secrets: vec!["m", "kAB"],
+        },
+        Entry {
+            name: "wide-mouthed frog",
+            process: extra::wide_mouthed_frog(&single_opts)?,
+            roles: vec![("A", "00"), ("B", "01"), ("S", "1")],
+            sessions: 1,
+            secrets: vec!["kas", "kbs", "kab", "m"],
+        },
+        Entry {
+            name: "Needham-Schroeder SK",
+            process: extra::needham_schroeder(&single_opts)?,
+            roles: vec![("A", "00"), ("B", "01"), ("S", "1")],
+            sessions: 1,
+            secrets: vec!["kas", "kbs", "kab", "m"],
+        },
+        Entry {
+            name: "Otway-Rees",
+            process: extra::otway_rees(&single_opts)?,
+            roles: vec![("A", "00"), ("B", "01"), ("S", "1")],
+            sessions: 1,
+            secrets: vec!["kas", "kbs", "kab", "m"],
+        },
+        Entry {
+            name: "mutual exchange",
+            process: extra::mutual_exchange(&single_opts)?,
+            roles: vec![("A", "0"), ("B", "1")],
+            sessions: 1,
+            secrets: vec!["kab", "ma", "mb"],
+        },
+    ];
+
+    println!(
+        "{:<32} {:>9} {:>8} {:>8} {:>9}",
+        "protocol", "completes", "states", "secrecy", "deadlocks"
+    );
+    let beta = Barb {
+        chan: Name::new("observe"),
+        output: true,
+    };
+    for entry in zoo {
+        let completes = may_exhibit(&entry.process, &beta, &ExploreOptions::default())?.is_some();
+        let verifier = Verifier::new(["c"])
+            .roles(entry.roles.clone())
+            .sessions(entry.sessions)
+            .max_states(800_000);
+        let lts = verifier.explore(&entry.process)?;
+        let secrets: Vec<Name> = entry.secrets.iter().map(Name::new).collect();
+        let secrecy = if secrets.is_empty() {
+            "n/a".to_owned()
+        } else if check_secrecy(&lts, &secrets).holds() {
+            "holds".to_owned()
+        } else {
+            "LEAKS".to_owned()
+        };
+        println!(
+            "{:<32} {:>9} {:>8} {:>8} {:>9}",
+            entry.name,
+            if completes { "yes" } else { "NO" },
+            lts.stats.states,
+            secrecy,
+            lts.deadlocks().len(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Root facade of the `spi-auth` reproduction workspace.
+//!
+//! This crate re-exports every member crate so the integration tests and
+//! examples at the repository root can reach the whole API through a single
+//! dependency. Library users should depend on the individual crates (or on
+//! [`spi_auth`], the main facade) instead.
+
+pub use spi_addr as addr;
+pub use spi_auth as auth;
+pub use spi_protocols as protocols;
+pub use spi_semantics as semantics;
+pub use spi_syntax as syntax;
+pub use spi_verify as verify;

@@ -1,0 +1,56 @@
+//! Cross-validation: the trace-inclusion verdicts of the main verifier
+//! agree with Definition 3 run directly over synthesized testers — the
+//! paper's own notion, one explicit test `(T, β)` at a time.
+
+use spi_auth_repro::auth::Verifier;
+use spi_auth_repro::protocols::{multi, single};
+
+#[test]
+fn definition3_agrees_on_the_single_session_results() {
+    let verifier = Verifier::new(["c"]);
+    let p = single::abstract_protocol("c", "observe").unwrap();
+
+    // P2 ⊑ P: no synthesized tester distinguishes them.
+    let outcome = verifier
+        .check_definition3(&single::shared_key("c", "observe"), &p)
+        .unwrap();
+    assert!(outcome.holds(), "{:?}", outcome.violations);
+    assert!(outcome.testers >= 2, "origin + replay testers were run");
+
+    // P1 ⋢ P: some tester passes P1|E and not P|E.
+    let outcome = verifier
+        .check_definition3(&single::plaintext("c", "observe"), &p)
+        .unwrap();
+    assert!(!outcome.holds(), "a tester detects the injection");
+}
+
+#[test]
+fn definition3_agrees_on_the_multisession_results() {
+    let verifier = Verifier::new(["c"]).sessions(2);
+    let pm = multi::abstract_protocol("c", "observe").unwrap();
+
+    // Pm2 ⋢ Pm: the replay tester (the paper's T = o(x).o(y).[x ≗ y]β̄)
+    // distinguishes them.
+    let outcome = verifier
+        .check_definition3(&multi::shared_key("c", "observe"), &pm)
+        .unwrap();
+    assert!(!outcome.holds());
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("observe(z).observe(w)")),
+        "the replay tester is among the distinguishers: {:?}",
+        outcome.violations
+    );
+}
+
+#[test]
+fn definition3_passes_the_challenge_response() {
+    let verifier = Verifier::new(["c"]).sessions(2);
+    let pm = multi::abstract_protocol("c", "observe").unwrap();
+    let outcome = verifier
+        .check_definition3(&multi::challenge_response("c", "observe"), &pm)
+        .unwrap();
+    assert!(outcome.holds(), "{:?}", outcome.violations);
+}

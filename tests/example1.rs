@@ -1,0 +1,111 @@
+//! Experiment E2 — Example 1 of the paper (Section 2): the two-step
+//! computation of `S = !P | Q` with
+//!
+//! ```text
+//! P  = ā⟨{M}k⟩.0
+//! Q  = a(x). case x of {y}k in Q′
+//! Q′ = (νh)( b̄⟨{y}h⟩.0 | R )
+//! ```
+
+use spi_auth_repro::semantics::{Action, Config, LeafState, RtTerm};
+use spi_auth_repro::syntax::parse;
+
+fn p(s: &str) -> spi_auth_repro::addr::Path {
+    s.parse().expect("valid path")
+}
+
+#[test]
+fn the_papers_two_step_computation() {
+    let s = parse("!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))").unwrap();
+    let mut cfg = Config::from_process(&s).unwrap();
+
+    // !P can be rewritten as P | !P: one unfolding.
+    let actions = cfg.enabled(1);
+    assert!(actions.contains(&Action::Unfold { path: p("0") }));
+    cfg.fire(&Action::Unfold { path: p("0") }).unwrap();
+
+    // "In the first transition, Q receives on channel a the message {M}k
+    //  sent by P and {M}k replaces x in the residual of Q."
+    cfg.fire(&Action::Comm {
+        out_path: p("00"),
+        in_path: p("1"),
+    })
+    .unwrap();
+
+    // "In the second transition, {M}k can be successfully decrypted by
+    //  the residual of Q, with the correct key k, and M replaces y in Q′.
+    //  The effect is to encrypt M with the key h, private to Q′."
+    //
+    // Our machine evaluates the (deterministic) decryption during
+    // placement, so the residual of Q is already Q′ split in two leaves:
+    // b̄⟨{M}h⟩ and R.
+    let out = cfg.tree().leaf_at(&p("10")).unwrap();
+    match out {
+        LeafState::Out { chan, payload, .. } => {
+            assert_eq!(chan.subject.display(cfg.names()), "b");
+            match payload {
+                RtTerm::Enc { body, key, .. } => {
+                    // The body is M (the free name m), the key is the
+                    // fresh private h.
+                    assert_eq!(body.len(), 1);
+                    assert_eq!(body[0].display(cfg.names()), "m");
+                    match key.as_ref() {
+                        RtTerm::Id(h) => {
+                            assert!(cfg.names().entry(*h).restricted, "h is private to Q′");
+                            assert_eq!(cfg.names().entry(*h).base.as_str(), "h");
+                        }
+                        other => panic!("unexpected key {other:?}"),
+                    }
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+        other => panic!("expected the output b̄⟨{{M}}h⟩, got {other:?}"),
+    }
+    // R waits untouched next to it.
+    assert!(matches!(
+        cfg.tree().leaf_at(&p("11")).unwrap(),
+        LeafState::In { .. }
+    ));
+    // And the replication is still available for more copies.
+    assert!(matches!(
+        cfg.tree().leaf_at(&p("01")).unwrap(),
+        LeafState::Bang { unfolded: 1, .. }
+    ));
+}
+
+#[test]
+fn the_source_of_infinitely_many_outputs() {
+    // "!P represents a source of infinitely many outputs on a."
+    let s = parse("!a<{m}k> | a(x).case x of {y}k in (^h)(b<{y}h> | r(w))").unwrap();
+    let mut cfg = Config::from_process(&s).unwrap();
+    for _ in 0..4 {
+        let unfold = cfg
+            .enabled(u32::MAX)
+            .into_iter()
+            .find(|a| matches!(a, Action::Unfold { .. }))
+            .expect("the replication never exhausts");
+        cfg.fire(&unfold).unwrap();
+    }
+    // Four copies of the output are now live.
+    let outs = cfg
+        .tree()
+        .leaves()
+        .filter(|(_, l)| matches!(l, LeafState::Out { .. }))
+        .count();
+    assert_eq!(outs, 4);
+}
+
+#[test]
+fn wrong_key_blocks_the_second_step() {
+    // With a different key the decryption is stuck and Q dies silently.
+    let s = parse("!a<{m}k> | a(x).case x of {y}kk in (^h)(b<{y}h> | r(w))").unwrap();
+    let mut cfg = Config::from_process(&s).unwrap();
+    cfg.fire(&Action::Unfold { path: p("0") }).unwrap();
+    cfg.fire(&Action::Comm {
+        out_path: p("00"),
+        in_path: p("1"),
+    })
+    .unwrap();
+    assert!(cfg.tree().leaf_at(&p("1")).unwrap().is_dead());
+}

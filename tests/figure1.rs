@@ -1,0 +1,78 @@
+//! Experiment E1 — Figure 1 of the paper: the tree of sequential
+//! processes of `(P0|P1)|(P2|(P3|P4))` and the relative addresses the
+//! paper reads off it (Section 3).
+
+use spi_auth_repro::addr::{Path, ProcTree, RelAddr};
+
+fn fig1() -> ProcTree<&'static str> {
+    ProcTree::node(
+        ProcTree::node(ProcTree::leaf("P0"), ProcTree::leaf("P1")),
+        ProcTree::node(
+            ProcTree::leaf("P2"),
+            ProcTree::node(ProcTree::leaf("P3"), ProcTree::leaf("P4")),
+        ),
+    )
+}
+
+fn p(s: &str) -> Path {
+    s.parse().expect("valid path literal")
+}
+
+#[test]
+fn the_tree_has_the_papers_shape() {
+    let t = fig1();
+    assert_eq!(t.leaf_count(), 5);
+    assert_eq!(t.to_string(), "((P0 | P1) | (P2 | (P3 | P4)))");
+    let leaves: Vec<(String, &str)> = t.leaves().map(|(path, v)| (path.to_bits(), *v)).collect();
+    assert_eq!(
+        leaves,
+        vec![
+            ("00".into(), "P0"),
+            ("01".into(), "P1"),
+            ("10".into(), "P2"),
+            ("110".into(), "P3"),
+            ("111".into(), "P4"),
+        ]
+    );
+}
+
+#[test]
+fn the_address_of_p3_relative_to_p1() {
+    // "the address of P3 relative to P1 is l = ‖0‖1•‖1‖1‖0"
+    let t = fig1();
+    let l = t.address_between(&p("01"), &p("110")).unwrap();
+    assert_eq!(l.to_string(), "‖0‖1•‖1‖1‖0");
+    // "the relative address of P1 with respect to P3 is ‖1‖1‖0•‖0‖1,
+    //  that we write also as l⁻¹"
+    assert_eq!(l.inverse().to_string(), "‖1‖1‖0•‖0‖1");
+}
+
+#[test]
+fn definition_2_compatibility() {
+    let l = RelAddr::between(&p("01"), &p("110"));
+    assert!(l.is_compatible(&l.inverse()));
+    assert!(l.inverse().is_compatible(&l));
+    assert!(!l.is_compatible(&l));
+}
+
+#[test]
+fn section_3_2_forwarding_example() {
+    // P3 sends its private n to P1, who forwards it to P2: the tag is
+    // updated so that "the name n of P3 is correctly referred to" at P2
+    // by the address of P3 relative to P2.
+    let tag_at_p1 = RelAddr::between(&p("01"), &p("110"));
+    let comm = RelAddr::between(&p("10"), &p("01"));
+    let tag_at_p2 = tag_at_p1.compose(&comm).unwrap();
+    assert_eq!(tag_at_p2, RelAddr::between(&p("10"), &p("110")));
+    assert_eq!(tag_at_p2.observer(), &p("0"));
+    assert_eq!(tag_at_p2.target(), &p("10"));
+}
+
+#[test]
+fn section_3_1_partner_example() {
+    // "P3 sends b along a_l ... l = ‖1‖1‖0•‖0‖1" — the pointer held by P3
+    // towards P1 resolves, at P3's position, to P1's position.
+    let l = RelAddr::between(&p("110"), &p("01"));
+    assert_eq!(l.to_string(), "‖1‖1‖0•‖0‖1");
+    assert_eq!(l.resolve_at(&p("110")).unwrap(), p("01"));
+}

@@ -1,0 +1,231 @@
+//! Property-based tests of the abstract machine and the verification
+//! pipeline over randomly generated (small, closed) processes.
+
+use proptest::prelude::*;
+use spi_auth_repro::semantics::{Action, Config, StepInfo};
+use spi_auth_repro::syntax::{Name, Process, Term, Var};
+use spi_auth_repro::verify::{
+    simulates, trace_preorder, weak_traces, ExploreOptions, Explorer, IntruderSpec,
+};
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop_oneof![
+        Just(Name::new("c")),
+        Just(Name::new("d")),
+        Just(Name::new("k")),
+        Just(Name::new("m")),
+    ]
+}
+
+/// A closed message term over names and one bound variable when allowed.
+fn arb_term(bound: Vec<Var>) -> BoxedStrategy<Term> {
+    let atom = if bound.is_empty() {
+        arb_name().prop_map(Term::Name).boxed()
+    } else {
+        prop_oneof![
+            arb_name().prop_map(Term::Name),
+            proptest::sample::select(bound).prop_map(Term::Var),
+        ]
+        .boxed()
+    };
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::pair(a, b)),
+            (inner.clone(), inner).prop_map(|(b, k)| Term::enc(vec![b], k)),
+        ]
+    })
+    .boxed()
+}
+
+/// A small closed process over a fixed channel pool.  Replication is
+/// excluded so exploration terminates quickly even without unfolding
+/// bounds.
+fn arb_process(bound: Vec<Var>, depth: u32) -> BoxedStrategy<Process> {
+    if depth == 0 {
+        return prop_oneof![
+            Just(Process::Nil),
+            (arb_name(), arb_term(bound)).prop_map(|(c, t)| Process::output(
+                Term::Name(c),
+                t,
+                Process::Nil
+            )),
+        ]
+        .boxed();
+    }
+    let fresh = Var::new(format!("x{}", bound.len()));
+    let with_fresh = {
+        let mut b = bound.clone();
+        b.push(fresh.clone());
+        b
+    };
+    prop_oneof![
+        Just(Process::Nil),
+        (
+            arb_name(),
+            arb_term(bound.clone()),
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(c, t, p)| Process::output(Term::Name(c), t, p)),
+        (arb_name(), arb_process(with_fresh.clone(), depth - 1)).prop_map({
+            let fresh = fresh.clone();
+            move |(c, p)| Process::input(Term::Name(c), fresh.clone(), p)
+        }),
+        (arb_name(), arb_process(bound.clone(), depth - 1))
+            .prop_map(|(n, p)| Process::restrict(n, p)),
+        (
+            arb_process(bound.clone(), depth - 1),
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(l, r)| Process::par(l, r)),
+        (
+            arb_term(bound.clone()),
+            arb_term(bound.clone()),
+            arb_process(bound.clone(), depth - 1)
+        )
+            .prop_map(|(a, b, p)| Process::matching(a, b, p)),
+        (
+            arb_term(bound.clone()),
+            arb_term(bound.clone()),
+            arb_process(with_fresh, depth - 1)
+        )
+            .prop_map(move |(s, k, p)| Process::case(s, [fresh.clone()], k, p)),
+    ]
+    .boxed()
+}
+
+fn small_opts() -> ExploreOptions {
+    ExploreOptions {
+        max_states: 4_000,
+        unfold_bound: 1,
+        intruder: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exploration_is_deterministic(p in arb_process(Vec::new(), 3)) {
+        let a = Explorer::new(small_opts()).explore(&p);
+        let b = Explorer::new(small_opts()).explore(&p);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.stats, y.stats);
+                prop_assert_eq!(&x.states[0].key, &y.states[0].key);
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "divergent outcomes: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn firing_enabled_actions_never_errors(p in arb_process(Vec::new(), 3)) {
+        let mut cfg = Config::from_process(&p).expect("closed by construction");
+        for _ in 0..16 {
+            let actions = cfg.enabled(1);
+            let Some(action) = actions.first() else { break };
+            let before = cfg.tree().leaf_count();
+            cfg.fire(action).expect("enabled actions fire");
+            prop_assert!(cfg.tree().leaf_count() >= before, "the tree never shrinks");
+        }
+    }
+
+    #[test]
+    fn comm_payload_creators_resolve(p in arb_process(Vec::new(), 3)) {
+        let mut cfg = Config::from_process(&p).expect("closed");
+        for _ in 0..12 {
+            let actions = cfg.enabled(1);
+            let Some(action) = actions.iter().find(|a| matches!(a, Action::Comm { .. })) else {
+                break;
+            };
+            let info = cfg.fire(action).expect("fires");
+            if let StepInfo::Comm(ci) = info {
+                // The located view at the receiver resolves back to the
+                // absolute creator — the coherence the message-
+                // authentication primitive relies on.
+                if let Some(creator) = ci.payload.creator(cfg.names()) {
+                    let loc = ci
+                        .payload
+                        .location_at(&ci.receiver, cfg.names())
+                        .expect("creator implies location");
+                    prop_assert_eq!(&loc.resolve_at(&ci.receiver).expect("resolves"), creator);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_sets_are_prefix_closed(p in arb_process(Vec::new(), 3)) {
+        let Ok(lts) = Explorer::new(small_opts()).explore(&p) else { return Ok(()) };
+        let traces = weak_traces(&lts, 3);
+        for t in &traces {
+            for cut in 0..t.len() {
+                prop_assert!(traces.contains(&t[..cut]));
+            }
+        }
+    }
+
+    #[test]
+    fn preorders_are_reflexive(p in arb_process(Vec::new(), 3)) {
+        let Ok(lts) = Explorer::new(small_opts()).explore(&p) else { return Ok(()) };
+        prop_assert!(trace_preorder(&lts, &lts, 3).holds());
+        prop_assert!(simulates(&lts, &lts).holds());
+    }
+
+    #[test]
+    fn simulation_implies_trace_inclusion(
+        p in arb_process(Vec::new(), 2),
+        q in arb_process(Vec::new(), 2),
+    ) {
+        let Ok(lp) = Explorer::new(small_opts()).explore(&p) else { return Ok(()) };
+        let Ok(lq) = Explorer::new(small_opts()).explore(&q) else { return Ok(()) };
+        // Weak simulation is finer than (event-local) trace inclusion;
+        // over these generators (each fresh name observed at most once per
+        // trace) event-local and trace-level naming coincide, so
+        // simulation must imply inclusion.
+        if simulates(&lq, &lp).holds() {
+            prop_assert!(
+                trace_preorder(&lp, &lq, 3).holds(),
+                "simulation held but a trace escaped"
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_explored_behaviour(p in arb_process(Vec::new(), 3)) {
+        // The static simplifier must not change what a tester can see:
+        // identical weak traces (origins included) in both directions.
+        let q = p.simplify();
+        let lp = Explorer::new(small_opts()).explore(&p);
+        let lq = Explorer::new(small_opts()).explore(&q);
+        let (Ok(lp), Ok(lq)) = (lp, lq) else { return Ok(()) };
+        prop_assert_eq!(
+            weak_traces(&lp, 3),
+            weak_traces(&lq, 3),
+            "simplify changed behaviour: {} vs {}",
+            p,
+            q
+        );
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_generated_processes(p in arb_process(Vec::new(), 3)) {
+        let once = p.simplify();
+        prop_assert_eq!(once.simplify(), once);
+    }
+
+    #[test]
+    fn intruder_only_grows_behaviour(p in arb_process(Vec::new(), 2)) {
+        // With the protocol channel restricted (Definition 4's shape),
+        // adding the most-general intruder can only add silent moves: the
+        // honest weak traces stay included.
+        let composed = Process::restrict("c", Process::par(p.clone(), Process::Nil));
+        let with_intruder = ExploreOptions {
+            intruder: Some(IntruderSpec::new("1".parse().unwrap(), ["c"])),
+            ..small_opts()
+        };
+        let Ok(plain) = Explorer::new(small_opts()).explore(&composed) else { return Ok(()) };
+        let Ok(attacked) = Explorer::new(with_intruder).explore(&composed) else { return Ok(()) };
+        prop_assert!(trace_preorder(&plain, &attacked, 3).holds());
+    }
+}

@@ -1,0 +1,144 @@
+//! Secrecy checks across the protocol suite — the paper's Section 5.1
+//! remark ("locating the output of M in A would give a secrecy guarantee
+//! on the message") plus the classic protocols.
+
+use spi_auth_repro::auth::Verifier;
+use spi_auth_repro::protocols::compile::CompileOptions;
+use spi_auth_repro::protocols::{extra, multi, single};
+use spi_auth_repro::syntax::{parse, Name};
+
+fn names(xs: &[&str]) -> Vec<Name> {
+    xs.iter().map(Name::new).collect()
+}
+
+#[test]
+fn p1_leaks_its_payload_but_p2_does_not() {
+    let verifier = Verifier::new(["c"]);
+    let report = verifier
+        .check_secrecy(&single::plaintext("c", "observe"), &names(&["m"]))
+        .unwrap();
+    assert!(!report.holds(), "plaintext m is interceptable");
+
+    let report = verifier
+        .check_secrecy(&single::shared_key("c", "observe"), &names(&["m", "kAB"]))
+        .unwrap();
+    assert!(report.holds(), "{:?}", report.leaks);
+}
+
+#[test]
+fn the_abstract_protocol_leaks_m_unless_the_output_is_localized() {
+    // In the abstract P, A's output is NOT localized: E can intercept M
+    // (the paper's point is authentication, not secrecy).
+    let verifier = Verifier::new(["c"]);
+    let p = single::abstract_protocol("c", "observe").unwrap();
+    let report = verifier.check_secrecy(&p, &names(&["m"])).unwrap();
+    assert!(!report.holds(), "the paper's P protects authenticity only");
+
+    // Localizing the output (the paper's A′) adds secrecy.
+    let localized = parse("(^s)(s<s>.(^m)c@(0.1)<m> | s@lamB(x_s).c@lamB(z).observe<z>)").unwrap();
+    let report = verifier.check_secrecy(&localized, &names(&["m"])).unwrap();
+    assert!(report.holds(), "{:?}", report.leaks);
+}
+
+#[test]
+fn multisession_protocols_keep_their_keys() {
+    let verifier = Verifier::new(["c"]).sessions(2);
+    for p in [
+        multi::shared_key("c", "observe"),
+        multi::challenge_response("c", "observe"),
+    ] {
+        let report = verifier.check_secrecy(&p, &names(&["kAB", "m"])).unwrap();
+        assert!(report.holds(), "{:?}", report.leaks);
+    }
+}
+
+#[test]
+fn wide_mouthed_frog_protects_key_and_payload() {
+    let verifier = Verifier::new(["c"])
+        .roles([("A", "00"), ("B", "01"), ("S", "1")])
+        .sessions(1);
+    let wmf = extra::wide_mouthed_frog(&CompileOptions::default()).unwrap();
+    let report = verifier
+        .check_secrecy(&wmf, &names(&["kas", "kbs", "kab", "m"]))
+        .unwrap();
+    assert!(report.holds(), "{:?}", report.leaks);
+}
+
+#[test]
+fn needham_schroeder_protects_key_and_payload() {
+    let verifier = Verifier::new(["c"])
+        .roles([("A", "00"), ("B", "01"), ("S", "1")])
+        .sessions(1)
+        .max_states(400_000);
+    let ns = extra::needham_schroeder(&CompileOptions::default()).unwrap();
+    let report = verifier
+        .check_secrecy(&ns, &names(&["kas", "kbs", "kab", "m"]))
+        .unwrap();
+    assert!(report.holds(), "{:?}", report.leaks);
+    // The nonce na travels in clear by design — it must leak, proving the
+    // check is not vacuous on this system.
+    let report = verifier.check_secrecy(&ns, &names(&["na"])).unwrap();
+    assert!(!report.holds());
+}
+
+#[test]
+fn otway_rees_protects_its_secrets() {
+    let verifier = Verifier::new(["c"])
+        .roles([("A", "00"), ("B", "01"), ("S", "1")])
+        .sessions(1)
+        .max_states(800_000);
+    let or = extra::otway_rees(&CompileOptions::default()).unwrap();
+    let report = verifier
+        .check_secrecy(&or, &names(&["kas", "kbs", "kab", "m"]))
+        .unwrap();
+    assert!(report.holds(), "{:?}", report.leaks);
+    // The run identifier i travels in clear by design.
+    let report = verifier.check_secrecy(&or, &names(&["i"])).unwrap();
+    assert!(!report.holds());
+}
+
+#[test]
+fn otway_rees_completes_honestly() {
+    use spi_auth_repro::semantics::Barb;
+    use spi_auth_repro::verify::{may_exhibit, ExploreOptions};
+    let or = extra::otway_rees(&CompileOptions::default()).unwrap();
+    let beta = Barb {
+        chan: Name::new("observe"),
+        output: true,
+    };
+    let witness = may_exhibit(&or, &beta, &ExploreOptions::default())
+        .unwrap()
+        .expect("Otway-Rees completes");
+    assert_eq!(
+        witness
+            .steps
+            .iter()
+            .filter(|s| s.starts_with("comm"))
+            .count(),
+        5,
+        "five messages"
+    );
+}
+
+#[test]
+fn needham_schroeder_completes_honestly() {
+    use spi_auth_repro::semantics::Barb;
+    use spi_auth_repro::verify::{may_exhibit, ExploreOptions};
+    let ns = extra::needham_schroeder(&CompileOptions::default()).unwrap();
+    let beta = Barb {
+        chan: Name::new("observe"),
+        output: true,
+    };
+    let witness = may_exhibit(&ns, &beta, &ExploreOptions::default())
+        .unwrap()
+        .expect("NSSK completes");
+    // Four messages: tuple to S, ticket+key to A, ticket to B, payload.
+    assert_eq!(
+        witness
+            .steps
+            .iter()
+            .filter(|s| s.starts_with("comm"))
+            .count(),
+        4
+    );
+}
