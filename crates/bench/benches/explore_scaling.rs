@@ -8,11 +8,13 @@
 //! grows fastest (nonces multiply the intruder's choices) while remaining
 //! tractable at the paper's two sessions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use spi_auth::Verifier;
 use spi_bench::independent_pairs;
 use spi_protocols::multi;
-use spi_verify::{ExploreOptions, Explorer};
+use spi_verify::{Budget, ExploreOptions, Explorer};
 
 fn bench_sessions(c: &mut Criterion) {
     let mut group = c.benchmark_group("explore_sessions");
@@ -63,5 +65,59 @@ fn bench_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(scaling, bench_sessions, bench_width);
+/// Smoke check for the resource governor: exploring under a generous
+/// *finite* budget (every admission compares against a real bound that
+/// never binds) must cost within ~5% of exploring with every dimension
+/// unlimited.  The assertion makes `cargo bench --bench explore_scaling`
+/// fail loudly if governor bookkeeping ever regresses.
+fn bench_governor_overhead(c: &mut Criterion) {
+    let pm2 = multi::shared_key("c", "observe");
+    let unlimited = Verifier::new(["c"])
+        .sessions(2)
+        .budget(Budget::unlimited());
+    let governed = Verifier::new(["c"]).sessions(2).budget(
+        Budget::unlimited()
+            .states(1_000_000)
+            .transitions(4_000_000)
+            .fuel(2_000_000)
+            .knowledge(64)
+            .deadline(16_000_000),
+    );
+
+    let mut group = c.benchmark_group("governor_overhead");
+    group.sample_size(10);
+    group.bench_function("unlimited", |b| {
+        b.iter(|| unlimited.explore(&pm2).expect("explores").stats)
+    });
+    group.bench_function("governed_generous", |b| {
+        b.iter(|| governed.explore(&pm2).expect("explores").stats)
+    });
+    group.finish();
+
+    // Interleaved medians so frequency drift hits both sides equally.
+    let time = |v: &Verifier| {
+        let start = Instant::now();
+        black_box(v.explore(&pm2).expect("explores"));
+        start.elapsed()
+    };
+    let mut base = Vec::new();
+    let mut gov = Vec::new();
+    for _ in 0..15 {
+        base.push(time(&unlimited));
+        gov.push(time(&governed));
+    }
+    base.sort();
+    gov.sort();
+    let (base_med, gov_med) = (base[base.len() / 2], gov[gov.len() / 2]);
+    let limit = base_med.mul_f64(1.05) + Duration::from_millis(1);
+    assert!(
+        gov_med <= limit,
+        "governor bookkeeping overhead exceeds ~5%: governed {gov_med:?} vs unlimited {base_med:?}"
+    );
+    println!(
+        "governor_overhead/smoke: governed {gov_med:?} vs unlimited {base_med:?} (limit {limit:?}) — ok"
+    );
+}
+
+criterion_group!(scaling, bench_sessions, bench_width, bench_governor_overhead);
 criterion_main!(scaling);

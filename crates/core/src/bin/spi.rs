@@ -6,6 +6,8 @@
 //! spi run <file> [--steps N] [--unfold N]   run a process, narrating steps
 //! spi verify <concrete> <abstract>          check secure implementation
 //!            [--chan c]... [--sessions N] [--visible N]
+//!            [--budget states=N,fuel=N,...] [--fault kind:chan[:max]]...
+//!            [--intruder on|off]
 //! spi explore <file> [--chan c]... [--sessions N] [--dot out.dot]
 //!                                           explore under the intruder
 //! spi narrate <narration> [--sessions N]    compile a narration both ways
@@ -13,8 +15,13 @@
 //! spi paper [--sessions N]                  re-derive the paper's results
 //! ```
 //!
-//! Exit code 0 on success / property holds, 1 on an attack or a failed
-//! parse, 2 on usage errors.
+//! `--budget` dimensions: `states`, `transitions`, `fuel`, `knowledge`,
+//! `steps`.  `--fault` kinds: `drop`, `duplicate`, `reorder`, `replay`
+//! (repeatable; `max` defaults to 1).
+//!
+//! Exit codes: 0 — verified / success; 1 — attack found or failed parse;
+//! 2 — usage error; 3 — inconclusive (a resource budget ran out before
+//! the check could be decided).
 
 use std::process::ExitCode;
 
@@ -22,7 +29,7 @@ use spi_auth::protocols::compile::{compile_abstract, compile_concrete, CompileOp
 use spi_auth::protocols::narration::Narration;
 use spi_auth::semantics::{Config, Narrator, RoleMap};
 use spi_auth::syntax::parse;
-use spi_auth::{propositions, Verdict, Verifier};
+use spi_auth::{propositions, Budget, FaultClause, FaultSpec, Verdict, Verifier};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,7 +65,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn print_usage() {
     eprintln!(
         "usage:\n  spi parse <file>\n  spi run <file> [--steps N] [--unfold N]\n  \
-         spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n  \
+         spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n    \
+         [--budget states=N,transitions=N,fuel=N,knowledge=N,steps=N]\n    \
+         [--fault kind:chan[:max]]... [--intruder on|off]\n  \
          spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
          spi narrate <narration-file> [--sessions N]\n  spi paper [--sessions N]"
     );
@@ -122,6 +131,18 @@ fn parse_any(src: &str) -> Result<spi_auth::syntax::Process, spi_auth::syntax::S
     }
 }
 
+/// Parses a process source, rendering any error to stderr.  A failed
+/// parse is exit code 1 (like `spi parse`), not a usage error.
+fn parse_or_fail(src: &str) -> Result<spi_auth::syntax::Process, ExitCode> {
+    match parse_any(src) {
+        Ok(p) => Ok(p),
+        Err(e) => {
+            eprintln!("{}", e.render(src));
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn cmd_parse(args: &[String]) -> Result<ExitCode, String> {
     let (pos, _) = split_flags(args)?;
     let [path] = pos.as_slice() else {
@@ -153,7 +174,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let steps: usize = numeric_flag(&flags, "steps", 64)?;
     let unfold: u32 = numeric_flag(&flags, "unfold", 2)?;
     let src = read(path)?;
-    let p = parse_any(&src).map_err(|e| e.render(&src))?;
+    let Ok(p) = parse_or_fail(&src) else {
+        return Ok(ExitCode::FAILURE);
+    };
     let mut cfg = Config::from_process(&p).map_err(|e| e.to_string())?;
     let mut narrator = Narrator::new(RoleMap::new());
     for _ in 0..steps {
@@ -175,6 +198,34 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parses the `--budget` value: comma-separated `dimension=count` pairs
+/// over the default budget (e.g. `states=5000,fuel=100000`).
+fn parse_budget(spec: &str) -> Result<Budget, String> {
+    let mut budget = Budget::default();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--budget expects dimension=count pairs, got {pair:?}"))?;
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("--budget {key}: expected a number, got {value:?}"))?;
+        match key {
+            "states" => budget.max_states = n,
+            "transitions" => budget.max_transitions = n,
+            "fuel" => budget.max_fuel = n,
+            "knowledge" => budget.max_knowledge = n,
+            "steps" | "deadline" => budget.deadline_steps = n,
+            other => {
+                return Err(format!(
+                    "--budget: unknown dimension {other:?} \
+                     (expected states|transitions|fuel|knowledge|steps)"
+                ))
+            }
+        }
+    }
+    Ok(budget)
+}
+
 fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
     let channels: Vec<&str> = flags
         .iter()
@@ -186,10 +237,27 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
     } else {
         channels
     };
-    Ok(Verifier::new(channels)
+    let mut verifier = Verifier::new(channels)
         .sessions(numeric_flag(flags, "sessions", 2)?)
         .max_visible(numeric_flag(flags, "visible", 6)?)
-        .max_states(numeric_flag(flags, "max-states", 200_000)?))
+        .max_states(numeric_flag(flags, "max-states", 200_000)?);
+    if let Some(spec) = flag(flags, "budget") {
+        verifier = verifier.budget(parse_budget(spec)?);
+    }
+    let clauses: Vec<FaultClause> = flags
+        .iter()
+        .filter(|(n, _)| *n == "fault")
+        .map(|(_, v)| v.parse::<FaultClause>().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if !clauses.is_empty() {
+        verifier = verifier.faults(FaultSpec::new(clauses));
+    }
+    match flag(flags, "intruder") {
+        None | Some("on") => {}
+        Some("off") => verifier = verifier.no_intruder(),
+        Some(other) => return Err(format!("--intruder expects on|off, got {other:?}")),
+    }
+    Ok(verifier)
 }
 
 fn report_verdict(verdict: &Verdict) -> ExitCode {
@@ -206,6 +274,13 @@ fn report_verdict(verdict: &Verdict) -> ExitCode {
             println!("  distinguishing trace: {:?}", attack.trace);
             ExitCode::FAILURE
         }
+        Verdict::Inconclusive {
+            exhausted,
+            coverage,
+        } => {
+            println!("VERDICT: INCONCLUSIVE ({exhausted} budget exhausted; covered {coverage})");
+            ExitCode::from(3)
+        }
     }
 }
 
@@ -216,8 +291,10 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     };
     let concrete_src = read(concrete_path)?;
     let abstract_src = read(abstract_path)?;
-    let concrete = parse_any(&concrete_src).map_err(|e| e.render(&concrete_src))?;
-    let spec = parse_any(&abstract_src).map_err(|e| e.render(&abstract_src))?;
+    let (Ok(concrete), Ok(spec)) = (parse_or_fail(&concrete_src), parse_or_fail(&abstract_src))
+    else {
+        return Ok(ExitCode::FAILURE);
+    };
     let verifier = build_verifier(&flags)?;
     let report = verifier
         .check(&concrete, &spec)
@@ -235,7 +312,9 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
         return Err("explore expects one file".into());
     };
     let src = read(path)?;
-    let p = parse_any(&src).map_err(|e| e.render(&src))?;
+    let Ok(p) = parse_or_fail(&src) else {
+        return Ok(ExitCode::FAILURE);
+    };
     let verifier = build_verifier(&flags)?;
     let lts = verifier.explore(&p).map_err(|e| e.to_string())?;
     println!("{} states, {} edges", lts.stats.states, lts.stats.edges);
@@ -262,7 +341,13 @@ fn cmd_narrate(args: &[String]) -> Result<ExitCode, String> {
     };
     let sessions: u32 = numeric_flag(&flags, "sessions", 2)?;
     let src = read(path)?;
-    let narration = Narration::parse(&src).map_err(|e| e.to_string())?;
+    let narration = match Narration::parse(&src) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
     let opts = CompileOptions {
         replicate: sessions > 1,
         ..CompileOptions::default()
@@ -369,5 +454,24 @@ mod tests {
     #[test]
     fn build_verifier_defaults_to_channel_c() {
         assert!(build_verifier(&[]).is_ok());
+    }
+
+    #[test]
+    fn budget_flag_parses_dimensions() {
+        let b = parse_budget("states=10,fuel=20,steps=30").unwrap();
+        assert_eq!(b.max_states, 10);
+        assert_eq!(b.max_fuel, 20);
+        assert_eq!(b.deadline_steps, 30);
+        assert!(parse_budget("states=x").is_err());
+        assert!(parse_budget("bogus=1").is_err());
+        assert!(parse_budget("states").is_err());
+    }
+
+    #[test]
+    fn fault_and_intruder_flags_build() {
+        assert!(build_verifier(&[("fault", "duplicate:c:1")]).is_ok());
+        assert!(build_verifier(&[("fault", "mangle:c")]).is_err());
+        assert!(build_verifier(&[("intruder", "off")]).is_ok());
+        assert!(build_verifier(&[("intruder", "sometimes")]).is_err());
     }
 }

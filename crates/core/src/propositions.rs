@@ -171,6 +171,53 @@ pub fn proposition_4(sessions: u32) -> Result<VerificationReport, VerifyError> {
     )
 }
 
+/// **Section 5.2 counterexample, network edition.** The replay attack on
+/// `Pm2` needs no intruder at all: a network that may *duplicate* a
+/// single message in transit — keeping the original creator stamps, since
+/// duplication is not re-creation — already makes two instances of `B`
+/// accept the same located message, which the abstract `Pm` can never
+/// show.  The localized channels of `Pm` refuse the faulty network
+/// outright, so the same fault model leaves the specification untouched.
+///
+/// # Errors
+///
+/// Propagates exploration failures.
+pub fn counterexample_pm2_faulty_network(sessions: u32) -> Result<Option<Attack>, VerifyError> {
+    let verifier = Verifier::new([CHAN])
+        .sessions(sessions)
+        .no_intruder()
+        .faults(spi_verify::faultsim::duplicate_only(CHAN, 1));
+    verifier.find_attack(
+        &multi::shared_key(CHAN, OBSERVE),
+        &multi::abstract_protocol(CHAN, OBSERVE).expect("builds"),
+    )
+}
+
+/// **Proposition 4, fault-tolerance edition.** `Pm3` (challenge-response)
+/// stays a secure implementation of `Pm` under *every* single-fault
+/// network schedule on the protocol channel: one drop, one duplication,
+/// one reordering, or one replay-from-log.  Returns the per-schedule
+/// verdicts (the schedule's display form first).
+///
+/// # Errors
+///
+/// Propagates exploration failures.
+pub fn proposition_4_fault_tolerance(sessions: u32) -> Result<Vec<(String, Verdict)>, VerifyError> {
+    let pm3 = multi::challenge_response(CHAN, OBSERVE);
+    let pm = multi::abstract_protocol(CHAN, OBSERVE).expect("builds");
+    let mut out = Vec::new();
+    for schedule in spi_verify::faultsim::single_fault_schedules([CHAN], 1) {
+        let label = schedule.to_string();
+        let verifier = Verifier::new([CHAN])
+            .sessions(sessions)
+            .no_intruder()
+            .faults(schedule);
+        let report = verifier.check(&pm3, &pm)?;
+        out.push((label, report.verdict));
+    }
+    Ok(out)
+}
+
 /// Convenience summary of a report's verdict for displays.
 #[must_use]
 pub fn verdict_line(report: &VerificationReport) -> String {
@@ -183,6 +230,10 @@ pub fn verdict_line(report: &VerificationReport) -> String {
             "ATTACK: distinguishing trace of length {} found",
             a.trace.len()
         ),
+        Verdict::Inconclusive {
+            exhausted,
+            coverage,
+        } => format!("INCONCLUSIVE: {exhausted} budget exhausted after {coverage}"),
     }
 }
 
@@ -215,5 +266,27 @@ mod tests {
             matches!(report.verdict, Verdict::SecurelyImplements),
             "{report:?}"
         );
+    }
+
+    #[test]
+    fn duplicate_fault_alone_rediscovers_the_replay() {
+        let attack = counterexample_pm2_faulty_network(2)
+            .unwrap()
+            .expect("a duplicating network suffices for the replay");
+        let text = attack.narration.join("\n");
+        assert!(
+            text.contains("duplicate"),
+            "the duplication appears in the narration: {text}"
+        );
+    }
+
+    #[test]
+    fn challenge_response_survives_every_single_fault() {
+        for (schedule, verdict) in proposition_4_fault_tolerance(2).unwrap() {
+            assert!(
+                matches!(verdict, Verdict::SecurelyImplements),
+                "Pm3 must stay verified under {schedule}: {verdict:?}"
+            );
+        }
     }
 }

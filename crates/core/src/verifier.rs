@@ -1,11 +1,11 @@
 //! The secure-implementation checker (Definition 4 of the paper).
 
 use spi_addr::Path;
-use spi_semantics::{RoleMap, StepInfo};
+use spi_semantics::{FaultSpec, RoleMap, StepInfo};
 use spi_syntax::{Name, Process};
 use spi_verify::{
-    find_realization, trace_preorder, ExploreOptions, ExploreStats, Explorer, IntruderSpec, Lts,
-    StepDesc, TraceVerdict, VerifyError,
+    find_realization, trace_preorder_sound, Budget, CoverageStats, ExploreOptions, ExploreStats,
+    Explorer, IntruderSpec, Lts, ResourceKind, StepDesc, TraceVerdict, VerifyError,
 };
 
 /// Which inclusion failed in an equivalence check.
@@ -36,6 +36,25 @@ pub enum Verdict {
     SecurelyImplements,
     /// A distinguishing behaviour exists: the implementation is insecure.
     Attack(Attack),
+    /// The resource [`Budget`] ran out before the check could be decided
+    /// either way.  This is a graceful answer, not an error: the partial
+    /// explorations were still compared, and had a sound positive or
+    /// negative claim been available on the explored prefixes it would
+    /// have been returned instead.
+    Inconclusive {
+        /// The resource whose exhaustion blocked the decision.
+        exhausted: ResourceKind,
+        /// What the blocking (truncated) exploration covered.
+        coverage: CoverageStats,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` when the check was decided either way.
+    #[must_use]
+    pub fn decided(&self) -> bool {
+        !matches!(self, Verdict::Inconclusive { .. })
+    }
 }
 
 /// The full result of a check, including the exploration sizes so bounded
@@ -48,6 +67,10 @@ pub struct VerificationReport {
     pub concrete_stats: ExploreStats,
     /// Exploration statistics of the abstract system under attack.
     pub abstract_stats: ExploreStats,
+    /// Coverage of the concrete exploration.
+    pub concrete_coverage: CoverageStats,
+    /// Coverage of the abstract exploration.
+    pub abstract_coverage: CoverageStats,
     /// How many concrete traces were checked for inclusion.
     pub traces_checked: usize,
 }
@@ -80,16 +103,19 @@ pub struct VerificationReport {
 pub struct Verifier {
     channels: Vec<Name>,
     unfold_bound: u32,
-    max_states: usize,
+    budget: Budget,
     max_visible: usize,
     fresh_budget: u32,
+    faults: Option<FaultSpec>,
+    intruder_enabled: bool,
     roles: Vec<(String, String)>,
 }
 
 impl Verifier {
     /// A verifier for protocols communicating over `channels` (the set
     /// `C` of Definition 4), with defaults: 2 sessions, 6 visible
-    /// observations, one intruder-invented name.
+    /// observations, one intruder-invented name, a 200 000-state budget,
+    /// and a reliable network.
     #[must_use]
     pub fn new<I, N>(channels: I) -> Verifier
     where
@@ -99,11 +125,23 @@ impl Verifier {
         Verifier {
             channels: channels.into_iter().map(Into::into).collect(),
             unfold_bound: 2,
-            max_states: 200_000,
+            budget: Budget::unlimited().states(200_000),
             max_visible: 6,
             fresh_budget: 1,
+            faults: None,
+            intruder_enabled: true,
             roles: vec![("A".into(), "0".into()), ("B".into(), "1".into())],
         }
+    }
+
+    /// Disables the most-general intruder, leaving only whatever faulty
+    /// network was configured.  Useful to ask how much of an attack is
+    /// attributable to the *network* alone — e.g. the replay on `Pm2`
+    /// needs nothing but a duplicating channel.
+    #[must_use]
+    pub fn no_intruder(mut self) -> Verifier {
+        self.intruder_enabled = false;
+        self
     }
 
     /// Sets how many instances each replication may spawn.
@@ -120,10 +158,29 @@ impl Verifier {
         self
     }
 
-    /// Sets the state budget per exploration.
+    /// Sets the state budget per exploration (shorthand for adjusting
+    /// only that dimension of the [`Budget`]).
     #[must_use]
     pub fn max_states(mut self, n: usize) -> Verifier {
-        self.max_states = n;
+        self.budget.max_states = n;
+        self
+    }
+
+    /// Replaces the whole resource [`Budget`].  Exhaustion does not fail
+    /// the check — it answers [`Verdict::Inconclusive`] with coverage.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Verifier {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs every exploration over the given faulty network.  The fault
+    /// model applies to *both* systems of a comparison, so abstract
+    /// specifications (whose localized channels refuse the network) keep
+    /// their behaviour while concrete protocols face the faults.
+    #[must_use]
+    pub fn faults(mut self, spec: FaultSpec) -> Verifier {
+        self.faults = Some(spec);
         self
     }
 
@@ -174,9 +231,10 @@ impl Verifier {
 
     fn explore_opts(&self) -> ExploreOptions {
         ExploreOptions {
-            max_states: self.max_states,
+            budget: self.budget,
             unfold_bound: self.unfold_bound,
-            intruder: Some(self.intruder_spec()),
+            intruder: self.intruder_enabled.then(|| self.intruder_spec()),
+            faults: self.faults.clone(),
         }
     }
 
@@ -203,7 +261,7 @@ impl Verifier {
         let concrete_lts = self.explore(concrete)?;
         let abstract_lts = self.explore(abstract_spec)?;
         let (verdict, traces_checked) =
-            match trace_preorder(&concrete_lts, &abstract_lts, self.max_visible) {
+            match trace_preorder_sound(&concrete_lts, &abstract_lts, self.max_visible) {
                 TraceVerdict::Holds { checked } => (Verdict::SecurelyImplements, checked),
                 TraceVerdict::Fails { witness } => {
                     let narration = self.narrate_witness(&concrete_lts, &witness);
@@ -215,11 +273,29 @@ impl Verifier {
                         0,
                     )
                 }
+                TraceVerdict::Inconclusive { exhausted } => {
+                    // Report the coverage of the side that blocked the
+                    // decision (the truncated one).
+                    let coverage = if !concrete_lts.complete() {
+                        concrete_lts.coverage
+                    } else {
+                        abstract_lts.coverage
+                    };
+                    (
+                        Verdict::Inconclusive {
+                            exhausted,
+                            coverage,
+                        },
+                        0,
+                    )
+                }
             };
         Ok(VerificationReport {
             verdict,
             concrete_stats: concrete_lts.stats,
             abstract_stats: abstract_lts.stats,
+            concrete_coverage: concrete_lts.coverage,
+            abstract_coverage: abstract_lts.coverage,
             traces_checked,
         })
     }
@@ -269,13 +345,18 @@ impl Verifier {
     ) -> Result<spi_verify::Definition3Outcome, VerifyError> {
         let concrete_lts = self.explore(concrete)?;
         let testers = spi_verify::synthesize_testers(&concrete_lts);
-        // Under `system | T` the intruder slot shifts from ‖1 to ‖0‖1.
+        // Under `system | T` the intruder slot shifts from ‖1 to ‖0‖1,
+        // and so does the faulty network's seat.
         let mut spec = self.intruder_spec();
         spec.position = "01".parse().expect("static path");
         let opts = ExploreOptions {
-            max_states: self.max_states,
+            budget: self.budget,
             unfold_bound: self.unfold_bound,
-            intruder: Some(spec),
+            intruder: self.intruder_enabled.then_some(spec),
+            faults: self
+                .faults
+                .clone()
+                .map(|f| f.at("01".parse().expect("static path"))),
         };
         spi_verify::definition3_preorder(
             &self.under_attack(concrete),
@@ -314,7 +395,9 @@ impl Verifier {
     ) -> Result<Option<Attack>, VerifyError> {
         Ok(match self.check(concrete, abstract_spec)?.verdict {
             Verdict::Attack(a) => Some(a),
-            Verdict::SecurelyImplements => None,
+            // Inconclusive means no *sound* attack was found; callers who
+            // must distinguish use [`Verifier::check`].
+            Verdict::SecurelyImplements | Verdict::Inconclusive { .. } => None,
         })
     }
 
@@ -388,6 +471,18 @@ impl Verifier {
                     lines.push(format!(
                         "            {} reveals {} on {}",
                         who(from),
+                        payload.display(names),
+                        chan
+                    ));
+                }
+                StepDesc::Fault {
+                    kind,
+                    chan,
+                    payload,
+                } => {
+                    counter += 1;
+                    lines.push(format!(
+                        "Message {counter}   network {kind}s {} on {}",
                         payload.display(names),
                         chan
                     ));
@@ -469,6 +564,49 @@ mod tests {
         let p2 = single::shared_key("c", "observe");
         let p = spi_protocols::single::abstract_protocol("c", "observe").unwrap();
         assert!(v.check_equivalence(&p2, &p).unwrap().is_none());
+    }
+
+    #[test]
+    fn tiny_budget_answers_inconclusive_not_error() {
+        let v = Verifier::new(["c"]).budget(Budget::unlimited().states(3));
+        let report = v
+            .check(
+                &single::shared_key("c", "observe"),
+                &single::abstract_protocol("c", "observe").unwrap(),
+            )
+            .expect("degradation, not an error");
+        match report.verdict {
+            Verdict::Inconclusive {
+                exhausted,
+                coverage,
+            } => {
+                assert_eq!(exhausted, ResourceKind::States);
+                assert!(!coverage.is_empty(), "partial coverage is reported");
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        assert!(!report.concrete_coverage.is_empty());
+        // And no attack is (soundly) claimed.
+        assert!(v
+            .find_attack(
+                &single::plaintext("c", "observe"),
+                &single::abstract_protocol("c", "observe").unwrap(),
+            )
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn growing_the_budget_decides_the_check() {
+        let p2 = single::shared_key("c", "observe");
+        let spec = single::abstract_protocol("c", "observe").unwrap();
+        let small = Verifier::new(["c"]).budget(Budget::unlimited().states(3));
+        assert!(!small.check(&p2, &spec).unwrap().verdict.decided());
+        let big = Verifier::new(["c"]);
+        assert!(matches!(
+            big.check(&p2, &spec).unwrap().verdict,
+            Verdict::SecurelyImplements
+        ));
     }
 
     #[test]

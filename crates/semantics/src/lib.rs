@@ -56,10 +56,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 mod canon;
 mod config;
 mod error;
+pub mod faults;
 mod label;
 mod machine;
 mod names;
@@ -71,6 +73,7 @@ mod walk;
 pub use canon::Canonicalizer;
 pub use config::{Barb, Config, LeafState};
 pub use error::MachineError;
+pub use faults::{FaultClause, FaultKind, FaultParseError, FaultSpec, NetworkState};
 pub use label::ProvedLabel;
 pub use machine::{Action, CommInfo, StepInfo};
 pub use names::{NameEntry, NameId, NameTable};

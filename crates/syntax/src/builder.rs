@@ -13,9 +13,24 @@
 //! assert_eq!(a2.to_string(), "(^m)c<{m}kAB>");
 //! ```
 
+use std::fmt;
+
 use spi_addr::RelAddr;
 
 use crate::{Channel, LocVar, Name, Process, Term, Var};
+
+/// The error of [`tuple`]: the calculus has no unit term, so a tuple of
+/// no components cannot be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyTuple;
+
+impl fmt::Display for EmptyTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tuple of no terms: the calculus has no unit term")
+    }
+}
+
+impl std::error::Error for EmptyTuple {}
 
 /// A name term.
 #[must_use]
@@ -37,18 +52,19 @@ pub fn pair(a: Term, b: Term) -> Term {
 
 /// A right-nested tuple `(a, b, …)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `items` is empty: the calculus has no unit term.
-#[must_use]
-pub fn tuple<I: IntoIterator<Item = Term>>(items: I) -> Term {
+/// Returns [`EmptyTuple`] when `items` is empty: the calculus has no unit
+/// term.
+pub fn tuple<I: IntoIterator<Item = Term>>(items: I) -> Result<Term, EmptyTuple> {
     let mut items: Vec<Term> = items.into_iter().collect();
-    assert!(!items.is_empty(), "tuple of no terms");
-    let mut acc = items.pop().expect("nonempty");
+    let Some(mut acc) = items.pop() else {
+        return Err(EmptyTuple);
+    };
     while let Some(t) = items.pop() {
         acc = Term::pair(t, acc);
     }
-    acc
+    Ok(acc)
 }
 
 /// An encryption `{body…}key`.
@@ -114,14 +130,14 @@ pub fn par(l: Process, r: Process) -> Process {
 
 /// A left-associated parallel composition of several processes.
 ///
-/// # Panics
-///
-/// Panics when `items` is empty.
+/// The composition of no processes is the inert `0` — the unit of `|`.
 #[must_use]
 pub fn par_all<I: IntoIterator<Item = Process>>(items: I) -> Process {
     let mut it = items.into_iter();
-    let first = it.next().expect("parallel of no processes");
-    it.fold(first, Process::par)
+    match it.next() {
+        Some(first) => it.fold(first, Process::par),
+        None => Process::Nil,
+    }
 }
 
 /// A matching `[a = b]cont`.
@@ -210,9 +226,9 @@ mod tests {
     fn tuple_right_nests() {
         assert_eq!(
             tuple([n("a"), n("b"), n("c")]),
-            pair(n("a"), pair(n("b"), n("c")))
+            Ok(pair(n("a"), pair(n("b"), n("c"))))
         );
-        assert_eq!(tuple([n("a")]), n("a"));
+        assert_eq!(tuple([n("a")]), Ok(n("a")));
     }
 
     #[test]
@@ -229,8 +245,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tuple of no terms")]
-    fn empty_tuple_panics() {
-        let _ = tuple([]);
+    fn empty_tuple_is_a_typed_error() {
+        assert_eq!(tuple([]), Err(EmptyTuple));
+        assert_eq!(par_all([]), Process::Nil);
     }
 }

@@ -410,15 +410,18 @@ impl Parser {
                 self.bump();
                 let first = self.term()?;
                 if self.peek().kind == TokenKind::Comma {
-                    let mut items = vec![first];
+                    let mut rest = Vec::new();
                     while self.eat(&TokenKind::Comma) {
-                        items.push(self.term()?);
+                        rest.push(self.term()?);
                     }
                     self.expect(&TokenKind::RParen)?;
                     // An n-ary tuple is sugar for right-nested pairs.
-                    let mut iter = items.into_iter().rev();
-                    let last = iter.next().expect("at least two items");
-                    Ok(iter.fold(last, |acc, t| Term::pair(t, acc)))
+                    Ok(
+                        match rest.into_iter().rev().reduce(|acc, t| Term::pair(t, acc)) {
+                            Some(tail) => Term::pair(first, tail),
+                            None => first,
+                        },
+                    )
                 } else {
                     self.expect(&TokenKind::RParen)?;
                     Ok(first)

@@ -12,13 +12,14 @@ fn fresh_var(base: &Var, avoid: &BTreeSet<Var>) -> Var {
     if !avoid.contains(base) {
         return base.clone();
     }
-    for i in 1.. {
+    let mut i: u64 = 1;
+    loop {
         let candidate = Var::new(format!("{}_{i}", base.as_str()));
         if !avoid.contains(&candidate) {
             return candidate;
         }
+        i += 1;
     }
-    unreachable!("the naturals are unbounded")
 }
 
 /// Picks a name not in `avoid`, derived from `base` by appending a numeric
@@ -27,13 +28,14 @@ fn fresh_name(base: &Name, avoid: &BTreeSet<Name>) -> Name {
     if !avoid.contains(base) {
         return base.clone();
     }
-    for i in 1.. {
+    let mut i: u64 = 1;
+    loop {
         let candidate = Name::new(format!("{}_{i}", base.as_str()));
         if !avoid.contains(&candidate) {
             return candidate;
         }
+        i += 1;
     }
-    unreachable!("the naturals are unbounded")
 }
 
 impl Term {

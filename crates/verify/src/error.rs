@@ -11,10 +11,15 @@ use spi_semantics::MachineError;
 pub enum VerifyError {
     /// The underlying abstract machine failed.
     Machine(MachineError),
-    /// The state-space exploration exceeded its state budget before the
-    /// check could conclude.  Raise [`max_states`] or tighten the system.
+    /// The state-space exploration exceeded its state budget.
     ///
-    /// [`max_states`]: crate::ExploreOptions::max_states
+    /// Since the resource governor landed, explorers no longer raise
+    /// this: exhaustion degrades gracefully into a partial [`Lts`] with
+    /// [`Lts::exhausted`] set, and checks answer *inconclusive*.  The
+    /// variant is kept so downstream matches keep compiling.
+    ///
+    /// [`Lts`]: crate::Lts
+    /// [`Lts::exhausted`]: crate::Lts::exhausted
     StateBudgetExceeded {
         /// The budget that was exceeded.
         max_states: usize,

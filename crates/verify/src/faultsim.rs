@@ -1,0 +1,65 @@
+//! Fault-injection schedules for robustness sweeps.
+//!
+//! The fault model itself lives in `spi-semantics` ([`FaultSpec`]); this
+//! module enumerates *schedules* — families of specs a verifier sweeps to
+//! make claims like "the property survives every single network fault".
+//! Schedules are deterministic and ordered, so sweeps are replayable.
+
+use spi_semantics::{FaultKind, FaultSpec};
+use spi_syntax::Name;
+
+/// The pure duplication network: at most `max` duplicate deliveries on
+/// `chan`, nothing else.  This is the weakest fault model that exhibits a
+/// message replay — the counterexample of the paper's Section 4 needs no
+/// hand-written intruder under it.
+#[must_use]
+pub fn duplicate_only(chan: impl Into<Name>, max: u32) -> FaultSpec {
+    FaultSpec::single(FaultKind::Duplicate, chan, max)
+}
+
+/// Every single-fault schedule over `chans`: one spec per (kind, channel)
+/// pair, each allowing that one fault to fire at most `max` times and no
+/// other fault at all.  A property that stays verified under all of them
+/// tolerates any single kind of network misbehaviour on any one channel.
+#[must_use]
+pub fn single_fault_schedules<I, N>(chans: I, max: u32) -> Vec<FaultSpec>
+where
+    I: IntoIterator<Item = N>,
+    N: Into<Name>,
+{
+    let chans: Vec<Name> = chans.into_iter().map(Into::into).collect();
+    let mut out = Vec::with_capacity(chans.len() * FaultKind::ALL.len());
+    for chan in &chans {
+        for kind in FaultKind::ALL {
+            out.push(FaultSpec::single(kind, chan.clone(), max));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_cover_every_kind_once_per_channel() {
+        let scheds = single_fault_schedules(["c", "d"], 1);
+        assert_eq!(scheds.len(), 8);
+        for s in &scheds {
+            assert_eq!(s.clauses.len(), 1, "single-fault means one clause");
+            assert_eq!(s.clauses[0].max, 1);
+        }
+        // Deterministic order: all kinds for c, then all kinds for d.
+        assert_eq!(scheds[0].clauses[0].kind, FaultKind::Drop);
+        assert_eq!(scheds[0].clauses[0].chan, Name::new("c"));
+        assert_eq!(scheds[4].clauses[0].chan, Name::new("d"));
+    }
+
+    #[test]
+    fn duplicate_only_is_a_single_duplicate_clause() {
+        let s = duplicate_only("c", 2);
+        assert_eq!(s.clauses.len(), 1);
+        assert_eq!(s.clauses[0].kind, FaultKind::Duplicate);
+        assert_eq!(s.clauses[0].max, 2);
+    }
+}

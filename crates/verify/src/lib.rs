@@ -34,9 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod dot;
 mod error;
 mod explore;
+pub mod faultsim;
 mod knowledge;
 mod obs;
 mod secrecy;
@@ -45,6 +47,7 @@ mod test;
 mod testgen;
 mod traces;
 
+pub use budget::{Budget, CoverageStats, Governor, ResourceKind};
 pub use dot::to_dot;
 pub use error::VerifyError;
 pub use explore::{
@@ -54,6 +57,8 @@ pub use knowledge::Knowledge;
 pub use obs::{ObsEvent, ObsTerm, TraceRenamer};
 pub use secrecy::{check_secrecy, SecrecyReport};
 pub use simulation::{simulates, SimulationResult};
-pub use test::{may_exhibit, passes_test, TestWitness};
+pub use test::{may_exhibit, may_exhibit_bounded, passes_test, TestWitness};
 pub use testgen::{definition3_preorder, synthesize_testers, tester_barb, Definition3Outcome};
-pub use traces::{find_realization, trace_preorder, weak_traces, TraceSet, TraceVerdict};
+pub use traces::{
+    find_realization, trace_preorder, trace_preorder_sound, weak_traces, TraceSet, TraceVerdict,
+};

@@ -10,18 +10,22 @@
 use spi_semantics::RtTerm;
 use spi_syntax::Name;
 
-use crate::{ExploreStats, Lts};
+use crate::{CoverageStats, ExploreStats, Lts, ResourceKind};
 
 /// The outcome of a secrecy check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecrecyReport {
-    /// `true` when no watched secret is derivable in any reachable state.
+    /// `true` when no watched secret is derivable in any explored state.
     pub holds: bool,
     /// Human-readable descriptions of the leaks found (state index,
     /// secret display name).
     pub leaks: Vec<String>,
     /// The exploration behind the verdict.
     pub stats: ExploreStats,
+    /// What the exploration covered.
+    pub coverage: CoverageStats,
+    /// The resource that truncated the exploration, if any.
+    pub exhausted: Option<ResourceKind>,
 }
 
 impl SecrecyReport {
@@ -29,6 +33,14 @@ impl SecrecyReport {
     #[must_use]
     pub fn holds(&self) -> bool {
         self.holds
+    }
+
+    /// Returns `true` when the verdict is sound as stated: a leak found
+    /// on any explored prefix is real, but "no leak" claims require a
+    /// complete exploration.
+    #[must_use]
+    pub fn conclusive(&self) -> bool {
+        !self.holds || self.exhausted.is_none()
     }
 }
 
@@ -81,6 +93,8 @@ pub fn check_secrecy(lts: &Lts, secrets: &[Name]) -> SecrecyReport {
         holds: leaks.is_empty(),
         leaks,
         stats: lts.stats,
+        coverage: lts.coverage,
+        exhausted: lts.exhausted,
     }
 }
 
@@ -133,6 +147,24 @@ mod tests {
         let lts = explore_with_intruder("(^c)(((^m) c@(0.1)<m> | c(z)) | 0)");
         let report = check_secrecy(&lts, &[Name::new("m")]);
         assert!(report.holds(), "{:?}", report.leaks);
+    }
+
+    #[test]
+    fn truncated_holds_are_not_conclusive() {
+        use crate::Budget;
+        let spec = IntruderSpec::new("1".parse().unwrap(), ["c"]);
+        let lts = Explorer::new(ExploreOptions {
+            intruder: Some(spec),
+            budget: Budget::unlimited().states(1),
+            ..ExploreOptions::default()
+        })
+        .explore(&parse("(^c)(((^m) c<m>) | 0)").unwrap())
+        .unwrap();
+        let report = check_secrecy(&lts, &[Name::new("m")]);
+        // The leak lies beyond the truncation: "holds" but inconclusive.
+        assert!(report.holds());
+        assert!(!report.conclusive());
+        assert_eq!(report.exhausted, Some(crate::ResourceKind::States));
     }
 
     #[test]

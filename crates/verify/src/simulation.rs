@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
-use crate::{Label, Lts, ObsEvent, TraceRenamer};
+use crate::{Label, Lts, ObsEvent, ResourceKind, TraceRenamer};
 
 /// The outcome of a simulation check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +33,14 @@ pub enum SimulationResult {
         /// What the specification could not match.
         reason: String,
     },
+    /// One of the explorations behind the game was budget-truncated in a
+    /// way that makes the raw answer unsound: an apparent simulation over
+    /// a truncated implementation, or an apparent failure against a
+    /// truncated specification.
+    Inconclusive {
+        /// The resource whose exhaustion blocked the decision.
+        exhausted: ResourceKind,
+    },
 }
 
 impl SimulationResult {
@@ -40,6 +48,12 @@ impl SimulationResult {
     #[must_use]
     pub fn holds(&self) -> bool {
         matches!(self, SimulationResult::Simulates { .. })
+    }
+
+    /// Returns `true` when the game was decided either way.
+    #[must_use]
+    pub fn decided(&self) -> bool {
+        !matches!(self, SimulationResult::Inconclusive { .. })
     }
 }
 
@@ -67,6 +81,21 @@ fn event_key(ev: &ObsEvent) -> String {
 /// ```
 #[must_use]
 pub fn simulates(specification: &Lts, implementation: &Lts) -> SimulationResult {
+    let result = play(specification, implementation);
+    // Degradation soundness: a simulation over a truncated implementation
+    // could still be refuted by the unexplored part; a refutation against
+    // a truncated specification could still be matched by it.
+    let blame = |lts: &Lts| SimulationResult::Inconclusive {
+        exhausted: lts.exhausted.unwrap_or(ResourceKind::Fuel),
+    };
+    match result {
+        SimulationResult::Simulates { .. } if !implementation.complete() => blame(implementation),
+        SimulationResult::Fails { .. } if !specification.complete() => blame(specification),
+        decided => decided,
+    }
+}
+
+fn play(specification: &Lts, implementation: &Lts) -> SimulationResult {
     // Game positions: (implementation state, τ-closed set of spec states).
     let start = (0usize, specification.tau_closure(0));
     let mut seen: HashSet<(usize, Vec<usize>)> = HashSet::new();
@@ -182,6 +211,24 @@ mod tests {
         let impl_ = lts("observe<a>");
         let spec = lts("(^s)(s<go> | s(x).observe<a>)");
         assert!(simulates(&spec, &impl_).holds());
+    }
+
+    #[test]
+    fn truncated_games_are_inconclusive() {
+        use crate::Budget;
+        let cut = Explorer::new(ExploreOptions {
+            budget: Budget::unlimited().states(1),
+            ..ExploreOptions::default()
+        })
+        .explore(&parse("observe<a>.observe<b>").unwrap())
+        .unwrap();
+        let full = lts("observe<a>.observe<b>");
+        // Truncated implementation: apparent simulation is not sound.
+        assert!(!simulates(&full, &cut).decided());
+        // Truncated specification: apparent refutation is not sound.
+        assert!(!simulates(&cut, &full).decided());
+        // Complete sides stay decided.
+        assert!(simulates(&full, &full).decided());
     }
 
     #[test]

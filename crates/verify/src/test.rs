@@ -10,7 +10,7 @@
 use spi_semantics::Barb;
 use spi_syntax::Process;
 
-use crate::{ExploreOptions, Explorer, Label, StepDesc, VerifyError};
+use crate::{ExploreOptions, Explorer, Label, VerifyError};
 
 /// A witness run for a passed test: the silent steps leading to the barb.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +47,24 @@ pub fn may_exhibit(
     barb: &Barb,
     opts: &ExploreOptions,
 ) -> Result<Option<TestWitness>, VerifyError> {
+    may_exhibit_bounded(process, barb, opts).map(|(w, _)| w)
+}
+
+/// Like [`may_exhibit`], additionally reporting whether the exploration
+/// behind the answer was *complete*.  A witness is sound either way (it
+/// lives on the explored prefix); a `None` from a truncated exploration
+/// is **not** evidence of absence.
+///
+/// # Errors
+///
+/// Propagates exploration errors (open process).
+pub fn may_exhibit_bounded(
+    process: &Process,
+    barb: &Barb,
+    opts: &ExploreOptions,
+) -> Result<(Option<TestWitness>, bool), VerifyError> {
     let lts = Explorer::new(opts.clone()).explore(process)?;
+    let complete = lts.complete();
     // BFS over silent edges only: convergence is τ*.
     let mut parent: Vec<Option<(usize, usize)>> = vec![None; lts.states.len()];
     let mut seen = vec![false; lts.states.len()];
@@ -64,26 +81,25 @@ pub fn may_exhibit(
                 cur = prev;
             }
             rev.reverse();
-            return Ok(Some(TestWitness {
-                steps: rev,
-                barb: barb.clone(),
-            }));
+            return Ok((
+                Some(TestWitness {
+                    steps: rev,
+                    barb: barb.clone(),
+                }),
+                complete,
+            ));
         }
         for (edge_idx, (label, tgt)) in lts.states[s].edges.iter().enumerate() {
-            if (matches!(label, Label::Tau(StepDesc::Internal(_)))
-                || matches!(
-                    label,
-                    Label::Tau(StepDesc::Intercept { .. } | StepDesc::Inject { .. })
-                ))
-                && !seen[*tgt]
-            {
+            // Every τ edge is silent: internal steps, intruder moves, and
+            // network faults alike.
+            if matches!(label, Label::Tau(_)) && !seen[*tgt] {
                 seen[*tgt] = true;
                 parent[*tgt] = Some((s, edge_idx));
                 queue.push_back(*tgt);
             }
         }
     }
-    Ok(None)
+    Ok((None, complete))
 }
 
 /// Runs the paper's testing scenario: composes `system | tester` and

@@ -17,7 +17,7 @@ use spi_addr::{Path, RelAddr};
 use spi_semantics::Barb;
 use spi_syntax::{Name, Process, Term};
 
-use crate::{passes_test, ExploreOptions, Label, Lts, ObsTerm, VerifyError};
+use crate::{may_exhibit_bounded, ExploreOptions, Label, Lts, ObsTerm, VerifyError};
 
 /// The barb every synthesized tester signals on.
 const BETA: &str = "beta__";
@@ -127,14 +127,24 @@ pub struct Definition3Outcome {
     /// Testers passed by the implementation but not the specification —
     /// each one is a may-testing counterexample.
     pub violations: Vec<String>,
+    /// Testers whose comparison could not be decided within the budget:
+    /// either the implementation side might still pass beyond its
+    /// truncation, or the specification side might.
+    pub undecided: Vec<String>,
 }
 
 impl Definition3Outcome {
     /// Returns `true` when every test passed by the implementation is
-    /// passed by the specification.
+    /// passed by the specification (over what was decided).
     #[must_use]
     pub fn holds(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Returns `true` when every tester was decided within the budget.
+    #[must_use]
+    pub fn conclusive(&self) -> bool {
+        self.undecided.is_empty()
     }
 }
 
@@ -159,19 +169,39 @@ pub fn definition3_preorder(
 ) -> Result<Definition3Outcome, VerifyError> {
     let barb = tester_barb();
     let mut violations = Vec::new();
+    let mut undecided = Vec::new();
     for (i, tester) in testers.iter().enumerate() {
-        let impl_passes = passes_test(implementation, tester, &barb, opts)?.is_some();
-        if !impl_passes {
+        let composed = Process::par(implementation.clone(), tester.clone());
+        let (impl_witness, impl_complete) = may_exhibit_bounded(&composed, &barb, opts)?;
+        if impl_witness.is_none() {
+            // A pass beyond the implementation's truncation could still
+            // turn out to be a violation.
+            if !impl_complete {
+                undecided.push(format!(
+                    "tester #{i} ({tester}): implementation side truncated before a pass was found"
+                ));
+            }
             continue;
         }
-        let spec_passes = passes_test(specification, tester, &barb, opts)?.is_some();
-        if !spec_passes {
-            violations.push(format!("tester #{i} ({tester}) distinguishes the systems"));
+        // The implementation pass is sound — it lives on the explored
+        // prefix.  A specification *failure* is sound only when the
+        // specification side was fully explored.
+        let composed = Process::par(specification.clone(), tester.clone());
+        let (spec_witness, spec_complete) = may_exhibit_bounded(&composed, &barb, opts)?;
+        if spec_witness.is_none() {
+            if spec_complete {
+                violations.push(format!("tester #{i} ({tester}) distinguishes the systems"));
+            } else {
+                undecided.push(format!(
+                    "tester #{i} ({tester}): specification side truncated before a pass was found"
+                ));
+            }
         }
     }
     Ok(Definition3Outcome {
         testers: testers.len(),
         violations,
+        undecided,
     })
 }
 
@@ -225,6 +255,22 @@ mod tests {
         let outcome = definition3_preorder(&sys, &sys, &testers, &opts).unwrap();
         assert!(outcome.holds());
         assert!(outcome.testers >= 1);
+    }
+
+    #[test]
+    fn truncated_comparisons_are_flagged_undecided() {
+        use crate::Budget;
+        let sys = parse("(^c)(((^m) c<m> | c(x).observe<x>) | 0)").unwrap();
+        let lts = explore(&sys.to_string());
+        let testers = synthesize_testers(&lts);
+        let opts = ExploreOptions {
+            intruder: Some(IntruderSpec::new("01".parse().unwrap(), ["c"])),
+            budget: Budget::unlimited().states(2),
+            ..ExploreOptions::default()
+        };
+        let outcome = definition3_preorder(&sys, &sys, &testers, &opts).unwrap();
+        assert!(outcome.holds(), "no decided violation");
+        assert!(!outcome.conclusive(), "truncation is surfaced, not hidden");
     }
 
     #[test]

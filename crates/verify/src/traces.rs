@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::{Label, Lts, ObsEvent, TraceRenamer};
+use crate::{Label, Lts, ObsEvent, ResourceKind, TraceRenamer};
 
 /// A set of canonical weak traces; each trace is the sequence of
 /// canonicalized observations.  The set contains every prefix of every
@@ -100,6 +100,12 @@ pub enum TraceVerdict {
         /// The offending canonical trace, shortest first.
         witness: Vec<String>,
     },
+    /// The budget ran out before the comparison could be decided either
+    /// way (see [`trace_preorder_sound`]).
+    Inconclusive {
+        /// The resource whose exhaustion blocked the decision.
+        exhausted: ResourceKind,
+    },
 }
 
 impl TraceVerdict {
@@ -108,10 +114,21 @@ impl TraceVerdict {
     pub fn holds(&self) -> bool {
         matches!(self, TraceVerdict::Holds { .. })
     }
+
+    /// Returns `true` when the comparison was decided either way.
+    #[must_use]
+    pub fn decided(&self) -> bool {
+        !matches!(self, TraceVerdict::Inconclusive { .. })
+    }
 }
 
 /// Checks the may-testing preorder `implementation ⊑ specification` as
 /// weak trace inclusion up to `max_visible` observations.
+///
+/// This is the *raw* bounded comparison over whatever prefixes it is
+/// given; it never answers [`TraceVerdict::Inconclusive`].  When either
+/// LTS may be a budget-truncated prefix, use [`trace_preorder_sound`],
+/// which applies the degradation soundness rule.
 #[must_use]
 pub fn trace_preorder(
     implementation: &Lts,
@@ -135,6 +152,37 @@ pub fn trace_preorder(
         Some(w) => TraceVerdict::Fails {
             witness: (*w).clone(),
         },
+    }
+}
+
+/// [`trace_preorder`] with the degradation soundness rule applied to
+/// possibly-truncated explorations:
+///
+/// * inclusion observed to **hold** is sound only when the
+///   *implementation* side is complete — a truncated specification only
+///   makes inclusion harder, so spec truncation cannot fake a `Holds`,
+///   but unexplored implementation behaviour could still escape;
+/// * a **witness** is sound only when the *specification* side is
+///   complete — unexplored specification behaviour could still produce
+///   the trace;
+/// * anything else is [`TraceVerdict::Inconclusive`], carrying the first
+///   exhausted resource of the side that blocked the decision.
+#[must_use]
+pub fn trace_preorder_sound(
+    implementation: &Lts,
+    specification: &Lts,
+    max_visible: usize,
+) -> TraceVerdict {
+    let raw = trace_preorder(implementation, specification, max_visible);
+    let blame = |lts: &Lts| TraceVerdict::Inconclusive {
+        // A truncated LTS always has `exhausted` set; the fallback keeps
+        // this total anyway.
+        exhausted: lts.exhausted.unwrap_or(ResourceKind::Fuel),
+    };
+    match raw {
+        TraceVerdict::Holds { .. } if !implementation.complete() => blame(implementation),
+        TraceVerdict::Fails { .. } if !specification.complete() => blame(specification),
+        decided => decided,
     }
 }
 
@@ -281,6 +329,38 @@ mod tests {
             }
             other => panic!("expected failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn truncated_sides_make_the_preorder_inconclusive() {
+        use crate::Budget;
+        let truncated = |src: &str| {
+            Explorer::new(ExploreOptions {
+                budget: Budget::unlimited().states(1),
+                ..ExploreOptions::default()
+            })
+            .explore(&parse(src).expect("parses"))
+            .expect("partial")
+        };
+        let small = lts("observe<a>");
+        let big = lts("observe<a> | observe<b>");
+        // Complete sides: decided exactly as before.
+        assert!(trace_preorder_sound(&small, &big, 3).holds());
+        assert!(matches!(
+            trace_preorder_sound(&big, &small, 3),
+            TraceVerdict::Fails { .. }
+        ));
+        // Truncated implementation: an apparent Holds is not sound.
+        let cut = truncated("observe<a>");
+        assert!(!cut.complete());
+        assert!(!trace_preorder_sound(&cut, &big, 3).decided());
+        // Truncated specification: an apparent witness is not sound.
+        let cut_spec = truncated("observe<a>");
+        assert!(!trace_preorder_sound(&big, &cut_spec, 3).decided());
+        // But a Holds against a truncated spec IS sound (the truncation
+        // only removed specification behaviour).
+        let empty = lts("0");
+        assert!(trace_preorder_sound(&empty, &cut_spec, 3).holds());
     }
 
     #[test]

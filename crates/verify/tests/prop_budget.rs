@@ -1,0 +1,131 @@
+//! Property-based tests of budget monotonicity: growing any [`Budget`]
+//! dimension never flips a decided verdict — it can only turn
+//! `Inconclusive` into a decision, and every decision agrees with the
+//! unbounded truth.
+
+use proptest::prelude::*;
+use spi_syntax::{Name, Process, Term, Var};
+use spi_verify::{trace_preorder_sound, Budget, ExploreOptions, Explorer, TraceVerdict};
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop_oneof![
+        Just(Name::new("c")),
+        Just(Name::new("d")),
+        Just(Name::new("k")),
+    ]
+}
+
+/// A small closed replication-free process: exploration terminates, so
+/// the unlimited budget yields the ground-truth verdict.
+fn arb_process(depth: u32) -> BoxedStrategy<Process> {
+    if depth == 0 {
+        return prop_oneof![
+            Just(Process::Nil),
+            arb_name().prop_map(|c| Process::output(
+                Term::Name(c.clone()),
+                Term::Name(c),
+                Process::Nil
+            )),
+        ]
+        .boxed();
+    }
+    prop_oneof![
+        Just(Process::Nil),
+        (arb_name(), arb_name(), arb_process(depth - 1))
+            .prop_map(|(c, m, p)| Process::output(Term::Name(c), Term::Name(m), p)),
+        (arb_name(), arb_process(depth - 1)).prop_map(|(c, p)| Process::input(
+            Term::Name(c),
+            Var::new("x"),
+            p
+        )),
+        (arb_name(), arb_process(depth - 1)).prop_map(|(n, p)| Process::restrict(n, p)),
+        (arb_process(depth - 1), arb_process(depth - 1)).prop_map(|(l, r)| Process::par(l, r)),
+    ]
+    .boxed()
+}
+
+fn arb_budget() -> impl Strategy<Value = Budget> {
+    (1usize..24, 1usize..48, 1usize..32, 1usize..6, 1usize..96).prop_map(
+        |(states, transitions, fuel, knowledge, steps)| {
+            Budget::unlimited()
+                .states(states)
+                .transitions(transitions)
+                .fuel(fuel)
+                .knowledge(knowledge)
+                .deadline(steps)
+        },
+    )
+}
+
+/// Per-dimension growth: each delta may leave the dimension alone or
+/// grow it, including all five at once (composition of single growths).
+fn arb_growth() -> impl Strategy<Value = (usize, usize, usize, usize, usize)> {
+    (0usize..64, 0usize..64, 0usize..64, 0usize..8, 0usize..256)
+}
+
+fn grow(b: Budget, d: (usize, usize, usize, usize, usize)) -> Budget {
+    let mut g = b;
+    g.max_states = b.max_states.saturating_add(d.0);
+    g.max_transitions = b.max_transitions.saturating_add(d.1);
+    g.max_fuel = b.max_fuel.saturating_add(d.2);
+    g.max_knowledge = b.max_knowledge.saturating_add(d.3);
+    g.deadline_steps = b.deadline_steps.saturating_add(d.4);
+    g
+}
+
+/// `Some(true)` = holds, `Some(false)` = fails, `None` = inconclusive.
+fn decide(implementation: &Process, specification: &Process, budget: Budget) -> Option<bool> {
+    let opts = ExploreOptions {
+        budget,
+        unfold_bound: 1,
+        ..ExploreOptions::default()
+    };
+    let li = Explorer::new(opts.clone()).explore(implementation).ok()?;
+    let ls = Explorer::new(opts).explore(specification).ok()?;
+    match trace_preorder_sound(&li, &ls, 3) {
+        TraceVerdict::Holds { .. } => Some(true),
+        TraceVerdict::Fails { .. } => Some(false),
+        TraceVerdict::Inconclusive { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Growing any combination of budget dimensions never flips a
+    /// decided verdict; it can only decide an inconclusive one.
+    #[test]
+    fn growing_the_budget_never_flips_a_decision(
+        p in arb_process(2),
+        q in arb_process(2),
+        small in arb_budget(),
+        delta in arb_growth(),
+    ) {
+        let big = grow(small, delta);
+        prop_assert!(big.dominates(&small), "growth dominates: {big:?} vs {small:?}");
+        let before = decide(&p, &q, small);
+        let after = decide(&p, &q, big);
+        if let Some(decided) = before {
+            prop_assert_eq!(
+                after,
+                Some(decided),
+                "a decided verdict survives any budget growth"
+            );
+        }
+    }
+
+    /// Every decided verdict under a finite budget agrees with the
+    /// ground truth computed without any budget at all.
+    #[test]
+    fn decisions_agree_with_the_unbounded_truth(
+        p in arb_process(2),
+        q in arb_process(2),
+        small in arb_budget(),
+    ) {
+        let truth = decide(&p, &q, Budget::unlimited());
+        prop_assert!(truth.is_some(), "unbounded exploration always decides");
+        if let Some(decided) = decide(&p, &q, small) {
+            prop_assert_eq!(Some(decided), truth);
+        }
+    }
+}

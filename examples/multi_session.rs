@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("   {line}");
             }
         }
+        other => println!("unexpected verdict on Pm3: {other:?}"),
     }
 
     // For contrast: Pm3 also beats Pm2's check budget-for-budget.

@@ -48,6 +48,7 @@ claim B authenticates m from A
         match &report.verdict {
             Verdict::SecurelyImplements => "securely implements its specification".to_owned(),
             Verdict::Attack(a) => format!("ATTACK\n{}", a.narration.join("\n")),
+            other => format!("unexpected verdict: {other:?}"),
         }
     );
 
@@ -71,7 +72,7 @@ claim B authenticates m from A
                 println!("   {line}");
             }
         }
-        Verdict::SecurelyImplements => println!("\nunexpected: naive protocol passed?"),
+        other => println!("\nunexpected: naive protocol passed? ({other:?})"),
     }
 
     // ---- A three-role classic through the same pipeline ------------------

@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  {line}");
             }
         }
+        other => println!("unexpected verdict: {other:?}"),
     }
 
     // 4. The insecure variant is caught, with the paper's attack.

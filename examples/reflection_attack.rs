@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!("   distinguishing trace: {:?}\n", attack.trace);
         }
-        Verdict::SecurelyImplements => println!("unexpected: no reflection?\n"),
+        other => println!("unexpected: no reflection? ({other:?})\n"),
     }
 
     let fixed = reflection::bidirectional_tagged("c", "oa", "ob");
@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("   {line}");
             }
         }
+        other => println!("unexpected verdict on the repaired protocol: {other:?}"),
     }
     Ok(())
 }

@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!("   distinguishing trace: {:?}\n", attack.trace);
         }
-        Verdict::SecurelyImplements => println!("unexpected: P1 passed?\n"),
+        other => println!("unexpected: P1 passed? ({other:?})\n"),
     }
 
     let report = propositions::proposition_2()?;

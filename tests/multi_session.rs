@@ -65,7 +65,7 @@ fn the_nonce_check_is_what_saves_pm3() {
         Verdict::Attack(a) => {
             assert_eq!(a.trace[0], a.trace[1], "same message accepted twice");
         }
-        Verdict::SecurelyImplements => panic!("removing the nonce check must break Pm3"),
+        other => panic!("removing the nonce check must break Pm3, got {other:?}"),
     }
 }
 

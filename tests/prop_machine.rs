@@ -95,9 +95,9 @@ fn arb_process(bound: Vec<Var>, depth: u32) -> BoxedStrategy<Process> {
 
 fn small_opts() -> ExploreOptions {
     ExploreOptions {
-        max_states: 4_000,
+        budget: spi_auth_repro::verify::Budget::unlimited().states(4_000),
         unfold_bound: 1,
-        intruder: None,
+        ..ExploreOptions::default()
     }
 }
 

@@ -39,8 +39,8 @@ fn e9_bidirectional_pm3_suffers_the_reflection_attack() {
                 attack.trace
             );
         }
-        Verdict::SecurelyImplements => {
-            panic!("the bidirectional challenge-response must be reflectable")
+        other => {
+            panic!("the bidirectional challenge-response must be reflectable, got {other:?}")
         }
     }
 }

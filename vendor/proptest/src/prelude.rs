@@ -1,0 +1,11 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{AnyBool, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}

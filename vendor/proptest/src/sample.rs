@@ -1,0 +1,23 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy drawing uniformly from a fixed set of values.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len())].clone()
+    }
+}
+
+/// Selects uniformly from `items`; must be non-empty.
+pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> Select<T> {
+    let items = items.into();
+    assert!(!items.is_empty(), "select over an empty set");
+    Select(items)
+}

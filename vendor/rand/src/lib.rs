@@ -1,0 +1,129 @@
+//! A minimal, dependency-free shim exposing the subset of the `rand`
+//! 0.8 API this workspace uses (`StdRng`, `SeedableRng`, `Rng` with
+//! `gen_bool`/`gen_range`), deterministic for equal seeds.
+
+/// Seeding constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for std::ops::Range<$ty> {
+                fn sample_from(self, rng: &mut dyn RngCore) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+                fn sample_from(self, rng: &mut dyn RngCore) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range!(usize, u8, u16, u32, u64);
+
+/// Convenience sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // Compare against the top 53 bits for a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (xorshift64* behind a
+    /// splitmix64-mixed seed; *not* cryptographic, matching no
+    /// particular upstream stream, but stable for equal seeds).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0x9e37_79b9 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..100), b.gen_range(0usize..100));
+            assert_eq!(a.gen_bool(0.5), b.gen_bool(0.5));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}
