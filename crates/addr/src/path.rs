@@ -196,14 +196,26 @@ impl Path {
     /// `"e"` (for `ε`).
     #[must_use]
     pub fn to_bits(&self) -> String {
+        let mut out = String::with_capacity(self.tags.len().max(1));
+        let _ = self.write_bits(&mut out);
+        out
+    }
+
+    /// Streams [`Path::to_bits`] into any [`fmt::Write`] sink without
+    /// allocating — paths appear in every canonical state key, so the
+    /// hot serialization paths use this directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's write error.
+    pub fn write_bits<S: fmt::Write>(&self, out: &mut S) -> fmt::Result {
         if self.tags.is_empty() {
-            "e".to_owned()
-        } else {
-            self.tags
-                .iter()
-                .map(|b| if b.bit() == 0 { '0' } else { '1' })
-                .collect()
+            return out.write_char('e');
         }
+        for b in &self.tags {
+            out.write_char(if b.bit() == 0 { '0' } else { '1' })?;
+        }
+        Ok(())
     }
 }
 
@@ -305,7 +317,7 @@ mod tests {
     #[test]
     fn child_and_parent_are_inverse() {
         let path = p("01");
-        assert_eq!(path.child(Branch::Right).parent(), Some(path.clone()));
+        assert_eq!(path.child(Branch::Right).parent(), Some(path));
         assert_eq!(Path::root().parent(), None);
     }
 

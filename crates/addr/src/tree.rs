@@ -1,6 +1,7 @@
 //! The binary tree of sequential processes (Figure 1 of the paper).
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{AddrError, Branch, Path, RelAddr};
 
@@ -37,7 +38,13 @@ pub enum ProcTree<T> {
     /// A sequential component.
     Leaf(T),
     /// A parallel composition: left child under `‖0`, right under `‖1`.
-    Node(Box<ProcTree<T>>, Box<ProcTree<T>>),
+    ///
+    /// Children are [`Arc`]-shared: cloning a tree is two reference
+    /// bumps, and mutating a leaf copies only the spine from the root to
+    /// that leaf (state-space explorers clone whole configurations per
+    /// candidate successor, so structural sharing is what makes those
+    /// clones affordable).
+    Node(Arc<ProcTree<T>>, Arc<ProcTree<T>>),
 }
 
 /// The two children of a parallel node, as returned by
@@ -54,7 +61,7 @@ impl<T> ProcTree<T> {
     /// Builds a parallel node with the given children.
     #[must_use]
     pub fn node(left: ProcTree<T>, right: ProcTree<T>) -> ProcTree<T> {
-        ProcTree::Node(Box::new(left), Box::new(right))
+        ProcTree::Node(Arc::new(left), Arc::new(right))
     }
 
     /// Returns `true` when the tree is a single leaf.
@@ -68,7 +75,7 @@ impl<T> ProcTree<T> {
     pub fn children(&self) -> Option<TreeNode<'_, T>> {
         match self {
             ProcTree::Leaf(_) => None,
-            ProcTree::Node(l, r) => Some((l, r)),
+            ProcTree::Node(l, r) => Some((l.as_ref(), r.as_ref())),
         }
     }
 
@@ -126,7 +133,10 @@ impl<T> ProcTree<T> {
     ///
     /// Returns [`AddrError::PathOutOfTree`] when `path` does not denote a
     /// leaf of the tree.
-    pub fn leaf_at_mut(&mut self, path: &Path) -> Result<&mut T, AddrError> {
+    pub fn leaf_at_mut(&mut self, path: &Path) -> Result<&mut T, AddrError>
+    where
+        T: Clone,
+    {
         let slot = self.slot_at_mut(path)?;
         match slot {
             ProcTree::Leaf(v) => Ok(v),
@@ -151,7 +161,10 @@ impl<T> ProcTree<T> {
         &mut self,
         path: &Path,
         replacement: ProcTree<T>,
-    ) -> Result<ProcTree<T>, AddrError> {
+    ) -> Result<ProcTree<T>, AddrError>
+    where
+        T: Clone,
+    {
         let slot = self.slot_at_mut(path)?;
         Ok(std::mem::replace(slot, replacement))
     }
@@ -209,7 +222,13 @@ impl<T> ProcTree<T> {
         Ok(RelAddr::between(observer, target))
     }
 
-    fn slot_at_mut(&mut self, path: &Path) -> Result<&mut ProcTree<T>, AddrError> {
+    /// Descends to the slot at `path`, copying shared spine nodes on the
+    /// way down (copy-on-write): siblings of the path stay shared with
+    /// every other clone of this tree.
+    fn slot_at_mut(&mut self, path: &Path) -> Result<&mut ProcTree<T>, AddrError>
+    where
+        T: Clone,
+    {
         let mut cur = self;
         for (i, b) in path.iter().enumerate() {
             match cur {
@@ -220,8 +239,8 @@ impl<T> ProcTree<T> {
                 }
                 ProcTree::Node(l, r) => {
                     cur = match b {
-                        Branch::Left => l,
-                        Branch::Right => r,
+                        Branch::Left => Arc::make_mut(l),
+                        Branch::Right => Arc::make_mut(r),
                     };
                 }
             }

@@ -98,7 +98,7 @@ proptest! {
         // Collapsing the two hops first.
         let collapsed = hop1.compose(&hop2).unwrap();
         let right = tag0.compose(&collapsed).unwrap();
-        prop_assert_eq!(left.clone(), right);
+        prop_assert_eq!(&left, &right);
         prop_assert_eq!(left, RelAddr::between(&receiver, &creator));
     }
 

@@ -119,5 +119,72 @@ fn bench_governor_overhead(c: &mut Criterion) {
     );
 }
 
-criterion_group!(scaling, bench_sessions, bench_width, bench_governor_overhead);
+/// Smoke check for the parallel frontier: on the three-session naive
+/// protocol (the largest Pm2 instance in this suite), exploring with all
+/// available workers must not be slower than exploring sequentially —
+/// and both must agree exactly on the explored system.  The assertion
+/// makes `cargo bench --bench explore_scaling` fail loudly if the
+/// parallel engine ever regresses below the sequential one.
+fn bench_parallel_frontier(c: &mut Criterion) {
+    let pm2 = multi::shared_key("c", "observe");
+    let sequential = Verifier::new(["c"]).sessions(3).workers(1);
+    let parallel = Verifier::new(["c"]).sessions(3);
+
+    let mut group = c.benchmark_group("parallel_frontier");
+    group.sample_size(10);
+    group.bench_function("sequential_pm2_s3", |b| {
+        b.iter(|| sequential.explore(&pm2).expect("explores").stats)
+    });
+    group.bench_function("parallel_pm2_s3", |b| {
+        b.iter(|| parallel.explore(&pm2).expect("explores").stats)
+    });
+    group.finish();
+
+    // Determinism: worker count must not change the explored system.
+    let seq_lts = sequential.explore(&pm2).expect("explores");
+    let par_lts = parallel.explore(&pm2).expect("explores");
+    assert_eq!(seq_lts.stats, par_lts.stats, "worker count changed the LTS");
+    assert!(
+        seq_lts
+            .states
+            .iter()
+            .zip(&par_lts.states)
+            .all(|(s, p)| s.key == p.key && s.edges == p.edges),
+        "worker count changed state numbering or edges"
+    );
+
+    // Interleaved medians so frequency drift hits both sides equally.
+    let time = |v: &Verifier| {
+        let start = Instant::now();
+        black_box(v.explore(&pm2).expect("explores"));
+        start.elapsed()
+    };
+    let mut seq = Vec::new();
+    let mut par = Vec::new();
+    for _ in 0..7 {
+        seq.push(time(&sequential));
+        par.push(time(&parallel));
+    }
+    seq.sort();
+    par.sort();
+    let (seq_med, par_med) = (seq[seq.len() / 2], par[par.len() / 2]);
+    // "No slower" with a small tolerance so single-core CI runners (where
+    // both engines degenerate to the same work) don't flake on noise.
+    let limit = seq_med.mul_f64(1.10) + Duration::from_millis(1);
+    assert!(
+        par_med <= limit,
+        "parallel frontier slower than sequential: parallel {par_med:?} vs sequential {seq_med:?}"
+    );
+    println!(
+        "parallel_frontier/smoke: parallel {par_med:?} vs sequential {seq_med:?} (limit {limit:?}) — ok"
+    );
+}
+
+criterion_group!(
+    scaling,
+    bench_sessions,
+    bench_width,
+    bench_governor_overhead,
+    bench_parallel_frontier
+);
 criterion_main!(scaling);

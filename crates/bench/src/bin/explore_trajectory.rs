@@ -1,0 +1,68 @@
+//! Measure wall-clock exploration time for the Pm2/Pm3 multi-session
+//! instances and print one JSON record per configuration, suitable for
+//! appending to `BENCH_explore.json`.
+//!
+//! Run with `cargo run --release -p spi-bench --bin explore_trajectory -- <engine-label>`.
+//! The label tags the engine variant being measured (e.g. `seed-sequential`,
+//! `hashed-seq`, `parallel`); the harness itself always goes through the
+//! public `Verifier` API so successive engine generations are measured the
+//! same way.
+
+use std::time::Instant;
+
+use spi_auth::Verifier;
+use spi_protocols::multi;
+use spi_syntax::Process;
+
+const RUNS: usize = 7;
+
+fn median_ms(verifier: &Verifier, protocol: &Process) -> (f64, usize, usize) {
+    // Warm-up run (also gives us the state/transition counts).
+    let lts = verifier.explore(protocol).expect("explores");
+    let (states, transitions) = (lts.stats.states, lts.stats.edges);
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(verifier.explore(protocol).expect("explores"));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (samples[samples.len() / 2], states, transitions)
+}
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "unlabelled".to_string());
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(0);
+    let pm2 = multi::shared_key("c", "observe");
+    let pm3 = multi::challenge_response("c", "observe");
+    let instances: [(&str, &Process, u32); 3] = [
+        ("pm2_naive", &pm2, 2),
+        ("pm2_naive", &pm2, 3),
+        ("pm3_nonce", &pm3, 2),
+    ];
+    for (name, protocol, sessions) in instances {
+        let verifier = configure(Verifier::new(["c"]).sessions(sessions), workers);
+        let (ms, states, transitions) = median_ms(&verifier, protocol);
+        println!(
+            "{{\"engine\": \"{label}\", \"instance\": \"{name}\", \"sessions\": {sessions}, \
+             \"median_ms\": {ms:.2}, \"states\": {states}, \"transitions\": {transitions}, \
+             \"runs\": {RUNS}}}"
+        );
+    }
+}
+
+fn configure(verifier: Verifier, workers: usize) -> Verifier {
+    // workers == 0 means "leave the verifier at its default" (available
+    // parallelism); any other value pins the exploration thread count.
+    if workers == 0 {
+        verifier
+    } else {
+        verifier.workers(workers)
+    }
+}

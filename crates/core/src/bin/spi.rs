@@ -7,7 +7,7 @@
 //! spi verify <concrete> <abstract>          check secure implementation
 //!            [--chan c]... [--sessions N] [--visible N]
 //!            [--budget states=N,fuel=N,...] [--fault kind:chan[:max]]...
-//!            [--intruder on|off]
+//!            [--intruder on|off] [--workers N]
 //! spi explore <file> [--chan c]... [--sessions N] [--dot out.dot]
 //!                                           explore under the intruder
 //! spi narrate <narration> [--sessions N]    compile a narration both ways
@@ -17,7 +17,9 @@
 //!
 //! `--budget` dimensions: `states`, `transitions`, `fuel`, `knowledge`,
 //! `steps`.  `--fault` kinds: `drop`, `duplicate`, `reorder`, `replay`
-//! (repeatable; `max` defaults to 1).
+//! (repeatable; `max` defaults to 1).  `--workers` sets the exploration
+//! thread count (default: available parallelism); results are
+//! bit-for-bit identical for any worker count.
 //!
 //! Exit codes: 0 — verified / success; 1 — attack found or failed parse;
 //! 2 — usage error; 3 — inconclusive (a resource budget ran out before
@@ -67,7 +69,7 @@ fn print_usage() {
         "usage:\n  spi parse <file>\n  spi run <file> [--steps N] [--unfold N]\n  \
          spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n    \
          [--budget states=N,transitions=N,fuel=N,knowledge=N,steps=N]\n    \
-         [--fault kind:chan[:max]]... [--intruder on|off]\n  \
+         [--fault kind:chan[:max]]... [--intruder on|off] [--workers N]\n  \
          spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
          spi narrate <narration-file> [--sessions N]\n  spi paper [--sessions N]"
     );
@@ -241,6 +243,12 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
         .sessions(numeric_flag(flags, "sessions", 2)?)
         .max_visible(numeric_flag(flags, "visible", 6)?)
         .max_states(numeric_flag(flags, "max-states", 200_000)?);
+    if let Some(n) = flag(flags, "workers") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("flag --workers expects a number, got {n:?}"))?;
+        verifier = verifier.workers(n);
+    }
     if let Some(spec) = flag(flags, "budget") {
         verifier = verifier.budget(parse_budget(spec)?);
     }

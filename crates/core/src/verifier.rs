@@ -109,6 +109,7 @@ pub struct Verifier {
     faults: Option<FaultSpec>,
     intruder_enabled: bool,
     roles: Vec<(String, String)>,
+    workers: usize,
 }
 
 impl Verifier {
@@ -131,7 +132,18 @@ impl Verifier {
             faults: None,
             intruder_enabled: true,
             roles: vec![("A".into(), "0".into()), ("B".into(), "1".into())],
+            workers: ExploreOptions::available_workers(),
         }
+    }
+
+    /// Sets the number of worker threads per exploration.  `1` runs the
+    /// sequential engine; every value yields bit-for-bit identical
+    /// verdicts, statistics, and narrations (parallelism only reduces
+    /// wall-clock time).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Verifier {
+        self.workers = n.max(1);
+        self
     }
 
     /// Disables the most-general intruder, leaving only whatever faulty
@@ -235,6 +247,8 @@ impl Verifier {
             unfold_bound: self.unfold_bound,
             intruder: self.intruder_enabled.then(|| self.intruder_spec()),
             faults: self.faults.clone(),
+            workers: self.workers,
+            ..ExploreOptions::default()
         }
     }
 
@@ -357,6 +371,8 @@ impl Verifier {
                 .faults
                 .clone()
                 .map(|f| f.at("01".parse().expect("static path"))),
+            workers: self.workers,
+            ..ExploreOptions::default()
         };
         spi_verify::definition3_preorder(
             &self.under_attack(concrete),

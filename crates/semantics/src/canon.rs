@@ -9,20 +9,39 @@
 //! names by their creator position (which is part of the semantics — it
 //! is what the authentication primitives observe).
 
-use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt::Write;
 
 use spi_addr::{Path, ProcTree};
 
 use crate::{Config, LeafState, NameId, NameTable, RtChanIndex, RtChannel, RtProcess, RtTerm};
 
 /// Serializes a composite node's creator stamp.
-fn write_creator(creator: &Option<Path>, out: &mut String) {
+fn write_creator<S: Write>(creator: &Option<Path>, out: &mut S) {
     match creator {
         Some(p) => {
-            let _ = write!(out, "#{}", p.to_bits());
+            let _ = out.write_char('#');
+            let _ = p.write_bits(out);
         }
-        None => out.push_str("#-"),
+        None => { let _ = out.write_str("#-"); }
+    }
+}
+
+/// Writes a decimal number without going through `fmt::Arguments` —
+/// canonical ids appear once per name occurrence, making this one of
+/// the hottest writes in state serialization.
+fn write_decimal<S: Write>(mut n: usize, out: &mut S) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if let Ok(digits) = std::str::from_utf8(&buf[i..]) {
+        let _ = out.write_str(digits);
     }
 }
 
@@ -31,9 +50,16 @@ fn write_creator(creator: &Option<Path>, out: &mut String) {
 /// Explorers that carry extra state (e.g. intruder knowledge) extend the
 /// configuration key by serializing their terms through the same
 /// canonicalizer.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Canonicalizer {
-    map: HashMap<NameId, usize>,
+    /// `NameId` index → canonical number + 1 (`0` = not yet assigned).
+    /// A flat vector: ids are dense table indices, and this map is
+    /// consulted once per name occurrence.
+    map: Vec<u32>,
+    /// Assignment journal: `order[k]` is the id numbered `k`.  Lets
+    /// [`Canonicalizer::probe_term`] roll back precisely the
+    /// assignments a probe introduced.
+    order: Vec<NameId>,
 }
 
 impl Canonicalizer {
@@ -43,72 +69,110 @@ impl Canonicalizer {
         Canonicalizer::default()
     }
 
-    fn canon_id(&mut self, id: NameId, names: &NameTable, out: &mut String) {
+    fn canon_id<S: Write>(&mut self, id: NameId, names: &NameTable, out: &mut S) {
         let e = names.entry(id);
         if e.restricted {
-            let next = self.map.len();
-            let k = *self.map.entry(id).or_insert(next);
-            let creator = e
-                .creator
-                .as_ref()
-                .map_or_else(|| "-".to_owned(), Path::to_bits);
-            let _ = write!(out, "r{k}@{creator}");
+            let slot = id.index();
+            if slot >= self.map.len() {
+                self.map.resize(slot + 1, 0);
+            }
+            let k = if self.map[slot] == 0 {
+                self.order.push(id);
+                self.map[slot] = u32::try_from(self.order.len()).unwrap_or(u32::MAX);
+                self.order.len() - 1
+            } else {
+                (self.map[slot] - 1) as usize
+            };
+            let _ = out.write_char('r');
+            write_decimal(k, out);
+            let _ = out.write_char('@');
+            match &e.creator {
+                Some(p) => {
+                    let _ = p.write_bits(out);
+                }
+                None => {
+                    let _ = out.write_char('-');
+                }
+            }
         } else {
-            let _ = write!(out, "f:{}", e.base);
+            let _ = out.write_str("f:");
+            let _ = out.write_str(e.base.as_str());
         }
     }
 
+    /// Renders `t` as a canonical *probe*: ids already numbered keep
+    /// their numbers, ids first seen during this rendering are numbered
+    /// as usual but **forgotten afterwards**, leaving the canonicalizer
+    /// exactly as it was.  Probes give order keys for sets of terms
+    /// whose serialization order must not depend on the set's internal
+    /// ([`NameId`]-based, allocation-history-dependent) order.
+    #[must_use]
+    pub fn probe_term(&mut self, t: &RtTerm, names: &NameTable) -> String {
+        let saved = self.order.len();
+        let mut out = String::new();
+        self.write_term(t, names, &mut out);
+        for id in self.order.drain(saved..) {
+            self.map[id.index()] = 0;
+        }
+        out
+    }
+
     /// Serializes a term into `out` with canonical name numbering.
-    pub fn write_term(&mut self, t: &RtTerm, names: &NameTable, out: &mut String) {
+    pub fn write_term<S: Write>(&mut self, t: &RtTerm, names: &NameTable, out: &mut S) {
         match t {
             RtTerm::Var(v) => {
-                let _ = write!(out, "v:{v}");
+                let _ = out.write_str("v:");
+                let _ = out.write_str(v.as_str());
             }
             RtTerm::Sym(n) => {
-                let _ = write!(out, "s:{n}");
+                let _ = out.write_str("s:");
+                let _ = out.write_str(n.as_str());
             }
             RtTerm::Id(id) => self.canon_id(*id, names, out),
             RtTerm::Pair { fst, snd, creator } => {
-                out.push('(');
+                let _ = out.write_char('(');
                 self.write_term(fst, names, out);
-                out.push(',');
+                let _ = out.write_char(',');
                 self.write_term(snd, names, out);
-                out.push(')');
+                let _ = out.write_char(')');
                 write_creator(creator, out);
             }
             RtTerm::Enc { body, key, creator } => {
-                out.push('{');
+                let _ = out.write_char('{');
                 for (i, x) in body.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        let _ = out.write_char(',');
                     }
                     self.write_term(x, names, out);
                 }
-                out.push('}');
+                let _ = out.write_char('}');
                 self.write_term(key, names, out);
                 write_creator(creator, out);
             }
             RtTerm::LocatedLit { addr, inner } => {
-                let _ = write!(
-                    out,
-                    "L[{}.{}]",
-                    addr.observer().to_bits(),
-                    addr.target().to_bits()
-                );
+                let _ = out.write_str("L[");
+                let _ = addr.observer().write_bits(out);
+                let _ = out.write_char('.');
+                let _ = addr.target().write_bits(out);
+                let _ = out.write_char(']');
                 self.write_term(inner, names, out);
             }
         }
     }
 
-    fn write_channel(&mut self, ch: &RtChannel, names: &NameTable, out: &mut String) {
+    fn write_channel<S: Write>(&mut self, ch: &RtChannel, names: &NameTable, out: &mut S) {
         self.write_term(&ch.subject, names, out);
         match &ch.index {
             RtChanIndex::Plain => {}
             RtChanIndex::At(a) => {
-                let _ = write!(out, "@?{}.{}", a.observer().to_bits(), a.target().to_bits());
+                let _ = out.write_str("@?");
+                let _ = a.observer().write_bits(out);
+                let _ = out.write_char('.');
+                let _ = a.target().write_bits(out);
             }
             RtChanIndex::AtAbs(p) => {
-                let _ = write!(out, "@{}", p.to_bits());
+                let _ = out.write_char('@');
+                let _ = p.write_bits(out);
             }
             RtChanIndex::Loc(l) => {
                 let _ = write!(out, "@^{l}");
@@ -117,56 +181,63 @@ impl Canonicalizer {
     }
 
     /// Serializes a residual process into `out`.
-    pub fn write_process(&mut self, p: &RtProcess, names: &NameTable, out: &mut String) {
+    pub fn write_process<S: Write>(&mut self, p: &RtProcess, names: &NameTable, out: &mut S) {
         match p {
-            RtProcess::Nil => out.push('0'),
+            RtProcess::Nil => { let _ = out.write_char('0'); }
             RtProcess::Output(ch, t, cont) => {
-                out.push('O');
+                let _ = out.write_char('O');
                 self.write_channel(ch, names, out);
-                out.push('<');
+                let _ = out.write_char('<');
                 self.write_term(t, names, out);
-                out.push('>');
+                let _ = out.write_char('>');
                 self.write_process(cont, names, out);
             }
             RtProcess::Input(ch, x, cont) => {
-                out.push('I');
+                let _ = out.write_char('I');
                 self.write_channel(ch, names, out);
-                let _ = write!(out, "({x})");
+                let _ = out.write_char('(');
+                let _ = out.write_str(x.as_str());
+                let _ = out.write_char(')');
                 self.write_process(cont, names, out);
             }
             RtProcess::Restrict(n, body) => {
-                let _ = write!(out, "N({n})");
+                let _ = out.write_str("N(");
+                let _ = out.write_str(n.as_str());
+                let _ = out.write_char(')');
                 self.write_process(body, names, out);
             }
             RtProcess::Par(l, r) => {
-                out.push('[');
+                let _ = out.write_char('[');
                 self.write_process(l, names, out);
-                out.push('|');
+                let _ = out.write_char('|');
                 self.write_process(r, names, out);
-                out.push(']');
+                let _ = out.write_char(']');
             }
             RtProcess::Match(a, b, cont) => {
-                out.push('M');
+                let _ = out.write_char('M');
                 self.write_term(a, names, out);
-                out.push('=');
+                let _ = out.write_char('=');
                 self.write_term(b, names, out);
                 self.write_process(cont, names, out);
             }
             RtProcess::AddrMatchT(a, b, cont) => {
-                out.push('A');
+                let _ = out.write_char('A');
                 self.write_term(a, names, out);
-                out.push('~');
+                let _ = out.write_char('~');
                 self.write_term(b, names, out);
                 self.write_process(cont, names, out);
             }
             RtProcess::AddrMatchL(a, l, cont) => {
-                out.push('A');
+                let _ = out.write_char('A');
                 self.write_term(a, names, out);
-                let _ = write!(out, "~@{}.{}", l.observer().to_bits(), l.target().to_bits());
+                let _ = out.write_str("~@");
+                let _ = l.observer().write_bits(out);
+                let _ = out.write_char('.');
+                let _ = l.target().write_bits(out);
                 self.write_process(cont, names, out);
             }
             RtProcess::Bang(body) => {
-                out.push('!');
+                let _ = out.write_char('!');
                 self.write_process(body, names, out);
             }
             RtProcess::Split {
@@ -175,9 +246,13 @@ impl Canonicalizer {
                 snd,
                 body,
             } => {
-                out.push('S');
+                let _ = out.write_char('S');
                 self.write_term(pair, names, out);
-                let _ = write!(out, "({fst},{snd})");
+                let _ = out.write_char('(');
+                let _ = out.write_str(fst.as_str());
+                let _ = out.write_char(',');
+                let _ = out.write_str(snd.as_str());
+                let _ = out.write_char(')');
                 self.write_process(body, names, out);
             }
             RtProcess::Case {
@@ -186,60 +261,63 @@ impl Canonicalizer {
                 key,
                 body,
             } => {
-                out.push('C');
+                let _ = out.write_char('C');
                 self.write_term(scrutinee, names, out);
-                out.push('{');
+                let _ = out.write_char('{');
                 for (i, b) in binders.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        let _ = out.write_char(',');
                     }
-                    let _ = write!(out, "{b}");
+                    let _ = out.write_str(b.as_str());
                 }
-                out.push('}');
+                let _ = out.write_char('}');
                 self.write_term(key, names, out);
-                out.push(':');
+                let _ = out.write_char(':');
                 self.write_process(body, names, out);
             }
         }
     }
 
-    fn write_leaf(&mut self, leaf: &LeafState, names: &NameTable, out: &mut String) {
+    fn write_leaf<S: Write>(&mut self, leaf: &LeafState, names: &NameTable, out: &mut S) {
         match leaf {
-            LeafState::Dead => out.push('D'),
+            LeafState::Dead => { let _ = out.write_char('D'); }
             LeafState::Out {
                 chan,
                 payload,
                 cont,
             } => {
-                out.push('o');
+                let _ = out.write_char('o');
                 self.write_channel(chan, names, out);
-                out.push('<');
+                let _ = out.write_char('<');
                 self.write_term(payload, names, out);
-                out.push('>');
+                let _ = out.write_char('>');
                 self.write_process(cont, names, out);
             }
             LeafState::In { chan, var, cont } => {
-                out.push('i');
+                let _ = out.write_char('i');
                 self.write_channel(chan, names, out);
-                let _ = write!(out, "({var})");
+                let _ = out.write_char('(');
+                let _ = out.write_str(var.as_str());
+                let _ = out.write_char(')');
                 self.write_process(cont, names, out);
             }
             LeafState::Bang { body, unfolded } => {
-                let _ = write!(out, "b{unfolded}");
+                let _ = out.write_char('b');
+                write_decimal(*unfolded as usize, out);
                 self.write_process(body, names, out);
             }
         }
     }
 
-    fn write_tree(&mut self, tree: &ProcTree<LeafState>, names: &NameTable, out: &mut String) {
+    fn write_tree<S: Write>(&mut self, tree: &ProcTree<LeafState>, names: &NameTable, out: &mut S) {
         match tree {
             ProcTree::Leaf(l) => self.write_leaf(l, names, out),
             ProcTree::Node(l, r) => {
-                out.push('(');
+                let _ = out.write_char('(');
                 self.write_tree(l, names, out);
-                out.push(';');
+                let _ = out.write_char(';');
                 self.write_tree(r, names, out);
-                out.push(')');
+                let _ = out.write_char(')');
             }
         }
     }
@@ -250,7 +328,7 @@ impl Config {
     /// machine names canonically.  Explorers append their own state (e.g.
     /// intruder knowledge) with the same canonicalizer to form a full
     /// state key.
-    pub fn write_canonical(&self, canon: &mut Canonicalizer, out: &mut String) {
+    pub fn write_canonical<S: Write>(&self, canon: &mut Canonicalizer, out: &mut S) {
         canon.write_tree(&self.tree, &self.names, out);
     }
 
@@ -261,6 +339,124 @@ impl Config {
         let mut out = String::new();
         self.write_canonical(&mut canon, &mut out);
         out
+    }
+
+    /// The 128-bit canonical fingerprint of this configuration alone:
+    /// the [`canonical_key`](Config::canonical_key) stream folded through
+    /// a [`CanonHasher`] without materialising the string.
+    #[must_use]
+    pub fn canonical_hash(&self) -> u128 {
+        let mut canon = Canonicalizer::new();
+        let mut h = CanonHasher::new();
+        self.write_canonical(&mut canon, &mut h);
+        h.finish()
+    }
+}
+
+/// An incremental 128-bit hasher that consumes the canonical
+/// serialization stream through [`std::fmt::Write`], so every
+/// `write_*` method of [`Canonicalizer`] can feed it directly instead
+/// of a heap [`String`].
+///
+/// Hashing the *stream* (rather than a finished string) keeps state
+/// interning allocation-free; the string path stays available for
+/// debugging and for differential verification that the hash never
+/// conflates distinct keys in practice.
+///
+/// The mixer is FNV-style (xor then multiply by the 128-bit FNV prime)
+/// but absorbs 16-byte blocks per multiplication instead of single
+/// bytes — state keys run to kilobytes, and one `u128` multiply per
+/// byte dominated interning cost.  A rotation after each block keeps
+/// high-order bits flowing back into the low half, and `finish` folds
+/// the total length in and applies two finalization rounds so short
+/// zero-padded tails cannot alias.
+#[derive(Debug, Clone)]
+pub struct CanonHasher {
+    state: u128,
+    /// Bytes not yet absorbed (a partial block).
+    buf: [u8; 16],
+    /// How many of `buf`'s bytes are pending.
+    pending: usize,
+    /// Total bytes written, folded in at `finish`.
+    len: u64,
+}
+
+impl CanonHasher {
+    /// FNV-1a 128-bit offset basis.
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    /// FNV-1a 128-bit prime.
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> CanonHasher {
+        CanonHasher {
+            state: Self::OFFSET,
+            buf: [0; 16],
+            pending: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn absorb(&mut self, block: u128) {
+        self.state = (self.state ^ block).wrapping_mul(Self::PRIME).rotate_left(29);
+    }
+
+    /// The 128-bit digest of everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        let mut h = self.clone();
+        if h.pending > 0 {
+            h.buf[h.pending..].fill(0);
+            let tail = u128::from_le_bytes(h.buf);
+            h.absorb(tail);
+        }
+        h.absorb(u128::from(h.len));
+        let mut s = h.state;
+        s ^= s >> 64;
+        s = s.wrapping_mul(Self::PRIME);
+        s ^= s >> 61;
+        s
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        let mut rest = bytes;
+        if self.pending > 0 {
+            let take = rest.len().min(16 - self.pending);
+            self.buf[self.pending..self.pending + take].copy_from_slice(&rest[..take]);
+            self.pending += take;
+            rest = &rest[take..];
+            if self.pending < 16 {
+                return;
+            }
+            let block = u128::from_le_bytes(self.buf);
+            self.absorb(block);
+            self.pending = 0;
+        }
+        let mut chunks = rest.chunks_exact(16);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            self.absorb(u128::from_le_bytes(block));
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.pending = tail.len();
+    }
+}
+
+impl Default for CanonHasher {
+    fn default() -> CanonHasher {
+        CanonHasher::new()
+    }
+}
+
+impl Write for CanonHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
     }
 }
 

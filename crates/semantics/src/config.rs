@@ -1,6 +1,7 @@
 //! Configurations: the tree of sequential residuals plus the name table.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use spi_addr::{Path, ProcTree};
 use spi_syntax::{Name, Process, Var};
@@ -74,10 +75,14 @@ impl LeafState {
 /// assert!(cfg.barbs().iter().any(|b| b.chan == "observe" && b.output));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// The tree and name table live behind [`Arc`]s so cloning a
+/// configuration — which explorers do once per candidate successor — is
+/// two pointer bumps; the first mutation after a clone copies only the
+/// shared component it touches (`Arc::make_mut`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
-    pub(crate) tree: ProcTree<LeafState>,
-    pub(crate) names: NameTable,
+    pub(crate) tree: Arc<ProcTree<LeafState>>,
+    pub(crate) names: Arc<NameTable>,
 }
 
 /// A barb `P ↓ β` (Section 4.1): the possibility of an input or output on
@@ -118,7 +123,10 @@ impl Config {
             rt = rt.subst_sym(&n, id);
         }
         let tree = place(rt, Path::root(), &mut names)?;
-        Ok(Config { tree, names })
+        Ok(Config {
+            tree: Arc::new(tree),
+            names: Arc::new(names),
+        })
     }
 
     /// The tree of sequential residuals.
@@ -137,7 +145,7 @@ impl Config {
     /// process sitting at `creator` — how an explorer models an intruder
     /// inventing a message (`(νM_E)` in the paper's attack on `P1`).
     pub fn alloc_env_name(&mut self, base: &Name, creator: Path) -> crate::NameId {
-        self.names.alloc_restricted(base, creator)
+        Arc::make_mut(&mut self.names).alloc_restricted(base, creator)
     }
 
     /// The ids of every name (free or restricted) whose base spelling is
@@ -422,7 +430,7 @@ mod tests {
     #[test]
     fn passed_match_continues() {
         let c = cfg("[m = m] c<m>");
-        assert!(matches!(c.tree, ProcTree::Leaf(LeafState::Out { .. })));
+        assert!(matches!(*c.tree, ProcTree::Leaf(LeafState::Out { .. })));
     }
 
     #[test]

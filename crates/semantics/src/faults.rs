@@ -254,27 +254,31 @@ impl NetworkState {
     /// Writes a canonical rendering of this network state, using `canon`
     /// for machine-generated name identity (shared with the rendering of
     /// the configuration this state travels with).
-    pub fn write_canonical(&self, canon: &mut Canonicalizer, names: &NameTable, out: &mut String) {
-        out.push_str("net[");
+    pub fn write_canonical<S: std::fmt::Write>(
+        &self,
+        canon: &mut Canonicalizer,
+        names: &NameTable,
+        out: &mut S,
+    ) {
+        let _ = out.write_str("net[");
         for u in &self.used {
-            out.push_str(&u.to_string());
-            out.push(',');
+            let _ = write!(out, "{u},");
         }
-        out.push(';');
+        let _ = out.write_char(';');
         for (chan, msg) in &self.buffer {
-            out.push_str(chan.as_str());
-            out.push(':');
+            let _ = out.write_str(chan.as_str());
+            let _ = out.write_char(':');
             canon.write_term(msg, names, out);
-            out.push(',');
+            let _ = out.write_char(',');
         }
-        out.push(';');
+        let _ = out.write_char(';');
         for (chan, msg) in &self.log {
-            out.push_str(chan.as_str());
-            out.push(':');
+            let _ = out.write_str(chan.as_str());
+            let _ = out.write_char(':');
             canon.write_term(msg, names, out);
-            out.push(',');
+            let _ = out.write_char(',');
         }
-        out.push(']');
+        let _ = out.write_char(']');
     }
 }
 

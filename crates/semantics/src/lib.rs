@@ -70,7 +70,7 @@ mod rtproc;
 mod value;
 mod walk;
 
-pub use canon::Canonicalizer;
+pub use canon::{CanonHasher, Canonicalizer};
 pub use config::{Barb, Config, LeafState};
 pub use error::MachineError;
 pub use faults::{FaultClause, FaultKind, FaultParseError, FaultSpec, NetworkState};

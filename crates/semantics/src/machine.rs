@@ -187,8 +187,8 @@ impl Config {
             RtChanIndex::Loc(lam) => cont.subst_loc(lam, receiver),
             _ => cont,
         };
-        let placed = place(cont, out_path.clone(), &mut self.names)?;
-        self.tree.replace(out_path, placed)?;
+        let placed = place(cont, out_path.clone(), std::sync::Arc::make_mut(&mut self.names))?;
+        std::sync::Arc::make_mut(&mut self.tree).replace(out_path, placed)?;
         Ok((
             payload.clone(),
             StepInfo::Comm(CommInfo {
@@ -241,8 +241,8 @@ impl Config {
         if let RtChanIndex::Loc(lam) = &chan.index {
             cont = cont.subst_loc(lam, &sender);
         }
-        let placed = place(cont, in_path.clone(), &mut self.names)?;
-        self.tree.replace(in_path, placed)?;
+        let placed = place(cont, in_path.clone(), std::sync::Arc::make_mut(&mut self.names))?;
+        std::sync::Arc::make_mut(&mut self.tree).replace(in_path, placed)?;
         Ok(StepInfo::Comm(CommInfo {
             sender,
             receiver: in_path.clone(),
@@ -257,12 +257,12 @@ impl Config {
         let LeafState::Bang { body, unfolded } = self.tree.leaf_at(path)?.clone() else {
             return Err(MachineError::NotALeaf { path: path.clone() });
         };
-        let copy = place(body.clone(), path.child(Branch::Left), &mut self.names)?;
+        let copy = place(body.clone(), path.child(Branch::Left), std::sync::Arc::make_mut(&mut self.names))?;
         let replica = ProcTree::leaf(LeafState::Bang {
             body,
             unfolded: unfolded + 1,
         });
-        self.tree.replace(path, ProcTree::node(copy, replica))?;
+        std::sync::Arc::make_mut(&mut self.tree).replace(path, ProcTree::node(copy, replica))?;
         Ok(StepInfo::Unfold { path: path.clone() })
     }
 }

@@ -149,7 +149,7 @@ fn arb_process(bound: Vec<Var>, depth: u32) -> BoxedStrategy<Process> {
         },
         (
             arb_term(bound.clone()),
-            arb_term(bound.clone()),
+            arb_term(bound),
             arb_process(with_fresh, depth - 1)
         )
             .prop_map(move |(scrutinee, key, p)| Process::Case {

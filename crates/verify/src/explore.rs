@@ -2,15 +2,19 @@
 //! resource governor, and an optional faulty network.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use spi_addr::Path;
 use spi_semantics::{
-    Barb, Canonicalizer, Config, FaultKind, FaultSpec, LeafState, NameTable, NetworkState,
-    RtChanIndex, RtProcess, RtTerm, StepInfo,
+    Barb, CanonHasher, Canonicalizer, Config, FaultKind, FaultSpec, LeafState, NameTable,
+    NetworkState, RtChanIndex, RtProcess, RtTerm, StepInfo,
 };
 use spi_syntax::{Name, Process};
 
-use crate::{Budget, CoverageStats, Governor, Knowledge, ObsEvent, ObsTerm, ResourceKind, VerifyError};
+use crate::{
+    Budget, CoverageStats, DeriveCache, Governor, Knowledge, ObsEvent, ObsTerm, ResourceKind,
+    VerifyError,
+};
 
 /// The most-general bounded intruder of the paper's attacker class `E_C`.
 ///
@@ -62,6 +66,17 @@ pub struct ExploreOptions {
     pub intruder: Option<IntruderSpec>,
     /// The faulty-network model, if any.
     pub faults: Option<FaultSpec>,
+    /// Worker threads for frontier expansion.  `1` recovers the
+    /// sequential engine exactly; any value produces a bit-for-bit
+    /// identical [`Lts`] (state numbering, edges, governor accounting),
+    /// because successors are computed speculatively in parallel and
+    /// merged in the sequential visit order.  `0` is normalized to `1`.
+    pub workers: usize,
+    /// Differential key verification: intern states by their full
+    /// canonical strings *alongside* the 128-bit hashes and panic on any
+    /// disagreement (which would mean a hash collision or a
+    /// canonicalization bug).  Debugging aid; off by default.
+    pub verify_keys: bool,
 }
 
 impl ExploreOptions {
@@ -72,18 +87,28 @@ impl ExploreOptions {
     pub fn bounded() -> ExploreOptions {
         ExploreOptions::default()
     }
+
+    /// The number of worker threads the host offers: what
+    /// [`ExploreOptions::default`] uses for `workers`.
+    #[must_use]
+    pub fn available_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
 }
 
 impl Default for ExploreOptions {
     /// The historical defaults: the default [`Budget`] (50 000 states,
     /// everything else unlimited), unfold bound 2 (the paper's
-    /// two-session analyses), no intruder, no faults.
+    /// two-session analyses), no intruder, no faults, all available
+    /// worker threads (the result is identical for every worker count).
     fn default() -> ExploreOptions {
         ExploreOptions {
             budget: Budget::default(),
             unfold_bound: 2,
             intruder: None,
             faults: None,
+            workers: ExploreOptions::available_workers(),
+            verify_keys: false,
         }
     }
 }
@@ -218,8 +243,10 @@ impl Label {
 /// One explored state.
 #[derive(Debug, Clone)]
 pub struct LtsState {
-    /// Canonical identity.
-    pub key: String,
+    /// Canonical identity: the 128-bit FNV-1a digest of the canonical
+    /// serialization stream (configuration, sorted knowledge, fresh-name
+    /// count, network state).
+    pub key: u128,
     /// The barbs exhibited here.
     pub barbs: BTreeSet<Barb>,
     /// Outgoing edges.
@@ -290,6 +317,101 @@ impl Lts {
         seen
     }
 
+    /// Every state's τ-closure at once, via one strongly-connected-
+    /// component pass over the silent edges instead of one BFS restart
+    /// per state (states in the same τ-SCC share one closure set, and a
+    /// component's closure is the union of its members with its
+    /// successors' closures in reverse topological order).
+    ///
+    /// `tau_closures().of(s)` equals [`Lts::tau_closure`]`(s)` for every
+    /// `s`; checkers that query many states (weak traces, simulation)
+    /// should compute this once and reuse it.
+    #[must_use]
+    pub fn tau_closures(&self) -> TauClosures {
+        let n = self.states.len();
+        // Tarjan's algorithm, iteratively (explored graphs can be deep).
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        // SCCs in emission order: every edge out of an SCC lands in an
+        // earlier-emitted one, so closures propagate in one pass.
+        let mut scc_members: Vec<Vec<usize>> = Vec::new();
+        let tau_targets = |s: usize| {
+            self.states[s].edges.iter().filter_map(|(label, tgt)| {
+                matches!(label, Label::Tau(_)).then_some(*tgt)
+            })
+        };
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            // (state, next edge position) call stack.
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+                if let Some(w) = tau_targets(v).nth(*pos) {
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = scc_members.len();
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc_members.push(members);
+                    }
+                }
+            }
+        }
+        let mut scc_closure: Vec<Arc<BTreeSet<usize>>> = Vec::with_capacity(scc_members.len());
+        for (ci, members) in scc_members.iter().enumerate() {
+            let mut close: BTreeSet<usize> = members.iter().copied().collect();
+            let mut extends: Vec<usize> = Vec::new();
+            for &v in members {
+                for w in tau_targets(v) {
+                    if comp[w] != ci {
+                        extends.push(comp[w]);
+                    }
+                }
+            }
+            extends.sort_unstable();
+            extends.dedup();
+            for succ in extends {
+                close.extend(scc_closure[succ].iter().copied());
+            }
+            scc_closure.push(Arc::new(close));
+        }
+        TauClosures {
+            closure: comp.into_iter().map(|c| scc_closure[c].clone()).collect(),
+        }
+    }
+
     /// The indices of *stuck* states: no outgoing edge, yet some live
     /// component remains (an I/O prefix waiting forever, or a replication
     /// at its unfold bound).  Fully exhausted terminal states are not
@@ -298,11 +420,15 @@ impl Lts {
     /// not by the semantics.
     #[must_use]
     pub fn deadlocks(&self) -> Vec<usize> {
+        // `frontier` is sorted (see `explore`), so membership is a
+        // binary search, not a linear scan per state.
         self.states
             .iter()
             .enumerate()
             .filter(|(i, s)| {
-                s.edges.is_empty() && !s.config.is_exhausted() && !self.frontier.contains(i)
+                s.edges.is_empty()
+                    && !s.config.is_exhausted()
+                    && self.frontier.binary_search(i).is_err()
             })
             .map(|(i, _)| i)
             .collect()
@@ -326,6 +452,22 @@ impl Lts {
             }
         }
         out
+    }
+}
+
+/// All τ-closures of an [`Lts`], computed at once by
+/// [`Lts::tau_closures`].  States in the same τ-SCC share one closure
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct TauClosures {
+    closure: Vec<Arc<BTreeSet<usize>>>,
+}
+
+impl TauClosures {
+    /// The states reachable from `s` by silent steps (including `s`).
+    #[must_use]
+    pub fn of(&self, s: usize) -> &BTreeSet<usize> {
+        &self.closure[s]
     }
 }
 
@@ -359,55 +501,126 @@ struct StateData {
 }
 
 impl StateData {
-    fn key(&self) -> String {
+    /// Streams the canonical state serialization into `out`:
+    /// configuration, intruder knowledge, fresh-name count, network
+    /// state, all through one shared canonicalizer.
+    ///
+    /// Knowledge terms are serialized in the order of their *canonical*
+    /// renderings, not the raw [`NameId`]-based set order: the raw order
+    /// depends on allocation history, so two states holding the same
+    /// knowledge learnt along different interleavings would otherwise
+    /// feed the canonicalizer in different orders and intern as distinct
+    /// states.  Each term's sort key is a [`Canonicalizer::probe_term`]
+    /// rendering against the post-configuration numbering (ties between
+    /// equal renderings are symmetric, so either order yields the same
+    /// stream).
+    fn write_key<S: std::fmt::Write>(&self, out: &mut S) {
         let mut canon = Canonicalizer::new();
-        let mut out = String::new();
-        self.cfg.write_canonical(&mut canon, &mut out);
-        out.push('|');
-        for t in self.knowledge.iter() {
-            canon.write_term(t, self.cfg.names(), &mut out);
-            out.push(',');
+        self.cfg.write_canonical(&mut canon, out);
+        let _ = out.write_char('|');
+        let mut fragments: Vec<(String, &RtTerm)> = self
+            .knowledge
+            .iter()
+            .map(|t| (canon.probe_term(t, self.cfg.names()), t))
+            .collect();
+        fragments.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (_, t) in fragments {
+            canon.write_term(t, self.cfg.names(), out);
+            let _ = out.write_char(',');
         }
-        out.push('|');
-        out.push_str(&self.fresh_made.to_string());
+        let _ = out.write_char('|');
+        let _ = write!(out, "{}", self.fresh_made);
         if let Some(net) = &self.net {
-            out.push('|');
-            net.write_canonical(&mut canon, self.cfg.names(), &mut out);
+            let _ = out.write_char('|');
+            net.write_canonical(&mut canon, self.cfg.names(), out);
         }
+    }
+
+    /// The 128-bit canonical key: the serialization stream folded through
+    /// a [`CanonHasher`], no heap allocation for the key itself.
+    fn key(&self) -> u128 {
+        let mut h = CanonHasher::new();
+        self.write_key(&mut h);
+        h.finish()
+    }
+
+    /// The full canonical string — the debug/verification path behind
+    /// [`ExploreOptions::verify_keys`].
+    fn key_string(&self) -> String {
+        let mut out = String::new();
+        self.write_key(&mut out);
         out
     }
 }
 
-/// Interns `sd`, returning its index, or `None` when the state budget is
-/// already spent (noted on the governor).
-#[allow(clippy::too_many_arguments)]
-fn intern(
-    sd: StateData,
-    gov: &mut Governor,
-    states: &mut Vec<LtsState>,
-    data: &mut Vec<StateData>,
-    index: &mut HashMap<String, usize>,
-    queue: &mut VecDeque<usize>,
-) -> Option<usize> {
-    let key = sd.key();
-    if let Some(&i) = index.get(&key) {
-        return Some(i);
+/// The state store: LTS states, their exploration payloads, and the
+/// canonical-key index (hashed, with an optional parallel string index
+/// for differential verification).
+#[derive(Debug, Default)]
+struct StateStore {
+    states: Vec<LtsState>,
+    data: Vec<StateData>,
+    index: HashMap<u128, usize>,
+    /// Present iff [`ExploreOptions::verify_keys`]: the same interning
+    /// decisions re-derived from full canonical strings.
+    strings: Option<HashMap<String, usize>>,
+}
+
+impl StateStore {
+    fn new(verify_keys: bool) -> StateStore {
+        StateStore {
+            strings: verify_keys.then(HashMap::new),
+            ..StateStore::default()
+        }
     }
-    if !gov.admit_state(states.len()) {
-        return None;
+
+    /// Stores `sd` as a brand-new state under `key` without consulting
+    /// the governor — used for the initial state, which is always kept
+    /// so a partial answer is never empty.
+    fn push(&mut self, key: u128, sd: StateData, queue: &mut VecDeque<usize>) -> usize {
+        let i = self.states.len();
+        self.states.push(LtsState {
+            key,
+            barbs: sd.cfg.barbs(),
+            edges: Vec::new(),
+            config: sd.cfg.clone(),
+            knowledge: sd.knowledge.clone(),
+        });
+        if let Some(strings) = &mut self.strings {
+            strings.insert(sd.key_string(), i);
+        }
+        self.index.insert(key, i);
+        self.data.push(sd);
+        queue.push_back(i);
+        i
     }
-    let i = states.len();
-    states.push(LtsState {
-        key: key.clone(),
-        barbs: sd.cfg.barbs(),
-        edges: Vec::new(),
-        config: sd.cfg.clone(),
-        knowledge: sd.knowledge.clone(),
-    });
-    data.push(sd);
-    index.insert(key, i);
-    queue.push_back(i);
-    Some(i)
+
+    /// Interns `sd`, returning its index, or `None` when the state
+    /// budget is already spent (noted on the governor).
+    fn intern(
+        &mut self,
+        sd: StateData,
+        gov: &mut Governor,
+        queue: &mut VecDeque<usize>,
+    ) -> Option<usize> {
+        let key = sd.key();
+        let hit = self.index.get(&key).copied();
+        if let Some(strings) = &self.strings {
+            let string_hit = strings.get(&sd.key_string()).copied();
+            assert_eq!(
+                hit, string_hit,
+                "hashed interning diverged from string interning at key {key:#034x}: \
+                 a 128-bit collision or a canonicalization bug"
+            );
+        }
+        if let Some(i) = hit {
+            return Some(i);
+        }
+        if !gov.admit_state(self.states.len()) {
+            return None;
+        }
+        Some(self.push(key, sd, queue))
+    }
 }
 
 impl Explorer {
@@ -445,66 +658,88 @@ impl Explorer {
             net: self.opts.faults.as_ref().map(FaultSpec::initial_state),
         };
 
+        let workers = self.opts.workers.max(1);
         let mut gov = Governor::new(self.opts.budget);
-        let mut states: Vec<LtsState> = Vec::new();
-        let mut data: Vec<StateData> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut store = StateStore::new(self.opts.verify_keys);
         let mut queue: VecDeque<usize> = VecDeque::new();
-        // Fully-expanded flags, parallel to `states`.  The initial state
-        // is always interned, even under a zero budget, so a partial
-        // answer is never empty.
+        // The initial state is always interned, even under a zero
+        // budget, so a partial answer is never empty.
         let key = initial.key();
-        states.push(LtsState {
-            key: key.clone(),
-            barbs: initial.cfg.barbs(),
-            edges: Vec::new(),
-            config: initial.cfg.clone(),
-            knowledge: initial.knowledge.clone(),
-        });
-        data.push(initial);
-        index.insert(key, 0);
-        queue.push_back(0);
+        store.push(key, initial, &mut queue);
+        // Fully-expanded flags, parallel to `states`.
         let mut expanded: Vec<bool> = Vec::new();
+        // The sequential engine's derivation memo (each parallel worker
+        // owns its own — see `compute_layer`).
+        let mut cache = DeriveCache::new();
 
         let mut edges_total = 0usize;
-        'bfs: while let Some(cur) = queue.pop_front() {
-            if !gov.charge_fuel() {
-                queue.push_front(cur);
-                break 'bfs;
-            }
-            if !gov.admit_knowledge(data[cur].knowledge.len()) {
-                // Too much knowledge to expand: the state stays on the
-                // frontier, but exploration of its siblings continues.
-                continue;
-            }
-            let sd = data[cur].clone();
-            let succ = self.successors(&sd)?;
-            if !gov.charge_steps(succ.len().max(1)) {
-                queue.push_front(cur);
-                break 'bfs;
-            }
-            for (label, next) in succ {
-                if !gov.admit_transition(edges_total) {
-                    queue.push_front(cur);
-                    break 'bfs;
-                }
-                match intern(next, &mut gov, &mut states, &mut data, &mut index, &mut queue) {
-                    Some(tgt) => {
-                        states[cur].edges.push((label, tgt));
-                        edges_total += 1;
-                    }
-                    None => {
-                        queue.push_front(cur);
+        // Layered BFS.  Draining the queue one layer at a time visits
+        // states in exactly the order the one-at-a-time loop would (pop
+        // front, intern new states at the back), which lets the workers
+        // compute a whole layer's successors speculatively while the
+        // merge below replays the sequential governor decisions
+        // verbatim — same numbering, same accounting, same cut-offs.
+        'bfs: while !queue.is_empty() {
+            let layer: Vec<usize> = queue.drain(..).collect();
+            let mut computed = self.compute_layer(&layer, &store, workers);
+            for (pos, &cur) in layer.iter().enumerate() {
+                // Restores the queue as the sequential engine would have
+                // left it: the interrupted state first, then the rest of
+                // its layer, then everything interned meanwhile.
+                macro_rules! cut_off {
+                    () => {{
+                        for &idx in layer[pos..].iter().rev() {
+                            queue.push_front(idx);
+                        }
                         break 'bfs;
+                    }};
+                }
+                if !gov.charge_fuel() {
+                    cut_off!();
+                }
+                if !gov.admit_knowledge(store.data[cur].knowledge.len()) {
+                    // Too much knowledge to expand: the state stays on
+                    // the frontier, but exploration of its siblings
+                    // continues.  (Any speculative successors are
+                    // discarded unused.)
+                    continue;
+                }
+                // An error surfaces only when the replay actually
+                // consumes the state, exactly as in the sequential
+                // engine; errors in speculative work past a cut-off are
+                // dropped with it.
+                let succ = match computed[pos].take() {
+                    Some(result) => result?,
+                    None => {
+                        let sd = store.data[cur].clone();
+                        self.successors(&sd, &mut cache)?
+                    }
+                };
+                if !gov.charge_steps(succ.len().max(1)) {
+                    cut_off!();
+                }
+                for (label, next) in succ {
+                    if !gov.admit_transition(edges_total) {
+                        cut_off!();
+                    }
+                    match store.intern(next, &mut gov, &mut queue) {
+                        Some(tgt) => {
+                            store.states[cur].edges.push((label, tgt));
+                            edges_total += 1;
+                        }
+                        None => {
+                            cut_off!();
+                        }
                     }
                 }
+                if expanded.len() <= cur {
+                    expanded.resize(store.states.len(), false);
+                }
+                expanded[cur] = true;
             }
-            if expanded.len() <= cur {
-                expanded.resize(states.len(), false);
-            }
-            expanded[cur] = true;
         }
 
+        let states = store.states;
         expanded.resize(states.len(), false);
         let mut frontier: Vec<usize> = (0..states.len()).filter(|&i| !expanded[i]).collect();
         frontier.sort_unstable();
@@ -531,8 +766,49 @@ impl Explorer {
         })
     }
 
-    /// All successor states of `sd` with their labels.
-    fn successors(&self, sd: &StateData) -> Result<Vec<(Label, StateData)>, VerifyError> {
+    /// Speculatively computes successors for every state of a frontier
+    /// layer on a scoped worker pool.  Returns `None` slots when the
+    /// layer is too small (or `workers == 1`) to be worth fanning out —
+    /// the merge loop then computes those successors on demand, which is
+    /// literally the sequential engine.
+    ///
+    /// Speculation never affects results: the merge consumes the slots
+    /// in sequential order and discards anything past a budget cut-off.
+    #[allow(clippy::type_complexity)]
+    fn compute_layer(
+        &self,
+        layer: &[usize],
+        store: &StateStore,
+        workers: usize,
+    ) -> Vec<Option<Result<Vec<(Label, StateData)>, VerifyError>>> {
+        let mut computed: Vec<Option<Result<Vec<(Label, StateData)>, VerifyError>>> =
+            (0..layer.len()).map(|_| None).collect();
+        let pool = workers.min(layer.len());
+        if pool > 1 {
+            let chunk = layer.len().div_ceil(pool);
+            let data = &store.data;
+            std::thread::scope(|scope| {
+                for (slots, indices) in computed.chunks_mut(chunk).zip(layer.chunks(chunk)) {
+                    scope.spawn(move || {
+                        let mut cache = DeriveCache::new();
+                        for (slot, &cur) in slots.iter_mut().zip(indices) {
+                            *slot = Some(self.successors(&data[cur], &mut cache));
+                        }
+                    });
+                }
+            });
+        }
+        computed
+    }
+
+    /// All successor states of `sd` with their labels.  `cache`
+    /// memoizes intruder derivability queries; it never changes the
+    /// result, only the cost.
+    fn successors(
+        &self,
+        sd: &StateData,
+        cache: &mut DeriveCache,
+    ) -> Result<Vec<(Label, StateData)>, VerifyError> {
         let mut out = Vec::new();
 
         // Internal machine actions.
@@ -579,7 +855,7 @@ impl Explorer {
 
         // Intruder moves.
         if let Some(spec) = &self.opts.intruder {
-            self.intruder_moves(sd, spec, &mut out)?;
+            self.intruder_moves(sd, spec, cache, &mut out)?;
         }
 
         // Network faults.
@@ -797,6 +1073,7 @@ impl Explorer {
         &self,
         sd: &StateData,
         spec: &IntruderSpec,
+        cache: &mut DeriveCache,
         out: &mut Vec<(Label, StateData)>,
     ) -> Result<(), VerifyError> {
         let on_c = |subject: &RtTerm, names: &NameTable| -> bool {
@@ -826,7 +1103,7 @@ impl Explorer {
                     }
                 }
                 LeafState::In { chan, var, cont } if on_c(&chan.subject, sd.cfg.names()) => {
-                    for candidate in self.injection_candidates(sd, spec, var, cont) {
+                    for candidate in self.injection_candidates(sd, spec, var, cont, cache) {
                         let mut next = sd.clone();
                         let payload = match candidate {
                             Candidate::Known(t) => t,
@@ -872,6 +1149,7 @@ impl Explorer {
         spec: &IntruderSpec,
         var: &spi_syntax::Var,
         cont: &RtProcess,
+        cache: &mut DeriveCache,
     ) -> Vec<Candidate> {
         let mut cands: Vec<Candidate> =
             sd.knowledge.iter().cloned().map(Candidate::Known).collect();
@@ -880,10 +1158,7 @@ impl Explorer {
         }
         match expected_shape(var, cont) {
             Some(Shape::Cipher { key, arity }) => {
-                for t in sd
-                    .knowledge
-                    .ciphertext_candidates(&key, arity, spec.synth_cap)
-                {
+                for t in cache.ciphertext_candidates(&sd.knowledge, &key, arity, spec.synth_cap) {
                     let c = Candidate::Known(t);
                     if !cands.contains(&c) {
                         cands.push(c);

@@ -1,8 +1,16 @@
 //! Dolev–Yao knowledge: what an intruder can learn and derive.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use spi_semantics::{NameTable, RtTerm};
+
+/// Source of fresh knowledge generations: every content change gets a
+/// globally unique stamp, so `(generation, goal)` soundly keys derivation
+/// memos even across clones (clones share a generation exactly when they
+/// share content).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 
 /// A Dolev–Yao knowledge base over run-time messages.
 ///
@@ -44,9 +52,41 @@ use spi_semantics::{NameTable, RtTerm};
 /// assert!(kn.can_derive(&RtTerm::Id(m)));
 /// # Ok::<(), spi_addr::AddrError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// The analyzed set lives behind an [`Arc`] so cloning a knowledge base
+/// (once per candidate successor during exploration) is a pointer bump;
+/// `learn` copies the set only when it actually inserts.  `generation`
+/// is a cache stamp, not part of the value: equality, ordering and
+/// hashing ignore it.
+#[derive(Debug, Clone, Default)]
 pub struct Knowledge {
-    analyzed: BTreeSet<RtTerm>,
+    analyzed: Arc<BTreeSet<RtTerm>>,
+    generation: u64,
+}
+
+impl PartialEq for Knowledge {
+    fn eq(&self, other: &Knowledge) -> bool {
+        self.analyzed == other.analyzed
+    }
+}
+
+impl Eq for Knowledge {}
+
+impl PartialOrd for Knowledge {
+    fn partial_cmp(&self, other: &Knowledge) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Knowledge {
+    fn cmp(&self, other: &Knowledge) -> std::cmp::Ordering {
+        self.analyzed.cmp(&other.analyzed)
+    }
+}
+
+impl std::hash::Hash for Knowledge {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.analyzed.hash(state);
+    }
 }
 
 impl Knowledge {
@@ -78,13 +118,14 @@ impl Knowledge {
     /// derivable is opened.
     pub fn learn(&mut self, msg: RtTerm) {
         debug_assert!(msg.is_message(), "knowledge stores messages only");
-        if !self.analyzed.insert(msg) {
+        if self.analyzed.contains(&msg) {
             return;
         }
+        Arc::make_mut(&mut self.analyzed).insert(msg);
         // Re-analyze to a fixpoint.
         loop {
             let mut new: Vec<RtTerm> = Vec::new();
-            for t in &self.analyzed {
+            for t in self.analyzed.iter() {
                 match t {
                     RtTerm::Pair { fst, snd, .. } => {
                         for part in [fst.as_ref(), snd.as_ref()] {
@@ -104,12 +145,23 @@ impl Knowledge {
                 }
             }
             if new.is_empty() {
-                return;
+                break;
             }
+            let set = Arc::make_mut(&mut self.analyzed);
             for t in new {
-                self.analyzed.insert(t);
+                set.insert(t);
             }
         }
+        self.generation = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The cache stamp of this base's content: changes whenever `learn`
+    /// actually inserts, and is shared by clones (which share content).
+    /// Distinct stamps never alias distinct contents, so memoizing
+    /// derivability on `(generation, goal)` is sound.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Can the intruder derive `goal`?  Synthesis over the analyzed set:
@@ -143,15 +195,25 @@ impl Knowledge {
     /// ones when the key is derivable (bounded by `cap` combinations).
     #[must_use]
     pub fn ciphertext_candidates(&self, key: &RtTerm, arity: usize, cap: usize) -> Vec<RtTerm> {
+        self.ciphertext_candidates_with(key, arity, cap, self.can_derive(key))
+    }
+
+    fn ciphertext_candidates_with(
+        &self,
+        key: &RtTerm,
+        arity: usize,
+        cap: usize,
+        key_derivable: bool,
+    ) -> Vec<RtTerm> {
         let mut out: Vec<RtTerm> = Vec::new();
-        for t in &self.analyzed {
+        for t in self.analyzed.iter() {
             if let RtTerm::Enc { body, key: k, .. } = t {
                 if k.as_ref() == key && body.len() == arity {
                     out.push(t.clone());
                 }
             }
         }
-        if self.can_derive(key) {
+        if key_derivable {
             // Freshly built ciphertexts over analyzed atoms, capped.
             let atoms: Vec<&RtTerm> = self.analyzed.iter().collect();
             let mut stack: Vec<Vec<RtTerm>> = vec![Vec::new()];
@@ -188,6 +250,47 @@ impl Knowledge {
     pub fn display(&self, names: &NameTable) -> String {
         let items: Vec<String> = self.analyzed.iter().map(|t| t.display(names)).collect();
         format!("{{{}}}", items.join(", "))
+    }
+}
+
+/// A memo table for [`Knowledge::can_derive`], keyed on the knowledge
+/// base's [`generation`](Knowledge::generation) and the goal term, so the
+/// intruder's derivation closure is not recomputed once per candidate
+/// successor.  Each explorer worker owns one; entries never go stale
+/// because generations are never reused for different contents.
+#[derive(Debug, Clone, Default)]
+pub struct DeriveCache {
+    map: HashMap<(u64, RtTerm), bool>,
+}
+
+impl DeriveCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> DeriveCache {
+        DeriveCache::default()
+    }
+
+    /// Memoized [`Knowledge::can_derive`].
+    pub fn can_derive(&mut self, kn: &Knowledge, goal: &RtTerm) -> bool {
+        if let Some(&hit) = self.map.get(&(kn.generation, goal.clone())) {
+            return hit;
+        }
+        let answer = kn.can_derive(goal);
+        self.map.insert((kn.generation, goal.clone()), answer);
+        answer
+    }
+
+    /// Memoized [`Knowledge::ciphertext_candidates`] key check plus the
+    /// candidate enumeration itself (enumeration is cheap once the
+    /// derivability of the key is known).
+    pub fn ciphertext_candidates(
+        &mut self,
+        kn: &Knowledge,
+        key: &RtTerm,
+        arity: usize,
+        cap: usize,
+    ) -> Vec<RtTerm> {
+        kn.ciphertext_candidates_with(key, arity, cap, self.can_derive(kn, key))
     }
 }
 
@@ -244,7 +347,7 @@ mod tests {
         let mut kn = Knowledge::new();
         kn.learn(enc(vec![m.clone()], k.clone()));
         assert!(!kn.can_derive(&m), "perfect cryptography");
-        kn.learn(k.clone());
+        kn.learn(k);
         assert!(kn.can_derive(&m), "late key opens stored ciphertexts");
     }
 
@@ -271,8 +374,8 @@ mod tests {
         assert!(kn.can_derive(&enc(vec![m.clone()], k.clone())));
         // A creator-stamped ciphertext cannot be forged.
         let stamped = RtTerm::Enc {
-            body: vec![m.clone()],
-            key: Box::new(k.clone()),
+            body: vec![m],
+            key: Box::new(k),
             creator: Some("00".parse::<Path>().unwrap()),
         };
         assert!(!kn.can_derive(&stamped), "stamps are unforgeable");
@@ -285,13 +388,13 @@ mod tests {
     fn ciphertext_candidates_prefer_stored_ones() {
         let (_, k, m, c) = setup();
         let stored = RtTerm::Enc {
-            body: vec![m.clone()],
+            body: vec![m],
             key: Box::new(k.clone()),
             creator: Some("00".parse::<Path>().unwrap()),
         };
         let mut kn = Knowledge::new();
         kn.learn(stored.clone());
-        kn.learn(c.clone());
+        kn.learn(c);
         // Key not derivable: only the stored ciphertext qualifies.
         let cands = kn.ciphertext_candidates(&k, 1, 16);
         assert_eq!(cands, vec![stored.clone()]);
@@ -308,7 +411,7 @@ mod tests {
     fn candidates_respect_arity() {
         let (_, k, m, _) = setup();
         let mut kn = Knowledge::new();
-        kn.learn(enc(vec![m.clone(), m.clone()], k.clone()));
+        kn.learn(enc(vec![m.clone(), m], k.clone()));
         assert!(kn.ciphertext_candidates(&k, 1, 16).is_empty());
         assert_eq!(kn.ciphertext_candidates(&k, 2, 16).len(), 1);
     }

@@ -52,8 +52,9 @@ pub use dot::to_dot;
 pub use error::VerifyError;
 pub use explore::{
     ExploreOptions, ExploreStats, Explorer, IntruderSpec, Label, Lts, LtsState, StepDesc,
+    TauClosures,
 };
-pub use knowledge::Knowledge;
+pub use knowledge::{DeriveCache, Knowledge};
 pub use obs::{ObsEvent, ObsTerm, TraceRenamer};
 pub use secrecy::{check_secrecy, SecrecyReport};
 pub use simulation::{simulates, SimulationResult};

@@ -38,10 +38,14 @@ pub type TraceSet = BTreeSet<Vec<String>>;
 #[must_use]
 pub fn weak_traces(lts: &Lts, max_visible: usize) -> TraceSet {
     let mut out = TraceSet::new();
-    let initial: BTreeSet<usize> = lts.tau_closure(0);
+    // All τ-closures up front: one SCC pass instead of one BFS restart
+    // per visited subset member.
+    let closures = lts.tau_closures();
+    let initial: BTreeSet<usize> = closures.of(0).clone();
     let mut prefix = Vec::new();
     collect(
         lts,
+        &closures,
         &initial,
         &TraceRenamer::new(),
         max_visible,
@@ -53,6 +57,7 @@ pub fn weak_traces(lts: &Lts, max_visible: usize) -> TraceSet {
 
 fn collect(
     lts: &Lts,
+    closures: &crate::TauClosures,
     subset: &BTreeSet<usize>,
     renamer: &TraceRenamer,
     budget: usize,
@@ -70,9 +75,9 @@ fn collect(
             if let Label::Obs(ev, _) = label {
                 match by_event.iter_mut().find(|(e, _)| *e == ev) {
                     Some((_, set)) => {
-                        set.extend(lts.tau_closure(*tgt));
+                        set.extend(closures.of(*tgt).iter().copied());
                     }
-                    None => by_event.push((ev, lts.tau_closure(*tgt))),
+                    None => by_event.push((ev, closures.of(*tgt).clone())),
                 }
             }
         }
@@ -81,7 +86,7 @@ fn collect(
         let mut r = renamer.clone();
         let canon = r.canon(ev);
         prefix.push(canon);
-        collect(lts, &targets, &r, budget - 1, prefix, out);
+        collect(lts, closures, &targets, &r, budget - 1, prefix, out);
         prefix.pop();
     }
 }

@@ -85,7 +85,7 @@ fn arb_process(bound: Vec<Var>, depth: u32) -> BoxedStrategy<Process> {
             .prop_map(|(a, b, p)| Process::matching(a, b, p)),
         (
             arb_term(bound.clone()),
-            arb_term(bound.clone()),
+            arb_term(bound),
             arb_process(with_fresh, depth - 1)
         )
             .prop_map(move |(s, k, p)| Process::case(s, [fresh.clone()], k, p)),
