@@ -1,0 +1,80 @@
+//! Measure fault-campaign throughput (schedules classified per second,
+//! including counterexample shrinking) for the Pm2/Pm3 multi-session
+//! instances and print one JSON record per configuration, suitable for
+//! appending to `BENCH_campaign.json`.
+//!
+//! Run with `cargo run --release -p spi-bench --bin campaign_throughput -- <label> <workers>`.
+//! The label tags the engine variant being measured; the harness always
+//! goes through the public `Verifier::run_campaign` API so successive
+//! generations are measured the same way.  `workers == 0` leaves the
+//! verifier at its default (available parallelism).
+
+use std::time::Instant;
+
+use spi_auth::Verifier;
+use spi_protocols::multi;
+use spi_syntax::Process;
+
+const RUNS: usize = 5;
+const DEPTH: usize = 2;
+
+/// Median campaign wall-clock plus the (engine-invariant) outcome tally.
+fn median_ms(verifier: &Verifier, concrete: &Process, spec: &Process) -> (f64, usize, (usize, usize, usize)) {
+    let opts = verifier.campaign_options(DEPTH);
+    // Warm-up run (also gives us the schedule count and the tally).
+    let report = verifier
+        .run_campaign(concrete, spec, &opts)
+        .expect("campaign runs");
+    let enumerated = report.enumerated;
+    let tally = report.tally();
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(
+                verifier
+                    .run_campaign(concrete, spec, &opts)
+                    .expect("campaign runs"),
+            );
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (samples[samples.len() / 2], enumerated, tally)
+}
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "unlabelled".to_string());
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(0);
+    let spec = multi::abstract_protocol("c", "observe").expect("well-formed");
+    let pm2 = multi::shared_key("c", "observe");
+    let pm3 = multi::challenge_response("c", "observe");
+    let instances: [(&str, &Process); 2] = [("pm2_naive", &pm2), ("pm3_nonce", &pm3)];
+    for (name, concrete) in instances {
+        let verifier = configure(
+            Verifier::new(["c"]).sessions(2).no_intruder(),
+            workers,
+        );
+        let (ms, enumerated, (attacks, survive, inconclusive)) =
+            median_ms(&verifier, concrete, &spec);
+        let per_sec = enumerated as f64 / (ms / 1e3);
+        println!(
+            "{{\"engine\": \"{label}\", \"instance\": \"{name}\", \"depth\": {DEPTH}, \
+             \"schedules\": {enumerated}, \"attacks\": {attacks}, \"survive\": {survive}, \
+             \"inconclusive\": {inconclusive}, \"median_ms\": {ms:.2}, \
+             \"schedules_per_sec\": {per_sec:.1}, \"runs\": {RUNS}}}"
+        );
+    }
+}
+
+fn configure(verifier: Verifier, workers: usize) -> Verifier {
+    if workers == 0 {
+        verifier
+    } else {
+        verifier.workers(workers)
+    }
+}

@@ -7,7 +7,12 @@
 //! spi verify <concrete> <abstract>          check secure implementation
 //!            [--chan c]... [--sessions N] [--visible N]
 //!            [--budget states=N,fuel=N,...] [--fault kind:chan[:max]]...
-//!            [--intruder on|off] [--workers N]
+//!            [--intruder on|off] [--workers N] [--timeout-secs S]
+//! spi campaign <concrete> <abstract>        sweep every fault schedule up
+//!            [--faults-depth K] [--chan c]...  to K unit firings, shrink
+//!            [--checkpoint FILE] [--resume FILE]  failures to 1-minimal
+//!            [--checkpoint-every N] [--stop-after N]  counterexamples
+//!            (plus all verify flags)
 //! spi explore <file> [--chan c]... [--sessions N] [--dot out.dot]
 //!                                           explore under the intruder
 //! spi narrate <narration> [--sessions N]    compile a narration both ways
@@ -17,13 +22,15 @@
 //!
 //! `--budget` dimensions: `states`, `transitions`, `fuel`, `knowledge`,
 //! `steps`.  `--fault` kinds: `drop`, `duplicate`, `reorder`, `replay`
-//! (repeatable; `max` defaults to 1).  `--workers` sets the exploration
+//! (repeatable, and each occurrence may hold several comma-separated
+//! clauses; `max` defaults to 1).  `--workers` sets the exploration
 //! thread count (default: available parallelism); results are
-//! bit-for-bit identical for any worker count.
+//! bit-for-bit identical for any worker count.  `--timeout-secs` sets a
+//! wall-clock deadline; runs it truncates answer *inconclusive*.
 //!
 //! Exit codes: 0 — verified / success; 1 — attack found or failed parse;
-//! 2 — usage error; 3 — inconclusive (a resource budget ran out before
-//! the check could be decided).
+//! 2 — usage error; 3 — inconclusive (a resource budget ran out, the
+//! wall clock expired, or a campaign was interrupted before completion).
 
 use std::process::ExitCode;
 
@@ -53,6 +60,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "parse" => cmd_parse(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
         "narrate" => cmd_narrate(&args[1..]),
         "paper" => cmd_paper(&args[1..]),
@@ -69,7 +77,9 @@ fn print_usage() {
         "usage:\n  spi parse <file>\n  spi run <file> [--steps N] [--unfold N]\n  \
          spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n    \
          [--budget states=N,transitions=N,fuel=N,knowledge=N,steps=N]\n    \
-         [--fault kind:chan[:max]]... [--intruder on|off] [--workers N]\n  \
+         [--fault kind:chan[:max],...]... [--intruder on|off] [--workers N] [--timeout-secs S]\n  \
+         spi campaign <concrete> <abstract> [--faults-depth K] [--checkpoint FILE]\n    \
+         [--resume FILE] [--checkpoint-every N] [--stop-after N] (plus verify flags)\n  \
          spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
          spi narrate <narration-file> [--sessions N]\n  spi paper [--sessions N]"
     );
@@ -252,10 +262,14 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
     if let Some(spec) = flag(flags, "budget") {
         verifier = verifier.budget(parse_budget(spec)?);
     }
+    // Each --fault may carry several comma-separated clauses, so a whole
+    // schedule pastes into one flag: --fault drop:c,replay:c:2
     let clauses: Vec<FaultClause> = flags
         .iter()
         .filter(|(n, _)| *n == "fault")
-        .map(|(_, v)| v.parse::<FaultClause>().map_err(|e| e.to_string()))
+        .flat_map(|(_, v)| v.split(','))
+        .filter(|c| !c.is_empty())
+        .map(|c| c.parse::<FaultClause>().map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     if !clauses.is_empty() {
         verifier = verifier.faults(FaultSpec::new(clauses));
@@ -264,6 +278,13 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
         None | Some("on") => {}
         Some("off") => verifier = verifier.no_intruder(),
         Some(other) => return Err(format!("--intruder expects on|off, got {other:?}")),
+    }
+    if let Some(s) = flag(flags, "timeout-secs") {
+        let secs: u64 = s
+            .parse()
+            .map_err(|_| format!("flag --timeout-secs expects a number, got {s:?}"))?;
+        verifier = verifier
+            .deadline(std::time::Instant::now() + std::time::Duration::from_secs(secs));
     }
     Ok(verifier)
 }
@@ -312,6 +333,99 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         report.concrete_stats.states, report.abstract_stats.states
     );
     Ok(report_verdict(&report.verdict))
+}
+
+/// A schedule key for humans: the empty schedule spelled out.
+fn show_schedule(key: &str) -> &str {
+    if key.starts_with('@') {
+        "(no faults)"
+    } else {
+        key
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [concrete_path, abstract_path] = pos.as_slice() else {
+        return Err("campaign expects <concrete> <abstract>".into());
+    };
+    let concrete_src = read(concrete_path)?;
+    let abstract_src = read(abstract_path)?;
+    let (Ok(concrete), Ok(spec)) = (parse_or_fail(&concrete_src), parse_or_fail(&abstract_src))
+    else {
+        return Ok(ExitCode::FAILURE);
+    };
+    let verifier = build_verifier(&flags)?;
+    let depth: usize = numeric_flag(&flags, "faults-depth", 2)?;
+    let mut opts = verifier.campaign_options(depth);
+    opts.checkpoint_every = numeric_flag(&flags, "checkpoint-every", 8)?;
+    if let Some(path) = flag(&flags, "checkpoint") {
+        opts.checkpoint_path = Some(path.into());
+    }
+    if let Some(path) = flag(&flags, "resume") {
+        opts.checkpoint_path = Some(path.into());
+        opts.resume = true;
+    }
+    if flag(&flags, "stop-after").is_some() {
+        opts.stop_after = Some(numeric_flag(&flags, "stop-after", 0)?);
+    }
+    let report = verifier
+        .run_campaign(&concrete, &spec, &opts)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "campaign: {} schedules up to depth {depth} ({} resumed, {} fresh{})",
+        report.enumerated,
+        report.resumed,
+        report.fresh,
+        if report.interrupted {
+            ", INTERRUPTED"
+        } else {
+            ""
+        }
+    );
+    let width = report.results.iter().map(|r| r.key.len()).max().unwrap_or(8);
+    for r in &report.results {
+        match &r.outcome {
+            spi_auth::ScheduleOutcome::Attack(cex) => println!(
+                "  {:<width$}  ATTACK   minimal {} after {} shrink steps, trace length {}",
+                r.key,
+                show_schedule(&cex.schedule.canonical_key()),
+                cex.shrink_steps,
+                cex.trace.len(),
+            ),
+            spi_auth::ScheduleOutcome::Survives { traces_checked } => println!(
+                "  {:<width$}  survives ({traces_checked} traces checked)",
+                r.key
+            ),
+            spi_auth::ScheduleOutcome::Inconclusive { reason } => {
+                println!("  {:<width$}  INCONCLUSIVE: {reason}", r.key);
+            }
+        }
+    }
+    let (attacks, survives, inconclusive) = report.tally();
+    println!("summary: {attacks} attacks, {survives} survive, {inconclusive} inconclusive");
+    if let Some((r, cex)) = report.attacks().next() {
+        println!(
+            "minimal counterexample (schedule {}, found under {}):",
+            show_schedule(&cex.schedule.canonical_key()),
+            show_schedule(&r.key),
+        );
+        for line in verifier
+            .narrate_counterexample(&concrete, cex)
+            .map_err(|e| e.to_string())?
+        {
+            println!("  {line}");
+        }
+        println!("  distinguishing trace: {:?}", cex.trace);
+    }
+    Ok(if attacks > 0 {
+        ExitCode::FAILURE
+    } else if inconclusive > 0 || report.interrupted {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {

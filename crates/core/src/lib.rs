@@ -47,7 +47,10 @@ mod verifier;
 pub use verifier::{Attack, EquivDirection, Verdict, VerificationReport, Verifier};
 
 pub use spi_semantics::{FaultClause, FaultKind, FaultParseError, FaultSpec};
-pub use spi_verify::{Budget, CoverageStats, ResourceKind};
+pub use spi_verify::{
+    Budget, CampaignOptions, CampaignReport, CoverageStats, MinimalCounterexample, ResourceKind,
+    ScheduleOutcome, ScheduleResult,
+};
 
 pub use spi_addr as addr;
 pub use spi_protocols as protocols;

@@ -1,11 +1,14 @@
 //! The secure-implementation checker (Definition 4 of the paper).
 
+use std::time::Instant;
+
 use spi_addr::Path;
 use spi_semantics::{FaultSpec, RoleMap, StepInfo};
 use spi_syntax::{Name, Process};
 use spi_verify::{
-    find_realization, trace_preorder_sound, Budget, CoverageStats, ExploreOptions, ExploreStats,
-    Explorer, IntruderSpec, Lts, ResourceKind, StepDesc, TraceVerdict, VerifyError,
+    find_realization, trace_preorder_sound, Budget, CampaignOptions, CampaignReport,
+    CoverageStats, ExploreOptions, ExploreStats, Explorer, IntruderSpec, Lts,
+    MinimalCounterexample, ResourceKind, StepDesc, TraceVerdict, VerifyError,
 };
 
 /// Which inclusion failed in an equivalence check.
@@ -110,6 +113,7 @@ pub struct Verifier {
     intruder_enabled: bool,
     roles: Vec<(String, String)>,
     workers: usize,
+    deadline: Option<Instant>,
 }
 
 impl Verifier {
@@ -133,7 +137,19 @@ impl Verifier {
             intruder_enabled: true,
             roles: vec![("A".into(), "0".into()), ("B".into(), "1".into())],
             workers: ExploreOptions::available_workers(),
+            deadline: None,
         }
+    }
+
+    /// Sets a wall-clock deadline for every exploration (and for any
+    /// campaign loop run through this verifier).  Explorations the clock
+    /// truncates report [`ResourceKind::WallClock`], so the verdicts
+    /// they feed are *inconclusive* — never silently partial.  Leave
+    /// unset for fully reproducible runs.
+    #[must_use]
+    pub fn deadline(mut self, at: Instant) -> Verifier {
+        self.deadline = Some(at);
+        self
     }
 
     /// Sets the number of worker threads per exploration.  `1` runs the
@@ -248,6 +264,7 @@ impl Verifier {
             intruder: self.intruder_enabled.then(|| self.intruder_spec()),
             faults: self.faults.clone(),
             workers: self.workers,
+            deadline: self.deadline,
             ..ExploreOptions::default()
         }
     }
@@ -397,6 +414,68 @@ impl Verifier {
     ) -> Result<spi_verify::SecrecyReport, VerifyError> {
         let lts = self.explore(protocol)?;
         Ok(spi_verify::check_secrecy(&lts, secrets))
+    }
+
+    /// Campaign options matching this verifier's configuration: the
+    /// verifier's channels as the fault universe, all fault kinds, up to
+    /// `depth` unit firings per schedule, and the verifier's exploration
+    /// bounds for every run.  Adjust checkpointing / interruption knobs
+    /// on the returned value before passing it to
+    /// [`Verifier::run_campaign`].
+    #[must_use]
+    pub fn campaign_options(&self, depth: usize) -> CampaignOptions {
+        let mut opts = CampaignOptions::new(self.channels.iter().cloned(), depth);
+        // The campaign installs each schedule itself; a baseline fault
+        // model would leak into every schedule and the identity digest.
+        opts.explore = ExploreOptions {
+            faults: None,
+            ..self.explore_opts()
+        };
+        opts.max_visible = self.max_visible;
+        opts
+    }
+
+    /// Runs a fault campaign (see [`spi_verify::campaign`]): every
+    /// multi-fault schedule up to the configured depth is checked as in
+    /// [`Verifier::check`], failing schedules are shrunk to 1-minimal
+    /// counterexamples, and undecidable ones stay inconclusive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine failures and checkpoint problems; per-schedule
+    /// trouble (budget exhaustion, worker panics) is reported in the
+    /// per-schedule outcomes instead.
+    pub fn run_campaign(
+        &self,
+        concrete: &Process,
+        abstract_spec: &Process,
+        opts: &CampaignOptions,
+    ) -> Result<CampaignReport, VerifyError> {
+        spi_verify::run_campaign(
+            &self.under_attack(concrete),
+            &self.under_attack(abstract_spec),
+            opts,
+        )
+    }
+
+    /// Narrates a campaign counterexample in the paper's notation: the
+    /// concrete protocol is re-explored under the minimal schedule and
+    /// the run realizing the minimal trace is rendered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exploration failures.
+    pub fn narrate_counterexample(
+        &self,
+        concrete: &Process,
+        cex: &MinimalCounterexample,
+    ) -> Result<Vec<String>, VerifyError> {
+        let opts = ExploreOptions {
+            faults: (!cex.schedule.clauses.is_empty()).then(|| cex.schedule.clone()),
+            ..self.explore_opts()
+        };
+        let lts = Explorer::new(opts).explore(&self.under_attack(concrete))?;
+        Ok(self.narrate_witness(&lts, &cex.trace))
     }
 
     /// Convenience: the attack found by [`Verifier::check`], if any.
@@ -623,6 +702,56 @@ mod tests {
             big.check(&p2, &spec).unwrap().verdict,
             Verdict::SecurelyImplements
         ));
+    }
+
+    #[test]
+    fn pm2_campaign_rediscovers_the_replay_minimally() {
+        use spi_protocols::multi;
+        use spi_semantics::FaultKind;
+        // No intruder: any attack is attributable to the network alone,
+        // so shrinking cannot collapse the schedule to nothing.
+        let v = Verifier::new(["c"]).sessions(2).no_intruder();
+        let report = v
+            .run_campaign(
+                &multi::shared_key("c", "observe"),
+                &multi::abstract_protocol("c", "observe").unwrap(),
+                &v.campaign_options(2),
+            )
+            .unwrap();
+        assert_eq!(report.enumerated, 14, "depth-2 universe over one channel");
+        let (attacks, survives, inconclusive) = report.tally();
+        assert!(attacks > 0, "{report:?}");
+        assert_eq!(inconclusive, 0);
+        assert!(survives > 0, "drops alone cannot break Pm2");
+        for (_, cex) in report.attacks() {
+            assert_eq!(
+                cex.schedule.total_firings(),
+                1,
+                "every attack shrinks to one message-creating fault: {cex:?}"
+            );
+            assert!(matches!(
+                cex.schedule.clauses[0].kind,
+                FaultKind::Duplicate | FaultKind::Replay
+            ));
+            let narration = v
+                .narrate_counterexample(&multi::shared_key("c", "observe"), cex)
+                .unwrap();
+            assert!(!narration.is_empty());
+        }
+    }
+
+    #[test]
+    fn pm3_campaign_survives_depth_one() {
+        use spi_protocols::multi;
+        let v = Verifier::new(["c"]).sessions(2).no_intruder();
+        let report = v
+            .run_campaign(
+                &multi::challenge_response("c", "observe"),
+                &multi::abstract_protocol("c", "observe").unwrap(),
+                &v.campaign_options(1),
+            )
+            .unwrap();
+        assert!(report.all_survive(), "{report:?}");
     }
 
     #[test]

@@ -19,6 +19,10 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 const P2: &str = "(^kAB)((^m) c<{m}kAB> | c(z).case z of {w}kAB in observe<w>)\n";
 const P1: &str = "(^m) c<m> | c(z).observe<z>\n";
 const P_ABS: &str = "(^s)(s<s>.(^m)c<m> | s@lamB(x_s).c@lamB(z).observe<z>)\n";
+const PM2: &str = "(^kAB)(!(^m)c<{m}kAB> | !c(z).case z of {w}kAB in observe<w>)\n";
+const PM3: &str =
+    "(^kAB)(!(^m)c(ns).c<{m, ns}kAB> | !(^nb)c<nb>.c(x).case x of {z, w}kAB in [w = nb]observe<z>)\n";
+const PM_ABS: &str = "(^s)(!s<s>.(^m)c<m> | !s@lamB(x_s).c@lamB(z).observe<z>)\n";
 
 #[test]
 fn parse_round_trips_and_reports_free_names() {
@@ -127,6 +131,118 @@ fn narrate_compiles_and_verifies() {
         String::from_utf8_lossy(&out.stdout)
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("securely implements"));
+}
+
+#[test]
+fn campaign_finds_and_shrinks_the_replay() {
+    let concrete = write_temp("camp_pm2.spi", PM2);
+    let abstract_ = write_temp("camp_pm.spi", PM_ABS);
+    let out = spi()
+        .arg("campaign")
+        .arg(&concrete)
+        .arg(&abstract_)
+        .args(["--faults-depth", "2", "--intruder", "off"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "attacks exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("14 schedules"), "{stdout}");
+    assert!(
+        stdout.contains("minimal replay:c:1@1 after 1 shrink steps"),
+        "padded schedules shrink to the bare replay: {stdout}"
+    );
+    assert!(stdout.contains("minimal counterexample"), "{stdout}");
+    assert!(stdout.contains("distinguishing trace"), "{stdout}");
+    assert!(stdout.contains("0 inconclusive"), "{stdout}");
+}
+
+#[test]
+fn campaign_passes_surviving_protocols() {
+    let concrete = write_temp("camp_pm3.spi", PM3);
+    let abstract_ = write_temp("camp_pm_b.spi", PM_ABS);
+    let out = spi()
+        .arg("campaign")
+        .arg(&concrete)
+        .arg(&abstract_)
+        .args(["--faults-depth", "1", "--intruder", "off"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 survive"), "{stdout}");
+}
+
+#[test]
+fn campaign_checkpoints_resume_to_the_same_summary() {
+    let concrete = write_temp("camp_r_pm2.spi", PM2);
+    let abstract_ = write_temp("camp_r_pm.spi", PM_ABS);
+    let ckpt = std::env::temp_dir()
+        .join("spi-cli-tests")
+        .join("campaign-resume.json");
+    let _ = std::fs::remove_file(&ckpt);
+    let base = || {
+        let mut cmd = spi();
+        cmd.arg("campaign")
+            .arg(&concrete)
+            .arg(&abstract_)
+            .args(["--faults-depth", "2", "--intruder", "off"]);
+        cmd
+    };
+
+    let partial = base()
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .args(["--checkpoint-every", "1", "--stop-after", "5"])
+        .output()
+        .expect("runs");
+    let partial_out = String::from_utf8_lossy(&partial.stdout);
+    assert!(partial_out.contains("INTERRUPTED"), "{partial_out}");
+    assert!(ckpt.exists(), "checkpoint written");
+
+    let resumed = base()
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    let resumed_out = String::from_utf8_lossy(&resumed.stdout);
+    assert!(resumed_out.contains("(5 resumed, 9 fresh)"), "{resumed_out}");
+
+    let full = base().output().expect("runs");
+    let full_out = String::from_utf8_lossy(&full.stdout);
+    assert_eq!(resumed.status.code(), full.status.code());
+    // Identical per-schedule tables and summaries (the header line
+    // differs only in its resumed/fresh counts).
+    let table = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("resumed"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&resumed_out), table(&full_out));
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn fault_flag_accepts_comma_separated_schedules() {
+    let concrete = write_temp("multi_fault_pm2.spi", PM2);
+    let abstract_ = write_temp("multi_fault_pm.spi", PM_ABS);
+    // One --fault flag carrying a whole two-clause schedule.
+    let out = spi()
+        .arg("verify")
+        .arg(&concrete)
+        .arg(&abstract_)
+        .args(["--intruder", "off", "--fault", "drop:c:1,duplicate:c:1"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "the duplicate half still bites");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ATTACK"));
+    // Malformed clauses inside the list are still rejected.
+    let out = spi()
+        .arg("verify")
+        .arg(&concrete)
+        .arg(&abstract_)
+        .args(["--fault", "drop:c,mangle:c"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -201,6 +201,63 @@ impl FaultSpec {
         self
     }
 
+    /// The canonical form of this model: clauses sorted by
+    /// `(kind, chan)`, clauses on the same `(kind, chan)` merged by
+    /// summing their firing caps.  Clause order never affects which runs
+    /// a model admits (each step any clause with remaining charge may
+    /// fire), so two specs with the same canonical form are equivalent —
+    /// campaign search dedupes schedules on exactly this form.
+    #[must_use]
+    pub fn canonical(&self) -> FaultSpec {
+        let mut clauses: Vec<FaultClause> = Vec::new();
+        for c in &self.clauses {
+            match clauses
+                .iter_mut()
+                .find(|m| m.kind == c.kind && m.chan == c.chan)
+            {
+                Some(m) => m.max = m.max.saturating_add(c.max),
+                None => clauses.push(c.clone()),
+            }
+        }
+        clauses.sort_by(|a, b| (a.kind, &a.chan).cmp(&(b.kind, &b.chan)));
+        FaultSpec {
+            position: self.position.clone(),
+            clauses,
+        }
+    }
+
+    /// The canonical schedule key: the canonical clauses joined by `+`,
+    /// plus the network position.  Stable across clause order and
+    /// clause-splitting, so it identifies a schedule in deduplication
+    /// tables and campaign checkpoints.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let canon = self.canonical();
+        let clauses: Vec<String> = canon.clauses.iter().map(ToString::to_string).collect();
+        format!("{}@{}", clauses.join("+"), canon.position.to_bits())
+    }
+
+    /// Composes two fault models at the same network position into one
+    /// whose clause multiset is the union (canonicalized).  Used by
+    /// campaign search to grow multi-fault schedules out of unit clauses.
+    #[must_use]
+    pub fn compose(&self, other: &FaultSpec) -> FaultSpec {
+        debug_assert_eq!(
+            self.position, other.position,
+            "composed fault models share the network seat"
+        );
+        let mut merged = self.clone();
+        merged.clauses.extend(other.clauses.iter().cloned());
+        merged.canonical()
+    }
+
+    /// The total number of unit firings the model allows (the sum of the
+    /// clause caps) — the "size" a campaign depth bound caps.
+    #[must_use]
+    pub fn total_firings(&self) -> u32 {
+        self.clauses.iter().map(|c| c.max).sum()
+    }
+
     /// The initial (all counters zero, empty buffer and log) network
     /// state for this model.
     #[must_use]
@@ -317,6 +374,44 @@ mod tests {
         assert_eq!(st.remaining(&spec, 0), 2);
         st.used[0] = 2;
         assert_eq!(st.remaining(&spec, 0), 0);
+    }
+
+    #[test]
+    fn canonical_form_sorts_and_merges() {
+        let spec = FaultSpec::new([
+            FaultClause {
+                kind: FaultKind::Replay,
+                chan: Name::new("c"),
+                max: 1,
+            },
+            FaultClause {
+                kind: FaultKind::Drop,
+                chan: Name::new("c"),
+                max: 1,
+            },
+            FaultClause {
+                kind: FaultKind::Replay,
+                chan: Name::new("c"),
+                max: 2,
+            },
+        ]);
+        let canon = spec.canonical();
+        assert_eq!(canon.clauses.len(), 2);
+        assert_eq!(canon.clauses[0].kind, FaultKind::Drop);
+        assert_eq!(canon.clauses[1].kind, FaultKind::Replay);
+        assert_eq!(canon.clauses[1].max, 3, "same-(kind,chan) caps merge");
+        assert_eq!(spec.canonical_key(), "drop:c:1+replay:c:3@1");
+        assert_eq!(spec.total_firings(), 4);
+    }
+
+    #[test]
+    fn canonical_key_ignores_clause_order() {
+        let a = FaultSpec::single(FaultKind::Drop, "c", 1)
+            .compose(&FaultSpec::single(FaultKind::Replay, "d", 1));
+        let b = FaultSpec::single(FaultKind::Replay, "d", 1)
+            .compose(&FaultSpec::single(FaultKind::Drop, "c", 1));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a, b, "compose canonicalizes");
     }
 
     #[test]

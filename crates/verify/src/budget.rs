@@ -32,6 +32,11 @@ pub enum ResourceKind {
     Knowledge,
     /// The overall step deadline (successor-generation work units).
     DeadlineSteps,
+    /// The wall-clock deadline (or a cooperative cancellation request) —
+    /// the only non-deterministic cut-off: where it lands depends on the
+    /// host clock, so any verdict it truncates is *inconclusive*, never
+    /// silently partial.
+    WallClock,
 }
 
 impl fmt::Display for ResourceKind {
@@ -42,6 +47,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::Fuel => "fuel",
             ResourceKind::Knowledge => "knowledge",
             ResourceKind::DeadlineSteps => "deadline-steps",
+            ResourceKind::WallClock => "wall-clock",
         })
     }
 }
@@ -327,13 +333,21 @@ mod tests {
             ResourceKind::Fuel,
             ResourceKind::Knowledge,
             ResourceKind::DeadlineSteps,
+            ResourceKind::WallClock,
         ]
         .iter()
         .map(ToString::to_string)
         .collect();
         assert_eq!(
             shown,
-            ["states", "transitions", "fuel", "knowledge", "deadline-steps"]
+            [
+                "states",
+                "transitions",
+                "fuel",
+                "knowledge",
+                "deadline-steps",
+                "wall-clock"
+            ]
         );
     }
 }

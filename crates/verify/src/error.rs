@@ -24,6 +24,20 @@ pub enum VerifyError {
         /// The budget that was exceeded.
         max_states: usize,
     },
+    /// A successor computation panicked.  Worker panics are caught at
+    /// the expansion boundary so one poisoned state cannot abort a whole
+    /// campaign; the payload travels with the error so the schedule that
+    /// triggered it can be reported as *inconclusive* with a cause.
+    WorkerPanic {
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
+    /// A campaign checkpoint file could not be read, parsed, or matched
+    /// against the campaign being resumed.
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -33,6 +47,12 @@ impl fmt::Display for VerifyError {
             VerifyError::StateBudgetExceeded { max_states } => {
                 write!(f, "exploration exceeded the state budget of {max_states}")
             }
+            VerifyError::WorkerPanic { payload } => {
+                write!(f, "a successor computation panicked: {payload}")
+            }
+            VerifyError::Checkpoint { reason } => {
+                write!(f, "campaign checkpoint error: {reason}")
+            }
         }
     }
 }
@@ -41,7 +61,9 @@ impl Error for VerifyError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             VerifyError::Machine(e) => Some(e),
-            VerifyError::StateBudgetExceeded { .. } => None,
+            VerifyError::StateBudgetExceeded { .. }
+            | VerifyError::WorkerPanic { .. }
+            | VerifyError::Checkpoint { .. } => None,
         }
     }
 }

@@ -2,7 +2,9 @@
 //! resource governor, and an optional faulty network.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use spi_addr::Path;
 use spi_semantics::{
@@ -77,6 +79,25 @@ pub struct ExploreOptions {
     /// disagreement (which would mean a hash collision or a
     /// canonicalization bug).  Debugging aid; off by default.
     pub verify_keys: bool,
+    /// A wall-clock cut-off.  When the clock passes it, the exploration
+    /// stops between state expansions (in-flight workers drain
+    /// cooperatively), the prefix built so far is kept, and the
+    /// exhaustion is reported as [`ResourceKind::WallClock`] — so the
+    /// downstream verdict is *inconclusive*, never silently partial.
+    /// Unlike every other budget dimension this one is non-deterministic
+    /// by nature; leave it `None` (the default) for reproducible runs.
+    pub deadline: Option<Instant>,
+    /// A cooperative cancellation flag shared with the caller: setting
+    /// it stops the exploration at the next state boundary, exactly like
+    /// a passed deadline (and with the same [`ResourceKind::WallClock`]
+    /// report).  Campaign drivers use one flag across many explorations
+    /// to cancel a whole sweep at once.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Test-only crash hook: successor computations for states with an
+    /// index at or past the value panic.  Exercises the worker
+    /// `catch_unwind` isolation without planting bugs in the semantics.
+    #[doc(hidden)]
+    pub panic_after_states: Option<usize>,
 }
 
 impl ExploreOptions {
@@ -109,7 +130,33 @@ impl Default for ExploreOptions {
             faults: None,
             workers: ExploreOptions::available_workers(),
             verify_keys: false,
+            deadline: None,
+            cancel: None,
+            panic_after_states: None,
         }
+    }
+}
+
+/// The wall-clock cut-off shared between the merge loop and the workers:
+/// a cancellation flag plus an optional deadline that trips it.
+struct WallClock<'f> {
+    cancel: &'f AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl WallClock<'_> {
+    /// Returns `true` once the exploration should stop — because the
+    /// caller cancelled or the deadline passed (which latches the flag,
+    /// so every worker sees the overrun without re-reading the clock).
+    fn overrun(&self) -> bool {
+        if self.cancel.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.cancel.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 }
 
@@ -659,6 +706,11 @@ impl Explorer {
         };
 
         let workers = self.opts.workers.max(1);
+        let own_cancel = Arc::new(AtomicBool::new(false));
+        let clock = WallClock {
+            cancel: self.opts.cancel.as_deref().unwrap_or(&own_cancel),
+            deadline: self.opts.deadline,
+        };
         let mut gov = Governor::new(self.opts.budget);
         let mut store = StateStore::new(self.opts.verify_keys);
         let mut queue: VecDeque<usize> = VecDeque::new();
@@ -681,7 +733,7 @@ impl Explorer {
         // verbatim — same numbering, same accounting, same cut-offs.
         'bfs: while !queue.is_empty() {
             let layer: Vec<usize> = queue.drain(..).collect();
-            let mut computed = self.compute_layer(&layer, &store, workers);
+            let mut computed = self.compute_layer(&layer, &store, workers, &clock);
             for (pos, &cur) in layer.iter().enumerate() {
                 // Restores the queue as the sequential engine would have
                 // left it: the interrupted state first, then the rest of
@@ -693,6 +745,10 @@ impl Explorer {
                         }
                         break 'bfs;
                     }};
+                }
+                if clock.overrun() {
+                    gov.note(ResourceKind::WallClock);
+                    cut_off!();
                 }
                 if !gov.charge_fuel() {
                     cut_off!();
@@ -712,7 +768,7 @@ impl Explorer {
                     Some(result) => result?,
                     None => {
                         let sd = store.data[cur].clone();
-                        self.successors(&sd, &mut cache)?
+                        self.caught_successors(cur, &sd, &mut cache)?
                     }
                 };
                 if !gov.charge_steps(succ.len().max(1)) {
@@ -780,6 +836,7 @@ impl Explorer {
         layer: &[usize],
         store: &StateStore,
         workers: usize,
+        clock: &WallClock<'_>,
     ) -> Vec<Option<Result<Vec<(Label, StateData)>, VerifyError>>> {
         let mut computed: Vec<Option<Result<Vec<(Label, StateData)>, VerifyError>>> =
             (0..layer.len()).map(|_| None).collect();
@@ -792,13 +849,50 @@ impl Explorer {
                     scope.spawn(move || {
                         let mut cache = DeriveCache::new();
                         for (slot, &cur) in slots.iter_mut().zip(indices) {
-                            *slot = Some(self.successors(&data[cur], &mut cache));
+                            // A tripped deadline drains the layer early:
+                            // the merge loop cuts off before it would
+                            // consume the missing slots.
+                            if clock.overrun() {
+                                break;
+                            }
+                            *slot = Some(self.caught_successors(cur, &data[cur], &mut cache));
                         }
                     });
                 }
             });
         }
         computed
+    }
+
+    /// [`Explorer::successors`] behind a panic boundary: a panicking
+    /// successor computation — in a worker thread or in the sequential
+    /// fallback — surfaces as [`VerifyError::WorkerPanic`] carrying the
+    /// payload, so one poisoned state fails only its own exploration and
+    /// can never abort the process (campaigns report the schedule as
+    /// inconclusive and move on).
+    fn caught_successors(
+        &self,
+        cur: usize,
+        sd: &StateData,
+        cache: &mut DeriveCache,
+    ) -> Result<Vec<(Label, StateData)>, VerifyError> {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(n) = self.opts.panic_after_states {
+                assert!(
+                    cur < n,
+                    "test hook: successor computation for state {cur} panicked"
+                );
+            }
+            self.successors(sd, cache)
+        }));
+        caught.unwrap_or_else(|payload| {
+            Err(VerifyError::WorkerPanic {
+                // `&*` descends into the box: coercing `&payload` would
+                // unsize the `Box` itself into the `dyn Any` and defeat
+                // the downcasts.
+                payload: panic_text(&*payload),
+            })
+        })
     }
 
     /// All successor states of `sd` with their labels.  `cache`
@@ -1190,6 +1284,18 @@ impl Explorer {
     }
 }
 
+/// Renders a caught panic payload as text (panics raise `&str` or
+/// `String` payloads in practice; anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Candidate {
     Known(RtTerm),
@@ -1562,6 +1668,78 @@ mod tests {
             lts.weak_barbs().iter().any(|b| b.chan == "observe"),
             "the tap+replay serves both receives"
         );
+    }
+
+    #[test]
+    fn worker_panics_surface_as_errors_not_aborts() {
+        // The hook panics on every state past index 0, in every engine.
+        for workers in [1, 4] {
+            let err = Explorer::new(ExploreOptions {
+                panic_after_states: Some(1),
+                workers,
+                ..ExploreOptions::default()
+            })
+            .explore(&parse("(^m)(c<m> | c(x).observe<x>)").unwrap())
+            .expect_err("the poisoned successor computation fails the run");
+            match err {
+                VerifyError::WorkerPanic { payload } => {
+                    assert!(payload.contains("test hook"), "{payload}");
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_free_prefix_is_unaffected_by_the_hook() {
+        // A hook past the whole state space never fires.
+        let lts = Explorer::new(ExploreOptions {
+            panic_after_states: Some(usize::MAX),
+            ..ExploreOptions::default()
+        })
+        .explore(&parse("(^m)(c<m> | c(x).observe<x>)").unwrap())
+        .expect("explores");
+        assert!(lts.complete());
+    }
+
+    #[test]
+    fn expired_deadline_cuts_off_as_wall_clock() {
+        let lts = Explorer::new(ExploreOptions {
+            deadline: Some(Instant::now()),
+            ..ExploreOptions::default()
+        })
+        .explore(&parse("(^m)(c<m> | c(x).observe<x>)").unwrap())
+        .expect("partial result, not an error");
+        assert_eq!(lts.exhausted, Some(ResourceKind::WallClock));
+        assert!(!lts.complete());
+        assert_eq!(lts.states.len(), 1, "only the initial state is kept");
+    }
+
+    #[test]
+    fn cancel_flag_stops_the_exploration_cooperatively() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let lts = Explorer::new(ExploreOptions {
+            cancel: Some(flag),
+            ..ExploreOptions::default()
+        })
+        .explore(&parse("(^m)(c<m> | c(x).observe<x>)").unwrap())
+        .expect("partial result");
+        assert_eq!(lts.exhausted, Some(ResourceKind::WallClock));
+        assert!(!lts.complete());
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let free = explore("(^m)(c<m> | c(x).observe<x>)", ExploreOptions::default());
+        let timed = explore(
+            "(^m)(c<m> | c(x).observe<x>)",
+            ExploreOptions {
+                deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(free.stats, timed.stats);
+        assert!(timed.complete());
     }
 
     #[test]

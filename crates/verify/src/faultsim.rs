@@ -5,7 +5,9 @@
 //! make claims like "the property survives every single network fault".
 //! Schedules are deterministic and ordered, so sweeps are replayable.
 
-use spi_semantics::{FaultKind, FaultSpec};
+use std::collections::HashSet;
+
+use spi_semantics::{FaultClause, FaultKind, FaultSpec};
 use spi_syntax::Name;
 
 /// The pure duplication network: at most `max` duplicate deliveries on
@@ -37,6 +39,71 @@ where
     out
 }
 
+/// Every multi-fault schedule of between 1 and `depth` *unit firings*
+/// drawn from the universe `kinds × chans`: the systematic search space
+/// of a fault campaign.
+///
+/// A schedule is a canonical [`FaultSpec`] — clauses sorted, repeats of
+/// the same `(kind, chan)` merged into one clause with a larger cap — so
+/// `drop:c + replay:c` (one drop *and* one replay along the same run) and
+/// `replay:c + replay:c` (`replay:c:2`) each appear exactly once, no
+/// matter in which order the units were picked.  Enumeration is
+/// deterministic: by total firings, then by the first point the unit
+/// choices diverge (units ordered as `kinds` × `chans`); duplicates are
+/// pruned by [`FaultSpec::canonical_key`].
+#[must_use]
+pub fn multi_fault_schedules<I, N>(chans: I, kinds: &[FaultKind], depth: usize) -> Vec<FaultSpec>
+where
+    I: IntoIterator<Item = N>,
+    N: Into<Name>,
+{
+    let units: Vec<FaultClause> = chans
+        .into_iter()
+        .map(Into::into)
+        .flat_map(|chan| {
+            kinds.iter().map(move |&kind| FaultClause {
+                kind,
+                chan: chan.clone(),
+                max: 1,
+            })
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    // Combinations with repetition in nondecreasing unit order: each
+    // multiset of units is generated once, already in canonical order.
+    let mut picked: Vec<usize> = Vec::new();
+    for size in 1..=depth {
+        combinations(&units, size, 0, &mut picked, &mut |clauses| {
+            let spec = FaultSpec::new(clauses.iter().cloned()).canonical();
+            if seen.insert(spec.canonical_key()) {
+                out.push(spec);
+            }
+        });
+    }
+    out
+}
+
+/// Walks every nondecreasing index multiset of `size` units, calling
+/// `emit` with the picked clauses.
+fn combinations(
+    units: &[FaultClause],
+    size: usize,
+    from: usize,
+    picked: &mut Vec<usize>,
+    emit: &mut impl FnMut(Vec<FaultClause>),
+) {
+    if picked.len() == size {
+        emit(picked.iter().map(|&i| units[i].clone()).collect());
+        return;
+    }
+    for i in from..units.len() {
+        picked.push(i);
+        combinations(units, size, i, picked, emit);
+        picked.pop();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +128,40 @@ mod tests {
         assert_eq!(s.clauses.len(), 1);
         assert_eq!(s.clauses[0].kind, FaultKind::Duplicate);
         assert_eq!(s.clauses[0].max, 2);
+    }
+
+    #[test]
+    fn depth_one_multi_schedules_are_the_single_fault_sweep() {
+        let multi = multi_fault_schedules(["c"], &FaultKind::ALL, 1);
+        assert_eq!(multi.len(), 4);
+        for (m, s) in multi.iter().zip(single_fault_schedules(["c"], 1)) {
+            assert_eq!(m.canonical_key(), s.canonical_key());
+        }
+    }
+
+    #[test]
+    fn depth_two_counts_multisets_not_sequences() {
+        // 4 units over one channel: 4 singletons + C(4+1, 2) = 10 pairs.
+        let scheds = multi_fault_schedules(["c"], &FaultKind::ALL, 2);
+        assert_eq!(scheds.len(), 14);
+        let keys: HashSet<String> = scheds.iter().map(FaultSpec::canonical_key).collect();
+        assert_eq!(keys.len(), 14, "every schedule key is distinct");
+        // A doubled unit merged into one clause with cap 2.
+        assert!(keys.contains("replay:c:2@1"), "{keys:?}");
+        // A genuine two-kind combination.
+        assert!(keys.contains("drop:c:1+replay:c:1@1"), "{keys:?}");
+        // Total firings never exceed the depth.
+        assert!(scheds.iter().all(|s| s.total_firings() <= 2));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_sized_first() {
+        let a = multi_fault_schedules(["c", "d"], &FaultKind::ALL, 2);
+        let b = multi_fault_schedules(["c", "d"], &FaultKind::ALL, 2);
+        assert_eq!(a, b);
+        let sizes: Vec<u32> = a.iter().map(FaultSpec::total_firings).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "singletons come before pairs");
     }
 }

@@ -35,6 +35,8 @@
 #![warn(missing_docs)]
 
 mod budget;
+pub mod campaign;
+mod checkpoint;
 mod dot;
 mod error;
 mod explore;
@@ -48,6 +50,10 @@ mod testgen;
 mod traces;
 
 pub use budget::{Budget, CoverageStats, Governor, ResourceKind};
+pub use campaign::{
+    run_campaign, CampaignOptions, CampaignReport, MinimalCounterexample, ScheduleOutcome,
+    ScheduleResult,
+};
 pub use dot::to_dot;
 pub use error::VerifyError;
 pub use explore::{

@@ -1,0 +1,130 @@
+//! Property-based tests of fault-schedule campaigns (the `campaign`
+//! module of `spi-verify`): every shrunk schedule still reproduces its
+//! attack, 1-minimality is real — removing any single unit firing makes
+//! the attack disappear — and the report is a pure function of the
+//! search space, independent of the worker count.
+
+use proptest::prelude::*;
+use spi_auth_repro::auth::{Verdict, Verifier};
+use spi_auth_repro::protocols::multi;
+use spi_auth_repro::semantics::{FaultKind, FaultSpec};
+use spi_auth_repro::syntax::Process;
+
+const ALL_KINDS: [FaultKind; 4] = [
+    FaultKind::Drop,
+    FaultKind::Duplicate,
+    FaultKind::Reorder,
+    FaultKind::Replay,
+];
+
+fn verifier() -> Verifier {
+    Verifier::new(["c"]).sessions(2).no_intruder()
+}
+
+/// The paper's Section 5.2 pair: the multi-session shared-key protocol
+/// (replay-vulnerable once the network can repeat messages) against the
+/// abstract multi-session specification.
+fn protocols() -> (Process, Process) {
+    let concrete = multi::shared_key("c", "observe");
+    let spec = multi::abstract_protocol("c", "observe").expect("well-formed");
+    (concrete, spec)
+}
+
+/// A non-empty subset of the four fault kinds, drawn as a 4-bit mask.
+fn arb_kinds() -> impl Strategy<Value = Vec<FaultKind>> {
+    (1u8..16).prop_map(|mask| {
+        ALL_KINDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect()
+    })
+}
+
+/// Checks one explicit schedule the way `spi verify --fault` does.
+fn attacks_under(schedule: &FaultSpec, concrete: &Process, spec: &Process) -> bool {
+    let v = if schedule.clauses.is_empty() {
+        verifier()
+    } else {
+        verifier().faults(schedule.clone())
+    };
+    let report = v.check(concrete, spec).expect("exploration succeeds");
+    matches!(report.verdict, Verdict::Attack(_))
+}
+
+/// Every way of removing one unit firing from a schedule: decrement a
+/// clause's budget, dropping the clause entirely at zero.
+fn unit_removals(schedule: &FaultSpec) -> Vec<FaultSpec> {
+    (0..schedule.clauses.len())
+        .map(|i| {
+            let mut weakened = schedule.clone();
+            if weakened.clauses[i].max <= 1 {
+                weakened.clauses.remove(i);
+            } else {
+                weakened.clauses[i].max -= 1;
+            }
+            weakened.canonical()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every attack a campaign reports carries a shrunk schedule that
+    /// (a) reproduces the attack on its own and (b) is genuinely
+    /// 1-minimal: removing any single unit firing loses the attack.
+    #[test]
+    fn shrunk_schedules_reproduce_and_are_one_minimal(
+        kinds in arb_kinds(),
+        depth in 1usize..3,
+    ) {
+        let (concrete, spec) = protocols();
+        let v = verifier();
+        let mut opts = v.campaign_options(depth);
+        opts.kinds = kinds;
+        let report = v.run_campaign(&concrete, &spec, &opts).expect("campaign runs");
+        for (result, cex) in report.attacks() {
+            prop_assert!(
+                attacks_under(&cex.schedule, &concrete, &spec),
+                "minimal schedule {} (shrunk from {}) must reproduce its attack",
+                cex.schedule.canonical_key(),
+                result.key,
+            );
+            for weakened in unit_removals(&cex.schedule) {
+                prop_assert!(
+                    !attacks_under(&weakened, &concrete, &spec),
+                    "{} is not 1-minimal: weakened {} still attacks",
+                    cex.schedule.canonical_key(),
+                    weakened.canonical_key(),
+                );
+            }
+        }
+    }
+
+    /// The campaign report is a pure function of the search space: the
+    /// worker count changes wall-clock time, never a single result.
+    #[test]
+    fn reports_are_identical_for_any_worker_count(
+        kinds in arb_kinds(),
+        depth in 1usize..3,
+        extra_workers in 1usize..4,
+    ) {
+        let (concrete, spec) = protocols();
+        let solo = verifier().workers(1);
+        let fleet = verifier().workers(1 + extra_workers);
+        let mut solo_opts = solo.campaign_options(depth);
+        solo_opts.kinds = kinds.clone();
+        let mut fleet_opts = fleet.campaign_options(depth);
+        fleet_opts.kinds = kinds;
+        let a = solo.run_campaign(&concrete, &spec, &solo_opts).expect("campaign runs");
+        let b = fleet.run_campaign(&concrete, &spec, &fleet_opts).expect("campaign runs");
+        prop_assert_eq!(
+            &a.identity,
+            &b.identity,
+            "the worker count is excluded from the campaign identity"
+        );
+        prop_assert_eq!(a.results, b.results);
+    }
+}
