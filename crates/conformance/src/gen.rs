@@ -1,0 +1,458 @@
+//! Grammar-based generation of well-formed spi protocol specifications.
+//!
+//! The generator draws a closed [`Process`] from the full source grammar —
+//! outputs, inputs, restriction, parallel composition, matching,
+//! replication, pair splitting and shared-key decryption — sized by a
+//! [`GenSize`] (process depth, session count, channel/key alphabet widths
+//! and fault-annotation density).  Every case is fully determined by a
+//! `(seed, index)` pair, so a failure replays from two numbers.
+//!
+//! Each [`TestCase`] carries a *spec* system and a *concrete* system: the
+//! concrete one is the spec after probabilistic "erosion" (stripping an
+//! encryption, dropping a localization index, duplicating an output) —
+//! the same specification-vs-implementation relationship the campaign
+//! runner checks, so differential oracles have genuinely distinct yet
+//! related inputs to compare.
+
+use spi_semantics::{FaultClause, FaultKind, FaultSpec};
+use spi_syntax::{ChanIndex, Channel, LocVar, Name, Process, Term, Var};
+
+use crate::rng::Rng;
+
+/// Size knobs for a generated specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSize {
+    /// Maximum prefix depth of each sequential role body.
+    pub depth: u32,
+    /// Number of parallel role pairs composed into the system.
+    pub sessions: u32,
+    /// Width of the channel alphabet (capped by the built-in pool).
+    pub channels: u32,
+    /// Width of the shared-key alphabet (capped by the built-in pool).
+    pub keys: u32,
+    /// Percentage of cases annotated with a fault schedule.
+    pub fault_density_pct: u32,
+}
+
+impl GenSize {
+    /// Small cases: shallow single sessions, cheap enough for every
+    /// oracle on every case.
+    #[must_use]
+    pub fn small() -> GenSize {
+        GenSize {
+            depth: 3,
+            sessions: 1,
+            channels: 2,
+            keys: 2,
+            fault_density_pct: 25,
+        }
+    }
+
+    /// Medium cases: the default for `spi conformance`.
+    #[must_use]
+    pub fn medium() -> GenSize {
+        GenSize {
+            depth: 4,
+            sessions: 2,
+            channels: 3,
+            keys: 2,
+            fault_density_pct: 30,
+        }
+    }
+
+    /// Large cases: deeper roles and wider alphabets for nightly runs.
+    #[must_use]
+    pub fn large() -> GenSize {
+        GenSize {
+            depth: 6,
+            sessions: 3,
+            channels: 4,
+            keys: 3,
+            fault_density_pct: 35,
+        }
+    }
+
+    /// Parses a preset by name (`small`, `medium`, `large`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string when it names no preset.
+    pub fn preset(s: &str) -> Result<GenSize, String> {
+        match s {
+            "small" => Ok(GenSize::small()),
+            "medium" => Ok(GenSize::medium()),
+            "large" => Ok(GenSize::large()),
+            other => Err(format!(
+                "unknown size preset `{other}` (valid: small, medium, large)"
+            )),
+        }
+    }
+}
+
+impl Default for GenSize {
+    fn default() -> GenSize {
+        GenSize::medium()
+    }
+}
+
+/// One generated conformance case.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// The seed of the run that produced the case.
+    pub seed: u64,
+    /// The case's index within the run.
+    pub index: u64,
+    /// The specification system (closed).
+    pub spec: Process,
+    /// The eroded implementation system (closed; equal to `spec` when no
+    /// erosion fired).
+    pub concrete: Process,
+    /// The channel alphabet the case draws from (used as the campaign
+    /// fault-injection surface).
+    pub channels: Vec<String>,
+    /// An optional fault schedule annotation.
+    pub faults: Option<FaultSpec>,
+}
+
+const CHANNEL_POOL: [&str; 4] = ["c", "d", "e", "f"];
+const KEY_POOL: [&str; 3] = ["k", "h", "kAB"];
+const MSG_POOL: [&str; 3] = ["m", "n", "a"];
+
+/// Generates the case at `index` of the run seeded by `seed`.
+#[must_use]
+pub fn generate(seed: u64, index: u64, size: &GenSize) -> TestCase {
+    let mut rng = Rng::new(seed, index);
+    let mut g = Gen {
+        rng: &mut rng,
+        size,
+        chans: CHANNEL_POOL[..(size.channels as usize).clamp(1, CHANNEL_POOL.len())].to_vec(),
+        keys: KEY_POOL[..(size.keys as usize).clamp(1, KEY_POOL.len())].to_vec(),
+        fresh: 0,
+    };
+    let spec = g.system();
+    debug_assert!(spec.free_vars().is_empty(), "generated spec must be closed");
+    let concrete = g.erode(&spec);
+    debug_assert!(
+        concrete.free_vars().is_empty(),
+        "eroded concrete must stay closed"
+    );
+    let faults = g.faults();
+    let channels = g.chans.iter().map(ToString::to_string).collect();
+    TestCase {
+        seed,
+        index,
+        spec,
+        concrete,
+        channels,
+        faults,
+    }
+}
+
+struct Gen<'a> {
+    rng: &'a mut Rng,
+    size: &'a GenSize,
+    chans: Vec<&'static str>,
+    keys: Vec<&'static str>,
+    fresh: u32,
+}
+
+impl Gen<'_> {
+    fn system(&mut self) -> Process {
+        let sessions = self.size.sessions.max(1);
+        let mut roles = Vec::new();
+        for _ in 0..sessions {
+            let mut vars = Vec::new();
+            roles.push(self.seq(self.size.depth, &mut vars));
+            let mut vars = Vec::new();
+            roles.push(self.seq(self.size.depth, &mut vars));
+        }
+        let body = roles
+            .into_iter()
+            .reduce(Process::par)
+            .unwrap_or(Process::Nil);
+        // A private session name shared by all roles exercises the
+        // restriction-scoping paths of the machine and the printer.
+        if self.rng.chance(60) {
+            Process::restrict("s", body)
+        } else {
+            body
+        }
+    }
+
+    /// A sequential role body of prefix depth at most `depth`, closed
+    /// under the variables in `vars`.
+    fn seq(&mut self, depth: u32, vars: &mut Vec<Var>) -> Process {
+        if depth == 0 {
+            return Process::Nil;
+        }
+        match self.rng.below(100) {
+            // Output is the most common prefix: it is what drives both
+            // communication and the explorer's observation moves.
+            0..=29 => {
+                let ch = self.channel();
+                let payload = self.term(vars, 2);
+                Process::Output(ch, payload, Box::new(self.seq(depth - 1, vars)))
+            }
+            30..=54 => {
+                let ch = self.channel();
+                let v = self.fresh_var();
+                vars.push(v.clone());
+                let cont = self.seq(depth - 1, vars);
+                vars.pop();
+                Process::Input(ch, v, Box::new(cont))
+            }
+            55..=64 => {
+                let n = self.fresh_name();
+                Process::Restrict(n, Box::new(self.seq(depth - 1, vars)))
+            }
+            65..=72 => {
+                let m = self.term(vars, 1);
+                let n = if self.rng.chance(50) {
+                    m.clone()
+                } else {
+                    self.term(vars, 1)
+                };
+                Process::matching(m, n, self.seq(depth - 1, vars))
+            }
+            73..=82 => {
+                // Decrypt either a bound variable (possibly stuck — a
+                // legitimate behaviour to conform on) or a literal
+                // ciphertext that is guaranteed to open.
+                let key = Term::name(*self.rng.pick(&self.keys));
+                let arity = 1 + self.rng.below(2);
+                let scrutinee = match vars.is_empty() || self.rng.chance(40) {
+                    true => {
+                        let body = (0..arity).map(|_| self.term(vars, 1)).collect();
+                        Term::enc(body, key.clone())
+                    }
+                    false => Term::Var(self.rng.pick(vars).clone()),
+                };
+                let binders: Vec<Var> = (0..arity).map(|_| self.fresh_var()).collect();
+                vars.extend(binders.iter().cloned());
+                let body = self.seq(depth - 1, vars);
+                vars.truncate(vars.len() - arity);
+                Process::Case {
+                    scrutinee,
+                    binders,
+                    key,
+                    body: Box::new(body),
+                }
+            }
+            83..=89 => {
+                let pair = match vars.is_empty() || self.rng.chance(50) {
+                    true => Term::pair(self.term(vars, 1), self.term(vars, 1)),
+                    false => Term::Var(self.rng.pick(vars).clone()),
+                };
+                let fst = self.fresh_var();
+                let snd = self.fresh_var();
+                vars.push(fst.clone());
+                vars.push(snd.clone());
+                let body = self.seq(depth - 1, vars);
+                vars.pop();
+                vars.pop();
+                Process::Split {
+                    pair,
+                    fst,
+                    snd,
+                    body: Box::new(body),
+                }
+            }
+            90..=94 if depth >= 2 => {
+                let left = self.seq(depth - 1, vars);
+                let right = self.seq(depth / 2, vars);
+                Process::par(left, right)
+            }
+            95..=97 => Process::bang(self.seq(depth.min(2), vars)),
+            _ => Process::Nil,
+        }
+    }
+
+    fn channel(&mut self) -> Channel {
+        let subject = Term::name(*self.rng.pick(&self.chans));
+        // A sprinkle of location-variable indexes keeps the partner
+        // authentication machinery in the differential surface; location
+        // variables need no binder (they instantiate at first contact).
+        let index = if self.rng.chance(10) {
+            ChanIndex::Loc(LocVar::new("lam"))
+        } else {
+            ChanIndex::Plain
+        };
+        Channel::with_index(subject, index)
+    }
+
+    fn term(&mut self, vars: &[Var], fuel: u32) -> Term {
+        if fuel == 0 || self.rng.chance(55) {
+            return if !vars.is_empty() && self.rng.chance(35) {
+                Term::Var(self.rng.pick(vars).clone())
+            } else {
+                Term::name(*self.rng.pick(&MSG_POOL))
+            };
+        }
+        if self.rng.chance(50) {
+            Term::pair(self.term(vars, fuel - 1), self.term(vars, fuel - 1))
+        } else {
+            let arity = 1 + self.rng.below(2);
+            let body = (0..arity).map(|_| self.term(vars, fuel - 1)).collect();
+            let key = Term::name(*self.rng.pick(&self.keys));
+            Term::enc(body, key)
+        }
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        self.fresh += 1;
+        Var::new(format!("x{}", self.fresh))
+    }
+
+    fn fresh_name(&mut self) -> Name {
+        self.fresh += 1;
+        Name::new(format!("s{}", self.fresh))
+    }
+
+    /// Probabilistically weakens the spec into a "concrete" variant, the
+    /// way an implementation drifts from its specification.
+    fn erode(&mut self, p: &Process) -> Process {
+        if self.rng.chance(50) {
+            return p.clone();
+        }
+        self.erode_at(p)
+    }
+
+    fn erode_at(&mut self, p: &Process) -> Process {
+        match p {
+            Process::Output(ch, payload, cont) => {
+                let mut ch = ch.clone();
+                let mut payload = payload.clone();
+                match self.rng.below(4) {
+                    // Drop the localization index: the implementation
+                    // forgets to pin the partner.
+                    0 => ch.index = ChanIndex::Plain,
+                    // Strip one layer of encryption: the implementation
+                    // sends a cleartext it should have protected.
+                    1 => {
+                        if let Term::Enc { body, .. } = &payload {
+                            if let Some(first) = body.first() {
+                                payload = first.clone();
+                            }
+                        }
+                    }
+                    // Duplicate the output: a retransmission bug.
+                    2 => {
+                        let once = Process::Output(ch.clone(), payload.clone(), cont.clone());
+                        return Process::Output(ch, payload, Box::new(once));
+                    }
+                    _ => {}
+                }
+                Process::Output(ch, payload, Box::new(self.erode_at(cont)))
+            }
+            Process::Input(ch, v, cont) => {
+                let mut ch = ch.clone();
+                if self.rng.chance(25) {
+                    ch.index = ChanIndex::Plain;
+                }
+                Process::Input(ch, v.clone(), Box::new(self.erode_at(cont)))
+            }
+            Process::Restrict(n, cont) => {
+                Process::Restrict(n.clone(), Box::new(self.erode_at(cont)))
+            }
+            Process::Par(l, r) => Process::par(self.erode_at(l), self.erode_at(r)),
+            Process::Match(m, n, cont) => {
+                Process::Match(m.clone(), n.clone(), Box::new(self.erode_at(cont)))
+            }
+            Process::AddrMatch(m, side, cont) => {
+                Process::AddrMatch(m.clone(), side.clone(), Box::new(self.erode_at(cont)))
+            }
+            Process::Bang(body) => Process::bang(self.erode_at(body)),
+            Process::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => Process::Split {
+                pair: pair.clone(),
+                fst: fst.clone(),
+                snd: snd.clone(),
+                body: Box::new(self.erode_at(body)),
+            },
+            Process::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => Process::Case {
+                scrutinee: scrutinee.clone(),
+                binders: binders.clone(),
+                key: key.clone(),
+                body: Box::new(self.erode_at(body)),
+            },
+            Process::Nil => Process::Nil,
+        }
+    }
+
+    fn faults(&mut self) -> Option<FaultSpec> {
+        if !self.rng.chance(self.size.fault_density_pct) {
+            return None;
+        }
+        let kinds = [
+            FaultKind::Drop,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Replay,
+        ];
+        let n_clauses = 1 + self.rng.below(2);
+        let mut clauses = Vec::with_capacity(n_clauses);
+        for _ in 0..n_clauses {
+            let kind = *self.rng.pick(&kinds);
+            let chan = Name::new(*self.rng.pick(&self.chans));
+            let max = 1 + self.rng.below(2) as u32;
+            clauses.push(FaultClause { kind, chan, max });
+        }
+        Some(FaultSpec::new(clauses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7, 3, &GenSize::medium());
+        let b = generate(7, 3, &GenSize::medium());
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.concrete, b.concrete);
+        assert_eq!(a.faults.map(|f| f.canonical_key()), b.faults.map(|f| f.canonical_key()));
+    }
+
+    #[test]
+    fn generated_specs_are_closed_and_reparse() {
+        for i in 0..60 {
+            let case = generate(42, i, &GenSize::medium());
+            assert!(case.spec.free_vars().is_empty(), "case {i} spec open");
+            assert!(case.concrete.free_vars().is_empty(), "case {i} concrete open");
+            let printed = case.spec.to_string();
+            let back = parse(&printed).unwrap_or_else(|e| {
+                panic!("case {i} spec does not reparse: {e}\n{printed}")
+            });
+            assert_eq!(back, case.spec, "case {i} round-trip changed the AST");
+        }
+    }
+
+    #[test]
+    fn presets_parse_and_reject_unknown() {
+        assert_eq!(GenSize::preset("small").map(|s| s.depth), Ok(3));
+        assert_eq!(GenSize::preset("large").map(|s| s.sessions), Ok(3));
+        assert!(GenSize::preset("vast").is_err());
+    }
+
+    #[test]
+    fn fault_density_zero_means_no_faults() {
+        let size = GenSize {
+            fault_density_pct: 0,
+            ..GenSize::small()
+        };
+        for i in 0..20 {
+            assert!(generate(1, i, &size).faults.is_none());
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The pluggable oracle suite.
+//!
+//! An [`Oracle`] is a differential property every well-formed
+//! specification must satisfy: two engine paths that claim to compute the
+//! same thing are run side by side and any disagreement is a [`Verdict::Fail`].
+//! The built-in suite covers the five seams where the workspace maintains
+//! redundant machinery:
+//!
+//! * **roundtrip** — the exact printer against the parser;
+//! * **workers** — the parallel frontier against the sequential engine;
+//! * **hashkeys** — 128-bit hashed state keys against full canonical
+//!   strings (`verify_keys`);
+//! * **cowstate** — the copy-on-write stepper against the deep-clone
+//!   reference stepper and the explorer's state count;
+//! * **checkpoint** — a kill/resume campaign against an uninterrupted one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use spi_semantics::refstep::{reachable, CloneMode};
+use spi_verify::{
+    run_campaign, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer,
+};
+use spi_syntax::{parse, Process};
+
+use crate::gen::TestCase;
+
+/// What an oracle concluded about a case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The differential property held.
+    Pass,
+    /// The case was out of the oracle's reach (too large, too few
+    /// schedules, a budget would truncate the comparison) — not evidence
+    /// either way.
+    Skip(String),
+    /// The property failed; the message describes the disagreement.
+    Fail(String),
+}
+
+/// A deliberately planted bug, used to validate that the harness catches
+/// and shrinks real defects.  Never active in normal runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Truncate the copy-on-write stepper's canonical state keys to this
+    /// many bytes before deduplication — emulating a canonicalizer that
+    /// collides distinct states, exactly the failure `verify_keys`
+    /// exists to rule out.
+    TruncateCanonKeys(usize),
+}
+
+impl Injection {
+    /// Parses `truncate-keys:N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the expected syntax on anything else.
+    pub fn parse(s: &str) -> Result<Injection, String> {
+        match s.split_once(':') {
+            Some(("truncate-keys", n)) => n
+                .parse::<usize>()
+                .map(Injection::TruncateCanonKeys)
+                .map_err(|_| format!("bad injection length `{n}` (want an integer)")),
+            _ => Err(format!(
+                "unknown injection `{s}` (valid: truncate-keys:N)"
+            )),
+        }
+    }
+
+    /// The directive spelling, `truncate-keys:N`.
+    #[must_use]
+    pub fn directive(&self) -> String {
+        match self {
+            Injection::TruncateCanonKeys(n) => format!("truncate-keys:{n}"),
+        }
+    }
+}
+
+/// Shared bounds and switches for a conformance run.
+#[derive(Debug, Clone)]
+pub struct OracleEnv {
+    /// Replication unfold bound for every exploration.
+    pub unfold_bound: u32,
+    /// State cap for every exploration; comparisons that would be
+    /// truncated by it are skipped, never half-checked.
+    pub max_states: usize,
+    /// The planted bug, if any.
+    pub injection: Option<Injection>,
+}
+
+impl Default for OracleEnv {
+    fn default() -> OracleEnv {
+        OracleEnv {
+            unfold_bound: 1,
+            max_states: 4_000,
+            injection: None,
+        }
+    }
+}
+
+/// A differential conformance property.
+pub trait Oracle {
+    /// The oracle's stable name (used in reports, CLI selection and
+    /// reproducer directives).
+    fn name(&self) -> &'static str;
+
+    /// Run the oracle only on every `stride`-th case — for oracles whose
+    /// single check is expensive (campaign resume).
+    fn stride(&self) -> usize {
+        1
+    }
+
+    /// Checks the property on one case.
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict;
+}
+
+/// The built-in oracle suite, in documentation order.
+#[must_use]
+pub fn builtin_oracles() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(Roundtrip),
+        Box::new(Workers),
+        Box::new(HashKeys),
+        Box::new(CowState),
+        Box::new(Checkpoint),
+    ]
+}
+
+fn explore_opts(env: &OracleEnv) -> ExploreOptions {
+    ExploreOptions {
+        budget: Budget::unlimited().states(env.max_states),
+        unfold_bound: env.unfold_bound,
+        workers: 1,
+        ..ExploreOptions::default()
+    }
+}
+
+/// Parse/pretty-print round-trip: `parse(P.to_string()) == P` for both
+/// the spec and the concrete system.
+struct Roundtrip;
+
+impl Oracle for Roundtrip {
+    fn name(&self) -> &'static str {
+        "roundtrip"
+    }
+
+    fn check(&self, case: &TestCase, _env: &OracleEnv) -> Verdict {
+        for (which, p) in [("spec", &case.spec), ("concrete", &case.concrete)] {
+            let printed = p.to_string();
+            match parse(&printed) {
+                Err(e) => {
+                    return Verdict::Fail(format!(
+                        "{which} does not reparse: {e} (printed as `{printed}`)"
+                    ))
+                }
+                Ok(back) if &back != p => {
+                    return Verdict::Fail(format!(
+                        "{which} round-trip changed the AST (printed as `{printed}`)"
+                    ))
+                }
+                Ok(_) => {}
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+/// Explorer determinism: the [`spi_verify::Lts::fingerprint`] must be
+/// identical for worker counts 1, 2 and 8 (fault schedule included when
+/// the case carries one).
+struct Workers;
+
+impl Oracle for Workers {
+    fn name(&self) -> &'static str {
+        "workers"
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        let mut prints = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let opts = ExploreOptions {
+                workers,
+                faults: case.faults.clone(),
+                ..explore_opts(env)
+            };
+            match Explorer::new(opts).explore(&case.spec) {
+                Ok(lts) => prints.push((workers, lts.fingerprint())),
+                Err(e) => return Verdict::Skip(format!("workers={workers}: {e}")),
+            }
+        }
+        let base = prints[0].1;
+        for (workers, fp) in &prints[1..] {
+            if *fp != base {
+                return Verdict::Fail(format!(
+                    "LTS diverges across worker counts: workers=1 gives {base:032x}, \
+                     workers={workers} gives {fp:032x}"
+                ));
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+/// Hashed-key interning against full canonical strings: exploring with
+/// `verify_keys` must neither panic (a divergence panics by design) nor
+/// change the resulting LTS.
+struct HashKeys;
+
+impl Oracle for HashKeys {
+    fn name(&self) -> &'static str {
+        "hashkeys"
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        let plain = match Explorer::new(ExploreOptions {
+            faults: case.faults.clone(),
+            ..explore_opts(env)
+        })
+        .explore(&case.spec)
+        {
+            Ok(lts) => lts.fingerprint(),
+            Err(e) => return Verdict::Skip(format!("exploration failed: {e}")),
+        };
+        let opts = ExploreOptions {
+            verify_keys: true,
+            faults: case.faults.clone(),
+            ..explore_opts(env)
+        };
+        let spec = case.spec.clone();
+        match catch_unwind(AssertUnwindSafe(move || {
+            Explorer::new(opts).explore(&spec).map(|lts| lts.fingerprint())
+        })) {
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                Verdict::Fail(format!(
+                    "verify_keys panicked — hashed and string state keys disagree: {msg}"
+                ))
+            }
+            Ok(Err(e)) => Verdict::Skip(format!("verify_keys exploration failed: {e}")),
+            Ok(Ok(checked)) if checked != plain => Verdict::Fail(format!(
+                "verify_keys changed the LTS: {plain:032x} without, {checked:032x} with"
+            )),
+            Ok(Ok(_)) => Verdict::Pass,
+        }
+    }
+}
+
+/// Copy-on-write stepping against deep-clone reference stepping (and,
+/// when both sides are exhaustive, against the explorer's state count).
+struct CowState;
+
+impl Oracle for CowState {
+    fn name(&self) -> &'static str {
+        "cowstate"
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        let cow = match reachable(&case.spec, env.unfold_bound, env.max_states, CloneMode::Cow) {
+            Ok(r) => r,
+            Err(e) => return Verdict::Skip(format!("cow stepper: {e}")),
+        };
+        let deep = match reachable(&case.spec, env.unfold_bound, env.max_states, CloneMode::Deep) {
+            Ok(r) => r,
+            Err(e) => return Verdict::Skip(format!("deep stepper: {e}")),
+        };
+        if !cow.complete || !deep.complete {
+            return Verdict::Skip(format!(
+                "state space truncated at {} states", env.max_states
+            ));
+        }
+        // The planted canonicalizer bug makes the COW side dedup on
+        // truncated keys, so any two states sharing a key prefix
+        // collide into one — the exact failure shape of a canonical-form
+        // collision, detected as a state-count mismatch.
+        let cow_keys: std::collections::BTreeSet<String> = match env.injection {
+            Some(Injection::TruncateCanonKeys(n)) => cow
+                .keys
+                .iter()
+                .map(|k| k.chars().take(n).collect())
+                .collect(),
+            None => cow.keys,
+        };
+        if cow_keys.len() != deep.keys.len() {
+            return Verdict::Fail(format!(
+                "cow and deep-clone steppers disagree: {} vs {} reachable states",
+                cow_keys.len(),
+                deep.keys.len()
+            ));
+        }
+        if env.injection.is_none() && cow_keys != deep.keys {
+            let missing = deep.keys.difference(&cow_keys).count();
+            return Verdict::Fail(format!(
+                "cow and deep-clone steppers reach different state sets \
+                 ({missing} keys differ out of {})",
+                deep.keys.len()
+            ));
+        }
+        // No faults and no intruder: the explorer dedups on a key
+        // bijective with the config key, so its state count must match.
+        if case.faults.is_none() {
+            match Explorer::new(explore_opts(env)).explore(&case.spec) {
+                Ok(lts) if lts.complete() && lts.states.len() != deep.keys.len() => {
+                    return Verdict::Fail(format!(
+                        "explorer reaches {} states but the reference stepper {}",
+                        lts.states.len(),
+                        deep.keys.len()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+/// Campaign kill/resume equality: interrupting a campaign halfway and
+/// resuming from its checkpoint must reproduce the uninterrupted report.
+struct Checkpoint;
+
+impl Oracle for Checkpoint {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn stride(&self) -> usize {
+        8
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        // One channel keeps the schedule universe tiny: the property
+        // under test is resume equality, not campaign coverage.
+        let channels: Vec<&str> = case.channels.iter().map(String::as_str).take(1).collect();
+        let mut opts = CampaignOptions::new(channels, 1);
+        opts.explore = explore_opts(env);
+        opts.max_visible = 4;
+        let full = match run_campaign(&case.concrete, &case.spec, &opts) {
+            Ok(r) => r,
+            Err(e) => return Verdict::Skip(format!("campaign failed: {e}")),
+        };
+        if full.enumerated < 2 {
+            return Verdict::Skip("fewer than two schedules to split".to_string());
+        }
+        let ckpt = std::env::temp_dir().join(format!(
+            "spi-conformance-ckpt-{}-{}.json",
+            case.seed, case.index
+        ));
+        let _ = std::fs::remove_file(&ckpt);
+        opts.checkpoint_path = Some(ckpt.clone());
+        opts.checkpoint_every = 1;
+        opts.stop_after = Some(full.enumerated / 2);
+        let first = run_campaign(&case.concrete, &case.spec, &opts);
+        opts.stop_after = None;
+        opts.resume = true;
+        let second = run_campaign(&case.concrete, &case.spec, &opts);
+        let _ = std::fs::remove_file(&ckpt);
+        let (first, resumed) = match (first, second) {
+            (Ok(f), Ok(s)) => (f, s),
+            (Err(e), _) | (_, Err(e)) => {
+                return Verdict::Skip(format!("checkpointed campaign failed: {e}"))
+            }
+        };
+        if !first.interrupted {
+            return Verdict::Skip("campaign finished before the kill point".to_string());
+        }
+        let verdict = compare_reports(&full, &resumed);
+        if let Verdict::Pass = verdict {
+            if resumed.resumed == 0 {
+                return Verdict::Fail(
+                    "resumed campaign replayed nothing from the checkpoint".to_string(),
+                );
+            }
+        }
+        verdict
+    }
+}
+
+fn compare_reports(full: &CampaignReport, resumed: &CampaignReport) -> Verdict {
+    if full.identity != resumed.identity {
+        return Verdict::Fail(format!(
+            "campaign identity changed across resume: {} vs {}",
+            full.identity, resumed.identity
+        ));
+    }
+    if full.enumerated != resumed.enumerated || full.tally() != resumed.tally() {
+        return Verdict::Fail(format!(
+            "resumed campaign disagrees with uninterrupted run: \
+             {}/{:?} vs {}/{:?} (enumerated/tally)",
+            full.enumerated,
+            full.tally(),
+            resumed.enumerated,
+            resumed.tally()
+        ));
+    }
+    for (f, r) in full.results.iter().zip(&resumed.results) {
+        if f.key != r.key || f.outcome != r.outcome {
+            return Verdict::Fail(format!(
+                "schedule `{}` decided differently after resume",
+                f.key
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
+/// Looks up a built-in oracle by name.
+#[must_use]
+pub fn oracle_by_name(name: &str) -> Option<Box<dyn Oracle>> {
+    builtin_oracles().into_iter().find(|o| o.name() == name)
+}
+
+/// The names of the built-in oracles, in documentation order.
+#[must_use]
+pub fn builtin_names() -> Vec<&'static str> {
+    builtin_oracles().iter().map(|o| o.name()).collect()
+}
+
+/// Convenience used by shrinking and replay: run one oracle on a
+/// standalone process (spec = concrete, no erosion).
+#[must_use]
+pub fn check_process(
+    oracle: &dyn Oracle,
+    process: &Process,
+    faults: Option<spi_semantics::FaultSpec>,
+    channels: &[String],
+    env: &OracleEnv,
+) -> Verdict {
+    let case = TestCase {
+        seed: 0,
+        index: 0,
+        spec: process.clone(),
+        concrete: process.clone(),
+        channels: channels.to_vec(),
+        faults,
+    };
+    oracle.check(&case, env)
+}

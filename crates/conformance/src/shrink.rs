@@ -1,0 +1,286 @@
+//! Greedy 1-minimal shrinking of failing cases.
+//!
+//! When an oracle fails, the offending process is ddmin-shrunk: every
+//! structural reduction (replace a subprocess with `0`, drop a prefix,
+//! keep one side of a parallel composition, simplify a payload) is tried
+//! in turn, the first one that still fails is kept, and the loop repeats
+//! until no single reduction reproduces the failure — so the reproducer
+//! written to the corpus is 1-minimal.  Fault schedules shrink alongside
+//! the process (drop a clause, lower a repetition bound).
+
+use spi_semantics::FaultSpec;
+use spi_syntax::{Process, Term};
+
+use crate::oracle::{check_process, Oracle, OracleEnv, Verdict};
+
+/// The result of shrinking one failure.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The 1-minimal failing process.
+    pub process: Process,
+    /// The 1-minimal fault schedule, if the failure needs one.
+    pub faults: Option<FaultSpec>,
+    /// The oracle message on the minimal case.
+    pub message: String,
+    /// How many accepted reduction steps the loop took.
+    pub steps: usize,
+}
+
+/// Shrinks `(process, faults)` while `oracle` keeps failing.
+///
+/// The concrete system is pinned to the spec during shrinking: the
+/// differential properties under test are engine-vs-engine, so a
+/// self-conformant case fails them iff the engines disagree on it.
+#[must_use]
+pub fn shrink_failure(
+    oracle: &dyn Oracle,
+    process: &Process,
+    faults: Option<&FaultSpec>,
+    channels: &[String],
+    env: &OracleEnv,
+) -> Shrunk {
+    let mut cur = process.clone();
+    let mut cur_faults = faults.cloned();
+    let mut message = fail_message(oracle, &cur, cur_faults.as_ref(), channels, env)
+        .unwrap_or_else(|| "original failure did not reproduce under spec=concrete".to_string());
+    let mut steps = 0;
+    'outer: loop {
+        for cand in process_candidates(&cur) {
+            if !cand.free_vars().is_empty() {
+                continue;
+            }
+            if let Some(msg) = fail_message(oracle, &cand, cur_faults.as_ref(), channels, env) {
+                cur = cand;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        if let Some(spec) = &cur_faults {
+            for cand in fault_candidates(spec) {
+                if let Some(msg) = fail_message(oracle, &cur, cand.as_ref(), channels, env) {
+                    cur_faults = cand;
+                    message = msg;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    Shrunk {
+        process: cur,
+        faults: cur_faults,
+        message,
+        steps,
+    }
+}
+
+fn fail_message(
+    oracle: &dyn Oracle,
+    p: &Process,
+    faults: Option<&FaultSpec>,
+    channels: &[String],
+    env: &OracleEnv,
+) -> Option<String> {
+    match check_process(oracle, p, faults.cloned(), channels, env) {
+        Verdict::Fail(msg) => Some(msg),
+        Verdict::Pass | Verdict::Skip(_) => None,
+    }
+}
+
+/// Every process obtained from `p` by one structural reduction, smallest
+/// jumps first (drop-everything candidates come before local ones so the
+/// greedy loop takes big steps early).
+fn process_candidates(p: &Process) -> Vec<Process> {
+    let mut out = Vec::new();
+    reduce_at(p, &mut |q| out.push(q));
+    out
+}
+
+/// Applies every one-hole reduction of `p`, feeding each result to `emit`.
+fn reduce_at(p: &Process, emit: &mut dyn FnMut(Process)) {
+    if !p.is_nil() {
+        emit(Process::Nil);
+    }
+    match p {
+        Process::Nil => {}
+        Process::Output(ch, payload, cont) => {
+            emit((**cont).clone());
+            if !cont.is_nil() {
+                emit(Process::Output(ch.clone(), payload.clone(), Box::new(Process::Nil)));
+            }
+            for t in term_candidates(payload) {
+                emit(Process::Output(ch.clone(), t, cont.clone()));
+            }
+            reduce_at(cont, &mut |q| {
+                emit(Process::Output(ch.clone(), payload.clone(), Box::new(q)));
+            });
+        }
+        Process::Input(ch, v, cont) => {
+            // Dropping the prefix may free `v` in the continuation; the
+            // caller filters open candidates.
+            emit((**cont).clone());
+            if !cont.is_nil() {
+                emit(Process::Input(ch.clone(), v.clone(), Box::new(Process::Nil)));
+            }
+            reduce_at(cont, &mut |q| {
+                emit(Process::Input(ch.clone(), v.clone(), Box::new(q)));
+            });
+        }
+        Process::Restrict(n, body) => {
+            emit((**body).clone());
+            reduce_at(body, &mut |q| emit(Process::Restrict(n.clone(), Box::new(q))));
+        }
+        Process::Par(l, r) => {
+            emit((**l).clone());
+            emit((**r).clone());
+            reduce_at(l, &mut |q| emit(Process::par(q, (**r).clone())));
+            reduce_at(r, &mut |q| emit(Process::par((**l).clone(), q)));
+        }
+        Process::Match(m, n, cont) => {
+            emit((**cont).clone());
+            reduce_at(cont, &mut |q| {
+                emit(Process::Match(m.clone(), n.clone(), Box::new(q)));
+            });
+        }
+        Process::AddrMatch(m, side, cont) => {
+            emit((**cont).clone());
+            reduce_at(cont, &mut |q| {
+                emit(Process::AddrMatch(m.clone(), side.clone(), Box::new(q)));
+            });
+        }
+        Process::Bang(body) => {
+            emit((**body).clone());
+            reduce_at(body, &mut |q| emit(Process::bang(q)));
+        }
+        Process::Split { pair, fst, snd, body } => {
+            emit((**body).clone());
+            reduce_at(body, &mut |q| {
+                emit(Process::Split {
+                    pair: pair.clone(),
+                    fst: fst.clone(),
+                    snd: snd.clone(),
+                    body: Box::new(q),
+                });
+            });
+        }
+        Process::Case { scrutinee, binders, key, body } => {
+            emit((**body).clone());
+            reduce_at(body, &mut |q| {
+                emit(Process::Case {
+                    scrutinee: scrutinee.clone(),
+                    binders: binders.clone(),
+                    key: key.clone(),
+                    body: Box::new(q),
+                });
+            });
+        }
+    }
+}
+
+/// Strictly smaller replacement terms for a payload: its immediate
+/// subterms, then a bare name.
+fn term_candidates(t: &Term) -> Vec<Term> {
+    let mut out = Vec::new();
+    match t {
+        Term::Name(_) | Term::Var(_) => {}
+        Term::Pair(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        Term::Enc { body, key } => {
+            out.extend(body.iter().cloned());
+            out.push((**key).clone());
+        }
+        Term::Located { inner, .. } => out.push((**inner).clone()),
+    }
+    if !matches!(t, Term::Name(_)) {
+        out.push(Term::name("m"));
+    }
+    out
+}
+
+/// Strictly smaller fault schedules: none at all, one clause dropped, a
+/// repetition bound lowered.
+fn fault_candidates(spec: &FaultSpec) -> Vec<Option<FaultSpec>> {
+    let mut out = vec![None];
+    let clauses = &spec.clauses;
+    for i in 0..clauses.len() {
+        if clauses.len() > 1 {
+            let mut rest = clauses.clone();
+            rest.remove(i);
+            out.push(Some(FaultSpec::new(rest)));
+        }
+        if clauses[i].max > 1 {
+            let mut lowered = clauses.clone();
+            lowered[i].max -= 1;
+            out.push(Some(FaultSpec::new(lowered)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TestCase;
+    use crate::oracle::Verdict;
+    use spi_syntax::parse;
+
+    /// Fails whenever the process still contains an output on `c`.
+    struct HatesC;
+
+    impl Oracle for HatesC {
+        fn name(&self) -> &'static str {
+            "hates-c"
+        }
+
+        fn check(&self, case: &TestCase, _env: &OracleEnv) -> Verdict {
+            fn has_c(p: &Process) -> bool {
+                match p {
+                    Process::Output(ch, _, cont) => {
+                        ch.subject == Term::name("c") || has_c(cont)
+                    }
+                    Process::Input(_, _, cont)
+                    | Process::Restrict(_, cont)
+                    | Process::Match(_, _, cont)
+                    | Process::AddrMatch(_, _, cont)
+                    | Process::Bang(cont)
+                    | Process::Split { body: cont, .. }
+                    | Process::Case { body: cont, .. } => has_c(cont),
+                    Process::Par(l, r) => has_c(l) || has_c(r),
+                    Process::Nil => false,
+                }
+            }
+            if has_c(&case.spec) {
+                Verdict::Fail("contains an output on c".to_string())
+            } else {
+                Verdict::Pass
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_prefix() {
+        let p = parse("(^s)(d(x1).c<{m, n}k>.d<x1> | d<a>.e(x2).0)").expect("parses");
+        let shrunk = shrink_failure(&HatesC, &p, None, &[], &OracleEnv::default());
+        assert!(shrunk.steps > 0, "expected at least one reduction");
+        assert_eq!(
+            shrunk.process.to_string(),
+            "c<m>",
+            "1-minimal form is a single bare output on c"
+        );
+    }
+
+    #[test]
+    fn candidates_never_grow_and_never_repeat_the_input() {
+        // Payload replacements keep the constructor count, so the bound
+        // is ≤; identity candidates would loop the greedy search forever.
+        let p = parse("(^s)(c<{m}k>.0 | c(x).[x = m]d<x>)").expect("parses");
+        for cand in process_candidates(&p) {
+            assert!(cand.size() <= p.size(), "candidate {cand} grew");
+            assert_ne!(cand, p, "candidate repeats the input");
+        }
+    }
+}

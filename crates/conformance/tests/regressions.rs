@@ -1,0 +1,72 @@
+//! Replays the shrunk-reproducer corpus and runs the cheap oracles over
+//! the repository's example protocols as a fixed seed corpus.
+
+use std::path::PathBuf;
+
+use spi_conformance::corpus::replay_dir;
+use spi_conformance::oracle::{check_process, oracle_by_name, OracleEnv, Verdict};
+use spi_syntax::{parse, parse_program, Process};
+
+/// Example files are either bare processes or `def`/`system` programs.
+fn parse_any(src: &str) -> Result<Process, String> {
+    let is_program = src
+        .lines()
+        .any(|l| l.trim_start().starts_with("def ") || l.trim_start().starts_with("system"));
+    if is_program {
+        parse_program(src).map(|p| p.system).map_err(|e| e.to_string())
+    } else {
+        parse(src).map_err(|e| e.to_string())
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let dir = repo_root().join("conformance/corpus/regressions");
+    let (replayed, failures) = replay_dir(&dir);
+    assert!(
+        failures.is_empty(),
+        "{} of {replayed} reproducers misbehaved:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert!(
+        replayed > 0,
+        "the committed corpus should contain at least one reproducer"
+    );
+}
+
+#[test]
+fn example_protocols_pass_the_cheap_oracles() {
+    let dir = repo_root().join("examples/protocols");
+    let env = OracleEnv::default();
+    let channels = vec!["c".to_string()];
+    let mut checked = 0;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/protocols exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "spi"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable");
+        let system = parse_any(&src)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        for name in ["roundtrip", "workers", "cowstate"] {
+            let oracle = oracle_by_name(name).expect("built-in oracle");
+            let verdict = check_process(oracle.as_ref(), &system, None, &channels, &env);
+            if let Verdict::Fail(msg) = verdict {
+                panic!("{} fails oracle {name}: {msg}", path.display());
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected the pm protocol family, saw {checked}");
+}

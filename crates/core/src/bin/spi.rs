@@ -17,6 +17,10 @@
 //!                                           explore under the intruder
 //! spi narrate <narration> [--sessions N]    compile a narration both ways
 //!                                           and check the implementation
+//! spi conformance [--seed N] [--cases N]    differential conformance
+//!            [--size small|medium|large]    fuzzing: generated specs vs
+//!            [--oracles a,b,...]            the oracle suite, failures
+//!            [--regressions DIR]            shrunk to .spi reproducers
 //! spi paper [--sessions N]                  re-derive the paper's results
 //! ```
 //!
@@ -27,10 +31,15 @@
 //! thread count (default: available parallelism); results are
 //! bit-for-bit identical for any worker count.  `--timeout-secs` sets a
 //! wall-clock deadline; runs it truncates answer *inconclusive*.
+//! `--verify-keys on` makes every exploration intern states by their
+//! full canonical strings alongside the hashed keys, panicking on any
+//! disagreement.  `spi conformance` oracles: `roundtrip`, `workers`,
+//! `hashkeys`, `cowstate`, `checkpoint`.
 //!
-//! Exit codes: 0 — verified / success; 1 — attack found or failed parse;
-//! 2 — usage error; 3 — inconclusive (a resource budget ran out, the
-//! wall clock expired, or a campaign was interrupted before completion).
+//! Exit codes: 0 — verified / success; 1 — attack found, failed parse,
+//! or conformance failures; 2 — usage error; 3 — inconclusive (a
+//! resource budget ran out, the wall clock expired, a campaign was
+//! interrupted, or every conformance oracle skipped every case).
 
 use std::process::ExitCode;
 
@@ -63,6 +72,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "campaign" => cmd_campaign(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
         "narrate" => cmd_narrate(&args[1..]),
+        "conformance" => cmd_conformance(&args[1..]),
         "paper" => cmd_paper(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -81,7 +91,10 @@ fn print_usage() {
          spi campaign <concrete> <abstract> [--faults-depth K] [--checkpoint FILE]\n    \
          [--resume FILE] [--checkpoint-every N] [--stop-after N] (plus verify flags)\n  \
          spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
-         spi narrate <narration-file> [--sessions N]\n  spi paper [--sessions N]"
+         spi narrate <narration-file> [--sessions N]\n  \
+         spi conformance [--seed N] [--cases N] [--size small|medium|large]\n    \
+         [--oracles NAME,...] [--regressions DIR] [--unfold N] [--max-states N]\n  \
+         spi paper [--sessions N]"
     );
 }
 
@@ -249,7 +262,7 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
     } else {
         channels
     };
-    let mut verifier = Verifier::new(channels)
+    let mut verifier = Verifier::new(channels.iter().copied())
         .sessions(numeric_flag(flags, "sessions", 2)?)
         .max_visible(numeric_flag(flags, "visible", 6)?)
         .max_states(numeric_flag(flags, "max-states", 200_000)?);
@@ -264,13 +277,42 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
     }
     // Each --fault may carry several comma-separated clauses, so a whole
     // schedule pastes into one flag: --fault drop:c,replay:c:2
-    let clauses: Vec<FaultClause> = flags
+    let raw_clauses: Vec<&str> = flags
         .iter()
         .filter(|(n, _)| *n == "fault")
         .flat_map(|(_, v)| v.split(','))
         .filter(|c| !c.is_empty())
-        .map(|c| c.parse::<FaultClause>().map_err(|e| e.to_string()))
-        .collect::<Result<_, _>>()?;
+        .collect();
+    let total = raw_clauses.len();
+    let mut clauses = Vec::with_capacity(total);
+    for (i, c) in raw_clauses.iter().enumerate() {
+        let clause = c.parse::<FaultClause>().map_err(|e| {
+            // The parse error already lists the valid kinds; only append
+            // what it cannot know — the channel alphabet.
+            let kinds = if e.reason.contains("valid kinds") {
+                String::new()
+            } else {
+                format!("; valid kinds: {}", spi_auth::FaultKind::keywords().join(", "))
+            };
+            format!(
+                "--fault clause {} of {total} (`{c}`): {}{kinds}; channels in C: {}",
+                i + 1,
+                e.reason,
+                channels.join(", ")
+            )
+        })?;
+        if !channels.iter().any(|ch| *ch == clause.chan.as_str()) {
+            return Err(format!(
+                "--fault clause {} of {total} (`{c}`): channel `{}` is not in C \
+                 (channels in C: {}; add --chan {} to include it)",
+                i + 1,
+                clause.chan,
+                channels.join(", "),
+                clause.chan
+            ));
+        }
+        clauses.push(clause);
+    }
     if !clauses.is_empty() {
         verifier = verifier.faults(FaultSpec::new(clauses));
     }
@@ -278,6 +320,11 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
         None | Some("on") => {}
         Some("off") => verifier = verifier.no_intruder(),
         Some(other) => return Err(format!("--intruder expects on|off, got {other:?}")),
+    }
+    match flag(flags, "verify-keys") {
+        None | Some("off") => {}
+        Some("on") => verifier = verifier.verify_keys(true),
+        Some(other) => return Err(format!("--verify-keys expects on|off, got {other:?}")),
     }
     if let Some(s) = flag(flags, "timeout-secs") {
         let secs: u64 = s
@@ -483,6 +530,42 @@ fn cmd_narrate(args: &[String]) -> Result<ExitCode, String> {
         .check(&concrete, &spec)
         .map_err(|e| e.to_string())?;
     Ok(report_verdict(&report.verdict))
+}
+
+fn cmd_conformance(args: &[String]) -> Result<ExitCode, String> {
+    use spi_auth::conformance::{self, ConformanceOptions, GenSize, Injection, OracleEnv};
+    let (pos, flags) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!("conformance takes no positional arguments, got {pos:?}"));
+    }
+    let mut opts = ConformanceOptions::new(
+        numeric_flag(&flags, "seed", 0u64)?,
+        numeric_flag(&flags, "cases", 100u64)?,
+    );
+    if let Some(size) = flag(&flags, "size") {
+        opts.size = GenSize::preset(size)?;
+    }
+    if let Some(names) = flag(&flags, "oracles") {
+        opts.oracles = names
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(ToString::to_string)
+            .collect();
+    }
+    if let Some(dir) = flag(&flags, "regressions") {
+        opts.regressions_dir = Some(dir.into());
+    }
+    opts.env = OracleEnv {
+        unfold_bound: numeric_flag(&flags, "unfold", 1u32)?,
+        max_states: numeric_flag(&flags, "max-states", 4_000usize)?,
+        // Deliberately planted bugs, for validating the harness itself.
+        injection: flag(&flags, "inject").map(Injection::parse).transpose()?,
+    };
+    let report = conformance::run_conformance(&opts)?;
+    println!("{report}");
+    Ok(ExitCode::from(
+        u8::try_from(conformance::exit_code(&report)).unwrap_or(1),
+    ))
 }
 
 fn cmd_paper(args: &[String]) -> Result<ExitCode, String> {

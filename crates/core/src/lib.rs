@@ -53,6 +53,7 @@ pub use spi_verify::{
 };
 
 pub use spi_addr as addr;
+pub use spi_conformance as conformance;
 pub use spi_protocols as protocols;
 pub use spi_semantics as semantics;
 pub use spi_syntax as syntax;

@@ -114,6 +114,7 @@ pub struct Verifier {
     roles: Vec<(String, String)>,
     workers: usize,
     deadline: Option<Instant>,
+    verify_keys: bool,
 }
 
 impl Verifier {
@@ -138,6 +139,7 @@ impl Verifier {
             roles: vec![("A".into(), "0".into()), ("B".into(), "1".into())],
             workers: ExploreOptions::available_workers(),
             deadline: None,
+            verify_keys: false,
         }
     }
 
@@ -219,6 +221,17 @@ impl Verifier {
         self
     }
 
+    /// Interns every explored state by its full canonical string
+    /// *alongside* the 128-bit hashed key, panicking on any disagreement
+    /// (a hash collision or canonicalization bug).  The conformance
+    /// harness runs with this on; `spi verify --verify-keys on` exposes
+    /// it for field debugging.  Costs memory and time; off by default.
+    #[must_use]
+    pub fn verify_keys(mut self, on: bool) -> Verifier {
+        self.verify_keys = on;
+        self
+    }
+
     /// Replaces the role map used for narration: pairs of role name and
     /// position (bit path) *within* the protocol.  The default is the
     /// two-party layout `A ↦ ‖0`, `B ↦ ‖1` of the paper's protocols
@@ -265,6 +278,7 @@ impl Verifier {
             faults: self.faults.clone(),
             workers: self.workers,
             deadline: self.deadline,
+            verify_keys: self.verify_keys,
             ..ExploreOptions::default()
         }
     }

@@ -234,7 +234,8 @@ fn fault_flag_accepts_comma_separated_schedules() {
         .expect("runs");
     assert_eq!(out.status.code(), Some(1), "the duplicate half still bites");
     assert!(String::from_utf8_lossy(&out.stdout).contains("ATTACK"));
-    // Malformed clauses inside the list are still rejected.
+    // Malformed clauses inside the list are still rejected, and the error
+    // names the offending clause and lists valid kinds and channels.
     let out = spi()
         .arg("verify")
         .arg(&concrete)
@@ -243,6 +244,27 @@ fn fault_flag_accepts_comma_separated_schedules() {
         .output()
         .expect("runs");
     assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("clause 2 of 2"), "{err}");
+    assert!(err.contains("`mangle:c`"), "{err}");
+    assert!(err.contains("unknown fault kind `mangle`"), "{err}");
+    assert!(
+        err.contains("drop, duplicate, reorder, replay"),
+        "{err} should list the valid kinds"
+    );
+    assert!(err.contains("channels in C: c"), "{err}");
+    // A well-formed clause on a channel outside C is caught with a hint.
+    let out = spi()
+        .arg("verify")
+        .arg(&concrete)
+        .arg(&abstract_)
+        .args(["--fault", "drop:d"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("channel `d` is not in C"), "{err}");
+    assert!(err.contains("add --chan d"), "{err}");
 }
 
 #[test]

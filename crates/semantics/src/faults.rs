@@ -51,6 +51,13 @@ impl FaultKind {
         FaultKind::Replay,
     ];
 
+    /// The keywords of every fault kind, in [`FaultKind::ALL`] order —
+    /// handy for "valid kinds are …" error listings.
+    #[must_use]
+    pub fn keywords() -> Vec<&'static str> {
+        FaultKind::ALL.iter().map(|k| k.keyword()).collect()
+    }
+
     /// The keyword used in CLI specs and displays.
     #[must_use]
     pub fn keyword(self) -> &'static str {
@@ -78,7 +85,10 @@ impl FromStr for FaultKind {
             .find(|k| k.keyword() == s)
             .ok_or_else(|| FaultParseError {
                 input: s.to_string(),
-                reason: "unknown fault kind (expected drop|duplicate|reorder|replay)",
+                reason: format!(
+                    "unknown fault kind `{s}` (valid kinds: {})",
+                    FaultKind::keywords().join(", ")
+                ),
             })
     }
 }
@@ -89,7 +99,7 @@ pub struct FaultParseError {
     /// The offending input.
     pub input: String,
     /// Why it was rejected.
-    pub reason: &'static str,
+    pub reason: String,
 }
 
 impl fmt::Display for FaultParseError {
@@ -132,21 +142,24 @@ impl FromStr for FaultClause {
                 input: s.to_string(),
                 reason: e.reason,
             })?;
-        let chan = parts.next().filter(|c| !c.is_empty()).ok_or(FaultParseError {
-            input: s.to_string(),
-            reason: "missing channel (expected kind:chan[:max])",
-        })?;
+        let chan = parts
+            .next()
+            .filter(|c| !c.is_empty())
+            .ok_or_else(|| FaultParseError {
+                input: s.to_string(),
+                reason: "missing channel (expected kind:chan[:max])".to_string(),
+            })?;
         let max = match parts.next() {
             None => 1,
             Some(m) => m.parse::<u32>().map_err(|_| FaultParseError {
                 input: s.to_string(),
-                reason: "max must be a non-negative integer",
+                reason: format!("max `{m}` must be a non-negative integer"),
             })?,
         };
         if parts.next().is_some() {
             return Err(FaultParseError {
                 input: s.to_string(),
-                reason: "too many `:`-separated fields (expected kind:chan[:max])",
+                reason: "too many `:`-separated fields (expected kind:chan[:max])".to_string(),
             });
         }
         Ok(FaultClause {
@@ -271,9 +284,14 @@ impl FaultSpec {
 }
 
 impl fmt::Display for FaultSpec {
+    /// Renders the *canonical* form, byte-for-byte equal to
+    /// [`FaultSpec::canonical_key`].  Campaign dedup tables and checkpoint
+    /// files key schedules on the canonical key; error messages and
+    /// reports print `Display` — keeping the two identical means a key
+    /// quoted in a report can always be pasted back into `--fault` (comma
+    /// for `+`) or grepped in a checkpoint verbatim.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let clauses: Vec<String> = self.clauses.iter().map(ToString::to_string).collect();
-        write!(f, "[{}]@{}", clauses.join(","), self.position.to_bits())
+        f.write_str(&self.canonical_key())
     }
 }
 
@@ -402,6 +420,46 @@ mod tests {
         assert_eq!(canon.clauses[1].max, 3, "same-(kind,chan) caps merge");
         assert_eq!(spec.canonical_key(), "drop:c:1+replay:c:3@1");
         assert_eq!(spec.total_firings(), 4);
+    }
+
+    #[test]
+    fn display_agrees_with_canonical_key() {
+        // Dedup tables key on `canonical_key`; reports print `Display`.
+        // The two must agree even when the clause list is unsorted and
+        // splittable, or a key quoted in an error message can't be found
+        // in the checkpoint it supposedly names.
+        let spec = FaultSpec::new([
+            FaultClause {
+                kind: FaultKind::Replay,
+                chan: Name::new("c"),
+                max: 2,
+            },
+            FaultClause {
+                kind: FaultKind::Drop,
+                chan: Name::new("c"),
+                max: 1,
+            },
+            FaultClause {
+                kind: FaultKind::Replay,
+                chan: Name::new("c"),
+                max: 1,
+            },
+        ]);
+        assert_eq!(spec.to_string(), spec.canonical_key());
+        assert_eq!(spec.to_string(), "drop:c:1+replay:c:3@1");
+        let single = FaultSpec::single(FaultKind::Duplicate, "d", 1);
+        assert_eq!(single.to_string(), single.canonical_key());
+    }
+
+    #[test]
+    fn unknown_kind_error_names_kind_and_lists_valid_ones() {
+        let err = "mangle:c".parse::<FaultClause>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`mangle:c`"), "{msg}");
+        assert!(msg.contains("unknown fault kind `mangle`"), "{msg}");
+        for kind in FaultKind::keywords() {
+            assert!(msg.contains(kind), "{msg} should list {kind}");
+        }
     }
 
     #[test]

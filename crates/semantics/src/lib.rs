@@ -63,6 +63,7 @@ mod config;
 mod error;
 pub mod faults;
 mod label;
+pub mod refstep;
 mod machine;
 mod names;
 mod narrate;

@@ -1,0 +1,207 @@
+//! A small deep-clone reference stepper for differential testing.
+//!
+//! The production explorer in `spi-verify` leans on two optimizations:
+//! copy-on-write configurations (`Arc`-shared process trees and name
+//! tables, copied lazily at first mutation) and 128-bit hashed canonical
+//! state keys.  This module is the *independent oracle* those
+//! optimizations are checked against: it re-enumerates the same
+//! successor relation with the plainest possible machinery — full
+//! structural deep clones and full canonical-string state identities —
+//! and reports the set of reachable states.  It shares only the
+//! single-step machine ([`Config::enabled`] / [`Config::fire`] /
+//! [`Config::take_output`]) with the optimized path, so a copy-on-write
+//! aliasing bug, a stale-`Arc` mutation leaking into a sibling state, or
+//! a canonical-key collision all show up as a reachable-set mismatch.
+//!
+//! The successor relation mirrors the explorer's *intruder-free,
+//! fault-free* moves exactly: every enabled internal action, plus one
+//! tester observation per continuation output on a free, unlocalized
+//! channel (the explorer's `Observe` edges, fired through
+//! [`Config::take_output`] with the sender's own position as receiver).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use spi_addr::ProcTree;
+use spi_syntax::Process;
+
+use crate::{Config, LeafState, MachineError, RtChanIndex, RtTerm};
+
+/// How the reference stepper copies a configuration before mutating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloneMode {
+    /// The production discipline: [`Clone`] on [`Config`] bumps the
+    /// shared `Arc`s; copy-on-write kicks in at the first mutation.
+    Cow,
+    /// The reference discipline: [`Config::deep_clone`] structurally
+    /// copies every tree node, leaf, and the name table, so successor
+    /// states share no storage whatsoever.
+    Deep,
+}
+
+impl Config {
+    /// A structural deep copy sharing no storage with `self`: every
+    /// [`ProcTree`] node is rebuilt (no `Arc` is reused) and the name
+    /// table is copied wholesale.  Differential tests step a deep clone
+    /// and a [`Clone`] copy side by side — if copy-on-write ever leaked a
+    /// mutation between siblings, the two would diverge.
+    #[must_use]
+    pub fn deep_clone(&self) -> Config {
+        fn deep(t: &ProcTree<LeafState>) -> ProcTree<LeafState> {
+            match t {
+                ProcTree::Leaf(v) => ProcTree::Leaf(v.clone()),
+                ProcTree::Node(l, r) => ProcTree::node(deep(l), deep(r)),
+            }
+        }
+        Config {
+            tree: Arc::new(deep(&self.tree)),
+            names: Arc::new((*self.names).clone()),
+        }
+    }
+}
+
+/// The bounded reachable state set computed by [`reachable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachable {
+    /// The canonical keys ([`Config::canonical_key`]) of every reached
+    /// configuration, the initial one included.
+    pub keys: BTreeSet<String>,
+    /// `false` when the `max_states` cap cut the search short — a
+    /// truncated set must not be compared against a complete one.
+    pub complete: bool,
+}
+
+/// Copies `cfg` under `mode`.
+fn dup(cfg: &Config, mode: CloneMode) -> Config {
+    match mode {
+        CloneMode::Cow => cfg.clone(),
+        CloneMode::Deep => cfg.deep_clone(),
+    }
+}
+
+/// Every successor configuration of `cfg` under the intruder-free,
+/// fault-free move relation: enabled internal actions plus tester
+/// observations of outputs on free, unlocalized channels.
+///
+/// # Errors
+///
+/// Propagates machine errors from firing — which would indicate a bug,
+/// since only enabled moves are fired.
+pub fn successors(
+    cfg: &Config,
+    unfold_bound: u32,
+    mode: CloneMode,
+) -> Result<Vec<Config>, MachineError> {
+    let mut out = Vec::new();
+    for action in cfg.enabled(unfold_bound) {
+        let mut next = dup(cfg, mode);
+        next.fire(&action)?;
+        out.push(next);
+    }
+    for (path, leaf) in cfg.tree().leaves() {
+        let LeafState::Out { chan, .. } = leaf else {
+            continue;
+        };
+        let RtTerm::Id(id) = &chan.subject else {
+            continue;
+        };
+        if !cfg.names().is_free(*id) || chan.index != RtChanIndex::Plain {
+            continue;
+        }
+        let mut next = dup(cfg, mode);
+        next.take_output(&path, &path)?;
+        out.push(next);
+    }
+    Ok(out)
+}
+
+/// Breadth-first reachable set of `process` under the reference move
+/// relation, deduplicated on full canonical-key strings.  At most
+/// `max_states` distinct states are collected; hitting the cap clears
+/// [`Reachable::complete`].
+///
+/// # Errors
+///
+/// Returns [`MachineError`] when the process fails to load (open
+/// process, located-literal payload) or a fired move misbehaves.
+pub fn reachable(
+    process: &Process,
+    unfold_bound: u32,
+    max_states: usize,
+    mode: CloneMode,
+) -> Result<Reachable, MachineError> {
+    let cfg = Config::from_process(process)?;
+    let mut keys = BTreeSet::new();
+    keys.insert(cfg.canonical_key());
+    let mut queue = VecDeque::from([cfg]);
+    let mut complete = true;
+    while let Some(cur) = queue.pop_front() {
+        if !complete {
+            break;
+        }
+        for next in successors(&cur, unfold_bound, mode)? {
+            let key = next.canonical_key();
+            if keys.contains(&key) {
+                continue;
+            }
+            if keys.len() >= max_states {
+                complete = false;
+                continue;
+            }
+            keys.insert(key);
+            queue.push_back(next);
+        }
+    }
+    Ok(Reachable { keys, complete })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spi_syntax::parse;
+
+    fn reach(src: &str, mode: CloneMode) -> Reachable {
+        reachable(&parse(src).expect("parses"), 2, 10_000, mode).expect("steps")
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let cfg = Config::from_process(&parse("(^m)(c<m> | c(x).observe<x>)").unwrap()).unwrap();
+        let deep = cfg.deep_clone();
+        assert_eq!(cfg, deep);
+        assert!(!Arc::ptr_eq(&cfg.names, &deep.names));
+        if let (ProcTree::Node(a, _), ProcTree::Node(b, _)) = (&*cfg.tree, &*deep.tree) {
+            assert!(!Arc::ptr_eq(a, b), "children are rebuilt, not re-shared");
+        } else {
+            panic!("expected a parallel node");
+        }
+    }
+
+    #[test]
+    fn cow_and_deep_agree_on_examples() {
+        for src in [
+            "(^m)(c<m> | c(x).observe<x>)",
+            "(^c, d)(((^m) c<m> | c(x)) | ((^n) d<n> | d(y)))",
+            "!(^m) c<m> | c(x).observe<x>",
+            "(^k)((^m) c<{m}k> | c(z).case z of {w}k in observe<w>)",
+        ] {
+            let cow = reach(src, CloneMode::Cow);
+            let deep = reach(src, CloneMode::Deep);
+            assert!(cow.complete && deep.complete);
+            assert_eq!(cow, deep, "{src}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let r = reachable(
+            &parse("(^m)(c<m> | c(x).observe<x>)").unwrap(),
+            2,
+            1,
+            CloneMode::Deep,
+        )
+        .expect("steps");
+        assert!(!r.complete);
+        assert_eq!(r.keys.len(), 1);
+    }
+}

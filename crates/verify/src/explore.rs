@@ -459,6 +459,34 @@ impl Lts {
         }
     }
 
+    /// A structural digest of the whole transition system: state count,
+    /// edge count, exhaustion, every state's canonical key, barbs, and
+    /// outgoing edges (labels included), and the frontier.  Two
+    /// explorations of the same process under equivalent options produce
+    /// equal fingerprints *iff* they produced bit-for-bit identical
+    /// systems — the workers-determinism guarantee conformance oracles
+    /// check differentially, without holding two full LTSes side by side.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        use std::fmt::Write as _;
+        let mut h = CanonHasher::new();
+        let _ = write!(
+            h,
+            "{}|{}|{:?}|",
+            self.stats.states, self.stats.edges, self.exhausted
+        );
+        for s in &self.states {
+            let _ = write!(h, "s{:x};{:?};", s.key, s.barbs);
+            for (label, tgt) in &s.edges {
+                let _ = write!(h, "e{tgt}:{label:?};");
+            }
+        }
+        for f in &self.frontier {
+            let _ = write!(h, "f{f};");
+        }
+        h.finish()
+    }
+
     /// The indices of *stuck* states: no outgoing edge, yet some live
     /// component remains (an I/O prefix waiting forever, or a replication
     /// at its unfold bound).  Fully exhausted terminal states are not
@@ -1360,6 +1388,32 @@ mod tests {
         assert!(lts.complete());
         assert!(lts.frontier.is_empty());
         assert!(lts.weak_barbs().iter().any(|b| b.chan == "observe"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_worker_counts() {
+        let src = "(^c, d)(((^m) c<m> | c(x)) | ((^n) d<n> | d(y)))";
+        let base = explore(
+            src,
+            ExploreOptions {
+                workers: 1,
+                ..ExploreOptions::default()
+            },
+        )
+        .fingerprint();
+        for workers in [2, 8] {
+            let fp = explore(
+                src,
+                ExploreOptions {
+                    workers,
+                    ..ExploreOptions::default()
+                },
+            )
+            .fingerprint();
+            assert_eq!(fp, base, "workers={workers}");
+        }
+        let other = explore("(^m)(c<m> | c(x).observe<x>)", ExploreOptions::default());
+        assert_ne!(other.fingerprint(), base, "different systems differ");
     }
 
     #[test]

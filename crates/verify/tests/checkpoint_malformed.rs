@@ -1,0 +1,193 @@
+//! Malformed-checkpoint handling: resuming a campaign from a damaged
+//! file must fail loudly with a reason that names the damage — never
+//! silently restart or half-resume.
+
+use std::path::{Path, PathBuf};
+
+use spi_syntax::parse;
+use spi_verify::{run_campaign, CampaignOptions, CampaignReport, VerifyError};
+
+fn system() -> spi_syntax::Process {
+    parse("(^c)(c<m> | c(x))").expect("parses")
+}
+
+fn opts(path: &Path) -> CampaignOptions {
+    let mut opts = CampaignOptions::new(["c"], 1);
+    opts.checkpoint_path = Some(path.to_path_buf());
+    opts
+}
+
+/// Runs the campaign once to produce a well-formed checkpoint file.
+fn write_valid_checkpoint(path: &Path) -> CampaignReport {
+    let p = system();
+    run_campaign(&p, &p, &opts(path)).expect("baseline campaign runs")
+}
+
+fn resume(path: &Path) -> Result<CampaignReport, VerifyError> {
+    let p = system();
+    let mut o = opts(path);
+    o.resume = true;
+    run_campaign(&p, &p, &o)
+}
+
+/// Resuming must fail with a checkpoint error whose reason mentions
+/// every given needle.
+fn assert_checkpoint_error(path: &Path, needles: &[&str]) {
+    match resume(path) {
+        Err(VerifyError::Checkpoint { reason }) => {
+            for needle in needles {
+                assert!(
+                    reason.contains(needle),
+                    "reason {reason:?} should mention {needle:?}"
+                );
+            }
+        }
+        Err(other) => panic!("expected a checkpoint error, got {other}"),
+        Ok(_) => panic!("resume from a damaged checkpoint must not succeed"),
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("spi-ckpt-malformed-{name}.json"))
+}
+
+#[test]
+fn truncated_json_is_rejected_with_position() {
+    let path = temp("truncated");
+    write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+    assert_checkpoint_error(&path, &[path.to_str().expect("utf-8 path")]);
+}
+
+#[test]
+fn empty_file_is_rejected() {
+    let path = temp("empty");
+    std::fs::write(&path, "").expect("write");
+    assert_checkpoint_error(&path, &[]);
+}
+
+#[test]
+fn identity_digest_mismatch_names_both_digests() {
+    let path = temp("identity");
+    let report = write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    assert!(text.contains(&report.identity), "digest is in the file");
+    let forged = text.replace(&report.identity, "fnv:0000000000000000");
+    std::fs::write(&path, forged).expect("forge");
+    assert_checkpoint_error(
+        &path,
+        &[
+            "different campaign",
+            "fnv:0000000000000000",
+            &report.identity,
+        ],
+    );
+}
+
+#[test]
+fn changed_campaign_inputs_also_fail_the_digest() {
+    let path = temp("inputs");
+    write_valid_checkpoint(&path);
+    // Same file, but the resuming campaign has a different depth, so its
+    // identity digest differs from the recorded one.
+    let p = system();
+    let mut o = opts(&path);
+    o.depth = 2;
+    o.resume = true;
+    match run_campaign(&p, &p, &o) {
+        Err(VerifyError::Checkpoint { reason }) => {
+            assert!(reason.contains("different campaign"), "got {reason:?}");
+        }
+        other => panic!("expected a checkpoint error, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unsupported_version_is_rejected() {
+    let path = temp("version");
+    write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    std::fs::write(&path, text.replace("\"version\": 1", "\"version\": 99")).expect("write");
+    assert_checkpoint_error(&path, &["version", "99"]);
+}
+
+#[test]
+fn unknown_outcome_field_is_rejected_by_name() {
+    let path = temp("outcome");
+    write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    std::fs::write(&path, text.replace("\"survives\"", "\"exploded\"")).expect("write");
+    assert_checkpoint_error(&path, &["unknown outcome", "exploded"]);
+}
+
+#[test]
+fn entry_missing_its_schedule_key_is_rejected() {
+    let path = temp("nokey");
+    write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    std::fs::write(&path, text.replace("\"schedule\"", "\"sched\"")).expect("write");
+    assert_checkpoint_error(&path, &["schedule key"]);
+}
+
+#[test]
+fn unknown_extra_fields_are_tolerated() {
+    // Forward compatibility: a checkpoint written by a *newer* build may
+    // carry extra fields; the loader reads what it knows and resumes.
+    let path = temp("extra");
+    let full = write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    let extended = text.replace(
+        "\"version\": 1,",
+        "\"version\": 1,\n  \"written_by\": \"future\",",
+    );
+    assert_ne!(text, extended, "the marker field was inserted");
+    std::fs::write(&path, extended).expect("write");
+    let resumed = resume(&path).expect("extra fields are not an error");
+    assert_eq!(resumed.resumed, full.enumerated, "everything replays");
+    assert_eq!(resumed.tally(), full.tally());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn zero_schedule_checkpoint_resumes_as_a_clean_start() {
+    let path = temp("zero");
+    let full = write_valid_checkpoint(&path);
+    let identity = &full.identity;
+    std::fs::write(
+        &path,
+        format!(
+            "{{\n  \"version\": 1,\n  \"identity\": \"{identity}\",\n  \"processed\": []\n}}"
+        ),
+    )
+    .expect("write");
+    let resumed = resume(&path).expect("an empty processed list is valid");
+    assert_eq!(resumed.resumed, 0, "nothing to replay");
+    assert_eq!(resumed.fresh, full.enumerated, "everything re-decided");
+    assert_eq!(resumed.tally(), full.tally(), "same verdicts as the original");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_file_with_resume_is_a_clean_start() {
+    let path = temp("missing");
+    let _ = std::fs::remove_file(&path);
+    let resumed = resume(&path).expect("a missing checkpoint is a clean start");
+    assert_eq!(resumed.resumed, 0);
+    assert!(resumed.fresh > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_schedule_key_is_rejected() {
+    let path = temp("badkey");
+    write_valid_checkpoint(&path);
+    let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+    // Damage the first recorded schedule key: drop its @position suffix.
+    let damaged = text.replacen("drop:c:1@1", "drop:c:1", 1);
+    assert_ne!(text, damaged, "a drop schedule is in the checkpoint");
+    std::fs::write(&path, damaged).expect("write");
+    assert_checkpoint_error(&path, &["@position"]);
+}
