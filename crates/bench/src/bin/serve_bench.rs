@@ -1,0 +1,120 @@
+//! Measure warm-vs-cold request latency against an in-process
+//! `spi serve` daemon and print the complete `BENCH_serve.json`
+//! document to stdout.
+//!
+//! Run with `cargo run --release -p spi-bench --bin serve_bench -- <date> > BENCH_serve.json`
+//! from the repository root (the spec paths are relative).
+//!
+//! Cold samples set `no_cache: true`, so every one pays for a full
+//! dual exploration of Pm3 against Pm; warm samples are served from
+//! the content-addressed result cache.  The two kinds are interleaved
+//! (cold, warm, cold, warm, …) so neither benefits from running last,
+//! and the reported figures are medians.
+
+use std::time::Instant;
+
+use spi_auth::server::{serve, Client, ServerOptions, VerifierEngine};
+use spi_auth::verify::jsonlite::Json;
+
+const COLD_RUNS: usize = 5;
+const WARM_RUNS: usize = 20;
+
+fn request_line(no_cache: bool) -> String {
+    let concrete = std::fs::read_to_string("examples/protocols/pm3.spi")
+        .expect("run from the repository root: examples/protocols/pm3.spi");
+    let spec = std::fs::read_to_string("examples/protocols/pm.spi")
+        .expect("run from the repository root: examples/protocols/pm.spi");
+    Json::Obj(vec![
+        ("op".to_string(), Json::str("verify")),
+        ("concrete".into(), Json::str(concrete)),
+        ("abstract".into(), Json::str(spec)),
+        ("sessions".into(), Json::count(2)),
+        ("no_cache".into(), Json::Bool(no_cache)),
+    ])
+    .render_compact()
+}
+
+fn sample_ms(client: &mut Client, line: &str) -> (f64, bool) {
+    let start = Instant::now();
+    let response = client.roundtrip(line).expect("roundtrip succeeds");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let parsed = Json::parse(&response).expect("response is JSON");
+    assert_eq!(
+        parsed.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "server answered: {response}"
+    );
+    let cached = parsed.get("cached").and_then(Json::as_bool) == Some(true);
+    (ms, cached)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let date = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "unknown".to_string());
+    let handle = serve(
+        std::sync::Arc::new(VerifierEngine {
+            explore_workers: Some(1),
+        }),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            snapshot: None,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("client connects");
+
+    let cold_line = request_line(true);
+    let warm_line = request_line(false);
+    // Prime the cache so every warm sample is a hit.
+    let (_, primed_cached) = sample_ms(&mut client, &warm_line);
+    assert!(!primed_cached, "the priming request must run the engine");
+
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    while cold.len() < COLD_RUNS || warm.len() < WARM_RUNS {
+        if cold.len() < COLD_RUNS {
+            cold.push(sample_ms(&mut client, &cold_line).0);
+        }
+        if warm.len() < WARM_RUNS {
+            let (ms, cached) = sample_ms(&mut client, &warm_line);
+            assert!(cached, "warm samples must be cache hits");
+            warm.push(ms);
+        }
+    }
+    let cold_ms = median(&mut cold);
+    let warm_ms = median(&mut warm);
+    let speedup = cold_ms / warm_ms;
+    handle.join();
+
+    println!(
+        r#"{{
+  "benchmark": "serve_latency",
+  "date": "{date}",
+  "command": "cargo run --release -p spi-bench --bin serve_bench -- <date> > BENCH_serve.json",
+  "methodology": "An in-process spi serve daemon (2 request workers, single-threaded explorations, default cache budget) answers verify requests for examples/protocols/pm3.spi against examples/protocols/pm.spi at 2 sessions over loopback TCP. Cold samples set no_cache=true so each pays for the full dual exploration plus trace-preorder comparison; warm samples are served from the content-addressed result cache. Samples are interleaved cold/warm after one priming fill, figures are medians, latency is measured client-side around one request/response line.",
+  "records": [
+    {{
+      "instance": "pm3_vs_pm",
+      "sessions": 2,
+      "cold_runs": {COLD_RUNS},
+      "warm_runs": {WARM_RUNS},
+      "cold_median_ms": {cold_ms:.3},
+      "warm_median_ms": {warm_ms:.3},
+      "speedup": {speedup:.1}
+    }}
+  ]
+}}"#
+    );
+    assert!(
+        speedup >= 10.0,
+        "expected >=10x warm-vs-cold, measured {speedup:.1}x"
+    );
+}

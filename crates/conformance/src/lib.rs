@@ -31,6 +31,9 @@ pub mod runner;
 pub mod shrink;
 
 pub use gen::{generate, GenSize, TestCase};
-pub use oracle::{builtin_names, builtin_oracles, Injection, Oracle, OracleEnv, Verdict};
+pub use oracle::{
+    builtin_names, builtin_oracles, check_process, oracle_by_name, Injection, Oracle, OracleEnv,
+    Verdict,
+};
 pub use runner::{exit_code, run_conformance, ConformanceOptions, ConformanceReport, Failure};
 pub use shrink::{shrink_failure, Shrunk};

@@ -3,7 +3,7 @@
 //! An [`Oracle`] is a differential property every well-formed
 //! specification must satisfy: two engine paths that claim to compute the
 //! same thing are run side by side and any disagreement is a [`Verdict::Fail`].
-//! The built-in suite covers the five seams where the workspace maintains
+//! The built-in suite covers the six seams where the workspace maintains
 //! redundant machinery:
 //!
 //! * **roundtrip** — the exact printer against the parser;
@@ -12,13 +12,18 @@
 //!   strings (`verify_keys`);
 //! * **cowstate** — the copy-on-write stepper against the deep-clone
 //!   reference stepper and the explorer's state count;
-//! * **checkpoint** — a kill/resume campaign against an uninterrupted one.
+//! * **checkpoint** — a kill/resume campaign against an uninterrupted one;
+//! * **server** — an in-process `spi serve` daemon against a direct
+//!   [`spi_verify::Verifier`] run, including the cache-hit replay.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use spi_semantics::refstep::{reachable, CloneMode};
+use spi_server::{serve, verify_body, Client, ServerOptions, VerifierEngine};
+use spi_verify::jsonlite::Json;
 use spi_verify::{
-    run_campaign, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer,
+    run_campaign, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer, Verifier,
 };
 use spi_syntax::{parse, Process};
 
@@ -122,6 +127,7 @@ pub fn builtin_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(HashKeys),
         Box::new(CowState),
         Box::new(Checkpoint),
+        Box::new(Server),
     ]
 }
 
@@ -377,6 +383,142 @@ impl Oracle for Checkpoint {
     }
 }
 
+/// Served verdicts against direct ones: an in-process `spi serve`
+/// daemon must answer a verify request with exactly the body a direct
+/// [`Verifier`] run encodes — and answer the resubmission from its
+/// cache, byte-identically.
+struct Server;
+
+impl Server {
+    fn check_inner(case: &TestCase, env: &OracleEnv) -> (Verdict, Option<spi_server::ServerHandle>) {
+        // Both sides get the same knobs: the budget spelling below is
+        // parsed by the wire protocol with the same Budget::parse_spec
+        // the direct side uses.
+        let budget_spec = format!("states={}", env.max_states.min(2_000));
+        let Ok(budget) = Budget::parse_spec(&budget_spec) else {
+            return (Verdict::Skip("budget spec did not parse".into()), None);
+        };
+        let visible = 4usize;
+        let verifier = Verifier::new(case.channels.iter().map(String::as_str))
+            .sessions(env.unfold_bound)
+            .max_visible(visible)
+            .budget(budget)
+            .workers(1)
+            .no_intruder();
+        let report = match verifier.check(&case.concrete, &case.spec) {
+            Ok(r) => r,
+            Err(e) => return (Verdict::Skip(format!("direct check failed: {e}")), None),
+        };
+        let direct = verify_body(&report).render_compact();
+
+        let opts = ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_bytes: 1 << 20,
+            snapshot: None,
+            queue_cap: 8,
+            default_timeout_secs: None,
+        };
+        let engine = Arc::new(VerifierEngine {
+            explore_workers: Some(1),
+        });
+        let handle = match serve(engine, opts) {
+            Ok(h) => h,
+            Err(e) => return (Verdict::Skip(format!("cannot start server: {e}")), None),
+        };
+        let request = Json::Obj(vec![
+            ("op".to_string(), Json::str("verify")),
+            ("concrete".into(), Json::str(case.concrete.to_string())),
+            ("abstract".into(), Json::str(case.spec.to_string())),
+            (
+                "channels".into(),
+                Json::str_arr(case.channels.iter().cloned()),
+            ),
+            ("sessions".into(), Json::count(env.unfold_bound as usize)),
+            ("visible".into(), Json::count(visible)),
+            ("budget".into(), Json::str(budget_spec)),
+            ("intruder".into(), Json::Bool(false)),
+        ])
+        .render_compact();
+        let verdict = Server::roundtrips(&handle, &request, &direct);
+        (verdict, Some(handle))
+    }
+
+    fn roundtrips(handle: &spi_server::ServerHandle, request: &str, direct: &str) -> Verdict {
+        let mut client = match Client::connect(&handle.addr().to_string()) {
+            Ok(c) => c,
+            Err(e) => return Verdict::Skip(format!("cannot connect: {e}")),
+        };
+        let mut served = Vec::new();
+        for round in ["fresh", "cached"] {
+            let line = match client.roundtrip(request) {
+                Ok(l) => l,
+                Err(e) => return Verdict::Skip(format!("{round} roundtrip failed: {e}")),
+            };
+            let response = match Json::parse(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Verdict::Fail(format!("{round} response is not JSON: {e} (`{line}`)"))
+                }
+            };
+            match response.get("status").and_then(Json::as_str) {
+                Some("ok") => {}
+                Some("error") => {
+                    // The served engine refused what the direct run
+                    // answered — unless the direct run would refuse too,
+                    // which never reaches here (direct errors skip).
+                    return Verdict::Fail(format!(
+                        "server answered error where the direct run succeeded: {}",
+                        response
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .unwrap_or("<no reason>")
+                    ));
+                }
+                other => return Verdict::Skip(format!("{round} response status {other:?}")),
+            }
+            let cached = response.get("cached").and_then(Json::as_bool);
+            if round == "cached" && cached != Some(true) {
+                return Verdict::Fail("the resubmission was not served from the cache".into());
+            }
+            let Some(body) = response.get("body") else {
+                return Verdict::Fail(format!("{round} response has no body"));
+            };
+            served.push(body.render_compact());
+        }
+        if served[0] != direct {
+            return Verdict::Fail(format!(
+                "served verdict differs from the direct run:\n  served: {}\n  direct: {direct}",
+                served[0]
+            ));
+        }
+        if served[1] != served[0] {
+            return Verdict::Fail(
+                "the cache-hit replay differs from the fresh answer".to_string(),
+            );
+        }
+        Verdict::Pass
+    }
+}
+
+impl Oracle for Server {
+    fn name(&self) -> &'static str {
+        "server"
+    }
+
+    fn stride(&self) -> usize {
+        4
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        let (verdict, handle) = Server::check_inner(case, env);
+        if let Some(h) = handle {
+            h.join();
+        }
+        verdict
+    }
+}
+
 fn compare_reports(full: &CampaignReport, resumed: &CampaignReport) -> Verdict {
     if full.identity != resumed.identity {
         return Verdict::Fail(format!(
@@ -436,4 +578,28 @@ pub fn check_process(
         faults,
     };
     oracle.check(&case, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_server_oracle_is_builtin() {
+        assert!(builtin_names().contains(&"server"));
+        assert!(oracle_by_name("server").is_some());
+    }
+
+    #[test]
+    fn the_server_oracle_agrees_with_the_direct_run() {
+        let p = parse("(^m)c<m>|c(x).observe<x>").expect("parses");
+        let verdict = check_process(
+            &Server,
+            &p,
+            None,
+            &["c".to_string()],
+            &OracleEnv::default(),
+        );
+        assert_eq!(verdict, Verdict::Pass);
+    }
 }

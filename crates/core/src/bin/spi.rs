@@ -22,6 +22,12 @@
 //!            [--oracles a,b,...]            the oracle suite, failures
 //!            [--regressions DIR]            shrunk to .spi reproducers
 //! spi paper [--sessions N]                  re-derive the paper's results
+//! spi serve [--addr HOST:PORT] [--workers N]  run the verification daemon
+//!           [--cache-bytes N] [--snapshot FILE] (newline-delimited JSON
+//!           [--queue N] [--timeout-secs S]      over TCP); stdin-close or
+//!           [--explore-workers N]               a shutdown request drains
+//! spi client [--addr HOST:PORT] [REQUEST]...  send request lines (args or
+//!                                             stdin) and print responses
 //! ```
 //!
 //! `--budget` dimensions: `states`, `transitions`, `fuel`, `knowledge`,
@@ -34,7 +40,10 @@
 //! `--verify-keys on` makes every exploration intern states by their
 //! full canonical strings alongside the hashed keys, panicking on any
 //! disagreement.  `spi conformance` oracles: `roundtrip`, `workers`,
-//! `hashkeys`, `cowstate`, `checkpoint`.
+//! `hashkeys`, `cowstate`, `checkpoint`, `server`.  `spi verify` and
+//! `spi campaign` accept `--format text|json`; the JSON shapes are the
+//! exact bodies the daemon serves, so scripts see one schema either
+//! way.
 //!
 //! Exit codes: 0 — verified / success; 1 — attack found, failed parse,
 //! or conformance failures; 2 — usage error; 3 — inconclusive (a
@@ -74,6 +83,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "narrate" => cmd_narrate(&args[1..]),
         "conformance" => cmd_conformance(&args[1..]),
         "paper" => cmd_paper(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -94,7 +105,10 @@ fn print_usage() {
          spi narrate <narration-file> [--sessions N]\n  \
          spi conformance [--seed N] [--cases N] [--size small|medium|large]\n    \
          [--oracles NAME,...] [--regressions DIR] [--unfold N] [--max-states N]\n  \
-         spi paper [--sessions N]"
+         spi paper [--sessions N]\n  \
+         spi serve [--addr HOST:PORT] [--workers N] [--cache-bytes N] [--snapshot FILE]\n    \
+         [--queue N] [--timeout-secs S] [--explore-workers N]\n  \
+         spi client [--addr HOST:PORT] [REQUEST]..."
     );
 }
 
@@ -224,31 +238,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
 }
 
 /// Parses the `--budget` value: comma-separated `dimension=count` pairs
-/// over the default budget (e.g. `states=5000,fuel=100000`).
+/// over the default budget (e.g. `states=5000,fuel=100000`).  The
+/// grammar lives in [`Budget::parse_spec`] — the one spelling shared
+/// with the `spi serve` wire protocol.
 fn parse_budget(spec: &str) -> Result<Budget, String> {
-    let mut budget = Budget::default();
-    for pair in spec.split(',').filter(|p| !p.is_empty()) {
-        let (key, value) = pair
-            .split_once('=')
-            .ok_or_else(|| format!("--budget expects dimension=count pairs, got {pair:?}"))?;
-        let n: usize = value
-            .parse()
-            .map_err(|_| format!("--budget {key}: expected a number, got {value:?}"))?;
-        match key {
-            "states" => budget.max_states = n,
-            "transitions" => budget.max_transitions = n,
-            "fuel" => budget.max_fuel = n,
-            "knowledge" => budget.max_knowledge = n,
-            "steps" | "deadline" => budget.deadline_steps = n,
-            other => {
-                return Err(format!(
-                    "--budget: unknown dimension {other:?} \
-                     (expected states|transitions|fuel|knowledge|steps)"
-                ))
-            }
-        }
-    }
-    Ok(budget)
+    // parse_spec's messages all start with the word "budget"; prefix
+    // the dashes so they read as flag errors here.
+    Budget::parse_spec(spec).map_err(|e| format!("--{e}"))
 }
 
 fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
@@ -336,11 +332,19 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
     Ok(verifier)
 }
 
+/// The exit code a verdict maps to, shared by text and JSON output.
+fn verdict_code(verdict: &Verdict) -> ExitCode {
+    match verdict {
+        Verdict::SecurelyImplements => ExitCode::SUCCESS,
+        Verdict::Attack(_) => ExitCode::FAILURE,
+        Verdict::Inconclusive { .. } => ExitCode::from(3),
+    }
+}
+
 fn report_verdict(verdict: &Verdict) -> ExitCode {
     match verdict {
         Verdict::SecurelyImplements => {
             println!("VERDICT: securely implements the specification (within bounds)");
-            ExitCode::SUCCESS
         }
         Verdict::Attack(attack) => {
             println!("VERDICT: ATTACK");
@@ -348,15 +352,31 @@ fn report_verdict(verdict: &Verdict) -> ExitCode {
                 println!("  {line}");
             }
             println!("  distinguishing trace: {:?}", attack.trace);
-            ExitCode::FAILURE
         }
         Verdict::Inconclusive {
             exhausted,
             coverage,
         } => {
             println!("VERDICT: INCONCLUSIVE ({exhausted} budget exhausted; covered {coverage})");
-            ExitCode::from(3)
         }
+    }
+    verdict_code(verdict)
+}
+
+/// Output format selection.  The JSON shapes are exactly the daemon's
+/// response bodies ([`spi_auth::server::verify_body`] /
+/// [`spi_auth::server::campaign_body`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn output_format(flags: &[(&str, &str)]) -> Result<Format, String> {
+    match flag(flags, "format") {
+        None | Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some(other) => Err(format!("--format expects text|json, got {other:?}")),
     }
 }
 
@@ -372,9 +392,14 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::FAILURE);
     };
     let verifier = build_verifier(&flags)?;
+    let format = output_format(&flags)?;
     let report = verifier
         .check(&concrete, &spec)
         .map_err(|e| e.to_string())?;
+    if format == Format::Json {
+        println!("{}", spi_auth::server::verify_body(&report).render());
+        return Ok(verdict_code(&report.verdict));
+    }
     println!(
         "explored {} concrete / {} abstract states",
         report.concrete_stats.states, report.abstract_stats.states
@@ -416,9 +441,21 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if flag(&flags, "stop-after").is_some() {
         opts.stop_after = Some(numeric_flag(&flags, "stop-after", 0)?);
     }
+    let format = output_format(&flags)?;
     let report = verifier
         .run_campaign(&concrete, &spec, &opts)
         .map_err(|e| e.to_string())?;
+    if format == Format::Json {
+        println!("{}", spi_auth::server::campaign_body(&report).render());
+        let (attacks, _, inconclusive) = report.tally();
+        return Ok(if attacks > 0 {
+            ExitCode::FAILURE
+        } else if inconclusive > 0 || report.interrupted {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
 
     println!(
         "campaign: {} schedules up to depth {depth} ({} resumed, {} fresh{})",
@@ -566,6 +603,82 @@ fn cmd_conformance(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(
         u8::try_from(conformance::exit_code(&report)).unwrap_or(1),
     ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use spi_auth::server::{serve, FullEngine, ServerOptions};
+    let (pos, flags) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!("serve takes no positional arguments, got {pos:?}"));
+    }
+    let mut opts = ServerOptions::default();
+    if let Some(addr) = flag(&flags, "addr") {
+        opts.addr = addr.into();
+    }
+    opts.workers = numeric_flag(&flags, "workers", opts.workers)?;
+    opts.cache_bytes = numeric_flag(&flags, "cache-bytes", opts.cache_bytes)?;
+    opts.queue_cap = numeric_flag(&flags, "queue", opts.queue_cap)?;
+    if let Some(path) = flag(&flags, "snapshot") {
+        opts.snapshot = Some(path.into());
+    }
+    if flag(&flags, "timeout-secs").is_some() {
+        opts.default_timeout_secs = Some(numeric_flag(&flags, "timeout-secs", 0u64)?);
+    }
+    // Parallelism comes from the request pool by default; each
+    // exploration stays single-threaded unless asked otherwise.
+    let explore_workers: usize = numeric_flag(&flags, "explore-workers", 1)?;
+    let engine = std::sync::Arc::new(FullEngine::new(Some(explore_workers.max(1))));
+    let handle = serve(engine, opts)?;
+    println!("spi-serve: listening on {}", handle.addr());
+    // Drain triggers: a `shutdown` request over the wire, or stdin
+    // closing (the supervisor-friendly stand-in for SIGTERM — run the
+    // daemon with a piped stdin and close it to drain).
+    let drainer = handle.shutdown_handle();
+    std::thread::spawn(move || {
+        use std::io::Read as _;
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().lock().read_to_end(&mut sink);
+        drainer.shutdown();
+    });
+    handle.join_on_drain();
+    eprintln!("spi-serve: drained");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    use spi_auth::server::Client;
+    use spi_auth::verify::jsonlite::Json;
+    let (pos, flags) = split_flags(args)?;
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7970");
+    let mut client = Client::connect(addr)?;
+    let mut all_ok = true;
+    let roundtrip = |client: &mut Client, line: &str| -> Result<bool, String> {
+        let response = client.roundtrip(line)?;
+        println!("{response}");
+        Ok(Json::parse(&response)
+            .ok()
+            .and_then(|v| v.get("status").and_then(Json::as_str).map(str::to_owned))
+            .is_some_and(|s| s == "ok"))
+    };
+    if pos.is_empty() {
+        use std::io::BufRead as _;
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            all_ok &= roundtrip(&mut client, &line)?;
+        }
+    } else {
+        for line in pos {
+            all_ok &= roundtrip(&mut client, line)?;
+        }
+    }
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_paper(args: &[String]) -> Result<ExitCode, String> {

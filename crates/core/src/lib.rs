@@ -42,14 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod propositions;
-mod verifier;
-
-pub use verifier::{Attack, EquivDirection, Verdict, VerificationReport, Verifier};
+pub mod server;
 
 pub use spi_semantics::{FaultClause, FaultKind, FaultParseError, FaultSpec};
 pub use spi_verify::{
-    Budget, CampaignOptions, CampaignReport, CoverageStats, MinimalCounterexample, ResourceKind,
-    ScheduleOutcome, ScheduleResult,
+    Attack, Budget, CampaignOptions, CampaignReport, CoverageStats, EquivDirection,
+    MinimalCounterexample, ResourceKind, ScheduleOutcome, ScheduleResult, Verdict,
+    VerificationReport, Verifier,
 };
 
 pub use spi_addr as addr;

@@ -1,0 +1,75 @@
+//! A minimal line-protocol client (the back-end of `spi client`, the
+//! conformance oracle, and the CI smoke tests).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A persistent connection to a running server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7970`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not resolve or the connection is
+    /// refused.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        // One-line request/response turns: Nagle + delayed ACK would
+        // add ~40ms stalls per turn.
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone the connection: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer: stream,
+        })
+    }
+
+    /// Sets the read timeout for responses (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("cannot set read timeout: {e}"))
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O trouble or a server that closed the connection.
+    pub fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("the server closed the connection".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// One-shot convenience: connect, send a line, read the response.
+///
+/// # Errors
+///
+/// Propagates connection and I/O failures.
+pub fn oneshot(addr: &str, line: &str) -> Result<String, String> {
+    Client::connect(addr)?.roundtrip(line)
+}

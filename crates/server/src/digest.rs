@@ -1,0 +1,38 @@
+//! Content digests for cache keys and snapshot identities.
+//!
+//! The build is offline (no hashing crates), so digests are 64-bit
+//! FNV-1a rendered in the same `fnv:{:016x}` spelling the campaign
+//! checkpoint identity uses.  These digests guard caches against
+//! *accidental* mismatch (a different question, a corrupted snapshot),
+//! not against an adversary with write access to the snapshot file.
+
+/// 64-bit FNV-1a.
+#[must_use]
+pub fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical digest spelling: `fnv:` plus 16 hex digits.
+#[must_use]
+pub fn digest(text: &str) -> String {
+    format!("fnv:{:016x}", fnv64(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_and_distinct() {
+        assert_eq!(digest(""), "fnv:cbf29ce484222325");
+        assert_eq!(digest("a"), digest("a"));
+        assert_ne!(digest("a"), digest("b"));
+        assert!(digest("x").starts_with("fnv:"));
+        assert_eq!(digest("x").len(), 4 + 16);
+    }
+}

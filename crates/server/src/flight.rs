@@ -1,0 +1,97 @@
+//! Singleflight: at most one in-flight execution per cache key.
+//!
+//! When several workers pick up requests with the same digest, one of
+//! them becomes the *leader* and runs the exploration; the others park
+//! on the condvar and, once the leader finishes (filling the cache),
+//! re-check the cache and answer from it.  The worst case — the leader
+//! fails without caching — is handled by the wait/retry loop in the
+//! worker: a parked follower wakes, finds the key free, and becomes
+//! the next leader.
+
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+
+/// The in-flight key registry.
+#[derive(Debug, Default)]
+pub struct Singleflight {
+    inner: Mutex<HashSet<String>>,
+    done: Condvar,
+}
+
+impl Singleflight {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Singleflight {
+        Singleflight::default()
+    }
+
+    /// Tries to become the leader for `key`.  Returns `true` on
+    /// success; the caller then *must* call [`Singleflight::finish`].
+    pub fn begin(&self, key: &str) -> bool {
+        let mut set = self.inner.lock().expect("flight lock");
+        if set.contains(key) {
+            false
+        } else {
+            set.insert(key.to_string());
+            true
+        }
+    }
+
+    /// Blocks while `key` is in flight.  Returns immediately if it is
+    /// not; after returning, the caller re-checks the cache and may try
+    /// [`Singleflight::begin`] again.
+    pub fn wait(&self, key: &str) {
+        let mut set = self.inner.lock().expect("flight lock");
+        while set.contains(key) {
+            set = self.done.wait(set).expect("flight lock");
+        }
+    }
+
+    /// Releases leadership of `key` and wakes every waiter.
+    pub fn finish(&self, key: &str) {
+        let mut set = self.inner.lock().expect("flight lock");
+        set.remove(key);
+        self.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn one_leader_per_key() {
+        let f = Singleflight::new();
+        assert!(f.begin("k"));
+        assert!(!f.begin("k"));
+        assert!(f.begin("other"));
+        f.finish("k");
+        assert!(f.begin("k"));
+    }
+
+    #[test]
+    fn waiters_block_until_finish() {
+        let f = Arc::new(Singleflight::new());
+        let woke = Arc::new(AtomicUsize::new(0));
+        assert!(f.begin("k"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                let woke = Arc::clone(&woke);
+                std::thread::spawn(move || {
+                    f.wait("k");
+                    woke.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(woke.load(Ordering::SeqCst), 0, "waiters stay parked");
+        f.finish("k");
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,55 @@
+//! `spi serve` — a concurrent verification service.
+//!
+//! This crate turns the toolkit's [`spi_verify::Verifier`] into a
+//! long-lived daemon speaking newline-delimited JSON over TCP (the
+//! codec is the workspace's shared [`spi_verify::jsonlite`] — no
+//! external dependencies).  One process, four load-bearing pieces:
+//!
+//! * a **content-addressed result cache** ([`cache::ResultCache`]):
+//!   every request is normalized — specs parsed and re-printed,
+//!   budgets spelled canonically, fault schedules canonicalized — and
+//!   digested, so two spellings of the same question share one cache
+//!   entry.  Eviction is LRU under a byte budget accounted through the
+//!   existing [`spi_verify::Budget`] / [`spi_verify::Governor`] types;
+//! * **singleflight dedup** ([`flight::Singleflight`]): concurrent
+//!   identical requests trigger exactly one exploration, with the
+//!   followers served from the freshly filled cache;
+//! * a **fixed worker pool with bounded admission**
+//!   ([`service::serve`]): a full queue degrades to an explicit
+//!   `rejected` answer (the HTTP-429 of this protocol) instead of
+//!   unbounded memory growth, exactly in the spirit of the toolkit's
+//!   resource governor;
+//! * **graceful drain with snapshot persistence**
+//!   ([`snapshot`]): on shutdown the server stops accepting, winds
+//!   down in-flight explorations through the cooperative cancel flag,
+//!   and flushes an atomic, identity-digest-guarded cache snapshot
+//!   that a restarted server reloads — the first repeated question
+//!   after a restart is already a cache hit.
+//!
+//! The wire protocol and the verify/campaign JSON bodies live in
+//! [`protocol`]; the same body encoders power the CLI's
+//! `--format json` so a script sees byte-identical shapes from
+//! `spi verify` and from the daemon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod digest;
+pub mod flight;
+pub mod protocol;
+pub mod service;
+pub mod snapshot;
+
+pub use cache::ResultCache;
+pub use client::{oneshot, Client};
+pub use flight::Singleflight;
+pub use protocol::{
+    campaign_body, error_response, ok_response, parse_request, parse_source, rejected_response,
+    verify_body, JobRequest, Mode, Request,
+};
+pub use service::{
+    serve, Engine, EngineOutcome, RunControl, ServerHandle, ServerOptions, ShutdownHandle,
+    VerifierEngine,
+};

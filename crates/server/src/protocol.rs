@@ -1,0 +1,535 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is one line holding one JSON object with an `"op"`
+//! field; every response is one line holding one JSON envelope:
+//!
+//! ```text
+//! {"status":"ok","op":"verify","spec_digest":"fnv:…","cached":false,"body":{…}}
+//! {"status":"error","op":"verify","reason":"…"}
+//! {"status":"rejected","op":"verify","reason":"queue full (8 pending)"}
+//! ```
+//!
+//! Job ops (`verify`, `campaign`, `conformance-replay`) carry their
+//! specs inline (`"concrete"`, `"abstract"`, `"spec"`) or as
+//! server-side paths (`"concrete_path"`, …), plus the same knobs the
+//! CLI exposes: `channels`, `sessions`, `visible`, `budget` (the
+//! `dimension=count` spelling of [`Budget::parse_spec`]), `faults`
+//! (comma-separated clauses), `intruder`, `faults_depth`, `oracles`,
+//! `timeout_secs`, and `no_cache`.  Control ops are `ping`, `stats`,
+//! and `shutdown`.
+//!
+//! The verify/campaign **body encoders** here are the single source of
+//! the JSON result shapes: the daemon, the cache snapshot, and the
+//! CLI's `--format json` all call [`verify_body`] / [`campaign_body`].
+
+use spi_semantics::{FaultClause, FaultSpec};
+use spi_syntax::Process;
+use spi_verify::jsonlite::Json;
+use spi_verify::{Budget, CampaignReport, CoverageStats, Verdict, VerificationReport};
+
+use crate::digest::digest;
+
+/// The job kinds a server can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// A Definition 4 secure-implementation check.
+    Verify,
+    /// A fault-schedule campaign with shrinking.
+    Campaign,
+    /// Replay a generated spec through the conformance oracle suite
+    /// (requires the full engine assembled in the `spi` binary).
+    ConformanceReplay,
+}
+
+impl Mode {
+    /// The wire keyword (also the `op` echoed in responses).
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Mode::Verify => "verify",
+            Mode::Campaign => "campaign",
+            Mode::ConformanceReplay => "conformance-replay",
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Counter dump.
+    Stats,
+    /// Begin a graceful drain.
+    Shutdown,
+    /// A verification job.
+    Job(Box<JobRequest>),
+}
+
+/// A fully resolved job: spec sources loaded, options defaulted.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// What to run.
+    pub mode: Mode,
+    /// Concrete protocol source (also the spec for conformance replay).
+    pub concrete: String,
+    /// Abstract specification source (empty for conformance replay).
+    pub abstract_spec: String,
+    /// The channel set `C` of Definition 4.
+    pub channels: Vec<String>,
+    /// Replication unfold bound.
+    pub sessions: u32,
+    /// Visible-trace depth.
+    pub visible: usize,
+    /// Exploration resource budget.
+    pub budget: Budget,
+    /// Baseline fault model, if any.
+    pub faults: Option<FaultSpec>,
+    /// Whether the most-general intruder participates.
+    pub intruder: bool,
+    /// Campaign schedule depth.
+    pub faults_depth: usize,
+    /// Conformance-replay oracle selection (empty = the default suite).
+    pub oracles: Vec<String>,
+    /// Per-request wall-clock limit.
+    pub timeout_secs: Option<u64>,
+    /// Bypass the result cache (both lookup and fill).
+    pub no_cache: bool,
+}
+
+/// Parses either a bare process or a `def …/system …` program file —
+/// the same acceptance rule as the CLI — rendering errors with source
+/// context.
+///
+/// # Errors
+///
+/// Returns the rendered syntax error.
+pub fn parse_source(src: &str) -> Result<Process, String> {
+    let result = if src
+        .lines()
+        .any(|l| l.trim_start().starts_with("def ") || l.trim_start().starts_with("system"))
+    {
+        spi_syntax::parse_program(src).map(|prog| prog.system)
+    } else {
+        spi_syntax::parse(src)
+    };
+    result.map_err(|e| e.render(src))
+}
+
+impl JobRequest {
+    /// The canonical description this job is content-addressed by:
+    /// specs parsed and re-printed (so formatting differences vanish),
+    /// the budget in its canonical spelling, the fault schedule in its
+    /// canonical key.  Execution-only knobs (`timeout_secs`,
+    /// `no_cache`) are excluded — they change *when* an answer arrives,
+    /// never *what* it is.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a spec does not parse (such requests are never
+    /// cached).
+    pub fn canonical(&self) -> Result<String, String> {
+        use std::fmt::Write as _;
+        let mut desc = format!("serve-v1|{}", self.mode.keyword());
+        let concrete = parse_source(&self.concrete)?;
+        let _ = write!(desc, "|{concrete}");
+        if self.mode != Mode::ConformanceReplay {
+            let spec = parse_source(&self.abstract_spec)?;
+            let _ = write!(desc, "|{spec}");
+        }
+        let _ = write!(
+            desc,
+            "|C={}|sessions={}|visible={}|budget={}|intruder={}|faults={}",
+            self.channels.join(","),
+            self.sessions,
+            self.visible,
+            self.budget.canonical_spec(),
+            self.intruder,
+            self.faults
+                .as_ref()
+                .map(FaultSpec::canonical_key)
+                .unwrap_or_default(),
+        );
+        match self.mode {
+            Mode::Campaign => {
+                let _ = write!(desc, "|depth={}", self.faults_depth);
+            }
+            Mode::ConformanceReplay => {
+                let _ = write!(desc, "|oracles={}", self.oracles.join(","));
+            }
+            Mode::Verify => {}
+        }
+        Ok(desc)
+    }
+
+    /// The content digest of [`JobRequest::canonical`] — the cache key
+    /// and the `spec_digest` echoed in responses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a spec does not parse.
+    pub fn digest(&self) -> Result<String, String> {
+        Ok(digest(&self.canonical()?))
+    }
+}
+
+fn get_usize(v: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_int()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| format!("{key:?} expects a non-negative integer")),
+    }
+}
+
+fn get_bool(v: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_bool()
+            .ok_or_else(|| format!("{key:?} expects a boolean")),
+    }
+}
+
+/// Resolves a spec given inline (`key`) or as a server-side file
+/// (`key_path`).
+fn get_source(v: &Json, key: &str, path_key: &str) -> Result<String, String> {
+    if let Some(text) = v.get(key).and_then(Json::as_str) {
+        return Ok(text.to_string());
+    }
+    if let Some(path) = v.get(path_key).and_then(Json::as_str) {
+        return std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    }
+    Err(format!("request needs {key:?} or {path_key:?}"))
+}
+
+fn get_str_arr(v: &Json, key: &str) -> Result<Vec<String>, String> {
+    let Some(j) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = j
+        .as_arr()
+        .ok_or_else(|| format!("{key:?} expects an array of strings"))?;
+    items
+        .iter()
+        .map(|i| {
+            i.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{key:?} expects an array of strings"))
+        })
+        .collect()
+}
+
+/// Parses the comma-separated fault-clause spelling shared with the
+/// CLI's `--fault`.
+fn parse_faults(spec: &str) -> Result<Option<FaultSpec>, String> {
+    let clauses = spec
+        .split(',')
+        .filter(|c| !c.is_empty())
+        .map(|c| c.parse::<FaultClause>().map_err(|e| e.reason))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((!clauses.is_empty()).then(|| FaultSpec::new(clauses)))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a message suitable for an `error` response: malformed JSON,
+/// an unknown op, a missing spec, or a bad option.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line.trim())?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string \"op\" field")?;
+    let mode = match op {
+        "ping" => return Ok(Request::Ping),
+        "stats" => return Ok(Request::Stats),
+        "shutdown" => return Ok(Request::Shutdown),
+        "verify" => Mode::Verify,
+        "campaign" => Mode::Campaign,
+        "conformance-replay" => Mode::ConformanceReplay,
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (expected verify|campaign|conformance-replay|ping|stats|shutdown)"
+            ))
+        }
+    };
+    let (concrete, abstract_spec) = if mode == Mode::ConformanceReplay {
+        (get_source(&v, "spec", "spec_path")?, String::new())
+    } else {
+        (
+            get_source(&v, "concrete", "concrete_path")?,
+            get_source(&v, "abstract", "abstract_path")?,
+        )
+    };
+    let channels = {
+        let listed = get_str_arr(&v, "channels")?;
+        if listed.is_empty() {
+            vec!["c".to_string()]
+        } else {
+            listed
+        }
+    };
+    let budget = match v.get("budget") {
+        None => Budget::default(),
+        Some(j) => Budget::parse_spec(
+            j.as_str()
+                .ok_or("\"budget\" expects a dimension=count string")?,
+        )?,
+    };
+    let faults = match v.get("faults") {
+        None => None,
+        Some(j) => parse_faults(
+            j.as_str()
+                .ok_or("\"faults\" expects a clause-list string")?,
+        )?,
+    };
+    let timeout_secs = match v.get("timeout_secs") {
+        None => None,
+        Some(j) => Some(
+            j.as_int()
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or("\"timeout_secs\" expects a non-negative integer")?,
+        ),
+    };
+    Ok(Request::Job(Box::new(JobRequest {
+        mode,
+        concrete,
+        abstract_spec,
+        channels,
+        sessions: u32::try_from(get_usize(&v, "sessions", 2)?)
+            .map_err(|_| "\"sessions\" is out of range".to_string())?,
+        visible: get_usize(&v, "visible", 6)?,
+        budget,
+        faults,
+        intruder: get_bool(&v, "intruder", true)?,
+        faults_depth: get_usize(&v, "faults_depth", 2)?,
+        oracles: get_str_arr(&v, "oracles")?,
+        timeout_secs,
+        no_cache: get_bool(&v, "no_cache", false)?,
+    })))
+}
+
+/// The success envelope.  `digest`/`cached` are present for job
+/// responses and absent for control ops.
+#[must_use]
+pub fn ok_response(op: &str, spec_digest: Option<&str>, cached: bool, body: Json) -> Json {
+    let mut fields = vec![
+        ("status".to_string(), Json::str("ok")),
+        ("op".to_string(), Json::str(op)),
+    ];
+    if let Some(d) = spec_digest {
+        fields.push(("spec_digest".into(), Json::str(d)));
+        fields.push(("cached".into(), Json::Bool(cached)));
+    }
+    fields.push(("body".into(), body));
+    Json::Obj(fields)
+}
+
+/// The failure envelope (bad request, unparseable spec, engine error).
+#[must_use]
+pub fn error_response(op: &str, reason: &str) -> Json {
+    Json::Obj(vec![
+        ("status".into(), Json::str("error")),
+        ("op".into(), Json::str(op)),
+        ("reason".into(), Json::str(reason)),
+    ])
+}
+
+/// The admission-control envelope: the server is overloaded or
+/// draining, and the client should retry elsewhere/later (HTTP 429 in
+/// spirit).
+#[must_use]
+pub fn rejected_response(op: &str, reason: &str) -> Json {
+    Json::Obj(vec![
+        ("status".into(), Json::str("rejected")),
+        ("op".into(), Json::str(op)),
+        ("reason".into(), Json::str(reason)),
+    ])
+}
+
+fn coverage_json(c: &CoverageStats) -> Json {
+    Json::Obj(vec![
+        ("states".into(), Json::count(c.states)),
+        ("transitions".into(), Json::count(c.transitions)),
+        ("expanded".into(), Json::count(c.expanded)),
+        ("frontier".into(), Json::count(c.frontier)),
+        ("steps".into(), Json::count(c.steps)),
+    ])
+}
+
+/// The JSON body of a verify result — the one shape shared by
+/// `spi verify --format json`, the daemon, and its cache.
+#[must_use]
+pub fn verify_body(report: &VerificationReport) -> Json {
+    let mut fields = Vec::new();
+    match &report.verdict {
+        Verdict::SecurelyImplements => {
+            fields.push(("verdict".to_string(), Json::str("securely-implements")));
+        }
+        Verdict::Attack(attack) => {
+            fields.push(("verdict".to_string(), Json::str("attack")));
+            fields.push((
+                "attack".into(),
+                Json::Obj(vec![
+                    ("trace".into(), Json::str_arr(attack.trace.iter().cloned())),
+                    (
+                        "narration".into(),
+                        Json::str_arr(attack.narration.iter().cloned()),
+                    ),
+                ]),
+            ));
+        }
+        Verdict::Inconclusive {
+            exhausted,
+            coverage,
+        } => {
+            fields.push(("verdict".to_string(), Json::str("inconclusive")));
+            fields.push(("exhausted".into(), Json::str(exhausted.to_string())));
+            fields.push(("coverage".into(), coverage_json(coverage)));
+        }
+    }
+    fields.push((
+        "concrete_states".into(),
+        Json::count(report.concrete_stats.states),
+    ));
+    fields.push((
+        "abstract_states".into(),
+        Json::count(report.abstract_stats.states),
+    ));
+    fields.push(("traces_checked".into(), Json::count(report.traces_checked)));
+    Json::Obj(fields)
+}
+
+/// The JSON body of a campaign result: the tally plus every
+/// per-schedule record in the same encoding campaign checkpoints use.
+#[must_use]
+pub fn campaign_body(report: &CampaignReport) -> Json {
+    let (attacks, survives, inconclusive) = report.tally();
+    Json::Obj(vec![
+        ("enumerated".into(), Json::count(report.enumerated)),
+        ("attacks".into(), Json::count(attacks)),
+        ("survives".into(), Json::count(survives)),
+        ("inconclusive".into(), Json::count(inconclusive)),
+        ("interrupted".into(), Json::Bool(report.interrupted)),
+        ("identity".into(), Json::str(report.identity.clone())),
+        (
+            "results".into(),
+            Json::Arr(
+                report
+                    .results
+                    .iter()
+                    .map(spi_verify::ScheduleResult::to_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VERIFY_LINE: &str = r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1}"#;
+
+    fn job(line: &str) -> JobRequest {
+        match parse_request(line).unwrap() {
+            Request::Job(j) => *j,
+            other => panic!("expected a job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"op":"verify"}"#)
+            .unwrap_err()
+            .contains("concrete"));
+        assert!(parse_request(
+            r#"{"op":"verify","concrete":"0","abstract":"0","sessions":"three"}"#
+        )
+        .is_err());
+        assert!(parse_request(r#"{"op":"verify","concrete":"0","abstract":"0","budget":"bogus=1"}"#)
+            .is_err());
+    }
+
+    #[test]
+    fn job_defaults_match_the_cli() {
+        let j = job(VERIFY_LINE);
+        assert_eq!(j.mode, Mode::Verify);
+        assert_eq!(j.channels, ["c"]);
+        assert_eq!(j.sessions, 1);
+        assert_eq!(j.visible, 6);
+        assert_eq!(j.budget, Budget::default());
+        assert!(j.intruder);
+        assert!(j.faults.is_none());
+        assert!(!j.no_cache);
+        assert!(j.timeout_secs.is_none());
+    }
+
+    #[test]
+    fn digest_is_formatting_insensitive_but_option_sensitive() {
+        let a = job(VERIFY_LINE);
+        // Same processes, spelled with different whitespace.
+        let b = job(
+            r#"{"op":"verify","concrete":"(^m) c<m> | c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1}"#,
+        );
+        assert_eq!(a.digest().unwrap(), b.digest().unwrap());
+        // Timeout and no_cache do not change the question...
+        let c = job(
+            r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1,"timeout_secs":5,"no_cache":true}"#,
+        );
+        assert_eq!(a.digest().unwrap(), c.digest().unwrap());
+        // ...but every semantic knob does.
+        let d = job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":2"));
+        assert_ne!(a.digest().unwrap(), d.digest().unwrap());
+        let e = job(
+            r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1,"faults":"drop:c:1"}"#,
+        );
+        assert_ne!(a.digest().unwrap(), e.digest().unwrap());
+    }
+
+    #[test]
+    fn unparseable_specs_fail_the_digest() {
+        let j = job(r#"{"op":"verify","concrete":"(((","abstract":"0"}"#);
+        assert!(j.digest().is_err());
+    }
+
+    #[test]
+    fn envelopes_render_compact_single_line() {
+        let ok = ok_response("verify", Some("fnv:0123"), true, Json::Obj(vec![]));
+        let line = ok.render_compact();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"cached\":true"), "{line}");
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(back.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(back.get("spec_digest").and_then(Json::as_str), Some("fnv:0123"));
+        let err = error_response("verify", "boom").render_compact();
+        assert!(Json::parse(&err).unwrap().get("reason").is_some());
+        let rej = rejected_response("verify", "queue full").render_compact();
+        assert_eq!(
+            Json::parse(&rej).unwrap().get("status").and_then(Json::as_str),
+            Some("rejected")
+        );
+    }
+}

@@ -1,0 +1,623 @@
+//! The daemon: acceptor, worker pool, admission control, drain.
+//!
+//! ```text
+//! client ──TCP──▶ connection thread ──▶ cache probe ──hit──▶ reply (cached:true)
+//!                                        │ miss
+//!                                        ▼ admission (Governor over queue depth)
+//!                                   bounded queue ──▶ worker pool ──▶ singleflight
+//!                                        │ full                        │ leader
+//!                                        ▼                             ▼
+//!                                 reply (rejected)             engine run ──▶ cache
+//!                                                              + eager snapshot
+//! ```
+//!
+//! Graceful drain (a `shutdown` request, or stdin-close in the CLI
+//! front-end): stop accepting, reject new jobs, cancel in-flight
+//! explorations through the shared cooperative cancel flag (they
+//! answer *inconclusive*, never silently partial), and flush the
+//! snapshot.  Snapshots are also written eagerly after every fresh
+//! cache fill, so even an abrupt SIGTERM kill leaves the latest
+//! completed results on disk for the next start.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spi_verify::jsonlite::Json;
+use spi_verify::{Budget, Governor, ResourceKind, Verdict, Verifier};
+
+use crate::cache::ResultCache;
+use crate::flight::Singleflight;
+use crate::protocol::{
+    campaign_body, error_response, ok_response, parse_request, parse_source, rejected_response,
+    verify_body, JobRequest, Mode, Request,
+};
+use crate::snapshot::{load_snapshot, write_snapshot};
+
+/// Execution control handed to an [`Engine`] run: the per-request
+/// deadline plus the server-wide cooperative cancel flag (tripped on
+/// drain).
+#[derive(Debug, Clone)]
+pub struct RunControl {
+    /// Wall-clock cut-off for this request, if any.
+    pub deadline: Option<Instant>,
+    /// The drain flag shared by every in-flight run.
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl RunControl {
+    /// Returns `true` once the run was cancelled or timed out — results
+    /// produced after a trip are truncated and must not be cached.
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// What an engine run produced.
+#[derive(Debug)]
+pub struct EngineOutcome {
+    /// The response body, or an error reason.
+    pub body: Result<Json, String>,
+    /// Whether the body may be cached.  Wall-clock-truncated and
+    /// errored runs are not cacheable — rerunning them could give a
+    /// different (better) answer; deterministic-budget verdicts are.
+    pub cacheable: bool,
+}
+
+impl EngineOutcome {
+    /// A non-cacheable error outcome.
+    #[must_use]
+    pub fn error(reason: impl Into<String>) -> EngineOutcome {
+        EngineOutcome {
+            body: Err(reason.into()),
+            cacheable: false,
+        }
+    }
+}
+
+/// The pluggable execution back-end.  [`VerifierEngine`] handles
+/// verify and campaign; the `spi` binary assembles a full engine that
+/// adds conformance replay; tests plug in stubs.
+pub trait Engine: Send + Sync {
+    /// Executes one job under the given control.
+    fn run(&self, job: &JobRequest, ctl: &RunControl) -> EngineOutcome;
+}
+
+/// The standard engine: builds a [`Verifier`] from the job options and
+/// runs checks and campaigns.
+#[derive(Debug, Clone, Default)]
+pub struct VerifierEngine {
+    /// Worker threads per exploration (`None` = the verifier default).
+    /// A busy daemon usually wants a small value here so parallelism
+    /// comes from the request pool, not from each exploration.
+    pub explore_workers: Option<usize>,
+}
+
+impl VerifierEngine {
+    /// An engine with default exploration parallelism.
+    #[must_use]
+    pub fn new() -> VerifierEngine {
+        VerifierEngine::default()
+    }
+
+    fn build_verifier(&self, job: &JobRequest, ctl: &RunControl) -> Verifier {
+        let mut v = Verifier::new(job.channels.iter().map(String::as_str))
+            .sessions(job.sessions)
+            .max_visible(job.visible)
+            .budget(job.budget)
+            .cancel(Arc::clone(&ctl.cancel));
+        if let Some(d) = ctl.deadline {
+            v = v.deadline(d);
+        }
+        if let Some(w) = self.explore_workers {
+            v = v.workers(w);
+        }
+        if let Some(f) = &job.faults {
+            v = v.faults(f.clone());
+        }
+        if !job.intruder {
+            v = v.no_intruder();
+        }
+        v
+    }
+}
+
+impl Engine for VerifierEngine {
+    fn run(&self, job: &JobRequest, ctl: &RunControl) -> EngineOutcome {
+        let verifier = self.build_verifier(job, ctl);
+        match job.mode {
+            Mode::Verify => {
+                let concrete = match parse_source(&job.concrete) {
+                    Ok(p) => p,
+                    Err(e) => return EngineOutcome::error(e),
+                };
+                let spec = match parse_source(&job.abstract_spec) {
+                    Ok(p) => p,
+                    Err(e) => return EngineOutcome::error(e),
+                };
+                match verifier.check(&concrete, &spec) {
+                    Ok(report) => {
+                        let truncated = matches!(
+                            report.verdict,
+                            Verdict::Inconclusive {
+                                exhausted: ResourceKind::WallClock,
+                                ..
+                            }
+                        );
+                        EngineOutcome {
+                            body: Ok(verify_body(&report)),
+                            cacheable: !truncated,
+                        }
+                    }
+                    Err(e) => EngineOutcome::error(e.to_string()),
+                }
+            }
+            Mode::Campaign => {
+                let concrete = match parse_source(&job.concrete) {
+                    Ok(p) => p,
+                    Err(e) => return EngineOutcome::error(e),
+                };
+                let spec = match parse_source(&job.abstract_spec) {
+                    Ok(p) => p,
+                    Err(e) => return EngineOutcome::error(e),
+                };
+                let opts = verifier.campaign_options(job.faults_depth);
+                match verifier.run_campaign(&concrete, &spec, &opts) {
+                    Ok(report) => EngineOutcome {
+                        cacheable: !report.interrupted && !ctl.tripped(),
+                        body: Ok(campaign_body(&report)),
+                    },
+                    Err(e) => EngineOutcome::error(e.to_string()),
+                }
+            }
+            Mode::ConformanceReplay => EngineOutcome::error(
+                "conformance-replay needs the full engine assembled by the spi binary",
+            ),
+        }
+    }
+}
+
+/// Server configuration (the `spi serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Snapshot path; `None` disables persistence.
+    pub snapshot: Option<PathBuf>,
+    /// Bounded-queue capacity; a full queue rejects new jobs.
+    pub queue_cap: usize,
+    /// Default per-request timeout applied when a request names none.
+    pub default_timeout_secs: Option<u64>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:7970".into(),
+            workers: 2,
+            cache_bytes: 8 * 1024 * 1024,
+            snapshot: None,
+            queue_cap: 16,
+            default_timeout_secs: None,
+        }
+    }
+}
+
+struct Ticket {
+    digest: String,
+    job: JobRequest,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    engine: Arc<dyn Engine>,
+    opts: ServerOptions,
+    addr: SocketAddr,
+    cache: Mutex<ResultCache>,
+    flight: Singleflight,
+    queue: Mutex<VecDeque<Ticket>>,
+    queue_cv: Condvar,
+    /// Queue admission rides the Budget states dimension: the governor
+    /// admits one more queued job iff the current depth is under cap.
+    admission: Mutex<Governor>,
+    draining: AtomicBool,
+    cancel: Arc<AtomicBool>,
+    inflight: AtomicUsize,
+    executions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A running server.  Dropping the handle does **not** stop it; call
+/// [`ServerHandle::join`] (or send a `shutdown` request) to drain.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// How many engine runs actually executed — the singleflight /
+    /// cache probe counter tests assert on.
+    #[must_use]
+    pub fn executions(&self) -> u64 {
+        self.shared.executions.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: stop accepting, reject new jobs, cancel
+    /// in-flight explorations.  Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        trigger_drain(&self.shared);
+    }
+
+    /// Whether a drain has been triggered (by [`ServerHandle::shutdown`],
+    /// a `shutdown` request, or a [`ShutdownHandle`]).
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A cheap cloneable handle another thread can use to trigger the
+    /// drain (e.g. the CLI's stdin watcher).
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until *something* triggers the drain — a `shutdown`
+    /// request over the wire, a [`ShutdownHandle`], or a prior
+    /// [`ServerHandle::shutdown`] — then joins and flushes the final
+    /// snapshot.
+    pub fn join_on_drain(self) {
+        while !self.draining() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Drains and waits for every worker to finish, then flushes the
+    /// final snapshot.
+    pub fn join(self) {
+        self.shutdown();
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        persist_snapshot(&self.shared);
+    }
+}
+
+/// Triggers a server's drain from any thread (see
+/// [`ServerHandle::shutdown_handle`]).
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begins the graceful drain.  Idempotent.
+    pub fn shutdown(&self) {
+        trigger_drain(&self.shared);
+    }
+}
+
+fn trigger_drain(shared: &Arc<Shared>) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.cancel.store(true, Ordering::Relaxed);
+    shared.queue_cv.notify_all();
+    // Unblock the acceptor with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn persist_snapshot(shared: &Shared) {
+    let Some(path) = &shared.opts.snapshot else {
+        return;
+    };
+    let entries = shared.cache.lock().expect("cache lock").entries_lru();
+    if let Err(e) = write_snapshot(path, &entries) {
+        eprintln!("spi-serve: snapshot write failed: {e}");
+    }
+}
+
+/// Starts a server.  The listener is bound before this returns, so the
+/// caller may connect to [`ServerHandle::addr`] immediately.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound.
+pub fn serve(engine: Arc<dyn Engine>, opts: ServerOptions) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(&opts.addr)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+
+    let mut cache = ResultCache::new(opts.cache_bytes);
+    if let Some(path) = &opts.snapshot {
+        if path.exists() {
+            match load_snapshot(path) {
+                Ok(entries) => {
+                    for (key, op, body) in entries {
+                        cache.insert(key, op, body);
+                    }
+                }
+                Err(e) => eprintln!("spi-serve: ignoring snapshot: {e}"),
+            }
+        }
+    }
+
+    let queue_cap = opts.queue_cap.max(1);
+    let workers = opts.workers.max(1);
+    let shared = Arc::new(Shared {
+        engine,
+        addr,
+        cache: Mutex::new(cache),
+        flight: Singleflight::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        admission: Mutex::new(Governor::new(Budget::unlimited().states(queue_cap))),
+        draining: AtomicBool::new(false),
+        cancel: Arc::new(AtomicBool::new(false)),
+        inflight: AtomicUsize::new(0),
+        executions: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        opts,
+    });
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let shared = Arc::clone(&shared);
+                // Connection threads are detached: they die with their
+                // sockets and never block the drain.
+                std::thread::spawn(move || handle_connection(&shared, stream));
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor,
+        workers: worker_handles,
+    })
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // Line-sized writes; without NODELAY the Nagle/delayed-ACK
+    // interaction costs tens of milliseconds per response.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(shared, &line);
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
+    match parse_request(line) {
+        Err(e) => error_response("request", &e).render_compact(),
+        Ok(Request::Ping) => ok_response("ping", None, false, Json::Obj(vec![])).render_compact(),
+        Ok(Request::Stats) => stats_response(shared).render_compact(),
+        Ok(Request::Shutdown) => {
+            trigger_drain(shared);
+            ok_response("shutdown", None, false, Json::Obj(vec![])).render_compact()
+        }
+        Ok(Request::Job(job)) => handle_job(shared, *job),
+    }
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let cache = shared.cache.lock().expect("cache lock");
+    let queue_depth = shared.queue.lock().expect("queue lock").len();
+    let body = Json::Obj(vec![
+        ("hits".into(), Json::count(usize::try_from(cache.hits).unwrap_or(usize::MAX))),
+        (
+            "misses".into(),
+            Json::count(usize::try_from(cache.misses).unwrap_or(usize::MAX)),
+        ),
+        (
+            "evictions".into(),
+            Json::count(usize::try_from(cache.evictions).unwrap_or(usize::MAX)),
+        ),
+        ("entries".into(), Json::count(cache.len())),
+        ("cache_bytes".into(), Json::count(cache.used_bytes())),
+        ("cache_bytes_max".into(), Json::count(cache.max_bytes())),
+        (
+            "inflight".into(),
+            Json::count(shared.inflight.load(Ordering::SeqCst)),
+        ),
+        ("queue_depth".into(), Json::count(queue_depth)),
+        (
+            "executions".into(),
+            Json::count(usize::try_from(shared.executions.load(Ordering::SeqCst)).unwrap_or(0)),
+        ),
+        (
+            "rejected".into(),
+            Json::count(usize::try_from(shared.rejected.load(Ordering::SeqCst)).unwrap_or(0)),
+        ),
+        ("workers".into(), Json::count(shared.opts.workers)),
+        (
+            "draining".into(),
+            Json::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+    ]);
+    ok_response("stats", None, false, body)
+}
+
+/// Serves a cached `(op, body)` pair as a `cached:true` envelope.
+fn cached_reply(op: &str, digest: &str, body: &str) -> String {
+    match Json::parse(body) {
+        Ok(parsed) => ok_response(op, Some(digest), true, parsed).render_compact(),
+        // A cache body that fails to re-parse is a bug; answer it as an
+        // error rather than emitting a malformed line.
+        Err(e) => error_response(op, &format!("corrupt cache entry: {e}")).render_compact(),
+    }
+}
+
+fn handle_job(shared: &Arc<Shared>, job: JobRequest) -> String {
+    let op = job.mode.keyword();
+    let digest = match job.digest() {
+        Ok(d) => d,
+        Err(e) => return error_response(op, &e).render_compact(),
+    };
+    if !job.no_cache {
+        if let Some((_, body)) = shared.cache.lock().expect("cache lock").get(&digest) {
+            return cached_reply(op, &digest, &body);
+        }
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        return rejected_response(op, "server is draining").render_compact();
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        let depth = queue.len();
+        if !shared
+            .admission
+            .lock()
+            .expect("admission lock")
+            .admit_state(depth)
+        {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            return rejected_response(op, &format!("queue full ({depth} pending)"))
+                .render_compact();
+        }
+        queue.push_back(Ticket {
+            digest,
+            job,
+            reply: tx,
+        });
+        shared.queue_cv.notify_one();
+    }
+    match rx.recv() {
+        Ok(response) => response,
+        Err(_) => error_response(op, "the server dropped the request while draining")
+            .render_compact(),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let ticket = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(t) = queue.pop_front() {
+                    break t;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue lock");
+            }
+        };
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let response = execute(shared, &ticket);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        // A dropped receiver (client gone) is fine; the work still
+        // landed in the cache for the next asker.
+        let _ = ticket.reply.send(response);
+    }
+}
+
+fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
+    let op = ticket.job.mode.keyword();
+    let ctl = RunControl {
+        deadline: ticket
+            .job
+            .timeout_secs
+            .or(shared.opts.default_timeout_secs)
+            .map(|s| Instant::now() + Duration::from_secs(s)),
+        cancel: Arc::clone(&shared.cancel),
+    };
+    if ticket.job.no_cache {
+        // Cache-bypassing requests neither join nor lead a flight: the
+        // caller explicitly asked for a private run.
+        shared.executions.fetch_add(1, Ordering::SeqCst);
+        let outcome = shared.engine.run(&ticket.job, &ctl);
+        return match outcome.body {
+            Ok(body) => ok_response(op, Some(&ticket.digest), false, body).render_compact(),
+            Err(e) => error_response(op, &e).render_compact(),
+        };
+    }
+    loop {
+        // The cache may have been filled between enqueue and pickup (a
+        // duplicate ticket whose leader already finished) — serve that
+        // rather than re-exploring.
+        if let Some((_, body)) = shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(&ticket.digest)
+        {
+            return cached_reply(op, &ticket.digest, &body);
+        }
+        if shared.flight.begin(&ticket.digest) {
+            shared.executions.fetch_add(1, Ordering::SeqCst);
+            let outcome = shared.engine.run(&ticket.job, &ctl);
+            let response = match outcome.body {
+                Ok(body) => {
+                    if outcome.cacheable {
+                        shared.cache.lock().expect("cache lock").insert(
+                            ticket.digest.clone(),
+                            op.to_string(),
+                            body.render_compact(),
+                        );
+                        // Eager persistence: even an abrupt kill keeps
+                        // every completed result.
+                        persist_snapshot(shared);
+                    }
+                    ok_response(op, Some(&ticket.digest), false, body).render_compact()
+                }
+                Err(e) => error_response(op, &e).render_compact(),
+            };
+            shared.flight.finish(&ticket.digest);
+            return response;
+        }
+        // Someone else is computing this digest: park, then loop — the
+        // re-probe serves from the cache they filled, or this worker
+        // becomes the next leader if they failed without caching.
+        shared.flight.wait(&ticket.digest);
+    }
+}

@@ -117,6 +117,54 @@ impl Budget {
         self
     }
 
+    /// Parses the CLI/wire budget syntax: comma-separated
+    /// `dimension=count` pairs over the default budget, e.g.
+    /// `states=5000,fuel=100000`.  Dimensions: `states`, `transitions`,
+    /// `fuel`, `knowledge`, `steps` (alias `deadline`).  The one spelling
+    /// shared by `spi verify --budget`, `spi campaign --budget`, and the
+    /// `spi serve` request format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage-style message naming the offending pair.
+    pub fn parse_spec(spec: &str) -> Result<Budget, String> {
+        let mut budget = Budget::default();
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("budget expects dimension=count pairs, got {pair:?}"))?;
+            let n: usize = value
+                .parse()
+                .map_err(|_| format!("budget {key}: expected a number, got {value:?}"))?;
+            match key {
+                "states" => budget.max_states = n,
+                "transitions" => budget.max_transitions = n,
+                "fuel" => budget.max_fuel = n,
+                "knowledge" => budget.max_knowledge = n,
+                "steps" | "deadline" => budget.deadline_steps = n,
+                other => {
+                    return Err(format!(
+                        "budget: unknown dimension {other:?} \
+                         (expected states|transitions|fuel|knowledge|steps)"
+                    ))
+                }
+            }
+        }
+        Ok(budget)
+    }
+
+    /// The inverse of [`Budget::parse_spec`]: every dimension spelled
+    /// out, in a fixed order — used to normalize budgets into
+    /// content-addressed cache keys.
+    #[must_use]
+    pub fn canonical_spec(&self) -> String {
+        format!(
+            "states={},transitions={},fuel={},knowledge={},steps={}",
+            self.max_states, self.max_transitions, self.max_fuel, self.max_knowledge,
+            self.deadline_steps
+        )
+    }
+
     /// Returns `true` when `self` is at least as generous as `other` in
     /// every dimension.
     #[must_use]
@@ -323,6 +371,20 @@ mod tests {
             ..c
         };
         assert!(!c.complete());
+    }
+
+    #[test]
+    fn budget_specs_parse_and_round_trip() {
+        let b = Budget::parse_spec("states=10,fuel=20,steps=30").unwrap();
+        assert_eq!(b.max_states, 10);
+        assert_eq!(b.max_fuel, 20);
+        assert_eq!(b.deadline_steps, 30);
+        assert_eq!(Budget::parse_spec("").unwrap(), Budget::default());
+        assert!(Budget::parse_spec("states=x").is_err());
+        assert!(Budget::parse_spec("bogus=1").is_err());
+        assert!(Budget::parse_spec("states").is_err());
+        // The canonical spelling re-parses to the same budget.
+        assert_eq!(Budget::parse_spec(&b.canonical_spec()).unwrap(), b);
     }
 
     #[test]

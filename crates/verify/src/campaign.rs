@@ -503,29 +503,31 @@ fn parse_schedule_key(key: &str) -> Result<FaultSpec, VerifyError> {
     Ok(FaultSpec { position, clauses })
 }
 
-fn result_to_json(r: &ScheduleResult) -> Json {
-    let mut fields = vec![("schedule".to_string(), Json::Str(r.key.clone()))];
-    let int = |n: usize| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
-    match &r.outcome {
-        ScheduleOutcome::Survives { traces_checked } => {
-            fields.push(("outcome".into(), Json::Str("survives".into())));
-            fields.push(("traces_checked".into(), int(*traces_checked)));
+impl ScheduleResult {
+    /// The schedule's JSON record — the one encoding shared by campaign
+    /// checkpoints, `spi campaign --format json`, and the `spi serve`
+    /// response body.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("schedule".to_string(), Json::Str(self.key.clone()))];
+        match &self.outcome {
+            ScheduleOutcome::Survives { traces_checked } => {
+                fields.push(("outcome".into(), Json::Str("survives".into())));
+                fields.push(("traces_checked".into(), Json::count(*traces_checked)));
+            }
+            ScheduleOutcome::Inconclusive { reason } => {
+                fields.push(("outcome".into(), Json::Str("inconclusive".into())));
+                fields.push(("reason".into(), Json::Str(reason.clone())));
+            }
+            ScheduleOutcome::Attack(cex) => {
+                fields.push(("outcome".into(), Json::Str("attack".into())));
+                fields.push(("minimal".into(), Json::Str(cex.schedule.canonical_key())));
+                fields.push(("shrink_steps".into(), Json::count(cex.shrink_steps)));
+                fields.push(("trace".into(), Json::str_arr(cex.trace.iter().cloned())));
+            }
         }
-        ScheduleOutcome::Inconclusive { reason } => {
-            fields.push(("outcome".into(), Json::Str("inconclusive".into())));
-            fields.push(("reason".into(), Json::Str(reason.clone())));
-        }
-        ScheduleOutcome::Attack(cex) => {
-            fields.push(("outcome".into(), Json::Str("attack".into())));
-            fields.push(("minimal".into(), Json::Str(cex.schedule.canonical_key())));
-            fields.push(("shrink_steps".into(), int(cex.shrink_steps)));
-            fields.push((
-                "trace".into(),
-                Json::Arr(cex.trace.iter().map(|t| Json::Str(t.clone())).collect()),
-            ));
-        }
+        Json::Obj(fields)
     }
-    Json::Obj(fields)
 }
 
 fn write_checkpoint(
@@ -538,7 +540,7 @@ fn write_checkpoint(
         ("identity".into(), Json::Str(identity.to_string())),
         (
             "processed".into(),
-            Json::Arr(results.iter().map(result_to_json).collect()),
+            Json::Arr(results.iter().map(ScheduleResult::to_json).collect()),
         ),
     ]);
     // Write-then-rename so a crash mid-write never corrupts a resumable

@@ -41,6 +41,7 @@ mod dot;
 mod error;
 mod explore;
 pub mod faultsim;
+pub mod jsonlite;
 mod knowledge;
 mod obs;
 mod secrecy;
@@ -48,6 +49,7 @@ mod simulation;
 mod test;
 mod testgen;
 mod traces;
+mod verifier;
 
 pub use budget::{Budget, CoverageStats, Governor, ResourceKind};
 pub use campaign::{
@@ -69,3 +71,4 @@ pub use testgen::{definition3_preorder, synthesize_testers, tester_barb, Definit
 pub use traces::{
     find_realization, trace_preorder, trace_preorder_sound, weak_traces, TraceSet, TraceVerdict,
 };
+pub use verifier::{Attack, EquivDirection, Verdict, VerificationReport, Verifier};

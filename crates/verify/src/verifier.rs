@@ -1,11 +1,22 @@
 //! The secure-implementation checker (Definition 4 of the paper).
+//!
+//! [`Verifier`] is the top-level entry point of the toolkit: it closes a
+//! protocol under the most-general attacker, explores both systems, and
+//! decides may-testing as weak trace inclusion.  It lives in this crate
+//! (rather than the `spi-auth` facade) so that every embedding — the
+//! facade, the CLI, the `spi serve` daemon, and the conformance
+//! harness — shares one implementation; `spi-auth` re-exports it
+//! unchanged.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 use spi_addr::Path;
 use spi_semantics::{FaultSpec, RoleMap, StepInfo};
 use spi_syntax::{Name, Process};
-use spi_verify::{
+
+use crate::{
     find_realization, trace_preorder_sound, Budget, CampaignOptions, CampaignReport,
     CoverageStats, ExploreOptions, ExploreStats, Explorer, IntruderSpec, Lts,
     MinimalCounterexample, ResourceKind, StepDesc, TraceVerdict, VerifyError,
@@ -89,16 +100,22 @@ pub struct VerificationReport {
 /// # Example
 ///
 /// ```
-/// use spi_auth::{Verifier, Verdict};
-/// use spi_auth::protocols::multi;
+/// use spi_verify::{Verifier, Verdict};
+/// use spi_syntax::parse;
+///
+/// // Section 5.2: naive replication suffers the replay attack...
+/// let pm2 = parse("(^kAB)(!(^m)c<{m}kAB> | !c(z).case z of {w}kAB in observe<w>)")?;
+/// // ...the challenge-response repairs it.
+/// let pm3 = parse(
+///     "(^kAB)(!(^m)c(ns).c<{m, ns}kAB> | \
+///      !(^nb)c<nb>.c(x).case x of {z, w}kAB in [w = nb]observe<z>)",
+/// )?;
+/// let pm = parse("(^s)(!s<s>.(^m)c<m> | !s@lamB(x_s).c@lamB(z).observe<z>)")?;
 ///
 /// let verifier = Verifier::new(["c"]).sessions(2);
-/// let pm = multi::abstract_protocol("c", "observe")?;
-/// // The naive replication suffers the replay attack...
-/// let report = verifier.check(&multi::shared_key("c", "observe"), &pm)?;
+/// let report = verifier.check(&pm2, &pm)?;
 /// assert!(matches!(report.verdict, Verdict::Attack(_)));
-/// // ...the challenge-response repairs it.
-/// let report = verifier.check(&multi::challenge_response("c", "observe"), &pm)?;
+/// let report = verifier.check(&pm3, &pm)?;
 /// assert!(matches!(report.verdict, Verdict::SecurelyImplements));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -114,6 +131,7 @@ pub struct Verifier {
     roles: Vec<(String, String)>,
     workers: usize,
     deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
     verify_keys: bool,
 }
 
@@ -139,6 +157,7 @@ impl Verifier {
             roles: vec![("A".into(), "0".into()), ("B".into(), "1".into())],
             workers: ExploreOptions::available_workers(),
             deadline: None,
+            cancel: None,
             verify_keys: false,
         }
     }
@@ -151,6 +170,17 @@ impl Verifier {
     #[must_use]
     pub fn deadline(mut self, at: Instant) -> Verifier {
         self.deadline = Some(at);
+        self
+    }
+
+    /// Shares a cooperative cancellation flag with every exploration (and
+    /// campaign loop) this verifier runs: setting it stops work at the
+    /// next state boundary with the same inconclusive-wall-clock report
+    /// as a passed deadline.  Long-lived embeddings (the `spi serve`
+    /// drain path) use one flag to wind down all in-flight checks.
+    #[must_use]
+    pub fn cancel(mut self, flag: Arc<AtomicBool>) -> Verifier {
+        self.cancel = Some(flag);
         self
     }
 
@@ -278,6 +308,7 @@ impl Verifier {
             faults: self.faults.clone(),
             workers: self.workers,
             deadline: self.deadline,
+            cancel: self.cancel.clone(),
             verify_keys: self.verify_keys,
             ..ExploreOptions::default()
         }
@@ -387,9 +418,9 @@ impl Verifier {
         &self,
         concrete: &Process,
         abstract_spec: &Process,
-    ) -> Result<spi_verify::Definition3Outcome, VerifyError> {
+    ) -> Result<crate::Definition3Outcome, VerifyError> {
         let concrete_lts = self.explore(concrete)?;
-        let testers = spi_verify::synthesize_testers(&concrete_lts);
+        let testers = crate::synthesize_testers(&concrete_lts);
         // Under `system | T` the intruder slot shifts from ‖1 to ‖0‖1,
         // and so does the faulty network's seat.
         let mut spec = self.intruder_spec();
@@ -403,9 +434,11 @@ impl Verifier {
                 .clone()
                 .map(|f| f.at("01".parse().expect("static path"))),
             workers: self.workers,
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
             ..ExploreOptions::default()
         };
-        spi_verify::definition3_preorder(
+        crate::definition3_preorder(
             &self.under_attack(concrete),
             &self.under_attack(abstract_spec),
             &testers,
@@ -425,9 +458,9 @@ impl Verifier {
         &self,
         protocol: &Process,
         secrets: &[Name],
-    ) -> Result<spi_verify::SecrecyReport, VerifyError> {
+    ) -> Result<crate::SecrecyReport, VerifyError> {
         let lts = self.explore(protocol)?;
-        Ok(spi_verify::check_secrecy(&lts, secrets))
+        Ok(crate::check_secrecy(&lts, secrets))
     }
 
     /// Campaign options matching this verifier's configuration: the
@@ -449,7 +482,7 @@ impl Verifier {
         opts
     }
 
-    /// Runs a fault campaign (see [`spi_verify::campaign`]): every
+    /// Runs a fault campaign (see [`crate::campaign`]): every
     /// multi-fault schedule up to the configured depth is checked as in
     /// [`Verifier::check`], failing schedules are shrunk to 1-minimal
     /// counterexamples, and undecidable ones stay inconclusive.
@@ -465,7 +498,7 @@ impl Verifier {
         abstract_spec: &Process,
         opts: &CampaignOptions,
     ) -> Result<CampaignReport, VerifyError> {
-        spi_verify::run_campaign(
+        crate::run_campaign(
             &self.under_attack(concrete),
             &self.under_attack(abstract_spec),
             opts,
@@ -605,13 +638,26 @@ impl Verifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spi_protocols::single;
+    use spi_syntax::parse;
+
+    // The paper's Section 5 protocols, spelled as source text (the
+    // `spi-protocols` builders produce behaviourally identical terms, but
+    // this crate cannot depend on them without a cycle).
+    const P1: &str = "(^m) c<m> | c(z).observe<z>";
+    const P2: &str = "(^kAB)((^m) c<{m}kAB> | c(z).case z of {w}kAB in observe<w>)";
+    const P_ABS: &str = "(^s)(s<s>.(^m)c<m> | s@lamB(x_s).c@lamB(z).observe<z>)";
+    const PM2: &str = "(^kAB)(!(^m)c<{m}kAB> | !c(z).case z of {w}kAB in observe<w>)";
+    const PM_ABS: &str = "(^s)(!s<s>.(^m)c<m> | !s@lamB(x_s).c@lamB(z).observe<z>)";
+
+    fn p(src: &str) -> Process {
+        parse(src).expect("test protocol parses")
+    }
 
     #[test]
     fn under_attack_places_the_intruder_slot() {
         let v = Verifier::new(["c"]);
-        let sys = v.under_attack(&single::plaintext("c", "observe"));
-        // (νc)((A1 | B1) | 0)
+        let sys = v.under_attack(&p(P1));
+        // (νc)((A | B) | 0)
         match &sys {
             Process::Restrict(c, body) => {
                 assert_eq!(c.as_str(), "c");
@@ -626,13 +672,8 @@ mod tests {
 
     #[test]
     fn shared_key_single_session_holds() {
-        let v = Verifier::new(["c"]);
-        let report = v
-            .check(
-                &single::shared_key("c", "observe"),
-                &single::abstract_protocol("c", "observe").unwrap(),
-            )
-            .unwrap();
+        let v = Verifier::new(["c"]).sessions(1);
+        let report = v.check(&p(P2), &p(P_ABS)).unwrap();
         assert!(
             matches!(report.verdict, Verdict::SecurelyImplements),
             "{report:?}"
@@ -642,23 +683,23 @@ mod tests {
 
     #[test]
     fn equivalence_is_symmetric_on_identical_protocols() {
-        let v = Verifier::new(["c"]);
-        let p2 = single::shared_key("c", "observe");
+        let v = Verifier::new(["c"]).sessions(1);
+        let p2 = p(P2);
         assert!(v.check_equivalence(&p2, &p2).unwrap().is_none());
     }
 
     #[test]
     fn equivalence_reports_the_failing_direction() {
-        let v = Verifier::new(["c"]);
-        let p = spi_protocols::single::abstract_protocol("c", "observe").unwrap();
-        let p1 = single::plaintext("c", "observe");
+        let v = Verifier::new(["c"]).sessions(1);
+        let spec = p(P_ABS);
+        let p1 = p(P1);
         // P1 has behaviours P lacks (the injected message).
-        match v.check_equivalence(&p1, &p).unwrap() {
-            Some((crate::EquivDirection::LeftNotInRight, _)) => {}
+        match v.check_equivalence(&p1, &spec).unwrap() {
+            Some((EquivDirection::LeftNotInRight, _)) => {}
             other => panic!("unexpected {other:?}"),
         }
-        match v.check_equivalence(&p, &p1).unwrap() {
-            Some((crate::EquivDirection::RightNotInLeft, _)) => {}
+        match v.check_equivalence(&spec, &p1).unwrap() {
+            Some((EquivDirection::RightNotInLeft, _)) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -669,20 +710,15 @@ mod tests {
         // directions hold here: under the intruder both systems produce
         // the same observable set (deliver M or nothing).  The check
         // documents it.
-        let v = Verifier::new(["c"]);
-        let p2 = single::shared_key("c", "observe");
-        let p = spi_protocols::single::abstract_protocol("c", "observe").unwrap();
-        assert!(v.check_equivalence(&p2, &p).unwrap().is_none());
+        let v = Verifier::new(["c"]).sessions(1);
+        assert!(v.check_equivalence(&p(P2), &p(P_ABS)).unwrap().is_none());
     }
 
     #[test]
     fn tiny_budget_answers_inconclusive_not_error() {
-        let v = Verifier::new(["c"]).budget(Budget::unlimited().states(3));
+        let v = Verifier::new(["c"]).sessions(1).budget(Budget::unlimited().states(3));
         let report = v
-            .check(
-                &single::shared_key("c", "observe"),
-                &single::abstract_protocol("c", "observe").unwrap(),
-            )
+            .check(&p(P2), &p(P_ABS))
             .expect("degradation, not an error");
         match report.verdict {
             Verdict::Inconclusive {
@@ -696,41 +732,47 @@ mod tests {
         }
         assert!(!report.concrete_coverage.is_empty());
         // And no attack is (soundly) claimed.
-        assert!(v
-            .find_attack(
-                &single::plaintext("c", "observe"),
-                &single::abstract_protocol("c", "observe").unwrap(),
-            )
-            .unwrap()
-            .is_none());
+        assert!(v.find_attack(&p(P1), &p(P_ABS)).unwrap().is_none());
     }
 
     #[test]
     fn growing_the_budget_decides_the_check() {
-        let p2 = single::shared_key("c", "observe");
-        let spec = single::abstract_protocol("c", "observe").unwrap();
-        let small = Verifier::new(["c"]).budget(Budget::unlimited().states(3));
-        assert!(!small.check(&p2, &spec).unwrap().verdict.decided());
-        let big = Verifier::new(["c"]);
+        let small = Verifier::new(["c"]).sessions(1).budget(Budget::unlimited().states(3));
+        assert!(!small.check(&p(P2), &p(P_ABS)).unwrap().verdict.decided());
+        let big = Verifier::new(["c"]).sessions(1);
         assert!(matches!(
-            big.check(&p2, &spec).unwrap().verdict,
+            big.check(&p(P2), &p(P_ABS)).unwrap().verdict,
             Verdict::SecurelyImplements
         ));
     }
 
     #[test]
+    fn a_cancelled_verifier_answers_inconclusive() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let v = Verifier::new(["c"]).sessions(2).cancel(Arc::clone(&flag));
+        let report = v.check(&p(PM2), &p(PM_ABS)).expect("graceful");
+        match report.verdict {
+            Verdict::Inconclusive { exhausted, .. } => {
+                assert_eq!(exhausted, ResourceKind::WallClock);
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        // Clearing the flag restores the full answer.
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
+        assert!(matches!(
+            v.check(&p(PM2), &p(PM_ABS)).unwrap().verdict,
+            Verdict::Attack(_)
+        ));
+    }
+
+    #[test]
     fn pm2_campaign_rediscovers_the_replay_minimally() {
-        use spi_protocols::multi;
         use spi_semantics::FaultKind;
         // No intruder: any attack is attributable to the network alone,
         // so shrinking cannot collapse the schedule to nothing.
         let v = Verifier::new(["c"]).sessions(2).no_intruder();
         let report = v
-            .run_campaign(
-                &multi::shared_key("c", "observe"),
-                &multi::abstract_protocol("c", "observe").unwrap(),
-                &v.campaign_options(2),
-            )
+            .run_campaign(&p(PM2), &p(PM_ABS), &v.campaign_options(2))
             .unwrap();
         assert_eq!(report.enumerated, 14, "depth-2 universe over one channel");
         let (attacks, survives, inconclusive) = report.tally();
@@ -747,35 +789,27 @@ mod tests {
                 cex.schedule.clauses[0].kind,
                 FaultKind::Duplicate | FaultKind::Replay
             ));
-            let narration = v
-                .narrate_counterexample(&multi::shared_key("c", "observe"), cex)
-                .unwrap();
+            let narration = v.narrate_counterexample(&p(PM2), cex).unwrap();
             assert!(!narration.is_empty());
         }
     }
 
     #[test]
     fn pm3_campaign_survives_depth_one() {
-        use spi_protocols::multi;
+        const PM3: &str = "(^kAB)(!(^m)c(ns).c<{m, ns}kAB> | \
+             !(^nb)c<nb>.c(x).case x of {z, w}kAB in [w = nb]observe<z>)";
         let v = Verifier::new(["c"]).sessions(2).no_intruder();
         let report = v
-            .run_campaign(
-                &multi::challenge_response("c", "observe"),
-                &multi::abstract_protocol("c", "observe").unwrap(),
-                &v.campaign_options(1),
-            )
+            .run_campaign(&p(PM3), &p(PM_ABS), &v.campaign_options(1))
             .unwrap();
         assert!(report.all_survive(), "{report:?}");
     }
 
     #[test]
     fn plaintext_single_session_fails_with_narration() {
-        let v = Verifier::new(["c"]);
+        let v = Verifier::new(["c"]).sessions(1);
         let attack = v
-            .find_attack(
-                &single::plaintext("c", "observe"),
-                &single::abstract_protocol("c", "observe").unwrap(),
-            )
+            .find_attack(&p(P1), &p(P_ABS))
             .unwrap()
             .expect("the plaintext protocol is attackable");
         assert!(!attack.narration.is_empty());
