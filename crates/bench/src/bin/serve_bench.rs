@@ -1,6 +1,7 @@
 //! Measure warm-vs-cold request latency against an in-process
-//! `spi serve` daemon and print the complete `BENCH_serve.json`
-//! document to stdout.
+//! `spi serve` daemon — plus warm throughput and cold tail latency
+//! against coordinator-fronted fleets of 1/2/4 workers — and print the
+//! complete `BENCH_serve.json` document to stdout.
 //!
 //! Run with `cargo run --release -p spi-bench --bin serve_bench -- <date> > BENCH_serve.json`
 //! from the repository root (the spec paths are relative).
@@ -10,20 +11,43 @@
 //! the content-addressed result cache.  The two kinds are interleaved
 //! (cold, warm, cold, warm, …) so neither benefits from running last,
 //! and the reported figures are medians.
+//!
+//! The fleet section measures what sharding actually buys on this
+//! box: aggregate cache *capacity*, not CPU parallelism.  Every
+//! worker's cache budget holds only half of an 8-question working set,
+//! and questions are revisited in a seeded pseudo-random order — one
+//! node keeps evicting and re-exploring, while four nodes hold the
+//! whole set across their consistent-hash shards and answer from
+//! cache.  Warm throughput must scale at least 1.5x from 1 to 4
+//! workers.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use spi_auth::server::{serve, Client, ServerOptions, VerifierEngine};
+use spi_auth::server::{
+    coordinate, serve, Client, CoordinatorOptions, ServerHandle, ServerOptions, VerifierEngine,
+};
 use spi_auth::verify::jsonlite::Json;
 
 const COLD_RUNS: usize = 5;
 const WARM_RUNS: usize = 20;
 
+/// Distinct questions in the fleet working set (pm2 vs pm at varying
+/// `visible` bounds: distinct digests, comparable exploration cost).
+const FLEET_SET: usize = 8;
+/// Cold tail samples per fleet size.
+const FLEET_COLD_RUNS: usize = 10;
+/// Pseudo-random warm requests per fleet size.
+const FLEET_WARM_RUNS: usize = 64;
+
+fn read_spec(path: &str) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("run from the repository root: {path}: {e}"))
+}
+
 fn request_line(no_cache: bool) -> String {
-    let concrete = std::fs::read_to_string("examples/protocols/pm3.spi")
-        .expect("run from the repository root: examples/protocols/pm3.spi");
-    let spec = std::fs::read_to_string("examples/protocols/pm.spi")
-        .expect("run from the repository root: examples/protocols/pm.spi");
+    let concrete = read_spec("examples/protocols/pm3.spi");
+    let spec = read_spec("examples/protocols/pm.spi");
     Json::Obj(vec![
         ("op".to_string(), Json::str("verify")),
         ("concrete".into(), Json::str(concrete)),
@@ -53,12 +77,128 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+fn percentile(samples: &mut [f64], pct: usize) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = (samples.len() * pct).div_ceil(100).max(1);
+    samples[rank.min(samples.len()) - 1]
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fleet working set: distinct digests (the `visible` bound is
+/// part of the request canonicalization) with comparable cold cost.
+fn fleet_questions() -> Vec<String> {
+    let concrete = read_spec("examples/protocols/pm2.spi");
+    let spec = read_spec("examples/protocols/pm.spi");
+    (0..FLEET_SET)
+        .map(|i| {
+            Json::Obj(vec![
+                ("op".to_string(), Json::str("verify")),
+                ("concrete".into(), Json::str(concrete.clone())),
+                ("abstract".into(), Json::str(spec.clone())),
+                ("sessions".into(), Json::count(2)),
+                ("visible".into(), Json::count(3 + i)),
+            ])
+            .render_compact()
+        })
+        .collect()
+}
+
+struct FleetRecord {
+    workers: usize,
+    cold_p99_ms: f64,
+    warm_reqs_per_sec: f64,
+}
+
+/// One fleet size: coordinator + `n` workers whose cache budgets hold
+/// only half the working set each.
+fn fleet_record(n: usize, questions: &[String], cache_bytes: usize) -> FleetRecord {
+    let engine = || {
+        Arc::new(VerifierEngine {
+            explore_workers: Some(1),
+        })
+    };
+    let workers: Vec<ServerHandle> = (0..n)
+        .map(|_| {
+            serve(
+                engine(),
+                ServerOptions {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 2,
+                    cache_bytes,
+                    snapshot: None,
+                    ..ServerOptions::default()
+                },
+            )
+            .expect("worker starts")
+        })
+        .collect();
+    let coordinator = coordinate(
+        engine(),
+        CoordinatorOptions {
+            addr: "127.0.0.1:0".into(),
+            heartbeat_ms: 100,
+            fail_after_ms: 60_000,
+            connect_timeout_ms: 1000,
+            read_timeout_ms: 120_000,
+            hedge_after_ms: 5_000,
+            retry_rounds: 2,
+            ..CoordinatorOptions::default()
+        },
+    )
+    .expect("coordinator starts");
+    let mut client = Client::connect(&coordinator.addr().to_string()).expect("client connects");
+    for w in &workers {
+        let join = format!(r#"{{"op":"join","addr":"{}"}}"#, w.addr());
+        let (_, _) = sample_ms(&mut client, &join);
+    }
+
+    // Cold tail: full explorations through the fleet dispatch path.
+    let cold_line = format!(
+        "{}{}",
+        &questions[0][..questions[0].len() - 1],
+        r#","no_cache":true}"#
+    );
+    let mut cold: Vec<f64> = (0..FLEET_COLD_RUNS)
+        .map(|_| sample_ms(&mut client, &cold_line).0)
+        .collect();
+
+    // Prime every question once, then measure warm throughput over a
+    // seeded pseudo-random revisit order.
+    for q in questions {
+        let _ = sample_ms(&mut client, q);
+    }
+    let mut rng = 0x5eed_u64 ^ n as u64;
+    let started = Instant::now();
+    for _ in 0..FLEET_WARM_RUNS {
+        let q = &questions[usize::try_from(splitmix(&mut rng)).unwrap_or(0) % questions.len()];
+        let _ = sample_ms(&mut client, q);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    coordinator.join();
+    for w in workers {
+        w.join();
+    }
+    FleetRecord {
+        workers: n,
+        cold_p99_ms: percentile(&mut cold, 99),
+        warm_reqs_per_sec: FLEET_WARM_RUNS as f64 / elapsed,
+    }
+}
+
 fn main() {
     let date = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "unknown".to_string());
     let handle = serve(
-        std::sync::Arc::new(VerifierEngine {
+        Arc::new(VerifierEngine {
             explore_workers: Some(1),
         }),
         ServerOptions {
@@ -94,6 +234,58 @@ fn main() {
     let speedup = cold_ms / warm_ms;
     handle.join();
 
+    // Size each fleet node's cache to half the working set: measure a
+    // representative entry (digest key + op + body bytes) and budget
+    // for FLEET_SET/2 of them, so one node must evict while four hold
+    // the whole set across shards.
+    let questions = fleet_questions();
+    let probe = serve(
+        Arc::new(VerifierEngine {
+            explore_workers: Some(1),
+        }),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            snapshot: None,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("probe server starts");
+    {
+        let mut probe_client =
+            Client::connect(&probe.addr().to_string()).expect("probe client connects");
+        let _ = sample_ms(&mut probe_client, &questions[0]);
+    }
+    let entry_bytes: usize = probe
+        .cache_entries()
+        .iter()
+        .map(|(k, op, body)| k.len() + op.len() + body.len())
+        .sum();
+    probe.join();
+    assert!(entry_bytes > 0, "the probe must have cached one entry");
+    let cache_bytes = entry_bytes * FLEET_SET / 2 + entry_bytes / 2;
+
+    let fleet: Vec<FleetRecord> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| fleet_record(n, &questions, cache_bytes))
+        .collect();
+    let scaling = fleet[2].warm_reqs_per_sec / fleet[0].warm_reqs_per_sec;
+
+    let fleet_records: Vec<String> = fleet
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{
+      "workers": {},
+      "cold_p99_ms": {:.3},
+      "warm_requests": {FLEET_WARM_RUNS},
+      "warm_reqs_per_sec": {:.1}
+    }}"#,
+                r.workers, r.cold_p99_ms, r.warm_reqs_per_sec
+            )
+        })
+        .collect();
+
     println!(
         r#"{{
   "benchmark": "serve_latency",
@@ -110,11 +302,22 @@ fn main() {
       "warm_median_ms": {warm_ms:.3},
       "speedup": {speedup:.1}
     }}
-  ]
-}}"#
+  ],
+  "fleet_methodology": "A coordinator (spi fleet) fronts 1/2/4 spi serve workers over loopback; requests shard by content digest on a consistent-hash ring. The working set is {FLEET_SET} distinct pm2-vs-pm verify questions (visible bound 3..{FLEET_SET_END}) and every worker cache budget holds only half of it, so this single-core box measures aggregate cache capacity, not CPU parallelism: one node keeps evicting and re-exploring under a seeded pseudo-random revisit order, four nodes hold the whole set across shards. cold_p99_ms is the p99 of {FLEET_COLD_RUNS} no_cache=true requests through the dispatch path; warm_reqs_per_sec is {FLEET_WARM_RUNS} pseudo-random requests after one priming pass, timed end to end on one client connection. warm_scaling_1_to_4 must be >= 1.5.",
+  "fleet_records": [
+{fleet_rows}
+  ],
+  "warm_scaling_1_to_4": {scaling:.2}
+}}"#,
+        FLEET_SET_END = 3 + FLEET_SET,
+        fleet_rows = fleet_records.join(",\n"),
     );
     assert!(
         speedup >= 10.0,
         "expected >=10x warm-vs-cold, measured {speedup:.1}x"
+    );
+    assert!(
+        scaling >= 1.5,
+        "expected >=1.5x warm throughput from 1 to 4 workers, measured {scaling:.2}x"
     );
 }

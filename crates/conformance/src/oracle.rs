@@ -3,8 +3,8 @@
 //! An [`Oracle`] is a differential property every well-formed
 //! specification must satisfy: two engine paths that claim to compute the
 //! same thing are run side by side and any disagreement is a [`Verdict::Fail`].
-//! The built-in suite covers the six seams where the workspace maintains
-//! redundant machinery:
+//! The built-in suite covers the seven seams where the workspace
+//! maintains redundant machinery:
 //!
 //! * **roundtrip** — the exact printer against the parser;
 //! * **workers** — the parallel frontier against the sequential engine;
@@ -14,13 +14,19 @@
 //!   reference stepper and the explorer's state count;
 //! * **checkpoint** — a kill/resume campaign against an uninterrupted one;
 //! * **server** — an in-process `spi serve` daemon against a direct
-//!   [`spi_verify::Verifier`] run, including the cache-hit replay.
+//!   [`spi_verify::Verifier`] run, including the cache-hit replay;
+//! * **fleet** — a coordinator fronting two workers under a seeded
+//!   chaos plan (a worker is killed mid-sequence) against the same
+//!   direct run: re-dispatch and degradation must never change a byte
+//!   of the verdict body.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use spi_semantics::refstep::{reachable, CloneMode};
-use spi_server::{serve, verify_body, Client, ServerOptions, VerifierEngine};
+use spi_server::{
+    coordinate, serve, verify_body, Client, CoordinatorOptions, ServerOptions, VerifierEngine,
+};
 use spi_verify::jsonlite::Json;
 use spi_verify::{
     run_campaign, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer, Verifier,
@@ -128,6 +134,7 @@ pub fn builtin_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(CowState),
         Box::new(Checkpoint),
         Box::new(Server),
+        Box::new(Fleet),
     ]
 }
 
@@ -519,6 +526,180 @@ impl Oracle for Server {
     }
 }
 
+/// Fleet verdicts against direct ones: a coordinator fronting two
+/// workers — with a case-seeded chaos plan killing one of them early in
+/// the request sequence — must answer every repetition of a verify
+/// request with exactly the body a direct [`Verifier`] run encodes.
+/// Routing, re-dispatch past the dead worker, cache hits on the
+/// survivor, and local degradation are all invisible in the bytes.
+struct Fleet;
+
+impl Fleet {
+    fn check_inner(case: &TestCase, env: &OracleEnv) -> Verdict {
+        let budget_spec = format!("states={}", env.max_states.min(2_000));
+        let Ok(budget) = Budget::parse_spec(&budget_spec) else {
+            return Verdict::Skip("budget spec did not parse".into());
+        };
+        let visible = 4usize;
+        let verifier = Verifier::new(case.channels.iter().map(String::as_str))
+            .sessions(env.unfold_bound)
+            .max_visible(visible)
+            .budget(budget)
+            .workers(1)
+            .no_intruder();
+        let report = match verifier.check(&case.concrete, &case.spec) {
+            Ok(r) => r,
+            Err(e) => return Verdict::Skip(format!("direct check failed: {e}")),
+        };
+        let direct = verify_body(&report).render_compact();
+
+        let engine = || {
+            Arc::new(VerifierEngine {
+                explore_workers: Some(1),
+            })
+        };
+        let worker_opts = || ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_bytes: 1 << 20,
+            snapshot: None,
+            queue_cap: 8,
+            default_timeout_secs: None,
+        };
+        let workers = [
+            serve(engine(), worker_opts()),
+            serve(engine(), worker_opts()),
+        ];
+        let mut handles = Vec::new();
+        for w in workers {
+            match w {
+                Ok(h) => handles.push(h),
+                Err(e) => return Verdict::Skip(format!("cannot start worker: {e}")),
+            }
+        }
+        let coordinator = match coordinate(
+            engine(),
+            CoordinatorOptions {
+                addr: "127.0.0.1:0".into(),
+                // A short horizon puts the plan's opening worker kill
+                // within the first two requests, deterministically per
+                // case.
+                chaos: Some(case.seed ^ case.index),
+                chaos_horizon: 6,
+                heartbeat_ms: 50,
+                fail_after_ms: 60_000,
+                connect_timeout_ms: 500,
+                read_timeout_ms: 30_000,
+                hedge_after_ms: 5_000,
+                retry_rounds: 2,
+                ..CoordinatorOptions::default()
+            },
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                for h in handles {
+                    h.join();
+                }
+                return Verdict::Skip(format!("cannot start coordinator: {e}"));
+            }
+        };
+        let request = Json::Obj(vec![
+            ("op".to_string(), Json::str("verify")),
+            ("concrete".into(), Json::str(case.concrete.to_string())),
+            ("abstract".into(), Json::str(case.spec.to_string())),
+            (
+                "channels".into(),
+                Json::str_arr(case.channels.iter().cloned()),
+            ),
+            ("sessions".into(), Json::count(env.unfold_bound as usize)),
+            ("visible".into(), Json::count(visible)),
+            ("budget".into(), Json::str(budget_spec)),
+            ("intruder".into(), Json::Bool(false)),
+        ])
+        .render_compact();
+        let verdict = Fleet::rides_out_chaos(&coordinator, &handles, &request, &direct);
+        coordinator.join();
+        for h in handles {
+            h.join();
+        }
+        verdict
+    }
+
+    fn rides_out_chaos(
+        coordinator: &spi_server::CoordinatorHandle,
+        workers: &[spi_server::ServerHandle],
+        request: &str,
+        direct: &str,
+    ) -> Verdict {
+        let addr = coordinator.addr().to_string();
+        let mut client = match Client::connect(&addr) {
+            Ok(c) => c,
+            Err(e) => return Verdict::Skip(format!("cannot connect: {e}")),
+        };
+        for w in workers {
+            let join = format!(r#"{{"op":"join","addr":"{}"}}"#, w.addr());
+            if client.roundtrip(&join).is_err() {
+                return Verdict::Skip("cannot join workers".into());
+            }
+        }
+        // Enough repetitions to straddle the chaos plan's worker kill:
+        // fresh compute, survivor re-dispatch, and cache hits must all
+        // produce the same bytes.
+        for round in 0..4 {
+            let line = match client.roundtrip(request) {
+                Ok(l) => l,
+                Err(e) => return Verdict::Skip(format!("round {round} roundtrip failed: {e}")),
+            };
+            let response = match Json::parse(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Verdict::Fail(format!(
+                        "round {round} response is not JSON: {e} (`{line}`)"
+                    ))
+                }
+            };
+            match response.get("status").and_then(Json::as_str) {
+                Some("ok") => {}
+                Some("error") => {
+                    return Verdict::Fail(format!(
+                        "fleet answered error where the direct run succeeded: {}",
+                        response
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .unwrap_or("<no reason>")
+                    ));
+                }
+                other => return Verdict::Skip(format!("round {round} response status {other:?}")),
+            }
+            let Some(body) = response.get("body") else {
+                return Verdict::Fail(format!("round {round} response has no body"));
+            };
+            if body.render_compact() != direct {
+                return Verdict::Fail(format!(
+                    "fleet verdict differs from the direct run in round {round}:\n  \
+                     fleet:  {}\n  direct: {direct}",
+                    body.render_compact()
+                ));
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+impl Oracle for Fleet {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+
+    fn stride(&self) -> usize {
+        8
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        Fleet::check_inner(case, env)
+    }
+}
+
 fn compare_reports(full: &CampaignReport, resumed: &CampaignReport) -> Verdict {
     if full.identity != resumed.identity {
         return Verdict::Fail(format!(
@@ -588,6 +769,25 @@ mod tests {
     fn the_server_oracle_is_builtin() {
         assert!(builtin_names().contains(&"server"));
         assert!(oracle_by_name("server").is_some());
+    }
+
+    #[test]
+    fn the_fleet_oracle_is_builtin() {
+        assert!(builtin_names().contains(&"fleet"));
+        assert!(oracle_by_name("fleet").is_some());
+    }
+
+    #[test]
+    fn the_fleet_oracle_agrees_under_chaos() {
+        let p = parse("(^m)c<m>|c(x).observe<x>").expect("parses");
+        let verdict = check_process(
+            &Fleet,
+            &p,
+            None,
+            &["c".to_string()],
+            &OracleEnv::default(),
+        );
+        assert_eq!(verdict, Verdict::Pass);
     }
 
     #[test]

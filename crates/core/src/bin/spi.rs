@@ -26,8 +26,19 @@
 //!           [--cache-bytes N] [--snapshot FILE] (newline-delimited JSON
 //!           [--queue N] [--timeout-secs S]      over TCP); stdin-close or
 //!           [--explore-workers N]               a shutdown request drains
+//!           [--join COORD] [--advertise ADDR]   join a fleet: heartbeat the
+//!           [--heartbeat-ms N]                  coordinator, gossip-warm on
+//!                                               (re)join
+//! spi fleet [--addr HOST:PORT] [--quorum N]   run a fleet coordinator that
+//!           [--unit-size N] [--hedge-ms N]      shards requests over joined
+//!           [--heartbeat-ms N] [--fail-after-ms N]  workers by content
+//!           [--retry-rounds N] [--chaos SEED]   digest, splitting campaigns
+//!           [--chaos-horizon N] [--explore-workers N]  into work units
 //! spi client [--addr HOST:PORT] [REQUEST]...  send request lines (args or
-//!                                             stdin) and print responses
+//!            [--connect-timeout MS] [--read-timeout MS]  stdin) and print
+//!            [--retries N] [--backoff-ms N]    responses; bare words like
+//!            [--fallback local|off]            `ping`/`stats`/`shutdown`
+//!                                              expand to request lines
 //! ```
 //!
 //! `--budget` dimensions: `states`, `transitions`, `fuel`, `knowledge`,
@@ -40,10 +51,24 @@
 //! `--verify-keys on` makes every exploration intern states by their
 //! full canonical strings alongside the hashed keys, panicking on any
 //! disagreement.  `spi conformance` oracles: `roundtrip`, `workers`,
-//! `hashkeys`, `cowstate`, `checkpoint`, `server`.  `spi verify` and
+//! `hashkeys`, `cowstate`, `checkpoint`, `server`, `fleet`.  `spi
+//! verify` and
 //! `spi campaign` accept `--format text|json`; the JSON shapes are the
 //! exact bodies the daemon serves, so scripts see one schema either
 //! way.
+//!
+//! A **fleet** is one `spi fleet` coordinator plus any number of
+//! `spi serve --join` workers.  Clients talk to the coordinator with
+//! the unchanged single-node protocol; behind it, requests shard over
+//! a consistent-hash ring, campaigns split into re-dispatchable work
+//! units, failures are detected by heartbeat and dial errors, slow
+//! workers are hedged, and on quorum loss the coordinator answers from
+//! its own local engine (`"via":"local"` in the envelope).  `--chaos
+//! SEED` makes the coordinator drill itself with a deterministic fault
+//! plan.  `spi client --fallback local` gives scripts the same
+//! degradation: when the server stays unreachable after `--retries`
+//! attempts with exponential backoff, the job runs in-process and the
+//! response prints as usual.
 //!
 //! Exit codes: 0 — verified / success; 1 — attack found, failed parse,
 //! or conformance failures; 2 — usage error; 3 — inconclusive (a
@@ -84,6 +109,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "conformance" => cmd_conformance(&args[1..]),
         "paper" => cmd_paper(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "client" => cmd_client(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -107,8 +133,13 @@ fn print_usage() {
          [--oracles NAME,...] [--regressions DIR] [--unfold N] [--max-states N]\n  \
          spi paper [--sessions N]\n  \
          spi serve [--addr HOST:PORT] [--workers N] [--cache-bytes N] [--snapshot FILE]\n    \
-         [--queue N] [--timeout-secs S] [--explore-workers N]\n  \
-         spi client [--addr HOST:PORT] [REQUEST]..."
+         [--queue N] [--timeout-secs S] [--explore-workers N]\n    \
+         [--join COORD] [--advertise ADDR] [--heartbeat-ms N]\n  \
+         spi fleet [--addr HOST:PORT] [--quorum N] [--unit-size N] [--hedge-ms N]\n    \
+         [--heartbeat-ms N] [--fail-after-ms N] [--retry-rounds N]\n    \
+         [--chaos SEED] [--chaos-horizon N] [--explore-workers N]\n  \
+         spi client [--addr HOST:PORT] [--connect-timeout MS] [--read-timeout MS]\n    \
+         [--retries N] [--backoff-ms N] [--fallback local|off] [REQUEST]..."
     );
 }
 
@@ -630,6 +661,18 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let engine = std::sync::Arc::new(FullEngine::new(Some(explore_workers.max(1))));
     let handle = serve(engine, opts)?;
     println!("spi-serve: listening on {}", handle.addr());
+    if let Some(coordinator) = flag(&flags, "join") {
+        let coordinator = coordinator.to_string();
+        // What the coordinator should dial back: defaults to the bound
+        // address, overridable when that is not reachable from outside
+        // (e.g. bound to 0.0.0.0 behind a specific interface).
+        let advertise = flag(&flags, "advertise")
+            .map(ToString::to_string)
+            .unwrap_or_else(|| handle.addr().to_string());
+        let every_ms: u64 = numeric_flag(&flags, "heartbeat-ms", 200)?;
+        let cache = handle.cache_handle();
+        std::thread::spawn(move || heartbeat_loop(&coordinator, &advertise, every_ms, &cache));
+    }
     // Drain triggers: a `shutdown` request over the wire, or stdin
     // closing (the supervisor-friendly stand-in for SIGTERM — run the
     // daemon with a piped stdin and close it to drain).
@@ -645,15 +688,217 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+/// Heartbeats the coordinator until the local server drains.  A
+/// `rejoined` acknowledgement (first contact, or first contact after
+/// the coordinator lost us) triggers a gossip pull from every listed
+/// peer, so a restarted worker's first repeated question is already a
+/// cache hit.
+fn heartbeat_loop(
+    coordinator: &str,
+    advertise: &str,
+    every_ms: u64,
+    cache: &spi_auth::server::CacheHandle,
+) {
+    use spi_auth::server::{pull_from, Client};
+    use spi_auth::verify::jsonlite::Json;
+    let connect = std::time::Duration::from_millis(1000);
+    let line = format!(r#"{{"op":"join","addr":"{advertise}"}}"#);
+    while !cache.draining() {
+        let reply = Client::connect_with(coordinator, Some(connect))
+            .and_then(|mut c| c.roundtrip(&line));
+        if let Ok(reply) = reply {
+            let body = Json::parse(&reply).ok().and_then(|v| v.get("body").cloned());
+            let rejoined = body
+                .as_ref()
+                .and_then(|b| b.get("rejoined").and_then(Json::as_bool))
+                == Some(true);
+            if rejoined {
+                let peers: Vec<String> = body
+                    .as_ref()
+                    .and_then(|b| b.get("peers").and_then(Json::as_arr))
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(|p| p.as_str().map(str::to_owned))
+                    .collect();
+                for peer in peers {
+                    match pull_from(&peer, connect, std::time::Duration::from_secs(30)) {
+                        Ok(entries) if !entries.is_empty() => {
+                            let n = cache.absorb(entries);
+                            eprintln!("spi-serve: warmed {n} cache entries from {peer}");
+                        }
+                        Ok(_) => {}
+                        Err(e) => eprintln!("spi-serve: gossip with {peer} failed: {e}"),
+                    }
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(every_ms));
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> Result<ExitCode, String> {
+    use spi_auth::server::{coordinate, CoordinatorOptions, FullEngine};
+    let (pos, flags) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!("fleet takes no positional arguments, got {pos:?}"));
+    }
+    let mut opts = CoordinatorOptions::default();
+    if let Some(addr) = flag(&flags, "addr") {
+        opts.addr = addr.into();
+    }
+    opts.quorum = numeric_flag(&flags, "quorum", opts.quorum)?;
+    opts.heartbeat_ms = numeric_flag(&flags, "heartbeat-ms", opts.heartbeat_ms)?;
+    opts.fail_after_ms = numeric_flag(&flags, "fail-after-ms", opts.fail_after_ms)?;
+    opts.unit_size = numeric_flag(&flags, "unit-size", opts.unit_size)?;
+    opts.hedge_after_ms = numeric_flag(&flags, "hedge-ms", opts.hedge_after_ms)?;
+    opts.connect_timeout_ms = numeric_flag(&flags, "connect-timeout", opts.connect_timeout_ms)?;
+    opts.read_timeout_ms = numeric_flag(&flags, "read-timeout", opts.read_timeout_ms)?;
+    opts.retry_rounds = numeric_flag(&flags, "retry-rounds", opts.retry_rounds)?;
+    if flag(&flags, "chaos").is_some() {
+        opts.chaos = Some(numeric_flag(&flags, "chaos", 0u64)?);
+    }
+    opts.chaos_horizon = numeric_flag(&flags, "chaos-horizon", opts.chaos_horizon)?;
+    // The coordinator's own engine only runs under quorum loss (and
+    // for stray campaign units no worker would take).
+    let explore_workers: usize = numeric_flag(&flags, "explore-workers", 1)?;
+    let engine = std::sync::Arc::new(FullEngine::new(Some(explore_workers.max(1))));
+    let handle = coordinate(engine, opts)?;
+    println!("spi-fleet: coordinating on {}", handle.addr());
+    let drainer = handle.shutdown_handle();
+    std::thread::spawn(move || {
+        use std::io::Read as _;
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().lock().read_to_end(&mut sink);
+        drainer.shutdown();
+    });
+    handle.join_on_drain();
+    eprintln!("spi-fleet: drained");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Transport settings for [`cmd_client`]: where to dial, how patiently,
+/// and what to do when the server stays unreachable.
+struct ClientNet {
+    addr: String,
+    connect_timeout: Option<std::time::Duration>,
+    read_timeout: Option<std::time::Duration>,
+    retries: usize,
+    backoff_ms: u64,
+    fallback_local: bool,
+}
+
+/// Sends one request line with reconnect-on-failure and exponential
+/// backoff, reusing `cached` (an open connection) across calls.
+fn client_send(
+    net: &ClientNet,
+    cached: &mut Option<spi_auth::server::Client>,
+    line: &str,
+) -> Result<String, String> {
     use spi_auth::server::Client;
+    let mut backoff = std::time::Duration::from_millis(net.backoff_ms.max(1));
+    let mut last_err = String::new();
+    for attempt in 0..=net.retries {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        if cached.is_none() {
+            match Client::connect_with(&net.addr, net.connect_timeout) {
+                Ok(mut c) => {
+                    if let Err(e) = c.read_timeout(net.read_timeout) {
+                        last_err = e;
+                        continue;
+                    }
+                    *cached = Some(c);
+                }
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            }
+        }
+        match cached.as_mut().expect("connected above").roundtrip(line) {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                // The connection is suspect; reconnect on the retry.
+                last_err = e;
+                *cached = None;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// Runs a job request on an in-process engine — the client's graceful
+/// degradation when the server stays unreachable (`--fallback local`).
+/// The response envelope matches the daemon's, marked `"via":"local"`.
+fn run_job_locally(line: &str) -> Result<String, String> {
+    use spi_auth::server::{
+        error_response, ok_response, parse_request, Engine, FullEngine, Request, RunControl,
+    };
+    use spi_auth::verify::jsonlite::Json;
+    let Request::Job(job) = parse_request(line)? else {
+        return Err("only verify/campaign/replay requests can fall back to local".into());
+    };
+    let digest = job.digest()?;
+    let op = job.mode.keyword();
+    let ctl = RunControl {
+        deadline: job
+            .timeout_secs
+            .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s)),
+        cancel: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+    };
+    let envelope = match FullEngine::new(Some(1)).run(&job, &ctl).body {
+        Ok(body) => {
+            let mut env = ok_response(op, Some(&digest), false, body);
+            if let Json::Obj(fields) = &mut env {
+                fields.push(("via".to_string(), Json::str("local")));
+            }
+            env
+        }
+        Err(e) => error_response(op, &e),
+    };
+    Ok(envelope.render_compact())
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
     use spi_auth::verify::jsonlite::Json;
     let (pos, flags) = split_flags(args)?;
-    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7970");
-    let mut client = Client::connect(addr)?;
+    let net = ClientNet {
+        addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7970").to_string(),
+        connect_timeout: Some(std::time::Duration::from_millis(
+            numeric_flag(&flags, "connect-timeout", 2000u64)?.max(1),
+        )),
+        read_timeout: match numeric_flag(&flags, "read-timeout", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
+        retries: numeric_flag(&flags, "retries", 2usize)?,
+        backoff_ms: numeric_flag(&flags, "backoff-ms", 50)?,
+        fallback_local: match flag(&flags, "fallback") {
+            None | Some("off") => false,
+            Some("local") => true,
+            Some(other) => return Err(format!("--fallback expects local|off, got {other:?}")),
+        },
+    };
+    let mut cached = None;
     let mut all_ok = true;
-    let roundtrip = |client: &mut Client, line: &str| -> Result<bool, String> {
-        let response = client.roundtrip(line)?;
+    let mut send = |line: &str| -> Result<bool, String> {
+        // Bare words are request sugar: `spi client stats` asks for
+        // `{"op":"stats"}`.
+        let line = if line.trim_start().starts_with('{') {
+            line.to_string()
+        } else {
+            format!(r#"{{"op":"{}"}}"#, line.trim())
+        };
+        let response = match client_send(&net, &mut cached, &line) {
+            Ok(r) => r,
+            Err(e) if net.fallback_local => {
+                eprintln!("spi-client: {} unreachable ({e}); running locally", net.addr);
+                run_job_locally(&line)?
+            }
+            Err(e) => return Err(format!("cannot reach {}: {e}", net.addr)),
+        };
         println!("{response}");
         Ok(Json::parse(&response)
             .ok()
@@ -667,11 +912,11 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
             if line.trim().is_empty() {
                 continue;
             }
-            all_ok &= roundtrip(&mut client, &line)?;
+            all_ok &= send(&line)?;
         }
     } else {
         for line in pos {
-            all_ok &= roundtrip(&mut client, line)?;
+            all_ok &= send(line)?;
         }
     }
     Ok(if all_ok {

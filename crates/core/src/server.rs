@@ -9,9 +9,11 @@
 //! the response body.
 
 pub use spi_server::{
-    campaign_body, error_response, ok_response, oneshot, parse_request, rejected_response, serve,
-    verify_body, Client, Engine, EngineOutcome, JobRequest, Mode, Request, ResultCache,
-    RunControl, ServerHandle, ServerOptions, ShutdownHandle, Singleflight, VerifierEngine,
+    campaign_body, coordinate, error_response, ok_response, oneshot, parse_request, pull_from,
+    rejected_response, serve, verify_body, CacheHandle, ChaosEvent, ChaosPlan, Client,
+    CoordinatorHandle, CoordinatorOptions, CoordinatorShutdown, Engine, EngineOutcome, JobRequest,
+    Membership, Mode, Request, ResultCache, Ring, RunControl, ServerHandle, ServerOptions,
+    ShutdownHandle, Singleflight, VerifierEngine,
 };
 
 use std::sync::Mutex;
@@ -135,6 +137,7 @@ mod tests {
             oracles: oracles.iter().map(ToString::to_string).collect(),
             timeout_secs: None,
             no_cache: false,
+            unit: None,
         }
     }
 

@@ -2,7 +2,7 @@
 //! conformance oracle, and the CI smoke tests).
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A persistent connection to a running server.
@@ -20,8 +20,40 @@ impl Client {
     /// Fails when the address does not resolve or the connection is
     /// refused.
     pub fn connect(addr: &str) -> Result<Client, String> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        Client::connect_with(addr, None)
+    }
+
+    /// Connects with an optional connect timeout.  Without one, a
+    /// black-holed address (a partitioned coordinator whose SYNs
+    /// vanish) hangs until the OS gives up — minutes; with one, the
+    /// caller's retry/fallback logic gets control back promptly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address does not resolve, the connection is
+    /// refused, or the timeout elapses.
+    pub fn connect_with(addr: &str, connect_timeout: Option<Duration>) -> Result<Client, String> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?,
+            Some(limit) => {
+                let resolved = addr
+                    .to_socket_addrs()
+                    .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+                    .collect::<Vec<_>>();
+                let mut last = format!("cannot resolve {addr}: no addresses");
+                let mut connected = None;
+                for sock in resolved {
+                    match TcpStream::connect_timeout(&sock, limit) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = format!("cannot connect to {addr}: {e}"),
+                    }
+                }
+                connected.ok_or(last)?
+            }
+        };
         // One-line request/response turns: Nagle + delayed ACK would
         // add ~40ms stalls per turn.
         let _ = stream.set_nodelay(true);

@@ -1,0 +1,773 @@
+//! The fleet coordinator: sharded routing with failure handling.
+//!
+//! A coordinator speaks the *same* newline-delimited JSON protocol as
+//! a single `spi serve` worker — clients need not know which they are
+//! talking to.  Behind the socket it routes each job by content
+//! digest to a worker on a consistent-hash [`Ring`], so each worker's
+//! result cache holds a distinct shard of the question space:
+//!
+//! ```text
+//! client ──▶ coordinator ──digest──▶ ring ──▶ worker A (cache shard A)
+//!                 │                    ├────▶ worker B (cache shard B)
+//!                 │ campaign           └────▶ worker C (cache shard C)
+//!                 ▼
+//!          split into work units ──▶ dispatcher per worker (work-stealing
+//!          queue; a dead worker's units re-dispatch — content-addressed,
+//!          so a retry is idempotent) ──▶ stitch unit reports back together
+//! ```
+//!
+//! Failure handling, in order of escalation:
+//! * a **rejected** answer (queue full, draining) tries the next ring
+//!   candidate — exactly the node the key would move to if the first
+//!   died;
+//! * a **dial or read failure** marks the worker dead immediately and
+//!   moves on; heartbeat sweeps catch silent deaths between requests;
+//! * a **slow** worker gets a hedged second request to the next
+//!   candidate once the wait passes the observed p99 dispatch latency
+//!   (never below the configured floor), first answer wins;
+//! * **quorum loss** degrades gracefully: the coordinator runs the job
+//!   on its own local engine, marking the envelope `"via":"local"`.
+//!
+//! With `--chaos <seed>` the coordinator injects a deterministic
+//! [`ChaosPlan`] against itself (worker kills, heartbeat deafness,
+//! partitioned dials) — same seed, same failures, same points in the
+//! request sequence.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spi_semantics::FaultKind;
+use spi_verify::faultsim::multi_fault_schedules;
+use spi_verify::jsonlite::Json;
+
+use crate::chaos::{ChaosEvent, ChaosPlan};
+use crate::client::Client;
+use crate::protocol::{
+    error_response, ok_response, parse_request, JobRequest, Mode, Request,
+};
+use crate::service::{read_line_capped, Engine, Histogram, RunControl};
+use crate::shard::Ring;
+use crate::Membership;
+
+/// Coordinator configuration (the `spi fleet` flags).
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Minimum alive workers for fleet routing; below it, jobs run on
+    /// the coordinator's local engine.
+    pub quorum: usize,
+    /// Failure-detection sweep interval.
+    pub heartbeat_ms: u64,
+    /// A worker whose last heartbeat is older than this is dead.
+    pub fail_after_ms: u64,
+    /// Schedules per campaign work unit.
+    pub unit_size: usize,
+    /// Hedged-request floor: a second request goes to the next ring
+    /// candidate after `max(this, observed p99 dispatch latency)`.
+    pub hedge_after_ms: u64,
+    /// Worker dial timeout.
+    pub connect_timeout_ms: u64,
+    /// Worker response timeout.
+    pub read_timeout_ms: u64,
+    /// Full retry rounds (with exponential backoff) across the ring
+    /// before degrading to local execution.
+    pub retry_rounds: usize,
+    /// Chaos seed; `None` runs without injected fleet faults.
+    pub chaos: Option<u64>,
+    /// Request horizon a chaos plan is expanded over.
+    pub chaos_horizon: usize,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> CoordinatorOptions {
+        CoordinatorOptions {
+            addr: "127.0.0.1:7971".into(),
+            quorum: 1,
+            heartbeat_ms: 200,
+            fail_after_ms: 1500,
+            unit_size: 4,
+            hedge_after_ms: 500,
+            connect_timeout_ms: 1000,
+            read_timeout_ms: 120_000,
+            retry_rounds: 3,
+            chaos: None,
+            chaos_horizon: 64,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChaosState {
+    /// Heartbeats are ignored while the request counter is below this.
+    deaf_until: u64,
+    /// `(worker, until request index)` active one-way partitions.
+    partitions: Vec<(String, u64)>,
+}
+
+struct Coord {
+    engine: Arc<dyn Engine>,
+    opts: CoordinatorOptions,
+    addr: SocketAddr,
+    members: Membership,
+    draining: AtomicBool,
+    cancel: Arc<AtomicBool>,
+    requests: AtomicU64,
+    routed: AtomicU64,
+    local_runs: AtomicU64,
+    retried: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    redispatched: AtomicU64,
+    dispatch_latency: Histogram,
+    chaos: Option<ChaosPlan>,
+    chaos_state: Mutex<ChaosState>,
+}
+
+/// A running coordinator.  Like [`crate::ServerHandle`], dropping it
+/// does not stop the node; call [`CoordinatorHandle::join`].
+pub struct CoordinatorHandle {
+    coord: Arc<Coord>,
+    acceptor: JoinHandle<()>,
+    sweeper: JoinHandle<()>,
+}
+
+impl CoordinatorHandle {
+    /// The bound listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.coord.addr
+    }
+
+    /// Alive worker addresses, sorted.
+    #[must_use]
+    pub fn workers(&self) -> Vec<String> {
+        self.coord.members.alive()
+    }
+
+    /// Begins a graceful drain.  Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        trigger_drain(&self.coord);
+    }
+
+    /// Whether a drain has been triggered.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.coord.draining.load(Ordering::SeqCst)
+    }
+
+    /// A cheap handle another thread can use to trigger the drain.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> CoordinatorShutdown {
+        CoordinatorShutdown {
+            coord: Arc::clone(&self.coord),
+        }
+    }
+
+    /// Blocks until something triggers the drain, then joins.
+    pub fn join_on_drain(self) {
+        while !self.draining() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Drains and waits for the acceptor and sweeper to finish.
+    pub fn join(self) {
+        self.shutdown();
+        let _ = self.acceptor.join();
+        let _ = self.sweeper.join();
+    }
+}
+
+/// Triggers a coordinator's drain from any thread.
+pub struct CoordinatorShutdown {
+    coord: Arc<Coord>,
+}
+
+impl CoordinatorShutdown {
+    /// Begins the graceful drain.  Idempotent.
+    pub fn shutdown(&self) {
+        trigger_drain(&self.coord);
+    }
+}
+
+fn trigger_drain(coord: &Arc<Coord>) {
+    if coord.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    coord.cancel.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(coord.addr);
+}
+
+/// Starts a coordinator.  Workers announce themselves afterwards with
+/// `{"op":"join","addr":…}` heartbeats.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound.
+pub fn coordinate(
+    engine: Arc<dyn Engine>,
+    opts: CoordinatorOptions,
+) -> Result<CoordinatorHandle, String> {
+    let listener = TcpListener::bind(&opts.addr)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let chaos = opts.chaos.map(|seed| ChaosPlan::generate(seed, opts.chaos_horizon));
+    if let Some(plan) = &chaos {
+        eprintln!(
+            "spi-fleet: chaos plan {}",
+            plan.to_json().render_compact()
+        );
+    }
+    let coord = Arc::new(Coord {
+        engine,
+        addr,
+        members: Membership::new(),
+        draining: AtomicBool::new(false),
+        cancel: Arc::new(AtomicBool::new(false)),
+        requests: AtomicU64::new(0),
+        routed: AtomicU64::new(0),
+        local_runs: AtomicU64::new(0),
+        retried: AtomicU64::new(0),
+        hedges: AtomicU64::new(0),
+        hedge_wins: AtomicU64::new(0),
+        redispatched: AtomicU64::new(0),
+        dispatch_latency: Histogram::default(),
+        chaos,
+        chaos_state: Mutex::new(ChaosState::default()),
+        opts,
+    });
+
+    let sweeper = {
+        let coord = Arc::clone(&coord);
+        std::thread::spawn(move || {
+            while !coord.draining.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(coord.opts.heartbeat_ms));
+                let _ = coord
+                    .members
+                    .sweep(Duration::from_millis(coord.opts.fail_after_ms));
+            }
+        })
+    };
+
+    let acceptor = {
+        let coord = Arc::clone(&coord);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if coord.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let coord = Arc::clone(&coord);
+                std::thread::spawn(move || handle_connection(&coord, stream));
+            }
+        })
+    };
+
+    Ok(CoordinatorHandle {
+        coord,
+        acceptor,
+        sweeper,
+    })
+}
+
+fn handle_connection(coord: &Arc<Coord>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let response = match read_line_capped(&mut reader) {
+            Err(_) | Ok(None) => break,
+            Ok(Some(Err(reason))) => error_response("request", &reason).render_compact(),
+            Ok(Some(Ok(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(coord, &line)
+            }
+        };
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_line(coord: &Arc<Coord>, line: &str) -> String {
+    match parse_request(line) {
+        Err(e) => error_response("request", &e).render_compact(),
+        Ok(Request::Ping) => ok_response("ping", None, false, Json::Obj(vec![])).render_compact(),
+        Ok(Request::Stats) => stats_response(coord).render_compact(),
+        Ok(Request::Shutdown) => {
+            trigger_drain(coord);
+            ok_response("shutdown", None, false, Json::Obj(vec![])).render_compact()
+        }
+        Ok(Request::Gossip) => error_response(
+            "gossip",
+            "the coordinator holds no result cache; gossip with a worker",
+        )
+        .render_compact(),
+        Ok(Request::Join { addr }) => handle_join(coord, &addr).render_compact(),
+        Ok(Request::Job(job)) => handle_job(coord, &job),
+    }
+}
+
+fn handle_join(coord: &Arc<Coord>, addr: &str) -> Json {
+    let idx = coord.requests.load(Ordering::SeqCst);
+    let deaf = coord
+        .chaos_state
+        .lock()
+        .expect("chaos lock")
+        .deaf_until
+        > idx;
+    if deaf {
+        // A dropped heartbeat answers ok (the worker cannot tell) but
+        // leaves the membership table untouched, so failure detection
+        // fires on perfectly healthy workers — the point of the drill.
+        return ok_response(
+            "join",
+            None,
+            false,
+            Json::Obj(vec![("ignored".to_string(), Json::Bool(true))]),
+        );
+    }
+    let rejoined = coord.members.heartbeat(addr);
+    let peers: Vec<String> = coord
+        .members
+        .alive()
+        .into_iter()
+        .filter(|a| a != addr)
+        .collect();
+    ok_response(
+        "join",
+        None,
+        false,
+        Json::Obj(vec![
+            ("rejoined".to_string(), Json::Bool(rejoined)),
+            ("peers".to_string(), Json::str_arr(peers)),
+        ]),
+    )
+}
+
+fn stats_response(coord: &Arc<Coord>) -> Json {
+    let (alive, dead) = coord.members.counts();
+    let load = |c: &AtomicU64| Json::count(usize::try_from(c.load(Ordering::SeqCst)).unwrap_or(0));
+    let mut fields = vec![
+        ("role".to_string(), Json::str("coordinator")),
+        ("workers_alive".to_string(), Json::count(alive)),
+        ("workers_dead".to_string(), Json::count(dead)),
+        ("requests".to_string(), load(&coord.requests)),
+        ("routed".to_string(), load(&coord.routed)),
+        ("local_runs".to_string(), load(&coord.local_runs)),
+        ("retried".to_string(), load(&coord.retried)),
+        ("hedges".to_string(), load(&coord.hedges)),
+        ("hedge_wins".to_string(), load(&coord.hedge_wins)),
+        ("redispatched".to_string(), load(&coord.redispatched)),
+        ("dispatch_latency".to_string(), coord.dispatch_latency.to_json()),
+        (
+            "draining".to_string(),
+            Json::Bool(coord.draining.load(Ordering::SeqCst)),
+        ),
+    ];
+    if let Some(plan) = &coord.chaos {
+        fields.push(("chaos".to_string(), plan.to_json()));
+    }
+    ok_response("stats", None, false, Json::Obj(fields))
+}
+
+/// Applies every chaos event scheduled at this request index.
+fn apply_chaos(coord: &Arc<Coord>, idx: u64) {
+    let Some(plan) = &coord.chaos else { return };
+    let events: Vec<ChaosEvent> = plan
+        .at(usize::try_from(idx).unwrap_or(usize::MAX))
+        .cloned()
+        .collect();
+    for event in events {
+        match event {
+            ChaosEvent::KillWorker { victim } => {
+                let alive = coord.members.alive();
+                if alive.is_empty() {
+                    continue;
+                }
+                let target = &alive[victim % alive.len()];
+                eprintln!("spi-fleet: chaos kills {target} at request {idx}");
+                // A real kill: the worker drains and exits; its
+                // in-flight work answers `rejected` and re-dispatches.
+                if let Ok(mut c) = Client::connect_with(
+                    target,
+                    Some(Duration::from_millis(coord.opts.connect_timeout_ms)),
+                ) {
+                    let _ = c.roundtrip(r#"{"op":"shutdown"}"#);
+                }
+                coord.members.mark_dead(target);
+            }
+            ChaosEvent::DropHeartbeats { requests } => {
+                let mut state = coord.chaos_state.lock().expect("chaos lock");
+                state.deaf_until = idx + u64::try_from(requests).unwrap_or(0);
+            }
+            ChaosEvent::Partition { victim, requests } => {
+                let alive = coord.members.alive();
+                if alive.is_empty() {
+                    continue;
+                }
+                let target = alive[victim % alive.len()].clone();
+                let mut state = coord.chaos_state.lock().expect("chaos lock");
+                state
+                    .partitions
+                    .push((target, idx + u64::try_from(requests).unwrap_or(0)));
+            }
+        }
+    }
+}
+
+/// Alive workers reachable at this request index (partitions excluded).
+fn reachable_workers(coord: &Arc<Coord>, idx: u64) -> Vec<String> {
+    let partitioned: Vec<String> = {
+        let state = coord.chaos_state.lock().expect("chaos lock");
+        state
+            .partitions
+            .iter()
+            .filter(|(_, until)| *until > idx)
+            .map(|(a, _)| a.clone())
+            .collect()
+    };
+    coord
+        .members
+        .alive()
+        .into_iter()
+        .filter(|a| !partitioned.contains(a))
+        .collect()
+}
+
+fn status_of(reply: &str) -> Option<String> {
+    Json::parse(reply)
+        .ok()?
+        .get("status")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+}
+
+fn handle_job(coord: &Arc<Coord>, job: &JobRequest) -> String {
+    let idx = coord.requests.fetch_add(1, Ordering::SeqCst);
+    apply_chaos(coord, idx);
+    let op = job.mode.keyword();
+    let digest = match job.digest() {
+        Ok(d) => d,
+        Err(e) => return error_response(op, &e).render_compact(),
+    };
+    if job.mode == Mode::Campaign && job.unit.is_none() {
+        if let Some(response) = campaign_fanout(coord, idx, job, &digest) {
+            return response;
+        }
+    }
+    match try_route(coord, idx, job, &digest) {
+        Ok(reply) => {
+            coord.routed.fetch_add(1, Ordering::SeqCst);
+            reply
+        }
+        Err(_) => run_local(coord, job, &digest),
+    }
+}
+
+/// Routes one job through the ring with retries, backoff, and hedging.
+///
+/// Returns the worker's reply verbatim (its body bytes untouched) or
+/// an error when no worker could be made to answer — the caller then
+/// degrades to local execution.
+fn try_route(coord: &Arc<Coord>, idx: u64, job: &JobRequest, digest: &str) -> Result<String, String> {
+    let line = job.wire_json().render_compact();
+    let mut backoff = Duration::from_millis(10);
+    for round in 0..=coord.opts.retry_rounds {
+        let alive = reachable_workers(coord, idx);
+        if alive.len() < coord.opts.quorum.max(1) {
+            return Err("below quorum".into());
+        }
+        let ring = Ring::new(alive);
+        let candidates: Vec<String> = ring.candidates(digest).map(str::to_owned).collect();
+        for (pos, candidate) in candidates.iter().enumerate() {
+            if round > 0 || pos > 0 {
+                coord.retried.fetch_add(1, Ordering::SeqCst);
+            }
+            let backup = candidates.get(pos + 1).map(String::as_str);
+            match dispatch_hedged(coord, candidate, backup, &line) {
+                Ok(reply) => match status_of(&reply).as_deref() {
+                    // ok and error both relay verbatim: an error here is
+                    // a deterministic request fault every node answers
+                    // identically.
+                    Some("ok") | Some("error") => return Ok(reply),
+                    // rejected (queue full, draining): next candidate.
+                    _ => {}
+                },
+                Err(_) => {
+                    coord.members.mark_dead(candidate);
+                }
+            }
+        }
+        if round < coord.opts.retry_rounds {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+    }
+    Err("every candidate failed or rejected".into())
+}
+
+fn spawn_dispatch(
+    coord: &Arc<Coord>,
+    addr: String,
+    line: String,
+    tx: mpsc::Sender<(String, Result<String, String>)>,
+) {
+    let connect = Duration::from_millis(coord.opts.connect_timeout_ms);
+    let read = Duration::from_millis(coord.opts.read_timeout_ms);
+    std::thread::spawn(move || {
+        let result = Client::connect_with(&addr, Some(connect)).and_then(|mut c| {
+            c.read_timeout(Some(read))?;
+            c.roundtrip(&line)
+        });
+        // The receiver may be gone (the other leg already answered).
+        let _ = tx.send((addr, result));
+    });
+}
+
+/// One dispatch with a hedged backup: if the primary has not answered
+/// by `max(hedge floor, observed p99)`, a second identical request
+/// goes to `backup` and the first answer wins.  Duplicated work is
+/// harmless — requests are content-addressed, so the slower leg lands
+/// on a cache entry or collapses in the worker's singleflight.
+fn dispatch_hedged(
+    coord: &Arc<Coord>,
+    primary: &str,
+    backup: Option<&str>,
+    line: &str,
+) -> Result<String, String> {
+    let started = Instant::now();
+    let observed_p99_ms = coord.dispatch_latency.percentile_us(99) / 1000;
+    let hedge_after = Duration::from_millis(coord.opts.hedge_after_ms.max(observed_p99_ms));
+    let read_limit = Duration::from_millis(coord.opts.read_timeout_ms);
+    let (tx, rx) = mpsc::channel();
+    spawn_dispatch(coord, primary.to_string(), line.to_string(), tx.clone());
+    let mut outstanding = 1usize;
+    let mut hedged = false;
+    let mut wait = hedge_after;
+    loop {
+        match rx.recv_timeout(wait) {
+            Ok((addr, Ok(reply))) => {
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                coord.dispatch_latency.record_us(us);
+                if hedged && addr != primary {
+                    coord.hedge_wins.fetch_add(1, Ordering::SeqCst);
+                }
+                return Ok(reply);
+            }
+            Ok((addr, Err(e))) => {
+                coord.members.mark_dead(&addr);
+                outstanding -= 1;
+                if outstanding == 0 {
+                    return Err(e);
+                }
+                wait = read_limit;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if !hedged {
+                    hedged = true;
+                    if let Some(b) = backup {
+                        coord.hedges.fetch_add(1, Ordering::SeqCst);
+                        outstanding += 1;
+                        spawn_dispatch(coord, b.to_string(), line.to_string(), tx.clone());
+                    }
+                    wait = read_limit;
+                } else {
+                    return Err("dispatch timed out".into());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err("dispatch threads died".into());
+            }
+        }
+    }
+}
+
+/// Runs the job on the coordinator's own engine (quorum lost or every
+/// route exhausted) and marks the envelope `"via":"local"`.
+fn run_local(coord: &Arc<Coord>, job: &JobRequest, digest: &str) -> String {
+    coord.local_runs.fetch_add(1, Ordering::SeqCst);
+    let op = job.mode.keyword();
+    let ctl = RunControl {
+        deadline: job
+            .timeout_secs
+            .map(|s| Instant::now() + Duration::from_secs(s)),
+        cancel: Arc::clone(&coord.cancel),
+    };
+    match coord.engine.run(job, &ctl).body {
+        Ok(body) => {
+            let mut envelope = ok_response(op, Some(digest), false, body);
+            if let Json::Obj(fields) = &mut envelope {
+                fields.push(("via".to_string(), Json::str("local")));
+            }
+            envelope.render_compact()
+        }
+        Err(e) => error_response(op, &e).render_compact(),
+    }
+}
+
+/// Per-unit outcomes, indexed by unit position in the enumeration.
+type UnitSlots = Vec<Option<Result<Json, String>>>;
+
+/// A campaign split into per-schedule work units, work-stolen across
+/// the fleet, stitched back into the byte-identical single-process
+/// report.  Returns `None` when splitting is not worthwhile (few
+/// schedules or no routable fleet) — the caller routes it whole.
+fn campaign_fanout(coord: &Arc<Coord>, idx: u64, job: &JobRequest, digest: &str) -> Option<String> {
+    let total = multi_fault_schedules(
+        job.channels.iter().cloned(),
+        &FaultKind::ALL,
+        job.faults_depth,
+    )
+    .len();
+    let unit = coord.opts.unit_size.max(1);
+    if total <= unit {
+        return None;
+    }
+    let workers = reachable_workers(coord, idx);
+    if workers.len() < coord.opts.quorum.max(1) || workers.is_empty() {
+        return None;
+    }
+    let unit_count = total.div_ceil(unit);
+    let pending: Arc<Mutex<VecDeque<usize>>> =
+        Arc::new(Mutex::new((0..unit_count).collect()));
+    let slots: Arc<Mutex<UnitSlots>> = Arc::new(Mutex::new(vec![None; unit_count]));
+    // One dispatcher per worker pulling from the shared unit queue:
+    // work-stealing by construction — a fast worker's dispatcher simply
+    // comes back for more, and a dead worker's dispatcher re-routes.
+    let dispatchers: Vec<JoinHandle<()>> = workers
+        .iter()
+        .map(|_| {
+            let coord = Arc::clone(coord);
+            let pending = Arc::clone(&pending);
+            let slots = Arc::clone(&slots);
+            let job = job.clone();
+            std::thread::spawn(move || loop {
+                let next = pending.lock().expect("unit queue").pop_front();
+                let Some(unit_index) = next else { break };
+                let result = run_unit(&coord, idx, &job, unit_index, unit);
+                slots.lock().expect("unit slots")[unit_index] = Some(result);
+            })
+        })
+        .collect();
+    for d in dispatchers {
+        let _ = d.join();
+    }
+    let slots = Arc::try_unwrap(slots)
+        .expect("dispatchers joined")
+        .into_inner()
+        .expect("unit slots");
+    merge_units(job, digest, total, slots)
+        .or_else(|| Some(run_local(coord, job, digest)))
+}
+
+/// Decides one work unit: routed through the ring when possible, run
+/// on the local engine otherwise.  Either way the body comes from the
+/// same `campaign_body` encoder, so merged bytes cannot differ.
+fn run_unit(
+    coord: &Arc<Coord>,
+    idx: u64,
+    job: &JobRequest,
+    unit_index: usize,
+    unit: usize,
+) -> Result<Json, String> {
+    let sub = job.with_unit(unit_index * unit, unit);
+    let sub_digest = sub.digest()?;
+    match try_route(coord, idx, &sub, &sub_digest) {
+        Ok(reply) => {
+            coord.routed.fetch_add(1, Ordering::SeqCst);
+            let envelope =
+                Json::parse(&reply).map_err(|e| format!("malformed worker reply: {e}"))?;
+            match envelope.get("status").and_then(Json::as_str) {
+                Some("ok") => envelope
+                    .get("body")
+                    .cloned()
+                    .ok_or_else(|| "worker reply lacks a body".to_string()),
+                _ => Err(format!("unit {unit_index} failed: {reply}")),
+            }
+        }
+        Err(_) => {
+            // The fleet cannot take this unit (quorum lost mid-campaign
+            // or every candidate dead): decide it locally.
+            coord.redispatched.fetch_add(1, Ordering::SeqCst);
+            coord.local_runs.fetch_add(1, Ordering::SeqCst);
+            let ctl = RunControl {
+                deadline: sub
+                    .timeout_secs
+                    .map(|s| Instant::now() + Duration::from_secs(s)),
+                cancel: Arc::clone(&coord.cancel),
+            };
+            coord.engine.run(&sub, &ctl).body
+        }
+    }
+}
+
+/// Stitches unit bodies back into the single-process campaign body:
+/// identical `identity`/`enumerated` across units, results
+/// concatenated in unit order, tallies recomputed.  Any inconsistent
+/// or failed unit aborts the merge (the caller falls back to a local
+/// full run rather than serving a frankenreport).
+fn merge_units(job: &JobRequest, digest: &str, total: usize, slots: UnitSlots) -> Option<String> {
+    let mut identity: Option<String> = None;
+    let mut results: Vec<Json> = Vec::with_capacity(total);
+    let (mut attacks, mut survives, mut inconclusive) = (0usize, 0usize, 0usize);
+    for slot in slots {
+        let body = match slot {
+            Some(Ok(body)) => body,
+            _ => return None,
+        };
+        if body.get("enumerated").and_then(Json::as_int)
+            != Some(i64::try_from(total).ok()?)
+        {
+            return None;
+        }
+        let unit_identity = body.get("identity").and_then(Json::as_str)?.to_string();
+        match &identity {
+            None => identity = Some(unit_identity),
+            Some(seen) if *seen == unit_identity => {}
+            Some(_) => return None,
+        }
+        if body.get("interrupted").and_then(Json::as_bool) != Some(false) {
+            return None;
+        }
+        for r in body.get("results").and_then(Json::as_arr)? {
+            match r.get("outcome").and_then(Json::as_str) {
+                Some("attack") => attacks += 1,
+                Some("survives") => survives += 1,
+                Some("inconclusive") => inconclusive += 1,
+                _ => return None,
+            }
+            results.push(r.clone());
+        }
+    }
+    let identity = identity?;
+    // The exact field order of `protocol::campaign_body`.
+    let body = Json::Obj(vec![
+        ("enumerated".into(), Json::count(total)),
+        ("attacks".into(), Json::count(attacks)),
+        ("survives".into(), Json::count(survives)),
+        ("inconclusive".into(), Json::count(inconclusive)),
+        ("interrupted".into(), Json::Bool(false)),
+        ("identity".into(), Json::str(identity)),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    let mut envelope = ok_response(job.mode.keyword(), Some(digest), false, body);
+    if let Json::Obj(fields) = &mut envelope {
+        fields.push(("via".to_string(), Json::str("fleet")));
+    }
+    Some(envelope.render_compact())
+}

@@ -1,0 +1,157 @@
+//! Cache gossip: the snapshot codec on the wire.
+//!
+//! A restarted worker warms its cache shard by pulling entries from a
+//! peer instead of re-exploring: it sends `{"op":"gossip"}` and the
+//! peer answers with the same identity-digest-guarded encoding the
+//! on-disk snapshot uses.  The receiver recomputes the digest before
+//! merging, so a forged payload, a torn mid-transfer line, or a
+//! mismatched identity is refused wholesale — the receiving cache is
+//! left exactly as it was.  Merging is a plain union: entries are
+//! content-addressed, so two nodes gossiping in either direction
+//! converge on the union of their caches.
+
+use std::time::Duration;
+
+use spi_verify::jsonlite::Json;
+
+use crate::client::Client;
+use crate::snapshot::{snapshot_identity, Entries};
+
+/// Encodes cache entries as a gossip response body — byte-compatible
+/// with the snapshot file format (`version`/`identity`/`entries`).
+#[must_use]
+pub fn gossip_body(entries: &[(String, String, String)]) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::Int(1)),
+        ("identity".into(), Json::str(snapshot_identity(entries))),
+        (
+            "entries".into(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|(key, op, body)| {
+                        Json::Obj(vec![
+                            ("key".into(), Json::str(key.clone())),
+                            ("op".into(), Json::str(op.clone())),
+                            ("body".into(), Json::str(body.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes and *verifies* a gossip body.
+///
+/// # Errors
+///
+/// Fails on an unsupported version, a structurally incomplete entry
+/// (torn transfer), or an identity digest that does not match the
+/// contents (forgery) — in every case the caller merges nothing.
+pub fn parse_gossip(body: &Json) -> Result<Entries, String> {
+    match body.get("version").and_then(Json::as_int) {
+        Some(1) => {}
+        other => return Err(format!("unsupported gossip version {other:?}")),
+    }
+    let mut entries = Entries::new();
+    for item in body.get("entries").and_then(Json::as_arr).unwrap_or_default() {
+        let field = |k: &str| {
+            item.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("a gossip entry lacks its {k:?}"))
+        };
+        entries.push((field("key")?, field("op")?, field("body")?));
+    }
+    let stored = body.get("identity").and_then(Json::as_str).unwrap_or("");
+    let computed = snapshot_identity(&entries);
+    if stored != computed {
+        return Err(format!(
+            "gossip identity mismatch (peer says {stored}, contents hash to {computed}); \
+             refusing to merge"
+        ));
+    }
+    Ok(entries)
+}
+
+/// Pulls and verifies a peer's cache entries over the wire.
+///
+/// # Errors
+///
+/// Fails when the peer is unreachable, answers with an error, or sends
+/// a payload that does not verify (see [`parse_gossip`]).
+pub fn pull_from(
+    addr: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<Entries, String> {
+    let mut client = Client::connect_with(addr, Some(connect_timeout))?;
+    client.read_timeout(Some(read_timeout))?;
+    let reply = client.roundtrip(r#"{"op":"gossip"}"#)?;
+    let json = Json::parse(&reply).map_err(|e| format!("malformed gossip reply: {e}"))?;
+    if json.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("gossip pull refused: {reply}"));
+    }
+    let body = json.get("body").ok_or("gossip reply lacks a body")?;
+    parse_gossip(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Entries {
+        vec![
+            (
+                "fnv:aaaa".into(),
+                "verify".into(),
+                r#"{"verdict":"securely-implements"}"#.into(),
+            ),
+            ("fnv:bbbb".into(), "campaign".into(), r#"{"enumerated":3}"#.into()),
+        ]
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let body = gossip_body(&sample());
+        assert_eq!(parse_gossip(&body).unwrap(), sample());
+        // And through a compact wire rendering.
+        let reparsed = Json::parse(&body.render_compact()).unwrap();
+        assert_eq!(parse_gossip(&reparsed).unwrap(), sample());
+    }
+
+    #[test]
+    fn forged_contents_are_refused() {
+        let body = gossip_body(&sample());
+        let forged = body.render_compact().replace("securely-implements", "attack");
+        let err = parse_gossip(&Json::parse(&forged).unwrap()).unwrap_err();
+        assert!(err.contains("identity mismatch"), "{err}");
+    }
+
+    #[test]
+    fn forged_identity_digest_is_refused() {
+        let mut line = gossip_body(&sample()).render_compact();
+        let id = line.find("fnv:").expect("identity present");
+        line.replace_range(id + 4..id + 8, "dead");
+        let err = parse_gossip(&Json::parse(&line).unwrap()).unwrap_err();
+        assert!(err.contains("identity mismatch"), "{err}");
+    }
+
+    #[test]
+    fn torn_transfers_merge_nothing() {
+        // Truncate the rendered payload mid-entry: either the JSON no
+        // longer parses, or an entry lacks a field — both refuse.
+        let line = gossip_body(&sample()).render_compact();
+        let torn = &line[..line.len() - 30];
+        match Json::parse(torn) {
+            Err(_) => {}
+            Ok(json) => assert!(parse_gossip(&json).is_err()),
+        }
+    }
+
+    #[test]
+    fn empty_gossip_is_valid() {
+        assert_eq!(parse_gossip(&gossip_body(&[])).unwrap(), Entries::new());
+    }
+}

@@ -30,26 +30,46 @@
 //! [`protocol`]; the same body encoders power the CLI's
 //! `--format json` so a script sees byte-identical shapes from
 //! `spi verify` and from the daemon.
+//!
+//! On top of the single-node daemon sits a **fault-tolerant fleet**
+//! layer: a [`coordinator`] speaking the same protocol routes requests
+//! by content digest over a consistent-hash [`shard::Ring`] of
+//! workers, detects failures through [`membership`] heartbeats and
+//! dial errors, hedges slow dispatches, splits campaigns into
+//! re-dispatchable work units, and degrades to local execution on
+//! quorum loss.  Workers warm their cache shard from peers via
+//! identity-digest-guarded [`gossip`], and a seeded [`chaos`] plan
+//! drills the whole arrangement deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
+pub mod coordinator;
 pub mod digest;
 pub mod flight;
+pub mod gossip;
+pub mod membership;
 pub mod protocol;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 
 pub use cache::ResultCache;
+pub use chaos::{ChaosEvent, ChaosPlan};
 pub use client::{oneshot, Client};
+pub use coordinator::{coordinate, CoordinatorHandle, CoordinatorOptions, CoordinatorShutdown};
+pub use gossip::pull_from;
 pub use flight::Singleflight;
+pub use membership::Membership;
 pub use protocol::{
     campaign_body, error_response, ok_response, parse_request, parse_source, rejected_response,
     verify_body, JobRequest, Mode, Request,
 };
 pub use service::{
-    serve, Engine, EngineOutcome, RunControl, ServerHandle, ServerOptions, ShutdownHandle,
-    VerifierEngine,
+    serve, CacheHandle, Engine, EngineOutcome, RunControl, ServerHandle, ServerOptions,
+    ShutdownHandle, VerifierEngine,
 };
+pub use shard::Ring;

@@ -1,0 +1,143 @@
+//! Worker membership: heartbeat-based failure detection.
+//!
+//! Workers register with the coordinator by sending `{"op":"join",
+//! "addr":…}` and keep re-sending it on a timer — the join *is* the
+//! heartbeat.  The coordinator marks a worker dead when its last
+//! heartbeat is older than the configured window, or immediately when
+//! a dial fails (a refused connection is faster evidence than a
+//! missed timer).  Death is not eviction: a worker that heartbeats
+//! again after being declared dead rejoins, and the coordinator's
+//! join acknowledgement tells it so, which is the cue to warm its
+//! cache shard from peers via [`crate::gossip`].
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct WorkerState {
+    last_seen: Instant,
+    alive: bool,
+}
+
+/// The coordinator's live view of its worker fleet.
+#[derive(Debug, Default)]
+pub struct Membership {
+    workers: Mutex<HashMap<String, WorkerState>>,
+}
+
+impl Membership {
+    /// An empty membership table.
+    #[must_use]
+    pub fn new() -> Membership {
+        Membership::default()
+    }
+
+    /// Records a heartbeat from `addr`.  Returns `true` when this is a
+    /// *rejoin* — the worker was previously unknown or declared dead —
+    /// which is the caller's cue to suggest cache warming.
+    pub fn heartbeat(&self, addr: &str) -> bool {
+        let mut workers = self.workers.lock().expect("membership lock");
+        let now = Instant::now();
+        match workers.get_mut(addr) {
+            Some(state) => {
+                let rejoined = !state.alive;
+                state.last_seen = now;
+                state.alive = true;
+                rejoined
+            }
+            None => {
+                workers.insert(
+                    addr.to_string(),
+                    WorkerState {
+                        last_seen: now,
+                        alive: true,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Declares every worker whose last heartbeat is older than
+    /// `fail_after` dead.  Returns the addresses that died in this
+    /// sweep (for re-dispatch of their work units).
+    pub fn sweep(&self, fail_after: Duration) -> Vec<String> {
+        let mut workers = self.workers.lock().expect("membership lock");
+        let now = Instant::now();
+        let mut died = Vec::new();
+        for (addr, state) in workers.iter_mut() {
+            if state.alive && now.duration_since(state.last_seen) > fail_after {
+                state.alive = false;
+                died.push(addr.clone());
+            }
+        }
+        died.sort();
+        died
+    }
+
+    /// Declares `addr` dead right now (a failed dial).
+    pub fn mark_dead(&self, addr: &str) {
+        if let Some(state) = self
+            .workers
+            .lock()
+            .expect("membership lock")
+            .get_mut(addr)
+        {
+            state.alive = false;
+        }
+    }
+
+    /// The alive worker addresses, sorted (a stable input for ring
+    /// construction).
+    #[must_use]
+    pub fn alive(&self) -> Vec<String> {
+        let workers = self.workers.lock().expect("membership lock");
+        let mut alive: Vec<String> = workers
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(a, _)| a.clone())
+            .collect();
+        alive.sort();
+        alive
+    }
+
+    /// `(alive, dead)` counts.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize) {
+        let workers = self.workers.lock().expect("membership lock");
+        let alive = workers.values().filter(|s| s.alive).count();
+        (alive, workers.len() - alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_heartbeats_and_rejoins() {
+        let m = Membership::new();
+        assert!(m.heartbeat("w1"), "first contact is a join");
+        assert!(!m.heartbeat("w1"), "repeat heartbeat is not a rejoin");
+        m.mark_dead("w1");
+        assert_eq!(m.alive(), Vec::<String>::new());
+        assert!(m.heartbeat("w1"), "heartbeat after death is a rejoin");
+        assert_eq!(m.alive(), ["w1"]);
+    }
+
+    #[test]
+    fn sweep_kills_only_stale_workers() {
+        let m = Membership::new();
+        m.heartbeat("w1");
+        m.heartbeat("w2");
+        assert_eq!(m.sweep(Duration::from_secs(60)), Vec::<String>::new());
+        std::thread::sleep(Duration::from_millis(30));
+        m.heartbeat("w2"); // w2 stays fresh
+        assert_eq!(m.sweep(Duration::from_millis(20)), ["w1"]);
+        assert_eq!(m.alive(), ["w2"]);
+        assert_eq!(m.counts(), (1, 1));
+        // A second sweep reports nothing new.
+        assert_eq!(m.sweep(Duration::from_millis(20)), Vec::<String>::new());
+    }
+}

@@ -15,8 +15,11 @@
 //! CLI exposes: `channels`, `sessions`, `visible`, `budget` (the
 //! `dimension=count` spelling of [`Budget::parse_spec`]), `faults`
 //! (comma-separated clauses), `intruder`, `faults_depth`, `oracles`,
-//! `timeout_secs`, and `no_cache`.  Control ops are `ping`, `stats`,
-//! and `shutdown`.
+//! `timeout_secs`, and `no_cache`.  Campaign jobs may carry a
+//! `"unit":{"offset":N,"count":M}` work-unit restriction (how a fleet
+//! coordinator shards one campaign).  Control ops are `ping`, `stats`,
+//! `shutdown`, `join` (worker registration/heartbeat), and `gossip`
+//! (cache-warming pull).
 //!
 //! The verify/campaign **body encoders** here are the single source of
 //! the JSON result shapes: the daemon, the cache snapshot, and the
@@ -62,6 +65,17 @@ pub enum Request {
     Stats,
     /// Begin a graceful drain.
     Shutdown,
+    /// A worker announcing itself to a coordinator (the body is the
+    /// worker's advertised address).  Doubles as the heartbeat: workers
+    /// re-send it on a timer and the coordinator refreshes liveness.
+    Join {
+        /// The address the coordinator should dial the worker back on.
+        addr: String,
+    },
+    /// A cache-warming pull: "send me your hottest cache entries".  The
+    /// response body reuses the identity-digest-guarded snapshot codec,
+    /// so a forged or torn transfer is refused by the receiver.
+    Gossip,
     /// A verification job.
     Job(Box<JobRequest>),
 }
@@ -95,6 +109,13 @@ pub struct JobRequest {
     pub timeout_secs: Option<u64>,
     /// Bypass the result cache (both lookup and fill).
     pub no_cache: bool,
+    /// Campaign work unit: decide only the schedules at enumeration
+    /// indices `[offset, offset + count)`.  This is how a fleet
+    /// coordinator shards one campaign across workers; units are part
+    /// of the canonical description, so each unit's result is
+    /// content-addressed independently and re-dispatching a unit after
+    /// a worker death is idempotent.
+    pub unit: Option<(usize, usize)>,
 }
 
 /// Parses either a bare process or a `def …/system …` program file —
@@ -159,6 +180,9 @@ impl JobRequest {
             }
             Mode::Verify => {}
         }
+        if let Some((offset, count)) = self.unit {
+            let _ = write!(desc, "|unit={offset}+{count}");
+        }
         Ok(desc)
     }
 
@@ -170,6 +194,68 @@ impl JobRequest {
     /// Fails when a spec does not parse.
     pub fn digest(&self) -> Result<String, String> {
         Ok(digest(&self.canonical()?))
+    }
+
+    /// A copy of this job restricted to one campaign work unit.
+    #[must_use]
+    pub fn with_unit(&self, offset: usize, count: usize) -> JobRequest {
+        let mut job = self.clone();
+        job.unit = Some((offset, count));
+        job
+    }
+
+    /// Re-renders the job as a request object a coordinator can put
+    /// back on the wire when dispatching to a worker.  Round-trips
+    /// through [`parse_request`] to an equivalent job (same digest).
+    #[must_use]
+    pub fn wire_json(&self) -> Json {
+        let mut fields = vec![("op".to_string(), Json::str(self.mode.keyword()))];
+        if self.mode == Mode::ConformanceReplay {
+            fields.push(("spec".into(), Json::str(self.concrete.clone())));
+        } else {
+            fields.push(("concrete".into(), Json::str(self.concrete.clone())));
+            fields.push(("abstract".into(), Json::str(self.abstract_spec.clone())));
+        }
+        fields.push((
+            "channels".into(),
+            Json::str_arr(self.channels.iter().cloned()),
+        ));
+        fields.push(("sessions".into(), Json::Int(i64::from(self.sessions))));
+        fields.push(("visible".into(), Json::count(self.visible)));
+        fields.push(("budget".into(), Json::str(self.budget.canonical_spec())));
+        if let Some(faults) = &self.faults {
+            let clauses = faults
+                .clauses
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            fields.push(("faults".into(), Json::str(clauses)));
+        }
+        fields.push(("intruder".into(), Json::Bool(self.intruder)));
+        fields.push(("faults_depth".into(), Json::count(self.faults_depth)));
+        if !self.oracles.is_empty() {
+            fields.push(("oracles".into(), Json::str_arr(self.oracles.iter().cloned())));
+        }
+        if let Some(secs) = self.timeout_secs {
+            fields.push((
+                "timeout_secs".into(),
+                Json::Int(i64::try_from(secs).unwrap_or(i64::MAX)),
+            ));
+        }
+        if self.no_cache {
+            fields.push(("no_cache".into(), Json::Bool(true)));
+        }
+        if let Some((offset, count)) = self.unit {
+            fields.push((
+                "unit".into(),
+                Json::Obj(vec![
+                    ("offset".to_string(), Json::count(offset)),
+                    ("count".to_string(), Json::count(count)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -248,12 +334,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => return Ok(Request::Ping),
         "stats" => return Ok(Request::Stats),
         "shutdown" => return Ok(Request::Shutdown),
+        "gossip" => return Ok(Request::Gossip),
+        "join" => {
+            let addr = v
+                .get("addr")
+                .and_then(Json::as_str)
+                .ok_or("\"join\" needs a string \"addr\" field")?;
+            return Ok(Request::Join {
+                addr: addr.to_string(),
+            });
+        }
         "verify" => Mode::Verify,
         "campaign" => Mode::Campaign,
         "conformance-replay" => Mode::ConformanceReplay,
         other => {
             return Err(format!(
-                "unknown op {other:?} (expected verify|campaign|conformance-replay|ping|stats|shutdown)"
+                "unknown op {other:?} (expected verify|campaign|conformance-replay|ping|stats|join|gossip|shutdown)"
             ))
         }
     };
@@ -295,6 +391,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or("\"timeout_secs\" expects a non-negative integer")?,
         ),
     };
+    let unit = match v.get("unit") {
+        None => None,
+        Some(u) => {
+            let field = |key: &str| {
+                u.get(key)
+                    .and_then(Json::as_int)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| format!("\"unit\" expects {{\"offset\":N,\"count\":M}}, bad {key:?}"))
+            };
+            Some((field("offset")?, field("count")?))
+        }
+    };
     Ok(Request::Job(Box::new(JobRequest {
         mode,
         concrete,
@@ -310,6 +418,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         oracles: get_str_arr(&v, "oracles")?,
         timeout_secs,
         no_cache: get_bool(&v, "no_cache", false)?,
+        unit,
     })))
 }
 
@@ -507,6 +616,56 @@ mod tests {
             r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1,"faults":"drop:c:1"}"#,
         );
         assert_ne!(a.digest().unwrap(), e.digest().unwrap());
+    }
+
+    #[test]
+    fn fleet_ops_and_units_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"gossip"}"#).unwrap(),
+            Request::Gossip
+        ));
+        match parse_request(r#"{"op":"join","addr":"127.0.0.1:7777"}"#).unwrap() {
+            Request::Join { addr } => assert_eq!(addr, "127.0.0.1:7777"),
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"join"}"#).is_err(), "addr required");
+        let j = job(
+            r#"{"op":"campaign","concrete":"0","abstract":"0","unit":{"offset":4,"count":2}}"#,
+        );
+        assert_eq!(j.unit, Some((4, 2)));
+        assert!(
+            parse_request(r#"{"op":"campaign","concrete":"0","abstract":"0","unit":{"offset":4}}"#)
+                .is_err(),
+            "count required"
+        );
+    }
+
+    #[test]
+    fn units_are_content_addressed_separately() {
+        let whole = job(r#"{"op":"campaign","concrete":"0","abstract":"0"}"#);
+        let a = whole.with_unit(0, 5);
+        let b = whole.with_unit(5, 5);
+        assert_ne!(whole.digest().unwrap(), a.digest().unwrap());
+        assert_ne!(a.digest().unwrap(), b.digest().unwrap());
+        // Re-dispatch of the same unit hits the same cache key.
+        assert_eq!(a.digest().unwrap(), whole.with_unit(0, 5).digest().unwrap());
+    }
+
+    #[test]
+    fn wire_json_round_trips_to_the_same_digest() {
+        for line in [
+            VERIFY_LINE,
+            r#"{"op":"campaign","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","faults_depth":1,"unit":{"offset":1,"count":3},"budget":"states=50","faults":"drop:c:1,replay:c:2","intruder":false,"timeout_secs":9,"no_cache":true}"#,
+        ] {
+            let original = job(line);
+            let rendered = original.wire_json().render_compact();
+            assert!(!rendered.contains('\n'));
+            let back = job(&rendered);
+            assert_eq!(original.digest().unwrap(), back.digest().unwrap());
+            assert_eq!(original.unit, back.unit);
+            assert_eq!(original.timeout_secs, back.timeout_secs);
+            assert_eq!(original.no_cache, back.no_cache);
+        }
     }
 
     #[test]

@@ -169,7 +169,11 @@ impl Engine for VerifierEngine {
                     Ok(p) => p,
                     Err(e) => return EngineOutcome::error(e),
                 };
-                let opts = verifier.campaign_options(job.faults_depth);
+                let mut opts = verifier.campaign_options(job.faults_depth);
+                // A fleet work unit restricts this run to a contiguous
+                // index range of the (deterministic) enumeration; the
+                // coordinator stitches unit results back together.
+                opts.schedule_range = job.unit;
                 match verifier.run_campaign(&concrete, &spec, &opts) {
                     Ok(report) => EngineOutcome {
                         cacheable: !report.interrupted && !ctl.tripped(),
@@ -221,6 +225,109 @@ struct Ticket {
     reply: mpsc::Sender<String>,
 }
 
+/// Per-op request-latency histogram over power-of-two microsecond
+/// buckets.  Quantiles report the bucket's upper bound — coarse, but
+/// lock-free to record and honest about its resolution.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; 32],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = (64 - u64::leading_zeros(us) as usize).min(self.counts.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The `pct`-th percentile in microseconds (upper bucket bound);
+    /// zero when nothing was recorded.
+    #[must_use]
+    pub fn percentile_us(&self, pct: u64) -> u64 {
+        let counts = self.snapshot();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total * pct).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (idx, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << idx;
+            }
+        }
+        1u64 << (counts.len() - 1)
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "count".to_string(),
+                Json::count(usize::try_from(self.count()).unwrap_or(usize::MAX)),
+            ),
+            (
+                "p50_us".to_string(),
+                Json::count(usize::try_from(self.percentile_us(50)).unwrap_or(usize::MAX)),
+            ),
+            (
+                "p99_us".to_string(),
+                Json::count(usize::try_from(self.percentile_us(99)).unwrap_or(usize::MAX)),
+            ),
+        ])
+    }
+}
+
+/// One histogram per job op plus one for control ops.
+#[derive(Debug, Default)]
+struct Latency {
+    verify: Histogram,
+    campaign: Histogram,
+    replay: Histogram,
+    control: Histogram,
+}
+
+impl Latency {
+    fn for_op(&self, op: &str) -> &Histogram {
+        match op {
+            "verify" => &self.verify,
+            "campaign" => &self.campaign,
+            "conformance-replay" => &self.replay,
+            _ => &self.control,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("verify".to_string(), self.verify.to_json()),
+            ("campaign".to_string(), self.campaign.to_json()),
+            ("conformance-replay".to_string(), self.replay.to_json()),
+            ("control".to_string(), self.control.to_json()),
+        ])
+    }
+}
+
 struct Shared {
     engine: Arc<dyn Engine>,
     opts: ServerOptions,
@@ -237,6 +344,10 @@ struct Shared {
     inflight: AtomicUsize,
     executions: AtomicU64,
     rejected: AtomicU64,
+    /// Duplicate in-flight requests collapsed by singleflight (a parked
+    /// follower answered from the leader's cache fill).
+    collapsed: AtomicU64,
+    latency: Latency,
 }
 
 /// A running server.  Dropping the handle does **not** stop it; call
@@ -274,11 +385,35 @@ impl ServerHandle {
         self.shared.draining.load(Ordering::SeqCst)
     }
 
+    /// Merges gossiped `(key, op, body)` cache entries into this
+    /// node's result cache (insertion is idempotent: existing keys are
+    /// refreshed, never corrupted).  Returns how many entries were
+    /// offered to the cache.
+    pub fn absorb(&self, entries: Vec<(String, String, String)>) -> usize {
+        absorb_entries(&self.shared, entries)
+    }
+
+    /// The current cache contents in LRU order — the gossip payload.
+    #[must_use]
+    pub fn cache_entries(&self) -> Vec<(String, String, String)> {
+        self.shared.cache.lock().expect("cache lock").entries_lru()
+    }
+
     /// A cheap cloneable handle another thread can use to trigger the
     /// drain (e.g. the CLI's stdin watcher).
     #[must_use]
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A cheap handle another thread can use to warm this node's cache
+    /// with gossiped entries (the `--join` heartbeat warms through it
+    /// after a rejoin acknowledgement).
+    #[must_use]
+    pub fn cache_handle(&self) -> CacheHandle {
+        CacheHandle {
             shared: Arc::clone(&self.shared),
         }
     }
@@ -317,6 +452,37 @@ impl ShutdownHandle {
     pub fn shutdown(&self) {
         trigger_drain(&self.shared);
     }
+}
+
+/// Feeds gossiped entries into a running server's cache from another
+/// thread (see [`ServerHandle::cache_handle`]).
+pub struct CacheHandle {
+    shared: Arc<Shared>,
+}
+
+impl CacheHandle {
+    /// See [`ServerHandle::absorb`].
+    pub fn absorb(&self, entries: Vec<(String, String, String)>) -> usize {
+        absorb_entries(&self.shared, entries)
+    }
+
+    /// Whether the server is draining — the heartbeat loop's exit cue.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+}
+
+fn absorb_entries(shared: &Arc<Shared>, entries: Vec<(String, String, String)>) -> usize {
+    let offered = entries.len();
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for (key, op, body) in entries {
+            cache.insert(key, op, body);
+        }
+    }
+    persist_snapshot(shared);
+    offered
 }
 
 fn trigger_drain(shared: &Arc<Shared>) {
@@ -381,6 +547,8 @@ pub fn serve(engine: Arc<dyn Engine>, opts: ServerOptions) -> Result<ServerHandl
         inflight: AtomicUsize::new(0),
         executions: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        collapsed: AtomicU64::new(0),
+        latency: Latency::default(),
         opts,
     });
 
@@ -414,6 +582,59 @@ pub fn serve(engine: Arc<dyn Engine>, opts: ServerOptions) -> Result<ServerHandl
     })
 }
 
+/// The longest request line a connection may send.  Anything larger is
+/// answered with a structured error — the oversized bytes are streamed
+/// past (never buffered whole), so a hostile 10 MB line costs one
+/// error response, not a worker slot or an allocation spike.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Reads one newline-terminated line with a byte cap.
+///
+/// Returns `Ok(None)` on clean EOF, `Ok(Some(Err(reason)))` for an
+/// oversized or non-UTF-8 line (the offending bytes are consumed so
+/// the connection stays usable), and `Ok(Some(Ok(line)))` otherwise.
+pub(crate) fn read_line_capped(
+    reader: &mut impl BufRead,
+) -> std::io::Result<Option<Result<String, String>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !overflowed {
+            if buf.len() + take <= MAX_LINE_BYTES {
+                buf.extend_from_slice(&chunk[..take]);
+            } else {
+                overflowed = true;
+                buf.clear();
+            }
+        }
+        let consumed = newline.map_or(take, |p| p + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if overflowed {
+        return Ok(Some(Err(format!(
+            "request line exceeds {MAX_LINE_BYTES} bytes"
+        ))));
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => Ok(Some(Err("request line is not valid UTF-8".to_string()))),
+    }
+}
+
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     // Line-sized writes; without NODELAY the Nagle/delayed-ACK
     // interaction costs tens of milliseconds per response.
@@ -421,13 +642,19 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handle_line(shared, &line);
+    loop {
+        let response = match read_line_capped(&mut reader) {
+            Err(_) | Ok(None) => break,
+            Ok(Some(Err(reason))) => error_response("request", &reason).render_compact(),
+            Ok(Some(Ok(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handle_line(shared, &line)
+            }
+        };
         if writeln!(writer, "{response}").is_err() {
             break;
         }
@@ -435,21 +662,54 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 }
 
 fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
-    match parse_request(line) {
-        Err(e) => error_response("request", &e).render_compact(),
-        Ok(Request::Ping) => ok_response("ping", None, false, Json::Obj(vec![])).render_compact(),
-        Ok(Request::Stats) => stats_response(shared).render_compact(),
+    let started = Instant::now();
+    let (op, response) = match parse_request(line) {
+        Err(e) => ("request", error_response("request", &e).render_compact()),
+        Ok(Request::Ping) => (
+            "ping",
+            ok_response("ping", None, false, Json::Obj(vec![])).render_compact(),
+        ),
+        Ok(Request::Stats) => ("stats", stats_response(shared).render_compact()),
         Ok(Request::Shutdown) => {
             trigger_drain(shared);
-            ok_response("shutdown", None, false, Json::Obj(vec![])).render_compact()
+            (
+                "shutdown",
+                ok_response("shutdown", None, false, Json::Obj(vec![])).render_compact(),
+            )
         }
-        Ok(Request::Job(job)) => handle_job(shared, *job),
-    }
+        Ok(Request::Join { .. }) => (
+            "join",
+            error_response(
+                "join",
+                "this node is not a coordinator (join a fleet started with `spi fleet`)",
+            )
+            .render_compact(),
+        ),
+        Ok(Request::Gossip) => ("gossip", gossip_response(shared).render_compact()),
+        Ok(Request::Job(job)) => {
+            let op = job.mode.keyword();
+            (op, handle_job(shared, *job))
+        }
+    };
+    let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.latency.for_op(op).record_us(elapsed);
+    response
+}
+
+fn gossip_response(shared: &Shared) -> Json {
+    let entries = shared.cache.lock().expect("cache lock").entries_lru();
+    ok_response("gossip", None, false, crate::gossip::gossip_body(&entries))
 }
 
 fn stats_response(shared: &Shared) -> Json {
     let cache = shared.cache.lock().expect("cache lock");
     let queue_depth = shared.queue.lock().expect("queue lock").len();
+    // Integer percent: the wire JSON has no floats.
+    let lookups = cache.hits + cache.misses;
+    let hit_rate_pct = (cache.hits * 100)
+        .checked_div(lookups)
+        .and_then(|p| usize::try_from(p).ok())
+        .unwrap_or(0);
     let body = Json::Obj(vec![
         ("hits".into(), Json::count(usize::try_from(cache.hits).unwrap_or(usize::MAX))),
         (
@@ -460,6 +720,7 @@ fn stats_response(shared: &Shared) -> Json {
             "evictions".into(),
             Json::count(usize::try_from(cache.evictions).unwrap_or(usize::MAX)),
         ),
+        ("hit_rate_pct".into(), Json::count(hit_rate_pct)),
         ("entries".into(), Json::count(cache.len())),
         ("cache_bytes".into(), Json::count(cache.used_bytes())),
         ("cache_bytes_max".into(), Json::count(cache.max_bytes())),
@@ -476,6 +737,11 @@ fn stats_response(shared: &Shared) -> Json {
             "rejected".into(),
             Json::count(usize::try_from(shared.rejected.load(Ordering::SeqCst)).unwrap_or(0)),
         ),
+        (
+            "collapsed".into(),
+            Json::count(usize::try_from(shared.collapsed.load(Ordering::SeqCst)).unwrap_or(0)),
+        ),
+        ("latency".into(), shared.latency.to_json()),
         ("workers".into(), Json::count(shared.opts.workers)),
         (
             "draining".into(),
@@ -533,8 +799,13 @@ fn handle_job(shared: &Arc<Shared>, job: JobRequest) -> String {
     }
     match rx.recv() {
         Ok(response) => response,
-        Err(_) => error_response(op, "the server dropped the request while draining")
-            .render_compact(),
+        // A drain between enqueue and pickup is a retryable condition,
+        // not a request fault: a routing coordinator must try another
+        // node rather than surface a half-served answer.
+        Err(_) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            rejected_response(op, "the server dropped the request while draining").render_compact()
+        }
     }
 }
 
@@ -576,6 +847,9 @@ fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
         // caller explicitly asked for a private run.
         shared.executions.fetch_add(1, Ordering::SeqCst);
         let outcome = shared.engine.run(&ticket.job, &ctl);
+        if let Some(r) = drain_truncated_reply(shared, op, &outcome) {
+            return r;
+        }
         return match outcome.body {
             Ok(body) => ok_response(op, Some(&ticket.digest), false, body).render_compact(),
             Err(e) => error_response(op, &e).render_compact(),
@@ -596,6 +870,10 @@ fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
         if shared.flight.begin(&ticket.digest) {
             shared.executions.fetch_add(1, Ordering::SeqCst);
             let outcome = shared.engine.run(&ticket.job, &ctl);
+            if let Some(r) = drain_truncated_reply(shared, op, &outcome) {
+                shared.flight.finish(&ticket.digest);
+                return r;
+            }
             let response = match outcome.body {
                 Ok(body) => {
                     if outcome.cacheable {
@@ -618,6 +896,20 @@ fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
         // Someone else is computing this digest: park, then loop — the
         // re-probe serves from the cache they filled, or this worker
         // becomes the next leader if they failed without caching.
+        shared.collapsed.fetch_add(1, Ordering::SeqCst);
         shared.flight.wait(&ticket.digest);
     }
+}
+
+/// Converts a drain-truncated, non-cacheable run into a `rejected`
+/// reply.  A relaying coordinator must see *retry elsewhere*, never a
+/// half-explored inconclusive verdict it would pass back to the client
+/// as if it were the real answer — that would break the byte-identity
+/// guarantee the chaos oracle enforces.
+fn drain_truncated_reply(shared: &Shared, op: &str, outcome: &EngineOutcome) -> Option<String> {
+    if !outcome.cacheable && shared.draining.load(Ordering::SeqCst) {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        return Some(rejected_response(op, "worker drained mid-run").render_compact());
+    }
+    None
 }

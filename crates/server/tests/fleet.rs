@@ -1,0 +1,375 @@
+//! End-to-end fleet tests over real sockets: consistent-hash routing,
+//! failure detection and re-dispatch, quorum degradation, snapshot
+//! gossip, campaign work-unit stitching, and chaos byte-identity.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spi_server::client::Client;
+use spi_server::coordinator::{coordinate, CoordinatorHandle, CoordinatorOptions};
+use spi_server::gossip::pull_from;
+use spi_server::service::{serve, Engine, ServerHandle, VerifierEngine};
+use spi_server::ServerOptions;
+use spi_verify::jsonlite::Json;
+
+const P2: &str = "(^kAB)((^m) c<{m}kAB> | c(z).case z of {w}kAB in observe<w>)";
+const P_ABS: &str = "(^s)(s<s>.(^m)c<m> | s@lamB(x_s).c@lamB(z).observe<z>)";
+const PM2: &str = "(^kAB)(!(^m)c<{m}kAB> | !c(z).case z of {w}kAB in observe<w>)";
+const PM_ABS: &str = "(^s)(!s<s>.(^m)c<m> | !s@lamB(x_s).c@lamB(z).observe<z>)";
+
+fn engine() -> Arc<dyn Engine> {
+    Arc::new(VerifierEngine {
+        explore_workers: Some(1),
+    })
+}
+
+fn start_worker() -> ServerHandle {
+    serve(
+        engine(),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("worker starts")
+}
+
+fn test_opts() -> CoordinatorOptions {
+    CoordinatorOptions {
+        addr: "127.0.0.1:0".into(),
+        // Sweeper-driven death needs heartbeats the tests do not send;
+        // keep it out of the way and rely on dial-failure detection.
+        fail_after_ms: 60_000,
+        heartbeat_ms: 50,
+        connect_timeout_ms: 500,
+        read_timeout_ms: 30_000,
+        hedge_after_ms: 5_000,
+        retry_rounds: 2,
+        unit_size: 4,
+        ..CoordinatorOptions::default()
+    }
+}
+
+/// Starts a coordinator plus `n` workers, all joined.
+fn start_fleet(
+    n: usize,
+    configure: impl FnOnce(&mut CoordinatorOptions),
+) -> (CoordinatorHandle, Vec<ServerHandle>) {
+    let mut opts = test_opts();
+    configure(&mut opts);
+    let coordinator = coordinate(engine(), opts).expect("coordinator starts");
+    let workers: Vec<ServerHandle> = (0..n).map(|_| start_worker()).collect();
+    let mut client = Client::connect(&coordinator.addr().to_string()).unwrap();
+    for w in &workers {
+        let line = format!(r#"{{"op":"join","addr":"{}"}}"#, w.addr());
+        let resp = parsed(&client.roundtrip(&line).unwrap());
+        assert_eq!(field(&resp, "status").as_str(), Some("ok"));
+    }
+    assert_eq!(coordinator.workers().len(), n);
+    (coordinator, workers)
+}
+
+fn parsed(line: &str) -> Json {
+    Json::parse(line).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+}
+
+fn field<'a>(resp: &'a Json, key: &str) -> &'a Json {
+    resp.get(key)
+        .unwrap_or_else(|| panic!("response lacks {key:?}: {resp:?}"))
+}
+
+fn verify_line(concrete: &str, sessions: u32) -> String {
+    format!(
+        r#"{{"op":"verify","concrete":"{}","abstract":"{}","sessions":{sessions}}}"#,
+        concrete.replace('\\', "\\\\"),
+        P_ABS.replace('\\', "\\\\"),
+    )
+}
+
+fn campaign_line() -> String {
+    format!(
+        r#"{{"op":"campaign","concrete":"{PM2}","abstract":"{PM_ABS}","sessions":2,"intruder":false,"faults_depth":2}}"#
+    )
+}
+
+/// The reference bytes: the same request served by one standalone
+/// worker process (the body encoders are shared, so this is also what
+/// a direct `Verifier` run renders to).
+fn single_node_body(line: &str) -> String {
+    let worker = start_worker();
+    let mut client = Client::connect(&worker.addr().to_string()).unwrap();
+    let resp = parsed(&client.roundtrip(line).unwrap());
+    assert_eq!(field(&resp, "status").as_str(), Some("ok"), "{resp:?}");
+    let body = field(&resp, "body").render_compact();
+    worker.join();
+    body
+}
+
+#[test]
+fn fleet_routes_by_digest_and_repeat_requests_hit_the_owners_cache() {
+    let (coordinator, workers) = start_fleet(2, |_| {});
+    let addr = coordinator.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let line = verify_line(P2, 1);
+    let first = parsed(&client.roundtrip(&line).unwrap());
+    assert_eq!(field(&first, "status").as_str(), Some("ok"));
+    assert_eq!(field(&first, "cached").as_bool(), Some(false));
+    // The repeat routes to the same worker by digest: a cache hit.
+    let second = parsed(&client.roundtrip(&line).unwrap());
+    assert_eq!(field(&second, "cached").as_bool(), Some(true));
+    assert_eq!(field(&first, "body"), field(&second, "body"));
+
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let body = field(&stats, "body");
+    assert_eq!(field(body, "role").as_str(), Some("coordinator"));
+    assert_eq!(field(body, "workers_alive").as_int(), Some(2));
+    assert!(field(body, "routed").as_int().unwrap() >= 2);
+    assert_eq!(field(body, "local_runs").as_int(), Some(0));
+
+    coordinator.join();
+    for w in workers {
+        w.join();
+    }
+}
+
+#[test]
+fn killing_a_worker_reroutes_to_survivors() {
+    let (coordinator, mut workers) = start_fleet(2, |_| {});
+    let addr = coordinator.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let warm = parsed(&client.roundtrip(&verify_line(P2, 1)).unwrap());
+    assert_eq!(field(&warm, "status").as_str(), Some("ok"));
+
+    // Kill one worker outright.
+    let victim = workers.remove(0);
+    victim.join();
+
+    // Every question still gets answered: requests owned by the dead
+    // worker fail the dial, it is marked dead, and the ring's next
+    // candidate takes over.
+    for sessions in 1..=4 {
+        let resp = parsed(&client.roundtrip(&verify_line(P2, sessions)).unwrap());
+        assert_eq!(field(&resp, "status").as_str(), Some("ok"), "{resp:?}");
+    }
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let body = field(&stats, "body");
+    assert_eq!(field(body, "workers_alive").as_int(), Some(1), "{body:?}");
+    assert_eq!(field(body, "workers_dead").as_int(), Some(1));
+
+    coordinator.join();
+    for w in workers {
+        w.join();
+    }
+}
+
+#[test]
+fn quorum_loss_degrades_to_local_execution() {
+    // No workers ever join: every job must still be answered, locally.
+    let coordinator = coordinate(engine(), test_opts()).expect("coordinator starts");
+    let mut client = Client::connect(&coordinator.addr().to_string()).unwrap();
+
+    let resp = parsed(&client.roundtrip(&verify_line(P2, 1)).unwrap());
+    assert_eq!(field(&resp, "status").as_str(), Some("ok"));
+    assert_eq!(field(&resp, "via").as_str(), Some("local"));
+
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert!(field(field(&stats, "body"), "local_runs").as_int().unwrap() >= 1);
+
+    coordinator.join();
+}
+
+#[test]
+fn local_degradation_matches_fleet_bytes() {
+    let reference = single_node_body(&verify_line(P2, 1));
+    let coordinator = coordinate(engine(), test_opts()).expect("coordinator starts");
+    let mut client = Client::connect(&coordinator.addr().to_string()).unwrap();
+    let resp = parsed(&client.roundtrip(&verify_line(P2, 1)).unwrap());
+    assert_eq!(field(&resp, "body").render_compact(), reference);
+    coordinator.join();
+}
+
+#[test]
+fn campaigns_split_into_units_and_stitch_back_byte_identically() {
+    let reference = single_node_body(&campaign_line());
+
+    let (coordinator, workers) = start_fleet(2, |o| o.unit_size = 4);
+    let mut client = Client::connect(&coordinator.addr().to_string()).unwrap();
+    let resp = parsed(&client.roundtrip(&campaign_line()).unwrap());
+    assert_eq!(field(&resp, "status").as_str(), Some("ok"), "{resp:?}");
+    assert_eq!(
+        field(&resp, "via").as_str(),
+        Some("fleet"),
+        "14 schedules over unit_size 4 must fan out"
+    );
+    assert_eq!(
+        field(&resp, "body").render_compact(),
+        reference,
+        "stitched unit reports must be byte-identical to one process"
+    );
+
+    // The units landed in worker caches: both workers saw work.
+    let executions: u64 = workers.iter().map(ServerHandle::executions).sum();
+    assert!(executions >= 4, "unit dispatch executed on the fleet");
+
+    coordinator.join();
+    for w in workers {
+        w.join();
+    }
+}
+
+#[test]
+fn chaos_kill_mid_campaign_loses_nothing() {
+    let verify_ref = single_node_body(&verify_line(P2, 1));
+    let campaign_ref = single_node_body(&campaign_line());
+
+    // Seeded chaos: the plan's first event is always an early worker
+    // kill, so this exercises re-dispatch no matter the seed.
+    let (coordinator, workers) = start_fleet(3, |o| {
+        o.chaos = Some(0xC0FFEE);
+        o.chaos_horizon = 12;
+    });
+    let addr = coordinator.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Enough requests to walk through the whole chaos plan.
+    for round in 0..6 {
+        let v = parsed(&client.roundtrip(&verify_line(P2, 1)).unwrap());
+        assert_eq!(field(&v, "status").as_str(), Some("ok"), "round {round}");
+        assert_eq!(
+            field(&v, "body").render_compact(),
+            verify_ref,
+            "round {round}: chaos must never change verify bytes"
+        );
+        let c = parsed(&client.roundtrip(&campaign_line()).unwrap());
+        assert_eq!(field(&c, "status").as_str(), Some("ok"), "round {round}");
+        assert_eq!(
+            field(&c, "body").render_compact(),
+            campaign_ref,
+            "round {round}: chaos must never change campaign bytes"
+        );
+    }
+
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let body = field(&stats, "body");
+    assert!(
+        field(body, "workers_dead").as_int().unwrap() >= 1,
+        "the chaos plan kills at least one worker: {body:?}"
+    );
+    assert!(body.get("chaos").is_some(), "stats document the plan");
+
+    coordinator.join();
+    for w in workers {
+        // Chaos already drained some workers; join is idempotent.
+        w.join();
+    }
+}
+
+#[test]
+fn gossip_warms_a_cold_worker_from_a_peer() {
+    let warm = start_worker();
+    let mut client = Client::connect(&warm.addr().to_string()).unwrap();
+    let line = verify_line(P2, 1);
+    let first = parsed(&client.roundtrip(&line).unwrap());
+    assert_eq!(field(&first, "cached").as_bool(), Some(false));
+
+    // A cold worker pulls the peer's entries and absorbs them.
+    let cold = start_worker();
+    let entries = pull_from(
+        &warm.addr().to_string(),
+        Duration::from_millis(500),
+        Duration::from_secs(5),
+    )
+    .expect("gossip pull succeeds");
+    assert!(!entries.is_empty());
+    cold.absorb(entries);
+
+    // The very first request to the cold worker is already a hit.
+    let mut cold_client = Client::connect(&cold.addr().to_string()).unwrap();
+    let resp = parsed(&cold_client.roundtrip(&line).unwrap());
+    assert_eq!(field(&resp, "cached").as_bool(), Some(true));
+    assert_eq!(field(&resp, "body"), field(&first, "body"));
+    assert_eq!(cold.executions(), 0, "warming replaced the exploration");
+
+    warm.join();
+    cold.join();
+}
+
+#[test]
+fn gossip_between_disjoint_caches_converges_to_the_union() {
+    let a = start_worker();
+    let b = start_worker();
+    let line_a = verify_line(P2, 1);
+    let line_b = verify_line(P2, 2);
+    let mut ca = Client::connect(&a.addr().to_string()).unwrap();
+    let mut cb = Client::connect(&b.addr().to_string()).unwrap();
+    let _ = ca.roundtrip(&line_a).unwrap();
+    let _ = cb.roundtrip(&line_b).unwrap();
+
+    // Exchange in both directions.
+    let connect = Duration::from_millis(500);
+    let read = Duration::from_secs(5);
+    let from_b = pull_from(&b.addr().to_string(), connect, read).unwrap();
+    a.absorb(from_b);
+    let from_a = pull_from(&a.addr().to_string(), connect, read).unwrap();
+    b.absorb(from_a);
+
+    // Both hold both results: every repeat anywhere is a hit.
+    let mut keys_a: Vec<String> = a.cache_entries().into_iter().map(|(k, _, _)| k).collect();
+    let mut keys_b: Vec<String> = b.cache_entries().into_iter().map(|(k, _, _)| k).collect();
+    keys_a.sort();
+    keys_b.sort();
+    assert_eq!(keys_a, keys_b, "caches converged");
+    assert_eq!(keys_a.len(), 2, "the union holds both questions");
+    for line in [&line_a, &line_b] {
+        let ra = parsed(&ca.roundtrip(line).unwrap());
+        let rb = parsed(&cb.roundtrip(line).unwrap());
+        assert_eq!(field(&ra, "cached").as_bool(), Some(true));
+        assert_eq!(field(&rb, "cached").as_bool(), Some(true));
+        assert_eq!(field(&ra, "body"), field(&rb, "body"));
+    }
+
+    a.join();
+    b.join();
+}
+
+#[test]
+fn join_on_a_plain_worker_is_a_clean_error() {
+    let worker = start_worker();
+    let mut client = Client::connect(&worker.addr().to_string()).unwrap();
+    let resp = parsed(
+        &client
+            .roundtrip(r#"{"op":"join","addr":"127.0.0.1:1"}"#)
+            .unwrap(),
+    );
+    assert_eq!(field(&resp, "status").as_str(), Some("error"));
+    let reason = field(&resp, "reason").as_str().unwrap();
+    assert!(reason.contains("coordinator"), "{reason}");
+    worker.join();
+}
+
+#[test]
+fn rejoining_worker_is_told_to_warm_from_peers() {
+    let (coordinator, workers) = start_fleet(2, |_| {});
+    let mut client = Client::connect(&coordinator.addr().to_string()).unwrap();
+
+    // A fresh join is a rejoin (first contact) and lists the peers.
+    let line = r#"{"op":"join","addr":"127.0.0.1:1"}"#;
+    let resp = parsed(&client.roundtrip(line).unwrap());
+    let body = field(&resp, "body");
+    assert_eq!(field(body, "rejoined").as_bool(), Some(true));
+    assert_eq!(field(body, "peers").as_arr().unwrap().len(), 2);
+
+    // A repeat heartbeat is not a rejoin.
+    let resp = parsed(&client.roundtrip(line).unwrap());
+    assert_eq!(
+        field(field(&resp, "body"), "rejoined").as_bool(),
+        Some(false)
+    );
+
+    coordinator.join();
+    for w in workers {
+        w.join();
+    }
+}

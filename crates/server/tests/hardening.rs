@@ -1,0 +1,155 @@
+//! Malformed-wire-input hardening: hostile request lines must each
+//! produce a structured error response on the same connection — never
+//! a panic, a dropped socket, or a wedged worker slot.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use spi_server::client::Client;
+use spi_server::service::{serve, VerifierEngine, MAX_LINE_BYTES};
+use spi_server::ServerOptions;
+use spi_verify::jsonlite::Json;
+
+fn start() -> spi_server::ServerHandle {
+    serve(
+        Arc::new(VerifierEngine {
+            explore_workers: Some(1),
+        }),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts")
+}
+
+fn parsed(line: &str) -> Json {
+    Json::parse(line).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+}
+
+fn status(resp: &Json) -> &str {
+    resp.get("status").and_then(Json::as_str).expect("status")
+}
+
+/// Sends raw bytes and reads one response line over a plain socket
+/// (the [`Client`] insists on UTF-8 strings, which is exactly what
+/// these tests must not).
+fn raw_roundtrip(stream: &mut TcpStream, payload: &[u8]) -> String {
+    stream.write_all(payload).expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn oversized_lines_get_a_structured_error_not_a_wedged_slot() {
+    let handle = start();
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // A 10 MB request line: an order of magnitude past the cap.
+    let huge = format!(r#"{{"op":"verify","concrete":"{}"}}"#, "x".repeat(10 * 1024 * 1024));
+    assert!(huge.len() > MAX_LINE_BYTES);
+    let resp = parsed(&client.roundtrip(&huge).unwrap());
+    assert_eq!(status(&resp), "error");
+    let reason = resp.get("reason").and_then(Json::as_str).unwrap();
+    assert!(reason.contains("exceeds"), "{reason}");
+
+    // The same connection still serves real work afterwards.
+    let pong = parsed(&client.roundtrip(r#"{"op":"ping"}"#).unwrap());
+    assert_eq!(status(&pong), "ok");
+    let verify = parsed(
+        &client
+            .roundtrip(r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1}"#)
+            .unwrap(),
+    );
+    assert_eq!(status(&verify), "ok");
+
+    handle.join();
+}
+
+#[test]
+fn invalid_utf8_is_answered_not_fatal() {
+    let handle = start();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).ok();
+
+    let mut payload = b"{\"op\":\"ping\", \"junk\":\"".to_vec();
+    payload.extend_from_slice(&[0xff, 0xfe, 0x80, 0x81]);
+    payload.extend_from_slice(b"\"}\n");
+    let resp = parsed(&raw_roundtrip(&mut stream, &payload));
+    assert_eq!(status(&resp), "error");
+    let reason = resp.get("reason").and_then(Json::as_str).unwrap();
+    assert!(reason.contains("UTF-8"), "{reason}");
+
+    // The connection survives the binary garbage.
+    let pong = parsed(&raw_roundtrip(&mut stream, b"{\"op\":\"ping\"}\n"));
+    assert_eq!(status(&pong), "ok");
+
+    handle.join();
+}
+
+#[test]
+fn truncated_json_and_unknown_ops_error_cleanly() {
+    let handle = start();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    for bad in [
+        r#"{"op":"verify","concrete":"0","abstr"#, // truncated mid-key
+        r#"{"op":"verify","#,                      // truncated mid-object
+        r#"{"op":"frobnicate"}"#,                  // unknown op
+        r#"{"op":42}"#,                            // non-string op
+        "]",                                       // not an object at all
+    ] {
+        let resp = parsed(&client.roundtrip(bad).unwrap());
+        assert_eq!(status(&resp), "error", "for {bad:?}: {resp:?}");
+        assert!(resp.get("reason").is_some(), "for {bad:?}");
+    }
+
+    // After the whole gauntlet, the server still does real work.
+    let verify = parsed(
+        &client
+            .roundtrip(r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1}"#)
+            .unwrap(),
+    );
+    assert_eq!(status(&verify), "ok");
+
+    handle.join();
+}
+
+#[test]
+fn stats_expose_the_new_metrics_surface() {
+    let handle = start();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    let line = r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1}"#;
+    let _ = client.roundtrip(line).unwrap(); // miss
+    let _ = client.roundtrip(line).unwrap(); // hit
+
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let body = stats.get("body").expect("body");
+    for key in [
+        "hits",
+        "misses",
+        "hit_rate_pct",
+        "evictions",
+        "collapsed",
+        "queue_depth",
+        "latency",
+    ] {
+        assert!(body.get(key).is_some(), "stats lacks {key:?}: {body:?}");
+    }
+    let pct = body.get("hit_rate_pct").and_then(Json::as_int).unwrap();
+    assert!((1..=100).contains(&pct), "one hit, one miss: {pct}");
+    let latency = body.get("latency").expect("latency");
+    let verify = latency.get("verify").expect("per-op histogram");
+    assert!(verify.get("count").and_then(Json::as_int).unwrap() >= 2);
+    for q in ["p50_us", "p99_us"] {
+        assert!(verify.get(q).and_then(Json::as_int).unwrap() > 0, "{q}");
+    }
+
+    handle.join();
+}

@@ -84,6 +84,14 @@ pub struct CampaignOptions {
     /// Stop (reporting `interrupted`) after deciding this many fresh
     /// schedules — deterministic interruption for resume tests.
     pub stop_after: Option<usize>,
+    /// Decide only the schedules at enumeration indices
+    /// `[offset, offset + count)` — the *work unit* a verification fleet
+    /// dispatches to one worker node.  The report then carries exactly
+    /// that slice of results (still in enumeration order, with the full
+    /// `enumerated` count and the full-campaign identity), so a
+    /// coordinator can concatenate unit reports back into the
+    /// byte-identical single-process report.  `None` decides everything.
+    pub schedule_range: Option<(usize, usize)>,
 }
 
 impl CampaignOptions {
@@ -105,6 +113,7 @@ impl CampaignOptions {
             checkpoint_every: 8,
             resume: false,
             stop_after: None,
+            schedule_range: None,
         }
     }
 }
@@ -240,7 +249,18 @@ pub fn run_campaign(
     let mut resumed = 0usize;
     let mut fresh = 0usize;
     let mut interrupted = false;
-    for sched in &schedules {
+    for (index, sched) in schedules.iter().enumerate() {
+        if let Some((offset, count)) = opts.schedule_range {
+            if index < offset {
+                continue;
+            }
+            if index >= offset.saturating_add(count) {
+                // The end of the work unit is a clean completion, not an
+                // interruption: the remaining schedules belong to other
+                // units.
+                break;
+            }
+        }
         let key = sched.canonical_key();
         if let Some(done) = prior.get(&key) {
             results.push(done.clone());
@@ -795,6 +815,35 @@ mod tests {
             "{err:?}"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schedule_ranges_partition_the_campaign_without_overlap() {
+        // The fleet coordinator splits a campaign into work units of
+        // contiguous enumeration indices.  Concatenating the unit
+        // reports must reproduce the single-process report exactly.
+        let whole = run_campaign(&greedy(), &single_shot(), &opts(2)).unwrap();
+        let total = whole.enumerated;
+        let mut stitched = Vec::new();
+        let unit = 5;
+        let mut offset = 0;
+        while offset < total {
+            let mut o = opts(2);
+            o.schedule_range = Some((offset, unit));
+            let part = run_campaign(&greedy(), &single_shot(), &o).unwrap();
+            assert!(!part.interrupted, "a finished unit is a clean finish");
+            assert_eq!(part.enumerated, total, "units see the full space");
+            assert!(part.results.len() <= unit);
+            stitched.extend(part.results);
+            offset += unit;
+        }
+        assert_eq!(stitched, whole.results, "units stitch back losslessly");
+
+        // A range past the end decides nothing but still succeeds.
+        let mut o = opts(2);
+        o.schedule_range = Some((total + 10, unit));
+        let empty = run_campaign(&greedy(), &single_shot(), &o).unwrap();
+        assert!(empty.results.is_empty());
     }
 
     #[test]
