@@ -2,24 +2,33 @@
 //! instances and print one JSON record per configuration, suitable for
 //! appending to `BENCH_explore.json`.
 //!
-//! Run with `cargo run --release -p spi-bench --bin explore_trajectory -- <engine-label>`.
+//! Run with `cargo run --release -p spi-bench --bin explore_trajectory -- <engine-label> [workers] [reduce-mode]`.
 //! The label tags the engine variant being measured (e.g. `seed-sequential`,
-//! `hashed-seq`, `parallel`); the harness itself always goes through the
-//! public `Verifier` API so successive engine generations are measured the
-//! same way.
+//! `hashed-seq`, `parallel`, `symmetry-por`); the harness itself always goes
+//! through the public `Verifier` API so successive engine generations are
+//! measured the same way.  A reduce mode other than `none` switches to the
+//! deeper instance ladder (sessions 3 and 4) that only completes in
+//! reasonable time under reduction, and reports the reduction counters.
 
 use std::time::Instant;
 
-use spi_auth::Verifier;
+use spi_auth::{ReduceOptions, Verifier};
 use spi_protocols::multi;
 use spi_syntax::Process;
 
 const RUNS: usize = 7;
 
-fn median_ms(verifier: &Verifier, protocol: &Process) -> (f64, usize, usize) {
+struct Measured {
+    median_ms: f64,
+    states: usize,
+    transitions: usize,
+    quotiented: u64,
+    pruned: u64,
+}
+
+fn median_ms(verifier: &Verifier, protocol: &Process) -> Measured {
     // Warm-up run (also gives us the state/transition counts).
     let lts = verifier.explore(protocol).expect("explores");
-    let (states, transitions) = (lts.stats.states, lts.stats.edges);
     let mut samples: Vec<f64> = (0..RUNS)
         .map(|_| {
             let start = Instant::now();
@@ -28,7 +37,13 @@ fn median_ms(verifier: &Verifier, protocol: &Process) -> (f64, usize, usize) {
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (samples[samples.len() / 2], states, transitions)
+    Measured {
+        median_ms: samples[samples.len() / 2],
+        states: lts.stats.states,
+        transitions: lts.stats.edges,
+        quotiented: lts.stats.states_quotiented,
+        pruned: lts.stats.por_pruned,
+    }
 }
 
 fn main() {
@@ -39,30 +54,60 @@ fn main() {
         .nth(2)
         .and_then(|w| w.parse().ok())
         .unwrap_or(0);
+    let reduce = std::env::args()
+        .nth(3)
+        .map(|m| ReduceOptions::parse(&m).expect("reduce mode: none|symmetry|por|full"))
+        .unwrap_or_else(ReduceOptions::none);
     let pm2 = multi::shared_key("c", "observe");
     let pm3 = multi::challenge_response("c", "observe");
-    let instances: [(&str, &Process, u32); 3] = [
-        ("pm2_naive", &pm2, 2),
-        ("pm2_naive", &pm2, 3),
-        ("pm3_nonce", &pm3, 2),
-    ];
-    for (name, protocol, sessions) in instances {
-        let verifier = configure(Verifier::new(["c"]).sessions(sessions), workers);
-        let (ms, states, transitions) = median_ms(&verifier, protocol);
+    let deep = std::env::args().nth(4).as_deref() == Some("deep");
+    let instances: &[(&str, &Process, u32)] = if reduce.enabled() {
+        // The reduced ladder: the shallow rungs for comparability with
+        // the unreduced records, the deep ones because only a reduced
+        // engine finishes them in reasonable time.  (Pm3 at 4 sessions
+        // is beyond even the reduced engine's patience for a 7-run
+        // median; its trajectory is documented through 3 sessions.)
+        &[
+            ("pm2_naive", &pm2, 2),
+            ("pm2_naive", &pm2, 3),
+            ("pm2_naive", &pm2, 4),
+            ("pm3_nonce", &pm3, 2),
+            ("pm3_nonce", &pm3, 3),
+        ]
+    } else if deep {
+        // The unreduced wall, measured once for the comparison records.
+        &[("pm2_naive", &pm2, 4)]
+    } else {
+        &[
+            ("pm2_naive", &pm2, 2),
+            ("pm2_naive", &pm2, 3),
+            ("pm3_nonce", &pm3, 2),
+        ]
+    };
+    for &(name, protocol, sessions) in instances {
+        let verifier = configure(Verifier::new(["c"]).sessions(sessions), workers, reduce);
+        let m = median_ms(&verifier, protocol);
         println!(
             "{{\"engine\": \"{label}\", \"instance\": \"{name}\", \"sessions\": {sessions}, \
-             \"median_ms\": {ms:.2}, \"states\": {states}, \"transitions\": {transitions}, \
-             \"runs\": {RUNS}}}"
+             \"reduce\": \"{}\", \"median_ms\": {:.2}, \"states\": {}, \"transitions\": {}, \
+             \"states_quotiented\": {}, \"por_pruned\": {}, \"runs\": {RUNS}}}",
+            reduce.mode(),
+            m.median_ms,
+            m.states,
+            m.transitions,
+            m.quotiented,
+            m.pruned,
         );
     }
 }
 
-fn configure(verifier: Verifier, workers: usize) -> Verifier {
+fn configure(verifier: Verifier, workers: usize, reduce: ReduceOptions) -> Verifier {
     // workers == 0 means "leave the verifier at its default" (available
     // parallelism); any other value pins the exploration thread count.
-    if workers == 0 {
+    let verifier = if workers == 0 {
         verifier
     } else {
         verifier.workers(workers)
-    }
+    };
+    verifier.reduce(reduce)
 }

@@ -3,7 +3,7 @@
 //! An [`Oracle`] is a differential property every well-formed
 //! specification must satisfy: two engine paths that claim to compute the
 //! same thing are run side by side and any disagreement is a [`Verdict::Fail`].
-//! The built-in suite covers the seven seams where the workspace
+//! The built-in suite covers the eight seams where the workspace
 //! maintains redundant machinery:
 //!
 //! * **roundtrip** — the exact printer against the parser;
@@ -12,6 +12,10 @@
 //!   strings (`verify_keys`);
 //! * **cowstate** — the copy-on-write stepper against the deep-clone
 //!   reference stepper and the explorer's state count;
+//! * **reduce** — the symmetry-quotiented, partial-order-reduced
+//!   exploration (`--reduce full`) against the unreduced reference:
+//!   reductions may collapse states, never observations, so the exact
+//!   weak trace sets and weak barbs must be identical;
 //! * **checkpoint** — a kill/resume campaign against an uninterrupted one;
 //! * **server** — an in-process `spi serve` daemon against a direct
 //!   [`spi_verify::Verifier`] run, including the cache-hit replay;
@@ -29,7 +33,8 @@ use spi_server::{
 };
 use spi_verify::jsonlite::Json;
 use spi_verify::{
-    run_campaign, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer, Verifier,
+    run_campaign, weak_traces, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer,
+    ReduceOptions, Verifier,
 };
 use spi_syntax::{parse, Process};
 
@@ -57,31 +62,42 @@ pub enum Injection {
     /// collides distinct states, exactly the failure `verify_keys`
     /// exists to rule out.
     TruncateCanonKeys(usize),
+    /// Replace the explorer's symmetry quotient with an *erasing*
+    /// pseudo-quotient (session-copy subtrees dropped, only their
+    /// permutation-invariant signatures hashed) — a canonicalizer that
+    /// forgets cross-copy name identity and conflates genuinely
+    /// different states, exactly the overmerge the `reduce` oracle
+    /// exists to rule out.
+    SymNoPerm,
 }
 
 impl Injection {
-    /// Parses `truncate-keys:N`.
+    /// Parses `truncate-keys:N` or `sym-no-perm`.
     ///
     /// # Errors
     ///
     /// Returns a description of the expected syntax on anything else.
     pub fn parse(s: &str) -> Result<Injection, String> {
+        if s == "sym-no-perm" {
+            return Ok(Injection::SymNoPerm);
+        }
         match s.split_once(':') {
             Some(("truncate-keys", n)) => n
                 .parse::<usize>()
                 .map(Injection::TruncateCanonKeys)
                 .map_err(|_| format!("bad injection length `{n}` (want an integer)")),
             _ => Err(format!(
-                "unknown injection `{s}` (valid: truncate-keys:N)"
+                "unknown injection `{s}` (valid: truncate-keys:N, sym-no-perm)"
             )),
         }
     }
 
-    /// The directive spelling, `truncate-keys:N`.
+    /// The directive spelling, `truncate-keys:N` or `sym-no-perm`.
     #[must_use]
     pub fn directive(&self) -> String {
         match self {
             Injection::TruncateCanonKeys(n) => format!("truncate-keys:{n}"),
+            Injection::SymNoPerm => "sym-no-perm".to_string(),
         }
     }
 }
@@ -132,6 +148,7 @@ pub fn builtin_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(Workers),
         Box::new(HashKeys),
         Box::new(CowState),
+        Box::new(Reduce),
         Box::new(Checkpoint),
         Box::new(Server),
         Box::new(Fleet),
@@ -294,7 +311,7 @@ impl Oracle for CowState {
                 .iter()
                 .map(|k| k.chars().take(n).collect())
                 .collect(),
-            None => cow.keys,
+            Some(Injection::SymNoPerm) | None => cow.keys,
         };
         if cow_keys.len() != deep.keys.len() {
             return Verdict::Fail(format!(
@@ -324,6 +341,83 @@ impl Oracle for CowState {
                 }
                 _ => {}
             }
+        }
+        Verdict::Pass
+    }
+}
+
+/// Reduced exploration against the unreduced reference: exploring under
+/// the session-symmetry quotient plus ample-set partial-order reduction
+/// (`--reduce full`) must preserve the *exact* weak trace set and the
+/// weak barbs of the unreduced LTS — reductions may collapse states,
+/// never observations.
+struct Reduce;
+
+impl Oracle for Reduce {
+    fn name(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        // The session quotient needs at least two replicated copies to
+        // have anything to permute; deepen a shallower caller bound.
+        let unfold = env.unfold_bound.max(2);
+        // The unreduced arm tracks isomorphisms too, so both sides
+        // extract the exact raw trace set — identity merges would
+        // otherwise mix nonce lineages and the comparison would flag
+        // bookkeeping, not semantics.
+        let base = ExploreOptions {
+            unfold_bound: unfold,
+            faults: case.faults.clone(),
+            track_isos: true,
+            ..explore_opts(env)
+        };
+        let plain = match Explorer::new(base.clone()).explore(&case.spec) {
+            Ok(lts) => lts,
+            Err(e) => return Verdict::Skip(format!("unreduced exploration failed: {e}")),
+        };
+        if !plain.complete() {
+            return Verdict::Skip(format!(
+                "state space truncated at {} states",
+                env.max_states
+            ));
+        }
+        let reduced_opts = ExploreOptions {
+            reduce: ReduceOptions::full(),
+            sym_conflate: env.injection == Some(Injection::SymNoPerm),
+            ..base
+        };
+        let reduced = match Explorer::new(reduced_opts).explore(&case.spec) {
+            Ok(lts) => lts,
+            Err(e) => return Verdict::Skip(format!("reduced exploration failed: {e}")),
+        };
+        if !reduced.complete() {
+            return Verdict::Skip("reduced exploration truncated".to_string());
+        }
+        if reduced.states.len() > plain.states.len() {
+            return Verdict::Fail(format!(
+                "reduction grew the state space: {} reduced vs {} plain states",
+                reduced.states.len(),
+                plain.states.len()
+            ));
+        }
+        const VISIBLE: usize = 4;
+        let want = weak_traces(&plain, VISIBLE);
+        let got = weak_traces(&reduced, VISIBLE);
+        if got != want {
+            let lost = want.difference(&got).count();
+            let invented = got.difference(&want).count();
+            return Verdict::Fail(format!(
+                "reduced exploration changed the weak trace set: {lost} trace(s) lost, \
+                 {invented} invented ({} reduced vs {} plain states)",
+                reduced.states.len(),
+                plain.states.len()
+            ));
+        }
+        if reduced.weak_barbs() != plain.weak_barbs() {
+            return Verdict::Fail(
+                "reduced exploration changed the weak barbs".to_string(),
+            );
         }
         Verdict::Pass
     }
@@ -775,6 +869,51 @@ mod tests {
     fn the_fleet_oracle_is_builtin() {
         assert!(builtin_names().contains(&"fleet"));
         assert!(oracle_by_name("fleet").is_some());
+    }
+
+    #[test]
+    fn the_reduce_oracle_is_builtin() {
+        assert!(builtin_names().contains(&"reduce"));
+        assert!(oracle_by_name("reduce").is_some());
+    }
+
+    #[test]
+    fn the_reduce_oracle_passes_on_replicated_sessions() {
+        let p = parse("!((^m)(c<m> | c(x).observe<x>))").expect("parses");
+        let verdict = check_process(&Reduce, &p, None, &["c".to_string()], &OracleEnv::default());
+        assert_eq!(verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn the_reduce_oracle_catches_the_conflating_pseudo_quotient() {
+        // Three interleaved sessions whose nonces cross copies: erasing
+        // the copy subtrees conflates states a sound quotient keeps
+        // apart, and the lost interleavings show up as missing traces.
+        let p = parse("!((^m)(^n)(c<m>.c<n> | c(x).c(y).d<x>.d<y>)) | d(z)").expect("parses");
+        let env = OracleEnv {
+            unfold_bound: 3,
+            max_states: 60_000,
+            injection: Some(Injection::SymNoPerm),
+        };
+        let verdict = check_process(
+            &Reduce,
+            &p,
+            None,
+            &["c".to_string(), "d".to_string()],
+            &env,
+        );
+        assert!(
+            matches!(verdict, Verdict::Fail(_)),
+            "planted conflation went uncaught: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn injection_directives_round_trip() {
+        for inj in [Injection::TruncateCanonKeys(2), Injection::SymNoPerm] {
+            assert_eq!(Injection::parse(&inj.directive()), Ok(inj));
+        }
+        assert!(Injection::parse("sym-no-perm:3").is_err());
     }
 
     #[test]

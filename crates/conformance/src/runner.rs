@@ -292,4 +292,27 @@ mod tests {
             "expected a reproducer under 12 lines, got {smallest}"
         );
     }
+
+    #[test]
+    fn injected_symmetry_bug_is_caught_and_shrunk() {
+        let mut opts = ConformanceOptions::new(7, 40);
+        opts.size = GenSize::small();
+        opts.oracles = vec!["reduce".to_string()];
+        opts.env.injection = Some(Injection::SymNoPerm);
+        let report = run_conformance(&opts).expect("runs");
+        assert!(
+            !report.failures.is_empty(),
+            "planted symmetry bug went uncaught: {report}"
+        );
+        let smallest = report
+            .failures
+            .iter()
+            .map(|f| f.minimal.lines().count())
+            .min()
+            .unwrap_or(usize::MAX);
+        assert!(
+            smallest < 12,
+            "expected a reproducer under 12 lines, got {smallest}"
+        );
+    }
 }

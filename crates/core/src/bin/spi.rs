@@ -8,6 +8,7 @@
 //!            [--chan c]... [--sessions N] [--visible N]
 //!            [--budget states=N,fuel=N,...] [--fault kind:chan[:max]]...
 //!            [--intruder on|off] [--workers N] [--timeout-secs S]
+//!            [--reduce none|symmetry|por|full] [--verify-symmetry on|off]
 //! spi campaign <concrete> <abstract>        sweep every fault schedule up
 //!            [--faults-depth K] [--chan c]...  to K unit firings, shrink
 //!            [--checkpoint FILE] [--resume FILE]  failures to 1-minimal
@@ -50,9 +51,11 @@
 //! wall-clock deadline; runs it truncates answer *inconclusive*.
 //! `--verify-keys on` makes every exploration intern states by their
 //! full canonical strings alongside the hashed keys, panicking on any
-//! disagreement.  `spi conformance` oracles: `roundtrip`, `workers`,
-//! `hashkeys`, `cowstate`, `checkpoint`, `server`, `fleet`.  `spi
-//! verify` and
+//! disagreement.  `--reduce` turns on the session-symmetry quotient
+//! and/or partial-order reduction; `--verify-symmetry on` cross-checks
+//! the quotient's orbit invariance state by state.  `spi conformance`
+//! oracles: `roundtrip`, `workers`, `hashkeys`, `cowstate`, `reduce`,
+//! `checkpoint`, `server`, `fleet`.  `spi verify` and
 //! `spi campaign` accept `--format text|json`; the JSON shapes are the
 //! exact bodies the daemon serves, so scripts see one schema either
 //! way.
@@ -124,7 +127,8 @@ fn print_usage() {
         "usage:\n  spi parse <file>\n  spi run <file> [--steps N] [--unfold N]\n  \
          spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n    \
          [--budget states=N,transitions=N,fuel=N,knowledge=N,steps=N]\n    \
-         [--fault kind:chan[:max],...]... [--intruder on|off] [--workers N] [--timeout-secs S]\n  \
+         [--fault kind:chan[:max],...]... [--intruder on|off] [--workers N] [--timeout-secs S]\n    \
+         [--reduce none|symmetry|por|full] [--verify-symmetry on|off] [--verify-keys on|off]\n  \
          spi campaign <concrete> <abstract> [--faults-depth K] [--checkpoint FILE]\n    \
          [--resume FILE] [--checkpoint-every N] [--stop-after N] (plus verify flags)\n  \
          spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
@@ -352,6 +356,16 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
         None | Some("off") => {}
         Some("on") => verifier = verifier.verify_keys(true),
         Some(other) => return Err(format!("--verify-keys expects on|off, got {other:?}")),
+    }
+    if let Some(mode) = flag(flags, "reduce") {
+        let reduce = spi_auth::ReduceOptions::parse(mode)
+            .ok_or_else(|| format!("--reduce expects none|symmetry|por|full, got {mode:?}"))?;
+        verifier = verifier.reduce(reduce);
+    }
+    match flag(flags, "verify-symmetry") {
+        None | Some("off") => {}
+        Some("on") => verifier = verifier.verify_symmetry(true),
+        Some(other) => return Err(format!("--verify-symmetry expects on|off, got {other:?}")),
     }
     if let Some(s) = flag(flags, "timeout-secs") {
         let secs: u64 = s

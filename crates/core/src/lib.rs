@@ -47,7 +47,7 @@ pub mod server;
 pub use spi_semantics::{FaultClause, FaultKind, FaultParseError, FaultSpec};
 pub use spi_verify::{
     Attack, Budget, CampaignOptions, CampaignReport, CoverageStats, EquivDirection,
-    MinimalCounterexample, ResourceKind, ScheduleOutcome, ScheduleResult, Verdict,
+    MinimalCounterexample, ReduceOptions, ResourceKind, ScheduleOutcome, ScheduleResult, Verdict,
     VerificationReport, Verifier,
 };
 

@@ -138,6 +138,7 @@ mod tests {
             timeout_secs: None,
             no_cache: false,
             unit: None,
+            reduce: spi_verify::ReduceOptions::none(),
         }
     }
 

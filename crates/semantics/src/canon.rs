@@ -100,6 +100,17 @@ impl Canonicalizer {
         }
     }
 
+    /// The assignment journal: `journal()[k]` is the [`NameId`] that was
+    /// numbered `k` during serialization.  Two states with equal canonical
+    /// strings have journals of equal length, and zipping them yields the
+    /// name bijection witnessing the isomorphism — the symmetry quotient
+    /// stores this to rename observations when a merged state's traces are
+    /// extracted through its representative.
+    #[must_use]
+    pub fn journal(&self) -> &[NameId] {
+        &self.order
+    }
+
     /// Renders `t` as a canonical *probe*: ids already numbered keep
     /// their numbers, ids first seen during this rendering are numbered
     /// as usual but **forgotten afterwards**, leaving the canonicalizer

@@ -68,6 +68,7 @@ mod machine;
 mod names;
 mod narrate;
 mod rtproc;
+pub mod symmetry;
 mod value;
 mod walk;
 
@@ -80,5 +81,6 @@ pub use machine::{Action, CommInfo, StepInfo};
 pub use names::{NameEntry, NameId, NameTable};
 pub use narrate::{Narrator, RoleMap};
 pub use rtproc::{RtChanIndex, RtChannel, RtProcess};
+pub use symmetry::{PathPerm, SessionGroup};
 pub use value::RtTerm;
 pub use walk::Walk;

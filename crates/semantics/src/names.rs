@@ -146,6 +146,25 @@ impl NameTable {
         }
     }
 
+    /// A copy of the table with every creator position rewritten through
+    /// `f`.  Identities, spellings, and restriction flags are untouched —
+    /// this is the name-table half of a copy permutation (see the
+    /// `symmetry` module).
+    #[must_use]
+    pub fn map_creators<F: FnMut(&Path) -> Path>(&self, mut f: F) -> NameTable {
+        NameTable {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| NameEntry {
+                    base: e.base.clone(),
+                    restricted: e.restricted,
+                    creator: e.creator.as_ref().map(&mut f),
+                })
+                .collect(),
+        }
+    }
+
     /// Iterates over `(id, entry)` pairs in allocation order.
     pub fn iter(&self) -> impl Iterator<Item = (NameId, &NameEntry)> {
         self.entries

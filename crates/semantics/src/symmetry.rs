@@ -1,0 +1,1108 @@
+//! Session-symmetry: interchangeable replica groups and the physical
+//! application of copy permutations.
+//!
+//! A replication `!P` that has unfolded `k ≥ 2` times leaves `k` copies at
+//! the roots `base·‖1^t·‖0` along its right spine.  The copies started
+//! from the same body, so a state reached by running copy 1 first and a
+//! state reached by running copy 2 first differ only by which copy holds
+//! which residual — they are isomorphic up to a *copy permutation* that
+//! swaps the subtrees and rewrites every absolute position (creator
+//! stamps, localization indexes) accordingly.  Explorers quotient their
+//! state keys by these permutations to collapse the factorially many
+//! session interleavings into one representative per orbit.
+//!
+//! Soundness rests on the machine being *equivariant* under copy
+//! permutations: every runtime path computation either stays inside one
+//! copy (relative addresses between two positions under the same copy
+//! root do not depend on the root) or uses absolute paths, which
+//! [`apply_perm`] rewrites.  The one construct that is **not** equivariant
+//! is an unresolved source-level relative address (it resolves against
+//! the holder's depth, and copy roots sit at different depths along the
+//! spine), so [`sym_eligible`] refuses any state that still carries one —
+//! explorers fall back to the unquotiented key there.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+use std::sync::Arc;
+
+use spi_addr::{Branch, Path, ProcTree};
+
+use crate::{Config, LeafState, NameTable, RtChanIndex, RtChannel, RtProcess, RtTerm};
+
+/// One group of interchangeable session replicas: the copies spawned by a
+/// single replication leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionGroup {
+    /// The position of the replication before any unfolding (the spine
+    /// hangs off this path).
+    pub base: Path,
+    /// The copy roots `base·‖1^t·‖0` in spawn order.
+    pub roots: Vec<Path>,
+}
+
+/// A finite path permutation given as prefix-rewrite pairs over copy
+/// roots: a path starting with a source root is rewritten to start with
+/// the paired destination root; every other path is left alone.
+///
+/// The sources of a well-formed permutation are pairwise prefix-free (copy
+/// roots of top-level groups never nest), so at most one pair applies to
+/// any path and [`PathPerm::apply`] is a function.  Identity pairs are
+/// never stored, so the empty pair list *is* the identity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathPerm {
+    pairs: Vec<(Path, Path)>,
+}
+
+impl PathPerm {
+    /// The identity permutation.
+    #[must_use]
+    pub fn identity() -> PathPerm {
+        PathPerm::default()
+    }
+
+    /// Builds a permutation from `(source, destination)` root pairs,
+    /// dropping identity pairs and sorting for a canonical representation.
+    #[must_use]
+    pub fn from_pairs<I>(pairs: I) -> PathPerm
+    where
+        I: IntoIterator<Item = (Path, Path)>,
+    {
+        let mut pairs: Vec<(Path, Path)> = pairs.into_iter().filter(|(s, d)| s != d).collect();
+        pairs.sort();
+        pairs.dedup();
+        PathPerm { pairs }
+    }
+
+    /// Returns `true` for the identity permutation.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The prefix-rewrite pairs, sorted by source.
+    #[must_use]
+    pub fn pairs(&self) -> &[(Path, Path)] {
+        &self.pairs
+    }
+
+    /// Rewrites one path: the unique applicable pair (if any) swaps the
+    /// matching root prefix.
+    #[must_use]
+    pub fn apply(&self, p: &Path) -> Path {
+        for (s, d) in &self.pairs {
+            if s.is_prefix_of(p) {
+                if let Some(suffix) = p.strip_prefix(s) {
+                    return d.join(&suffix);
+                }
+            }
+        }
+        p.clone()
+    }
+
+    /// The inverse permutation (pairs swapped).
+    #[must_use]
+    pub fn invert(&self) -> PathPerm {
+        PathPerm::from_pairs(self.pairs.iter().map(|(s, d)| (d.clone(), s.clone())))
+    }
+
+    /// The composition "`self` first, then `next`" as a permutation:
+    /// `result.apply(p) == next.apply(&self.apply(p))` for every path
+    /// whose copy roots are prefix-free across both permutations.
+    #[must_use]
+    pub fn then(&self, next: &PathPerm) -> PathPerm {
+        let mut pairs: Vec<(Path, Path)> = self
+            .pairs
+            .iter()
+            .map(|(s, d)| (s.clone(), next.apply(d)))
+            .collect();
+        for (s, d) in &next.pairs {
+            if !self.pairs.iter().any(|(src, _)| src == s) {
+                pairs.push((s.clone(), d.clone()));
+            }
+        }
+        PathPerm::from_pairs(pairs)
+    }
+}
+
+/// Discovers the top-level session groups of a configuration: every
+/// replication leaf that has unfolded at least twice, excluding groups
+/// nested inside another group's copy (only top-level copies permute
+/// freely) and groups containing a pinned position (the intruder's or the
+/// fault model's seat must not move).
+#[must_use]
+pub fn session_groups(cfg: &Config, pinned: &[Path]) -> Vec<SessionGroup> {
+    let mut groups = Vec::new();
+    for (path, leaf) in cfg.tree().leaves() {
+        let LeafState::Bang { unfolded, .. } = leaf else {
+            continue;
+        };
+        let k = *unfolded as usize;
+        if k < 2 {
+            continue;
+        }
+        let tags: Vec<Branch> = path.iter().collect();
+        if tags.len() < k || tags[tags.len() - k..].iter().any(|b| *b != Branch::Right) {
+            continue;
+        }
+        let base = path.prefix(tags.len() - k);
+        let roots: Vec<Path> = (0..k)
+            .map(|t| {
+                let mut p = base.clone();
+                for _ in 0..t {
+                    p.push(Branch::Right);
+                }
+                p.child(Branch::Left)
+            })
+            .collect();
+        groups.push(SessionGroup { base, roots });
+    }
+    let kept: Vec<SessionGroup> = groups
+        .iter()
+        .enumerate()
+        .filter(|(i, g)| {
+            let nested = groups
+                .iter()
+                .enumerate()
+                .any(|(j, h)| *i != j && h.roots.iter().any(|r| r.is_prefix_of(&g.base)));
+            let pins_copy = g
+                .roots
+                .iter()
+                .any(|r| pinned.iter().any(|p| r.is_prefix_of(p)));
+            !nested && !pins_copy
+        })
+        .map(|(_, g)| g.clone())
+        .collect();
+    let mut kept = kept;
+    kept.sort_by(|a, b| a.base.cmp(&b.base));
+    kept
+}
+
+/// Returns `true` when the configuration contains no construct whose
+/// behaviour depends on a position's *depth* rather than its identity —
+/// unresolved relative-address channel indexes, literal address
+/// matchings, and located-literal patterns all resolve a stored relative
+/// address against the holder's position, which copy permutations change.
+/// Ineligible states keep their unquotiented keys (sound, just unmerged).
+#[must_use]
+pub fn sym_eligible(cfg: &Config) -> bool {
+    cfg.tree().leaves().all(|(_, leaf)| leaf_eligible(leaf))
+}
+
+fn leaf_eligible(leaf: &LeafState) -> bool {
+    match leaf {
+        LeafState::Dead => true,
+        LeafState::Out {
+            chan,
+            payload,
+            cont,
+        } => chan_eligible(chan) && term_eligible(payload) && proc_eligible(cont),
+        LeafState::In { chan, cont, .. } => chan_eligible(chan) && proc_eligible(cont),
+        LeafState::Bang { body, .. } => proc_eligible(body),
+    }
+}
+
+fn chan_eligible(ch: &RtChannel) -> bool {
+    term_eligible(&ch.subject) && !matches!(ch.index, RtChanIndex::At(_))
+}
+
+fn term_eligible(t: &RtTerm) -> bool {
+    match t {
+        RtTerm::Var(_) | RtTerm::Sym(_) | RtTerm::Id(_) => true,
+        RtTerm::Pair { fst, snd, .. } => term_eligible(fst) && term_eligible(snd),
+        RtTerm::Enc { body, key, .. } => body.iter().all(term_eligible) && term_eligible(key),
+        RtTerm::LocatedLit { .. } => false,
+    }
+}
+
+fn proc_eligible(p: &RtProcess) -> bool {
+    match p {
+        RtProcess::Nil => true,
+        RtProcess::Output(ch, t, cont) => {
+            chan_eligible(ch) && term_eligible(t) && proc_eligible(cont)
+        }
+        RtProcess::Input(ch, _, cont) => chan_eligible(ch) && proc_eligible(cont),
+        RtProcess::Restrict(_, body) | RtProcess::Bang(body) => proc_eligible(body),
+        RtProcess::Par(l, r) => proc_eligible(l) && proc_eligible(r),
+        RtProcess::Match(a, b, cont) | RtProcess::AddrMatchT(a, b, cont) => {
+            term_eligible(a) && term_eligible(b) && proc_eligible(cont)
+        }
+        RtProcess::AddrMatchL(..) => false,
+        RtProcess::Split { pair, body, .. } => term_eligible(pair) && proc_eligible(body),
+        RtProcess::Case {
+            scrutinee,
+            key,
+            body,
+            ..
+        } => term_eligible(scrutinee) && term_eligible(key) && proc_eligible(body),
+    }
+}
+
+/// Rewrites every absolute path inside a term (composite creator stamps)
+/// through `perm`.  Name creators live in the table and are rewritten by
+/// [`apply_perm`]; [`RtTerm::Id`] nodes pass through unchanged.
+#[must_use]
+pub fn rewrite_term(t: &RtTerm, perm: &PathPerm) -> RtTerm {
+    match t {
+        RtTerm::Var(_) | RtTerm::Sym(_) | RtTerm::Id(_) => t.clone(),
+        RtTerm::Pair { fst, snd, creator } => RtTerm::Pair {
+            fst: Box::new(rewrite_term(fst, perm)),
+            snd: Box::new(rewrite_term(snd, perm)),
+            creator: creator.as_ref().map(|p| perm.apply(p)),
+        },
+        RtTerm::Enc { body, key, creator } => RtTerm::Enc {
+            body: body.iter().map(|x| rewrite_term(x, perm)).collect(),
+            key: Box::new(rewrite_term(key, perm)),
+            creator: creator.as_ref().map(|p| perm.apply(p)),
+        },
+        RtTerm::LocatedLit { addr, inner } => RtTerm::LocatedLit {
+            addr: addr.clone(),
+            inner: Box::new(rewrite_term(inner, perm)),
+        },
+    }
+}
+
+fn rewrite_chan(ch: &RtChannel, perm: &PathPerm) -> RtChannel {
+    RtChannel {
+        subject: rewrite_term(&ch.subject, perm),
+        index: match &ch.index {
+            RtChanIndex::AtAbs(p) => RtChanIndex::AtAbs(perm.apply(p)),
+            other => other.clone(),
+        },
+    }
+}
+
+fn rewrite_proc(p: &RtProcess, perm: &PathPerm) -> RtProcess {
+    match p {
+        RtProcess::Nil => RtProcess::Nil,
+        RtProcess::Output(ch, t, cont) => RtProcess::Output(
+            rewrite_chan(ch, perm),
+            rewrite_term(t, perm),
+            Box::new(rewrite_proc(cont, perm)),
+        ),
+        RtProcess::Input(ch, x, cont) => RtProcess::Input(
+            rewrite_chan(ch, perm),
+            x.clone(),
+            Box::new(rewrite_proc(cont, perm)),
+        ),
+        RtProcess::Restrict(n, body) => {
+            RtProcess::Restrict(n.clone(), Box::new(rewrite_proc(body, perm)))
+        }
+        RtProcess::Par(l, r) => RtProcess::Par(
+            Box::new(rewrite_proc(l, perm)),
+            Box::new(rewrite_proc(r, perm)),
+        ),
+        RtProcess::Match(a, b, cont) => RtProcess::Match(
+            rewrite_term(a, perm),
+            rewrite_term(b, perm),
+            Box::new(rewrite_proc(cont, perm)),
+        ),
+        RtProcess::AddrMatchT(a, b, cont) => RtProcess::AddrMatchT(
+            rewrite_term(a, perm),
+            rewrite_term(b, perm),
+            Box::new(rewrite_proc(cont, perm)),
+        ),
+        RtProcess::AddrMatchL(a, l, cont) => RtProcess::AddrMatchL(
+            rewrite_term(a, perm),
+            l.clone(),
+            Box::new(rewrite_proc(cont, perm)),
+        ),
+        RtProcess::Bang(body) => RtProcess::Bang(Box::new(rewrite_proc(body, perm))),
+        RtProcess::Split {
+            pair,
+            fst,
+            snd,
+            body,
+        } => RtProcess::Split {
+            pair: rewrite_term(pair, perm),
+            fst: fst.clone(),
+            snd: snd.clone(),
+            body: Box::new(rewrite_proc(body, perm)),
+        },
+        RtProcess::Case {
+            scrutinee,
+            binders,
+            key,
+            body,
+        } => RtProcess::Case {
+            scrutinee: rewrite_term(scrutinee, perm),
+            binders: binders.clone(),
+            key: rewrite_term(key, perm),
+            body: Box::new(rewrite_proc(body, perm)),
+        },
+    }
+}
+
+fn rewrite_leaf(leaf: &LeafState, perm: &PathPerm) -> LeafState {
+    match leaf {
+        LeafState::Dead => LeafState::Dead,
+        LeafState::Out {
+            chan,
+            payload,
+            cont,
+        } => LeafState::Out {
+            chan: rewrite_chan(chan, perm),
+            payload: rewrite_term(payload, perm),
+            cont: rewrite_proc(cont, perm),
+        },
+        LeafState::In { chan, var, cont } => LeafState::In {
+            chan: rewrite_chan(chan, perm),
+            var: var.clone(),
+            cont: rewrite_proc(cont, perm),
+        },
+        LeafState::Bang { body, unfolded } => LeafState::Bang {
+            body: rewrite_proc(body, perm),
+            unfolded: *unfolded,
+        },
+    }
+}
+
+/// Physically applies a copy permutation: moves the copy subtrees to their
+/// destination roots and rewrites every absolute path — localization
+/// indexes, composite creator stamps, and the name table's creators —
+/// through `perm`.  Returns the configuration unchanged when any subtree
+/// lookup fails (a malformed permutation degrades to no quotienting, never
+/// to a wrong state).
+#[must_use]
+pub fn apply_perm(cfg: &Config, perm: &PathPerm) -> Config {
+    if perm.is_identity() {
+        return cfg.clone();
+    }
+    let mut moved: Vec<(&Path, ProcTree<LeafState>)> = Vec::with_capacity(perm.pairs().len());
+    for (src, dst) in perm.pairs() {
+        match cfg.tree().subtree(src) {
+            Ok(sub) => moved.push((dst, sub.clone())),
+            Err(_) => return cfg.clone(),
+        }
+    }
+    let mut tree: ProcTree<LeafState> = cfg.tree().clone();
+    for (dst, sub) in moved {
+        if tree.replace(dst, sub).is_err() {
+            return cfg.clone();
+        }
+    }
+    let tree = tree.map(|_, leaf| rewrite_leaf(leaf, perm));
+    let names = cfg.names().map_creators(|p| perm.apply(p));
+    Config {
+        tree: Arc::new(tree),
+        names: Arc::new(names),
+    }
+}
+
+/// How many candidate arrangements the quotient will try before giving up
+/// on a state (falling back to its unquotiented key).
+pub const MAX_CANDIDATES: usize = 256;
+
+/// A permutation-invariant signature of one copy, used to sort a group's
+/// copies into a canonical order.
+///
+/// The copy subtree is serialized with fresh first-occurrence name
+/// numbering; every absolute path under the copy's own root is masked to
+/// `~suffix`, every path under *any* group's copy root is masked to
+/// `?g.suffix` (the group's index, with the copy index erased), and paths
+/// outside all copies are serialized verbatim.  Masking makes the
+/// signature invariant under joint copy permutations: copies whose
+/// signatures tie are genuinely interchangeable as far as sorting can
+/// tell, and the quotient enumerates their arrangements explicitly.
+fn copy_signature(cfg: &Config, groups: &[SessionGroup], self_root: &Path) -> String {
+    let sub = match cfg.tree().subtree(self_root) {
+        Ok(s) => s,
+        Err(_) => return String::new(),
+    };
+    let mut ctx = SigCtx {
+        names: cfg.names(),
+        groups,
+        self_root,
+        local: HashMap::new(),
+    };
+    let mut out = String::new();
+    ctx.tree(sub, &mut out);
+    out
+}
+
+struct SigCtx<'a> {
+    names: &'a NameTable,
+    groups: &'a [SessionGroup],
+    self_root: &'a Path,
+    /// `NameId` index → local first-occurrence number.
+    local: HashMap<usize, usize>,
+}
+
+impl SigCtx<'_> {
+    fn mask(&self, p: &Path, out: &mut String) {
+        if self.self_root.is_prefix_of(p) {
+            if let Some(suffix) = p.strip_prefix(self.self_root) {
+                out.push('~');
+                let _ = suffix.write_bits(out);
+                return;
+            }
+        }
+        for (gi, g) in self.groups.iter().enumerate() {
+            for r in &g.roots {
+                if r.is_prefix_of(p) {
+                    if let Some(suffix) = p.strip_prefix(r) {
+                        let _ = write!(out, "?{gi}.");
+                        let _ = suffix.write_bits(out);
+                        return;
+                    }
+                }
+            }
+        }
+        let _ = p.write_bits(out);
+    }
+
+    fn term(&mut self, t: &RtTerm, out: &mut String) {
+        match t {
+            RtTerm::Var(v) => {
+                let _ = write!(out, "v:{v}");
+            }
+            RtTerm::Sym(n) => {
+                let _ = write!(out, "s:{n}");
+            }
+            RtTerm::Id(id) => {
+                let e = self.names.entry(*id);
+                if e.restricted {
+                    let next = self.local.len();
+                    let k = *self.local.entry(id.index()).or_insert(next);
+                    let _ = write!(out, "r{k}@");
+                    match &e.creator {
+                        Some(p) => self.mask(p, out),
+                        None => out.push('-'),
+                    }
+                } else {
+                    let _ = write!(out, "f:{}", e.base);
+                }
+            }
+            RtTerm::Pair { fst, snd, creator } => {
+                out.push('(');
+                self.term(fst, out);
+                out.push(',');
+                self.term(snd, out);
+                out.push(')');
+                self.creator(creator, out);
+            }
+            RtTerm::Enc { body, key, creator } => {
+                out.push('{');
+                for (i, x) in body.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.term(x, out);
+                }
+                out.push('}');
+                self.term(key, out);
+                self.creator(creator, out);
+            }
+            RtTerm::LocatedLit { addr, inner } => {
+                let _ = write!(out, "L[{addr}]");
+                self.term(inner, out);
+            }
+        }
+    }
+
+    fn creator(&self, c: &Option<Path>, out: &mut String) {
+        out.push('#');
+        match c {
+            Some(p) => self.mask(p, out),
+            None => out.push('-'),
+        }
+    }
+
+    fn chan(&mut self, ch: &RtChannel, out: &mut String) {
+        self.term(&ch.subject, out);
+        match &ch.index {
+            RtChanIndex::Plain => {}
+            RtChanIndex::At(a) => {
+                let _ = write!(out, "@?{a}");
+            }
+            RtChanIndex::AtAbs(p) => {
+                out.push('@');
+                self.mask(p, out);
+            }
+            RtChanIndex::Loc(l) => {
+                let _ = write!(out, "@^{l}");
+            }
+        }
+    }
+
+    fn proc(&mut self, p: &RtProcess, out: &mut String) {
+        match p {
+            RtProcess::Nil => out.push('0'),
+            RtProcess::Output(ch, t, cont) => {
+                out.push('O');
+                self.chan(ch, out);
+                out.push('<');
+                self.term(t, out);
+                out.push('>');
+                self.proc(cont, out);
+            }
+            RtProcess::Input(ch, x, cont) => {
+                out.push('I');
+                self.chan(ch, out);
+                let _ = write!(out, "({x})");
+                self.proc(cont, out);
+            }
+            RtProcess::Restrict(n, body) => {
+                let _ = write!(out, "N({n})");
+                self.proc(body, out);
+            }
+            RtProcess::Par(l, r) => {
+                out.push('[');
+                self.proc(l, out);
+                out.push('|');
+                self.proc(r, out);
+                out.push(']');
+            }
+            RtProcess::Match(a, b, cont) => {
+                out.push('M');
+                self.term(a, out);
+                out.push('=');
+                self.term(b, out);
+                self.proc(cont, out);
+            }
+            RtProcess::AddrMatchT(a, b, cont) => {
+                out.push('A');
+                self.term(a, out);
+                out.push('~');
+                self.term(b, out);
+                self.proc(cont, out);
+            }
+            RtProcess::AddrMatchL(a, l, cont) => {
+                out.push('A');
+                self.term(a, out);
+                let _ = write!(out, "~@{l}");
+                self.proc(cont, out);
+            }
+            RtProcess::Bang(body) => {
+                out.push('!');
+                self.proc(body, out);
+            }
+            RtProcess::Split {
+                pair,
+                fst,
+                snd,
+                body,
+            } => {
+                out.push('S');
+                self.term(pair, out);
+                let _ = write!(out, "({fst},{snd})");
+                self.proc(body, out);
+            }
+            RtProcess::Case {
+                scrutinee,
+                binders,
+                key,
+                body,
+            } => {
+                out.push('C');
+                self.term(scrutinee, out);
+                out.push('{');
+                for (i, b) in binders.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push('}');
+                self.term(key, out);
+                out.push(':');
+                self.proc(body, out);
+            }
+        }
+    }
+
+    fn leaf(&mut self, leaf: &LeafState, out: &mut String) {
+        match leaf {
+            LeafState::Dead => out.push('D'),
+            LeafState::Out {
+                chan,
+                payload,
+                cont,
+            } => {
+                out.push('o');
+                self.chan(chan, out);
+                out.push('<');
+                self.term(payload, out);
+                out.push('>');
+                self.proc(cont, out);
+            }
+            LeafState::In { chan, var, cont } => {
+                out.push('i');
+                self.chan(chan, out);
+                let _ = write!(out, "({var})");
+                self.proc(cont, out);
+            }
+            LeafState::Bang { body, unfolded } => {
+                let _ = write!(out, "b{unfolded}");
+                self.proc(body, out);
+            }
+        }
+    }
+
+    fn tree(&mut self, t: &ProcTree<LeafState>, out: &mut String) {
+        match t {
+            ProcTree::Leaf(l) => self.leaf(l, out),
+            ProcTree::Node(l, r) => {
+                out.push('(');
+                self.tree(l, out);
+                out.push(';');
+                self.tree(r, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Enumerates the permutations of `0..n` into `out` (each as an image
+/// vector `perm[i] = j`).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(prefix: &mut Vec<usize>, used: &mut Vec<bool>, n: usize, out: &mut Vec<Vec<usize>>) {
+        if prefix.len() == n {
+            out.push(prefix.clone());
+            return;
+        }
+        for j in 0..n {
+            if !used[j] {
+                used[j] = true;
+                prefix.push(j);
+                go(prefix, used, n, out);
+                prefix.pop();
+                used[j] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(&mut Vec::new(), &mut vec![false; n], n, &mut out);
+    out
+}
+
+fn factorial_capped(n: usize, cap: usize) -> usize {
+    let mut f = 1usize;
+    for i in 2..=n {
+        f = f.saturating_mul(i);
+        if f > cap {
+            return cap + 1;
+        }
+    }
+    f
+}
+
+/// The candidate arrangements of a configuration's copies: every joint
+/// permutation that sorts each group's copies by signature, with ties
+/// broken every possible way.  The canonical key is the minimum key over
+/// these candidates; because signatures are permutation-invariant, two
+/// permutation-related states enumerate the same candidate orbit and land
+/// on the same minimum.
+///
+/// Returns `None` when the tie classes multiply past `cap` — callers fall
+/// back to the unquotiented key (sound, just unmerged).
+#[must_use]
+pub fn candidate_perms(
+    cfg: &Config,
+    groups: &[SessionGroup],
+    cap: usize,
+) -> Option<Vec<PathPerm>> {
+    // Per group: sort copies by signature, then split the sorted order
+    // into tie classes (runs of equal signatures).  Each class contributes
+    // every arrangement of its members over its slot range; the overall
+    // candidate set is the cartesian product over all classes.
+    //
+    // One arrangement is a list of `(original copy, slot)` assignments.
+    type Arrangement = Vec<(usize, usize)>;
+    let mut all_classes: Vec<(usize, Vec<Arrangement>)> = Vec::new();
+    let mut total = 1usize;
+    for (gi, g) in groups.iter().enumerate() {
+        let sigs: Vec<String> = g
+            .roots
+            .iter()
+            .map(|r| copy_signature(cfg, groups, r))
+            .collect();
+        let mut order: Vec<usize> = (0..g.roots.len()).collect();
+        order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]).then(a.cmp(&b)));
+        let mut i = 0;
+        while i < order.len() {
+            let mut j = i + 1;
+            while j < order.len() && sigs[order[j]] == sigs[order[i]] {
+                j += 1;
+            }
+            let members: Vec<usize> = order[i..j].to_vec();
+            let slots: Vec<usize> = (i..j).collect();
+            total = total.saturating_mul(factorial_capped(members.len(), cap));
+            if total > cap {
+                return None;
+            }
+            let arrangements: Vec<Vec<(usize, usize)>> = permutations(members.len())
+                .into_iter()
+                .map(|perm| {
+                    members
+                        .iter()
+                        .zip(perm.iter())
+                        .map(|(&m, &p)| (m, slots[p]))
+                        .collect()
+                })
+                .collect();
+            all_classes.push((gi, arrangements));
+            i = j;
+        }
+    }
+    let mut candidates: Vec<Vec<(Path, Path)>> = vec![Vec::new()];
+    for (gi, arrangements) in &all_classes {
+        let g = &groups[*gi];
+        let mut next = Vec::with_capacity(candidates.len() * arrangements.len());
+        for base in &candidates {
+            for arr in arrangements {
+                let mut pairs = base.clone();
+                for (copy, slot) in arr {
+                    pairs.push((g.roots[*copy].clone(), g.roots[*slot].clone()));
+                }
+                next.push(pairs);
+            }
+        }
+        candidates = next;
+        if candidates.len() > cap {
+            return None;
+        }
+    }
+    Some(candidates.into_iter().map(PathPerm::from_pairs).collect())
+}
+
+/// The sorted multiset of copy signatures per group — what an *erasing*
+/// pseudo-quotient would consider the whole identity of a group.  Used by
+/// the conformance suite's fault injection (`sym-no-perm`): hashing the
+/// erased state plus these signatures is permutation-invariant but
+/// conflates states whose copies relate to the rest of the system
+/// differently, and the reduce oracle must catch the overmerge.
+#[must_use]
+pub fn group_signatures(cfg: &Config, groups: &[SessionGroup]) -> Vec<Vec<String>> {
+    groups
+        .iter()
+        .map(|g| {
+            let mut sigs: Vec<String> = g
+                .roots
+                .iter()
+                .map(|r| copy_signature(cfg, groups, r))
+                .collect();
+            sigs.sort();
+            sigs
+        })
+        .collect()
+}
+
+/// Erases every copy subtree to a dead leaf and rewrites the remaining
+/// paths (creator stamps, localization indexes) through the *erasure map*
+/// that sends every copy root of a group to the group's first root.  The
+/// second component is that (deliberately non-injective) map.
+///
+/// This is **not** a sound quotient — it forgets which copy created which
+/// name — and exists only so the conformance suite can inject it as a
+/// realistic symmetry-canonicalization bug (`sym-no-perm`) and prove the
+/// reduce oracle catches the conflation.
+#[must_use]
+pub fn erase_copies(cfg: &Config, groups: &[SessionGroup]) -> (Config, PathPerm) {
+    let erasure = PathPerm::from_pairs(groups.iter().flat_map(|g| {
+        g.roots
+            .iter()
+            .skip(1)
+            .map(|r| (r.clone(), g.roots[0].clone()))
+    }));
+    let mut tree: ProcTree<LeafState> = cfg.tree().clone();
+    for g in groups {
+        for r in &g.roots {
+            if tree.replace(r, ProcTree::Leaf(LeafState::Dead)).is_err() {
+                return (cfg.clone(), PathPerm::identity());
+            }
+        }
+    }
+    let tree = tree.map(|_, leaf| rewrite_leaf(leaf, &erasure));
+    let names = cfg.names().map_creators(|p| erasure.apply(p));
+    (
+        Config {
+            tree: Arc::new(tree),
+            names: Arc::new(names),
+        },
+        erasure,
+    )
+}
+
+/// Every joint copy permutation of every group (the full orbit), or `None`
+/// past `cap`.  This is the brute force the `verify_symmetry` debug mode
+/// checks the signature-guided quotient against.
+#[must_use]
+pub fn all_perms(groups: &[SessionGroup], cap: usize) -> Option<Vec<PathPerm>> {
+    let mut total = 1usize;
+    for g in groups {
+        total = total.saturating_mul(factorial_capped(g.roots.len(), cap));
+        if total > cap {
+            return None;
+        }
+    }
+    let mut candidates: Vec<Vec<(Path, Path)>> = vec![Vec::new()];
+    for g in groups {
+        let perms = permutations(g.roots.len());
+        let mut next = Vec::with_capacity(candidates.len() * perms.len());
+        for base in &candidates {
+            for perm in &perms {
+                let mut pairs = base.clone();
+                for (copy, slot) in perm.iter().enumerate() {
+                    pairs.push((g.roots[copy].clone(), g.roots[*slot].clone()));
+                }
+                next.push(pairs);
+            }
+        }
+        candidates = next;
+        if candidates.len() > cap {
+            return None;
+        }
+    }
+    Some(candidates.into_iter().map(PathPerm::from_pairs).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Action;
+    use spi_syntax::parse;
+
+    fn cfg(src: &str) -> Config {
+        Config::from_process(&parse(src).expect("parses")).expect("loads")
+    }
+
+    fn p(s: &str) -> Path {
+        s.parse().expect("valid path")
+    }
+
+    /// Unfolds the replication at `path` `n` times, following the spine.
+    fn unfold_n(c: &mut Config, path: &str, n: usize) {
+        let mut at = p(path);
+        for _ in 0..n {
+            c.fire(&Action::Unfold { path: at.clone() }).expect("unfolds");
+            at.push(Branch::Right);
+        }
+    }
+
+    #[test]
+    fn perm_apply_rewrites_prefixes_only() {
+        let perm = PathPerm::from_pairs([(p("00"), p("010")), (p("010"), p("00"))]);
+        assert_eq!(perm.apply(&p("001")), p("0101"));
+        assert_eq!(perm.apply(&p("0100")), p("000"));
+        assert_eq!(perm.apply(&p("1")), p("1"), "outside paths untouched");
+        assert_eq!(perm.apply(&p("01")), p("01"), "spine untouched");
+    }
+
+    #[test]
+    fn perm_invert_and_compose() {
+        let swap = PathPerm::from_pairs([(p("00"), p("010")), (p("010"), p("00"))]);
+        assert_eq!(swap.invert(), swap, "a swap is its own inverse");
+        assert!(swap.then(&swap.invert()).is_identity());
+        // A 3-cycle composed with itself is the other 3-cycle.
+        let cyc = PathPerm::from_pairs([
+            (p("00"), p("010")),
+            (p("010"), p("0110")),
+            (p("0110"), p("00")),
+        ]);
+        let twice = cyc.then(&cyc);
+        assert_eq!(twice.apply(&p("00")), p("0110"));
+        assert_eq!(twice.apply(&p("010")), p("00"));
+        assert!(cyc.then(&twice).is_identity());
+    }
+
+    #[test]
+    fn groups_require_two_copies() {
+        let mut c = cfg("!(^m) c<m> | c(x)");
+        assert!(session_groups(&c, &[]).is_empty());
+        unfold_n(&mut c, "0", 1);
+        assert!(session_groups(&c, &[]).is_empty(), "one copy is no group");
+        c.fire(&Action::Unfold { path: p("01") }).unwrap();
+        let groups = session_groups(&c, &[]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].base, p("0"));
+        assert_eq!(groups[0].roots, vec![p("00"), p("010")]);
+    }
+
+    #[test]
+    fn pinned_positions_inside_a_copy_disable_the_group() {
+        let mut c = cfg("!(^m) c<m> | c(x)");
+        unfold_n(&mut c, "0", 2);
+        assert_eq!(session_groups(&c, &[p("1")]).len(), 1, "outside pin ok");
+        assert!(
+            session_groups(&c, &[p("001")]).is_empty(),
+            "a pin under a copy root freezes the group"
+        );
+    }
+
+    #[test]
+    fn eligibility_rejects_relative_address_constructs() {
+        assert!(sym_eligible(&cfg("(^m)(c<m> | c(x).d<x>)")));
+        assert!(!sym_eligible(&cfg("c(x).[x ~ @(1.0)] d<x>")));
+        // An unresolved relative channel literal (it cannot resolve at its
+        // leaf) keeps an `At` index.
+        assert!(!sym_eligible(&cfg("c@(11.0)<m>")));
+    }
+
+    #[test]
+    fn swapping_equal_copies_is_a_key_fixpoint() {
+        let mut c = cfg("!(^m) c<m> | c(x)");
+        unfold_n(&mut c, "0", 2);
+        let groups = session_groups(&c, &[]);
+        let swap = PathPerm::from_pairs([
+            (groups[0].roots[0].clone(), groups[0].roots[1].clone()),
+            (groups[0].roots[1].clone(), groups[0].roots[0].clone()),
+        ]);
+        let swapped = apply_perm(&c, &swap);
+        // Both copies are untouched residuals of the same body, but their
+        // restricted names have different creators — swapping the copies
+        // swaps the creators back into place, so the key is unchanged.
+        assert_eq!(c.canonical_key(), swapped.canonical_key());
+    }
+
+    #[test]
+    fn quotient_key_collapses_permuted_evolutions() {
+        // Two copies of a session; run the communication of copy 1 in one
+        // world and of copy 2 in the other.
+        let src = "!((^m) c<m> | c(x).d<x>) | d(y)";
+        let mut a = cfg(src);
+        unfold_n(&mut a, "0", 2);
+        let mut b = a.clone();
+        // Copy roots: 00 and 010; inside each copy, sender at ·0, receiver at ·1.
+        a.fire(&Action::Comm {
+            out_path: p("000"),
+            in_path: p("001"),
+        })
+        .unwrap();
+        b.fire(&Action::Comm {
+            out_path: p("0100"),
+            in_path: p("0101"),
+        })
+        .unwrap();
+        assert_ne!(
+            a.canonical_key(),
+            b.canonical_key(),
+            "raw keys see the copy positions"
+        );
+        let qkey = |c: &Config| {
+            let groups = session_groups(c, &[]);
+            let perms = candidate_perms(c, &groups, MAX_CANDIDATES).expect("under cap");
+            perms
+                .iter()
+                .map(|perm| apply_perm(c, perm).canonical_key())
+                .min()
+                .expect("non-empty")
+        };
+        assert_eq!(qkey(&a), qkey(&b), "quotient keys collapse the orbit");
+        // And the quotient agrees with the brute-force orbit minimum.
+        let brute = |c: &Config| {
+            let groups = session_groups(c, &[]);
+            let perms = all_perms(&groups, MAX_CANDIDATES).expect("under cap");
+            perms
+                .iter()
+                .map(|perm| apply_perm(c, perm).canonical_key())
+                .min()
+                .expect("non-empty")
+        };
+        assert_eq!(qkey(&a), brute(&a));
+        assert_eq!(qkey(&b), brute(&b));
+    }
+
+    #[test]
+    fn apply_perm_rewrites_table_creators_and_stamps() {
+        let src = "!((^m) c<m> | c(x).d<x>) | d(y)";
+        let mut c = cfg(src);
+        unfold_n(&mut c, "0", 2);
+        c.fire(&Action::Comm {
+            out_path: p("000"),
+            in_path: p("001"),
+        })
+        .unwrap();
+        let swap = PathPerm::from_pairs([(p("00"), p("010")), (p("010"), p("00"))]);
+        let sw = apply_perm(&c, &swap);
+        // Each name's creator moves with its copy: the m created in copy 1
+        // (creator 000) now reads as created in copy 2 (creator 0100) and
+        // vice versa, while the identities stay put.
+        let creators = |c: &Config| -> Vec<(usize, String)> {
+            c.names()
+                .iter()
+                .filter_map(|(id, e)| e.creator.as_ref().map(|p| (id.index(), p.to_bits())))
+                .collect()
+        };
+        let before = creators(&c);
+        let after = creators(&sw);
+        assert_eq!(before.len(), after.len());
+        for ((id_b, cr_b), (id_a, cr_a)) in before.iter().zip(after.iter()) {
+            assert_eq!(id_b, id_a);
+            assert_eq!(&swap.apply(&cr_b.parse().expect("path")).to_bits(), cr_a);
+        }
+        assert_ne!(before, after, "the swap moved at least one creator");
+    }
+
+    #[test]
+    fn erased_pseudo_quotient_conflates_inequivalent_states() {
+        // Three copies, each creating two nonces and receiving two.  In
+        // world A copy i receives both nonces of its predecessor; in world
+        // B it receives its predecessor's first and its successor's
+        // second.  The correlation pattern (c,c) vs (c,c⁻¹) is not fixed
+        // by any simultaneous relabeling of the copies, so no copy
+        // permutation equates the worlds — but erasing the copies and
+        // keeping only the signature multiset cannot see the difference.
+        let src = "!((^m)(^n)(c<m>.c<n> | c(x).c(y).d<x>.d<y>)) | d(z)";
+        let mut a = cfg(src);
+        unfold_n(&mut a, "0", 3);
+        let mut b = a.clone();
+        let comm = |c: &mut Config, out: &str, inp: &str| {
+            c.fire(&Action::Comm {
+                out_path: p(out),
+                in_path: p(inp),
+            })
+            .expect("fires");
+        };
+        // Senders at root·0 (000, 0100, 01100), receivers at root·1.
+        // A: both sends of copy i go to copy i+1 (cyclically).
+        comm(&mut a, "000", "0101");
+        comm(&mut a, "000", "0101");
+        comm(&mut a, "0100", "01101");
+        comm(&mut a, "0100", "01101");
+        comm(&mut a, "01100", "001");
+        comm(&mut a, "01100", "001");
+        // B: first sends go to copy i+1, second sends to copy i-1.
+        comm(&mut b, "000", "0101");
+        comm(&mut b, "0100", "01101");
+        comm(&mut b, "01100", "001");
+        comm(&mut b, "000", "01101");
+        comm(&mut b, "0100", "001");
+        comm(&mut b, "01100", "0101");
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        let ga = session_groups(&a, &[]);
+        let gb = session_groups(&b, &[]);
+        assert_eq!(ga, gb);
+        assert_eq!(ga[0].roots.len(), 3);
+        // Genuinely inequivalent: no copy permutation maps A onto B.
+        for perm in all_perms(&ga, MAX_CANDIDATES).expect("small orbit") {
+            assert_ne!(
+                apply_perm(&a, &perm).canonical_key(),
+                b.canonical_key(),
+                "A and B must not be in the same orbit ({perm:?})"
+            );
+        }
+        // ... yet the erasing pseudo-quotient conflates them.
+        assert_eq!(group_signatures(&a, &ga), group_signatures(&b, &gb));
+        let (ea, pa) = erase_copies(&a, &ga);
+        let (eb, pb) = erase_copies(&b, &gb);
+        assert_eq!(pa, pb);
+        assert!(!pa.is_identity());
+        assert_eq!(
+            ea.canonical_key(),
+            eb.canonical_key(),
+            "erasure forgets the copy correlation"
+        );
+    }
+
+    #[test]
+    fn candidate_count_caps_out() {
+        let mut c = cfg("!c<m> | c(x)");
+        unfold_n(&mut c, "0", 6);
+        let groups = session_groups(&c, &[]);
+        assert_eq!(groups[0].roots.len(), 6);
+        // 6! = 720 identical copies overflow a cap of 256.
+        assert!(candidate_perms(&c, &groups, 256).is_none());
+        assert!(all_perms(&groups, 256).is_none());
+        assert!(candidate_perms(&c, &groups, 1000).is_some());
+    }
+}

@@ -47,6 +47,7 @@ use spi_verify::jsonlite::Json;
 
 use crate::chaos::{ChaosEvent, ChaosPlan};
 use crate::client::Client;
+use crate::flight::Singleflight;
 use crate::protocol::{
     error_response, ok_response, parse_request, JobRequest, Mode, Request,
 };
@@ -125,9 +126,23 @@ struct Coord {
     hedge_wins: AtomicU64,
     redispatched: AtomicU64,
     dispatch_latency: Histogram,
+    /// At most one in-flight dispatch per digest: the coordinator holds
+    /// no result cache, so without this two cold clients racing on the
+    /// same spec both dial the fleet (or both run locally) and the
+    /// exploration executes twice.
+    flight: Singleflight,
+    /// Recent leader replies, newest last, consulted by flight
+    /// followers after their wait.  Bounded — this is a rendezvous
+    /// buffer for concurrent duplicates, not a cache (the workers own
+    /// the caches).
+    replies: Mutex<VecDeque<(String, String)>>,
+    flight_collapsed: AtomicU64,
     chaos: Option<ChaosPlan>,
     chaos_state: Mutex<ChaosState>,
 }
+
+/// How many leader replies the follower rendezvous buffer retains.
+const REPLY_MEMO_CAP: usize = 64;
 
 /// A running coordinator.  Like [`crate::ServerHandle`], dropping it
 /// does not stop the node; call [`CoordinatorHandle::join`].
@@ -241,6 +256,9 @@ pub fn coordinate(
         hedge_wins: AtomicU64::new(0),
         redispatched: AtomicU64::new(0),
         dispatch_latency: Histogram::default(),
+        flight: Singleflight::new(),
+        replies: Mutex::new(VecDeque::new()),
+        flight_collapsed: AtomicU64::new(0),
         chaos,
         chaos_state: Mutex::new(ChaosState::default()),
         opts,
@@ -373,6 +391,7 @@ fn stats_response(coord: &Arc<Coord>) -> Json {
         ("hedges".to_string(), load(&coord.hedges)),
         ("hedge_wins".to_string(), load(&coord.hedge_wins)),
         ("redispatched".to_string(), load(&coord.redispatched)),
+        ("flight_collapsed".to_string(), load(&coord.flight_collapsed)),
         ("dispatch_latency".to_string(), coord.dispatch_latency.to_json()),
         (
             "draining".to_string(),
@@ -465,18 +484,64 @@ fn handle_job(coord: &Arc<Coord>, job: &JobRequest) -> String {
         Ok(d) => d,
         Err(e) => return error_response(op, &e).render_compact(),
     };
+    if job.no_cache {
+        // A cache-bypassing request asked for a fresh run; collapsing
+        // it onto a concurrent duplicate would hand it stale bytes.
+        return dispatch_job(coord, idx, job, &digest);
+    }
+    loop {
+        if coord.flight.begin(&digest) {
+            let reply = dispatch_job(coord, idx, job, &digest);
+            if status_of(&reply).as_deref() == Some("ok") {
+                remember_reply(coord, &digest, &reply);
+            }
+            coord.flight.finish(&digest);
+            return reply;
+        }
+        // A concurrent duplicate: park behind the leader, then answer
+        // from its reply.  A miss means the leader failed without an
+        // ok — loop around and become the next leader.
+        coord.flight_collapsed.fetch_add(1, Ordering::SeqCst);
+        coord.flight.wait(&digest);
+        if let Some(reply) = recall_reply(coord, &digest) {
+            return reply;
+        }
+    }
+}
+
+/// The dispatch body shared by flight leaders and `no_cache` bypasses:
+/// campaign fan-out when worthwhile, otherwise ring routing with local
+/// degradation.
+fn dispatch_job(coord: &Arc<Coord>, idx: u64, job: &JobRequest, digest: &str) -> String {
     if job.mode == Mode::Campaign && job.unit.is_none() {
-        if let Some(response) = campaign_fanout(coord, idx, job, &digest) {
+        if let Some(response) = campaign_fanout(coord, idx, job, digest) {
             return response;
         }
     }
-    match try_route(coord, idx, job, &digest) {
+    match try_route(coord, idx, job, digest) {
         Ok(reply) => {
             coord.routed.fetch_add(1, Ordering::SeqCst);
             reply
         }
-        Err(_) => run_local(coord, job, &digest),
+        Err(_) => run_local(coord, job, digest),
     }
+}
+
+fn remember_reply(coord: &Arc<Coord>, digest: &str, reply: &str) {
+    let mut memo = coord.replies.lock().expect("reply memo");
+    memo.retain(|(d, _)| d != digest);
+    if memo.len() >= REPLY_MEMO_CAP {
+        memo.pop_front();
+    }
+    memo.push_back((digest.to_string(), reply.to_string()));
+}
+
+fn recall_reply(coord: &Arc<Coord>, digest: &str) -> Option<String> {
+    let memo = coord.replies.lock().expect("reply memo");
+    memo.iter()
+        .rev()
+        .find(|(d, _)| d == digest)
+        .map(|(_, reply)| reply.clone())
 }
 
 /// Routes one job through the ring with retries, backoff, and hedging.

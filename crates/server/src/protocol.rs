@@ -28,7 +28,7 @@
 use spi_semantics::{FaultClause, FaultSpec};
 use spi_syntax::Process;
 use spi_verify::jsonlite::Json;
-use spi_verify::{Budget, CampaignReport, CoverageStats, Verdict, VerificationReport};
+use spi_verify::{Budget, CampaignReport, CoverageStats, ReduceOptions, Verdict, VerificationReport};
 
 use crate::digest::digest;
 
@@ -105,6 +105,11 @@ pub struct JobRequest {
     pub faults_depth: usize,
     /// Conformance-replay oracle selection (empty = the default suite).
     pub oracles: Vec<String>,
+    /// Which state-space reductions the explorations run under.  Part
+    /// of the canonical description (the reduced and unreduced state
+    /// spaces answer the same question, but cached bodies carry
+    /// reduction statistics, so the digests must differ).
+    pub reduce: ReduceOptions,
     /// Per-request wall-clock limit.
     pub timeout_secs: Option<u64>,
     /// Bypass the result cache (both lookup and fill).
@@ -171,6 +176,11 @@ impl JobRequest {
                 .map(FaultSpec::canonical_key)
                 .unwrap_or_default(),
         );
+        // Appended only when non-default, so pre-reduction digests (and
+        // the caches keyed by them) stay valid.
+        if self.reduce.enabled() {
+            let _ = write!(desc, "|reduce={}", self.reduce.mode());
+        }
         match self.mode {
             Mode::Campaign => {
                 let _ = write!(desc, "|depth={}", self.faults_depth);
@@ -233,6 +243,9 @@ impl JobRequest {
             fields.push(("faults".into(), Json::str(clauses)));
         }
         fields.push(("intruder".into(), Json::Bool(self.intruder)));
+        if self.reduce.enabled() {
+            fields.push(("reduce".into(), Json::str(self.reduce.mode())));
+        }
         fields.push(("faults_depth".into(), Json::count(self.faults_depth)));
         if !self.oracles.is_empty() {
             fields.push(("oracles".into(), Json::str_arr(self.oracles.iter().cloned())));
@@ -391,6 +404,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or("\"timeout_secs\" expects a non-negative integer")?,
         ),
     };
+    let reduce = match v.get("reduce") {
+        None => ReduceOptions::none(),
+        Some(j) => {
+            let s = j
+                .as_str()
+                .ok_or("\"reduce\" expects none|symmetry|por|full")?;
+            ReduceOptions::parse(s)
+                .ok_or_else(|| format!("\"reduce\" expects none|symmetry|por|full, got {s:?}"))?
+        }
+    };
     let unit = match v.get("unit") {
         None => None,
         Some(u) => {
@@ -416,6 +439,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         intruder: get_bool(&v, "intruder", true)?,
         faults_depth: get_usize(&v, "faults_depth", 2)?,
         oracles: get_str_arr(&v, "oracles")?,
+        reduce,
         timeout_secs,
         no_cache: get_bool(&v, "no_cache", false)?,
         unit,
@@ -510,6 +534,25 @@ pub fn verify_body(report: &VerificationReport) -> Json {
         Json::count(report.abstract_stats.states),
     ));
     fields.push(("traces_checked".into(), Json::count(report.traces_checked)));
+    if report.reduce.enabled() {
+        let quotiented = report.concrete_stats.states_quotiented
+            + report.abstract_stats.states_quotiented;
+        let pruned = report.concrete_stats.por_pruned + report.abstract_stats.por_pruned;
+        fields.push((
+            "reduction".into(),
+            Json::Obj(vec![
+                ("mode".into(), Json::str(report.reduce.mode())),
+                (
+                    "states_quotiented".into(),
+                    Json::Int(i64::try_from(quotiented).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "por_pruned".into(),
+                    Json::Int(i64::try_from(pruned).unwrap_or(i64::MAX)),
+                ),
+            ]),
+        ));
+    }
     Json::Obj(fields)
 }
 
@@ -616,6 +659,17 @@ mod tests {
             r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1,"faults":"drop:c:1"}"#,
         );
         assert_ne!(a.digest().unwrap(), e.digest().unwrap());
+        // The reduction mode is a semantic knob too (cached bodies carry
+        // reduction statistics)...
+        let f = job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"reduce\":\"full\""));
+        assert_ne!(a.digest().unwrap(), f.digest().unwrap());
+        // ...but `reduce: none` spelled explicitly is the default digest.
+        let g = job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"reduce\":\"none\""));
+        assert_eq!(a.digest().unwrap(), g.digest().unwrap());
+        assert!(parse_request(
+            &VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"reduce\":\"bogus\"")
+        )
+        .is_err());
     }
 
     #[test]
@@ -656,6 +710,7 @@ mod tests {
         for line in [
             VERIFY_LINE,
             r#"{"op":"campaign","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","faults_depth":1,"unit":{"offset":1,"count":3},"budget":"states=50","faults":"drop:c:1,replay:c:2","intruder":false,"timeout_secs":9,"no_cache":true}"#,
+            r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":2,"reduce":"full"}"#,
         ] {
             let original = job(line);
             let rendered = original.wire_json().render_compact();

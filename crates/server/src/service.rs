@@ -126,7 +126,7 @@ impl VerifierEngine {
         if !job.intruder {
             v = v.no_intruder();
         }
-        v
+        v.reduce(job.reduce)
     }
 }
 
@@ -347,6 +347,11 @@ struct Shared {
     /// Duplicate in-flight requests collapsed by singleflight (a parked
     /// follower answered from the leader's cache fill).
     collapsed: AtomicU64,
+    /// Cumulative reduction counters across every fresh engine run (the
+    /// `stats` op reports them so operators can see what the configured
+    /// `reduce` modes are saving fleet-wide).
+    quotiented: AtomicU64,
+    pruned: AtomicU64,
     latency: Latency,
 }
 
@@ -548,6 +553,8 @@ pub fn serve(engine: Arc<dyn Engine>, opts: ServerOptions) -> Result<ServerHandl
         executions: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         collapsed: AtomicU64::new(0),
+        quotiented: AtomicU64::new(0),
+        pruned: AtomicU64::new(0),
         latency: Latency::default(),
         opts,
     });
@@ -741,6 +748,14 @@ fn stats_response(shared: &Shared) -> Json {
             "collapsed".into(),
             Json::count(usize::try_from(shared.collapsed.load(Ordering::SeqCst)).unwrap_or(0)),
         ),
+        (
+            "states_quotiented".into(),
+            Json::count(usize::try_from(shared.quotiented.load(Ordering::SeqCst)).unwrap_or(0)),
+        ),
+        (
+            "por_pruned".into(),
+            Json::count(usize::try_from(shared.pruned.load(Ordering::SeqCst)).unwrap_or(0)),
+        ),
         ("latency".into(), shared.latency.to_json()),
         ("workers".into(), Json::count(shared.opts.workers)),
         (
@@ -832,6 +847,21 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Accumulates the reduction counters a fresh verify body reports into
+/// the server-wide `stats` totals.
+fn record_reduction(shared: &Shared, body: &Json) {
+    let Some(r) = body.get("reduction") else {
+        return;
+    };
+    let add = |key: &str, ctr: &AtomicU64| {
+        if let Some(n) = r.get(key).and_then(Json::as_int) {
+            ctr.fetch_add(u64::try_from(n).unwrap_or(0), Ordering::SeqCst);
+        }
+    };
+    add("states_quotiented", &shared.quotiented);
+    add("por_pruned", &shared.pruned);
+}
+
 fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
     let op = ticket.job.mode.keyword();
     let ctl = RunControl {
@@ -851,7 +881,10 @@ fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
             return r;
         }
         return match outcome.body {
-            Ok(body) => ok_response(op, Some(&ticket.digest), false, body).render_compact(),
+            Ok(body) => {
+                record_reduction(shared, &body);
+                ok_response(op, Some(&ticket.digest), false, body).render_compact()
+            }
             Err(e) => error_response(op, &e).render_compact(),
         };
     }
@@ -876,6 +909,7 @@ fn execute(shared: &Arc<Shared>, ticket: &Ticket) -> String {
             }
             let response = match outcome.body {
                 Ok(body) => {
+                    record_reduction(shared, &body);
                     if outcome.cacheable {
                         shared.cache.lock().expect("cache lock").insert(
                             ticket.digest.clone(),

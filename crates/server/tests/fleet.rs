@@ -2,13 +2,15 @@
 //! failure detection and re-dispatch, quorum degradation, snapshot
 //! gossip, campaign work-unit stitching, and chaos byte-identity.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use spi_server::client::Client;
 use spi_server::coordinator::{coordinate, CoordinatorHandle, CoordinatorOptions};
 use spi_server::gossip::pull_from;
-use spi_server::service::{serve, Engine, ServerHandle, VerifierEngine};
+use spi_server::protocol::JobRequest;
+use spi_server::service::{serve, Engine, EngineOutcome, RunControl, ServerHandle, VerifierEngine};
 use spi_server::ServerOptions;
 use spi_verify::jsonlite::Json;
 
@@ -372,4 +374,82 @@ fn rejoining_worker_is_told_to_warm_from_peers() {
     for w in workers {
         w.join();
     }
+}
+
+/// A slow counting engine: the coordinator's local fallback for the
+/// cold-race test.  `runs` counts real executions so the test can
+/// prove two racing clients funded exactly one exploration.
+struct CountingEngine {
+    delay: Duration,
+    runs: AtomicU64,
+}
+
+impl Engine for CountingEngine {
+    fn run(&self, _job: &JobRequest, _ctl: &RunControl) -> EngineOutcome {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        EngineOutcome {
+            body: Ok(Json::Obj(vec![("answer".into(), Json::Int(7))])),
+            cacheable: true,
+        }
+    }
+}
+
+#[test]
+fn concurrent_cold_requests_collapse_into_one_dispatch() {
+    let engine = Arc::new(CountingEngine {
+        delay: Duration::from_millis(400),
+        runs: AtomicU64::new(0),
+    });
+    let coordinator = coordinate(Arc::clone(&engine) as Arc<dyn Engine>, test_opts())
+        .expect("coordinator starts");
+    let addr = coordinator.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Join a worker address nothing listens on: routing dials it,
+    // fails, marks it dead, and degrades to the local engine — the
+    // injected retry the flight must span.
+    let resp = parsed(
+        &client
+            .roundtrip(r#"{"op":"join","addr":"127.0.0.1:1"}"#)
+            .unwrap(),
+    );
+    assert_eq!(field(&resp, "status").as_str(), Some("ok"));
+
+    let line = verify_line(P2, 1);
+    let gate = Arc::new(Barrier::new(2));
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let line = line.clone();
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                gate.wait();
+                c.roundtrip(&line).unwrap()
+            })
+        })
+        .collect();
+    let replies: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    for r in &replies {
+        let resp = parsed(r);
+        assert_eq!(field(&resp, "status").as_str(), Some("ok"), "{resp:?}");
+        assert_eq!(field(&resp, "via").as_str(), Some("local"));
+    }
+    assert_eq!(
+        replies[0], replies[1],
+        "the follower answers with the leader's bytes"
+    );
+    assert_eq!(
+        engine.runs.load(Ordering::SeqCst),
+        1,
+        "two racing cold requests must fund exactly one exploration"
+    );
+
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let body = field(&stats, "body");
+    assert_eq!(field(body, "flight_collapsed").as_int(), Some(1));
+    assert!(field(body, "local_runs").as_int().unwrap() >= 1);
+    coordinator.join();
 }

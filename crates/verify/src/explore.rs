@@ -1,18 +1,19 @@
 //! Bounded state-space exploration with the most-general intruder, a
 //! resource governor, and an optional faulty network.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use spi_addr::Path;
 use spi_semantics::{
-    Barb, CanonHasher, Canonicalizer, Config, FaultKind, FaultSpec, LeafState, NameTable,
-    NetworkState, RtChanIndex, RtProcess, RtTerm, StepInfo,
+    symmetry, Barb, CanonHasher, Canonicalizer, Config, FaultKind, FaultSpec, LeafState,
+    NameTable, NetworkState, PathPerm, RtChanIndex, RtProcess, RtTerm, StepInfo,
 };
 use spi_syntax::{Name, Process};
 
+use crate::iso::{Iso, IsoTable};
 use crate::{
     Budget, CoverageStats, DeriveCache, Governor, Knowledge, ObsEvent, ObsTerm, ResourceKind,
     VerifyError,
@@ -55,6 +56,78 @@ impl IntruderSpec {
     }
 }
 
+/// Which state-space reductions to apply.  Both are sound for the
+/// verdicts this toolkit computes — weak traces, weak barbs, deadlock
+/// reachability — and both compose; the conformance suite's `reduce`
+/// oracle checks reduced-vs-unreduced equality differentially.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceOptions {
+    /// Session-symmetry quotient: canonicalize state keys over
+    /// permutations of interchangeable replication copies, so the
+    /// factorially many session interleavings collapse to one
+    /// representative per orbit.  Merges record the witnessing
+    /// isomorphism, and trace extraction maps observations back through
+    /// it — the reported trace set is exactly the unquotiented one.
+    pub symmetry: bool,
+    /// Ample-set partial-order reduction: when a state offers an
+    /// always-commuting invisible move (a replication unfolding, or a
+    /// communication over a restricted channel nothing else references),
+    /// expand only that move and prune the sibling interleavings.
+    pub por: bool,
+}
+
+impl ReduceOptions {
+    /// No reduction (the historical behaviour).
+    #[must_use]
+    pub fn none() -> ReduceOptions {
+        ReduceOptions::default()
+    }
+
+    /// Both reductions.
+    #[must_use]
+    pub fn full() -> ReduceOptions {
+        ReduceOptions {
+            symmetry: true,
+            por: true,
+        }
+    }
+
+    /// Returns `true` when any reduction is on.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.symmetry || self.por
+    }
+
+    /// The canonical mode name: `none`, `symmetry`, `por`, or `full`.
+    #[must_use]
+    pub fn mode(&self) -> &'static str {
+        match (self.symmetry, self.por) {
+            (false, false) => "none",
+            (true, false) => "symmetry",
+            (false, true) => "por",
+            (true, true) => "full",
+        }
+    }
+
+    /// Parses a mode name as produced by [`ReduceOptions::mode`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ReduceOptions> {
+        match s {
+            "none" => Some(ReduceOptions::none()),
+            "symmetry" => Some(ReduceOptions {
+                symmetry: true,
+                por: false,
+            }),
+            "por" => Some(ReduceOptions {
+                symmetry: false,
+                por: true,
+            }),
+            "full" => Some(ReduceOptions::full()),
+            _ => None,
+        }
+    }
+}
+
 /// Bounds and switches for exploration.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
@@ -79,6 +152,29 @@ pub struct ExploreOptions {
     /// disagreement (which would mean a hash collision or a
     /// canonicalization bug).  Debugging aid; off by default.
     pub verify_keys: bool,
+    /// Which state-space reductions to apply.  Off by default; enabling
+    /// any reduction forces isomorphism tracking (see
+    /// [`ExploreOptions::track_isos`]) so extracted traces stay exact.
+    pub reduce: ReduceOptions,
+    /// Differential symmetry verification: on every quotiented key,
+    /// additionally brute-force the *whole* permutation orbit and panic
+    /// unless every permuted variant quotients to the same key (orbit
+    /// invariance — the property that makes permuted duplicates merge).
+    /// Debugging aid (like `verify_keys`); off by default.
+    pub verify_symmetry: bool,
+    /// Record the witnessing isomorphism of every state merge and ship
+    /// the table on the [`Lts`], so trace extraction can reconstruct the
+    /// exact raw trace set instead of mixing merged lineages.  Implied by
+    /// any [`ReduceOptions`] reduction; useful on its own to make two
+    /// explorations' trace sets exactly comparable.
+    pub track_isos: bool,
+    /// Test-only planted bug: replace the symmetry quotient with an
+    /// *erasing* pseudo-quotient (copy subtrees dropped, signatures
+    /// hashed) that conflates genuinely different states.  Exists so the
+    /// conformance suite can prove its `reduce` oracle catches a
+    /// realistic canonicalization bug.
+    #[doc(hidden)]
+    pub sym_conflate: bool,
     /// A wall-clock cut-off.  When the clock passes it, the exploration
     /// stops between state expansions (in-flight workers drain
     /// cooperatively), the prefix built so far is kept, and the
@@ -130,6 +226,10 @@ impl Default for ExploreOptions {
             faults: None,
             workers: ExploreOptions::available_workers(),
             verify_keys: false,
+            reduce: ReduceOptions::none(),
+            verify_symmetry: false,
+            track_isos: false,
+            sym_conflate: false,
             deadline: None,
             cancel: None,
             panic_after_states: None,
@@ -311,6 +411,13 @@ pub struct ExploreStats {
     pub states: usize,
     /// Number of edges.
     pub edges: usize,
+    /// How many state merges the session-symmetry quotient produced that
+    /// a plain canonical key would have missed (the edge's isomorphism
+    /// permutes copy positions).  Zero when the quotient is off.
+    pub states_quotiented: u64,
+    /// How many successor moves the partial-order reduction pruned.
+    /// Zero when POR is off.
+    pub por_pruned: u64,
 }
 
 /// The labelled transition system produced by an [`Explorer`].
@@ -331,6 +438,16 @@ pub struct Lts {
     pub exhausted: Option<ResourceKind>,
     /// States reached but not fully expanded (empty when complete).
     pub frontier: Vec<usize>,
+    /// The interned state isomorphisms (index 0 is the identity).  Empty
+    /// unless isomorphism tracking ran and some merge needed a
+    /// non-identity witness.
+    pub isos: Vec<Iso>,
+    /// For every edge whose target was merged into a representative under
+    /// a non-identity isomorphism: `(source state, edge position) → iso
+    /// id` into [`Lts::isos`], mapping the representative's coordinates
+    /// back to the coordinates the edge actually produced.  Edges absent
+    /// here carry the identity.
+    pub edge_isos: BTreeMap<(usize, usize), u32>,
 }
 
 impl Lts {
@@ -484,6 +601,18 @@ impl Lts {
         for f in &self.frontier {
             let _ = write!(h, "f{f};");
         }
+        // The iso section appears only when some merge recorded a
+        // non-identity witness, so untracked explorations keep their
+        // historical fingerprints bit-for-bit.
+        if !self.edge_isos.is_empty() {
+            let _ = write!(h, "I");
+            for ((s, e), id) in &self.edge_isos {
+                let _ = write!(h, "i{s}.{e}:{id};");
+            }
+            for iso in &self.isos {
+                let _ = write!(h, "{iso:?};");
+            }
+        }
         h.finish()
     }
 
@@ -591,7 +720,14 @@ impl StateData {
     /// stream).
     fn write_key<S: std::fmt::Write>(&self, out: &mut S) {
         let mut canon = Canonicalizer::new();
-        self.cfg.write_canonical(&mut canon, out);
+        self.write_key_with(&mut canon, out);
+    }
+
+    /// [`StateData::write_key`] through a caller-supplied canonicalizer,
+    /// whose journal afterwards maps canonical name slots back to raw
+    /// [`spi_semantics::NameId`]s — the id half of a merge isomorphism.
+    fn write_key_with<S: std::fmt::Write>(&self, canon: &mut Canonicalizer, out: &mut S) {
+        self.cfg.write_canonical(canon, out);
         let _ = out.write_char('|');
         let mut fragments: Vec<(String, &RtTerm)> = self
             .knowledge
@@ -607,8 +743,70 @@ impl StateData {
         let _ = write!(out, "{}", self.fresh_made);
         if let Some(net) = &self.net {
             let _ = out.write_char('|');
-            net.write_canonical(&mut canon, self.cfg.names(), out);
+            net.write_canonical(canon, self.cfg.names(), out);
         }
+    }
+
+    /// The key plus the canonicalizer journal (canonical slot → raw name
+    /// id), captured in one serialization pass.
+    fn key_and_journal(&self) -> (u128, Vec<u32>) {
+        let mut canon = Canonicalizer::new();
+        let mut h = CanonHasher::new();
+        self.write_key_with(&mut canon, &mut h);
+        let journal = canon
+            .journal()
+            .iter()
+            .map(|id| u32::try_from(id.index()).unwrap_or(u32::MAX))
+            .collect();
+        (h.finish(), journal)
+    }
+
+    /// This state with a copy permutation physically applied everywhere:
+    /// the configuration (subtrees moved, creators rewritten), the
+    /// intruder knowledge, and the network buffer and log.  `fresh_made`
+    /// is position-independent and carries over.
+    fn permuted(&self, perm: &PathPerm) -> StateData {
+        if perm.is_identity() {
+            return self.clone();
+        }
+        let mut net = self.net.clone();
+        if let Some(nn) = &mut net {
+            for (_, t) in &mut nn.buffer {
+                *t = symmetry::rewrite_term(t, perm);
+            }
+            for (_, t) in &mut nn.log {
+                *t = symmetry::rewrite_term(t, perm);
+            }
+        }
+        StateData {
+            cfg: symmetry::apply_perm(&self.cfg, perm),
+            knowledge: self.knowledge.map_terms(|t| symmetry::rewrite_term(t, perm)),
+            fresh_made: self.fresh_made,
+            net,
+        }
+    }
+
+    /// Whether the whole state (configuration, knowledge, network) is
+    /// free of depth-dependent constructs, making copy permutations
+    /// behaviour-preserving here.
+    fn sym_eligible(&self) -> bool {
+        if !symmetry::sym_eligible(&self.cfg) {
+            return false;
+        }
+        if self.knowledge.iter().any(term_tracks_depth) {
+            return false;
+        }
+        if let Some(net) = &self.net {
+            if net
+                .buffer
+                .iter()
+                .chain(net.log.iter())
+                .any(|(_, t)| term_tracks_depth(t))
+            {
+                return false;
+            }
+        }
+        true
     }
 
     /// The 128-bit canonical key: the serialization stream folded through
@@ -628,6 +826,107 @@ impl StateData {
     }
 }
 
+/// Returns `true` when a term contains a located literal — the one term
+/// construct whose meaning depends on its holder's depth.
+fn term_tracks_depth(t: &RtTerm) -> bool {
+    match t {
+        RtTerm::Var(_) | RtTerm::Sym(_) | RtTerm::Id(_) => false,
+        RtTerm::Pair { fst, snd, .. } => term_tracks_depth(fst) || term_tracks_depth(snd),
+        RtTerm::Enc { body, key, .. } => {
+            body.iter().any(term_tracks_depth) || term_tracks_depth(key)
+        }
+        RtTerm::LocatedLit { .. } => true,
+    }
+}
+
+/// The signature-guided quotient key: the minimum raw key over the
+/// candidate permutations, together with the winning candidate's
+/// canonicalization journal and the candidate itself.  `None` when the
+/// candidate set overflows [`symmetry::MAX_CANDIDATES`] (the caller falls
+/// back to the raw key, which is always sound).
+fn signature_min(
+    sd: &StateData,
+    groups: &[symmetry::SessionGroup],
+) -> Option<(u128, Vec<u32>, PathPerm)> {
+    let perms = symmetry::candidate_perms(&sd.cfg, groups, symmetry::MAX_CANDIDATES)?;
+    let mut best: Option<(u128, Vec<u32>, PathPerm)> = None;
+    for perm in perms {
+        let (key, journal) = sd.permuted(&perm).key_and_journal();
+        if best.as_ref().is_none_or(|(k, _, _)| key < *k) {
+            best = Some((key, journal, perm));
+        }
+    }
+    best
+}
+
+/// The `verify_symmetry` debug check.  The signature-guided key is a
+/// *canonical form*, not the orbit's hash minimum (copies with distinct
+/// signatures are ordered by signature, not by hash), so the property to
+/// verify is orbit invariance: every permuted variant of the state must
+/// quotient to the same key, or permuted duplicates would survive.
+fn verify_orbit_invariance(
+    sd: &StateData,
+    groups: &[symmetry::SessionGroup],
+    key: u128,
+    pinned: &[Path],
+) {
+    let Some(orbit) = symmetry::all_perms(groups, 120) else {
+        return; // Orbit too large to brute-force; nothing to check.
+    };
+    for perm in &orbit {
+        let variant = sd.permuted(perm);
+        let vgroups = symmetry::session_groups(&variant.cfg, pinned);
+        let Some((vkey, _, _)) = signature_min(&variant, &vgroups) else {
+            continue; // Capped variant falls back to raw keys anyway.
+        };
+        assert_eq!(
+            key,
+            vkey,
+            "symmetry quotient is not orbit-invariant: {key:#034x} vs {vkey:#034x} \
+             for a permuted variant, over {} permutations of {} group(s)",
+            orbit.len(),
+            groups.len(),
+        );
+    }
+}
+
+/// How the store canonicalizes and relates states: the reduction switches
+/// plus the positions no copy permutation may move.
+#[derive(Debug, Clone, Default)]
+struct SymCtx {
+    /// Record journals on every interned state and isomorphisms on every
+    /// merge (forced on by any reduction).
+    tracking: bool,
+    /// Quotient keys by session-copy permutations.
+    symmetry: bool,
+    /// Brute-force-check every quotiented key against the full orbit.
+    verify: bool,
+    /// The planted-bug pseudo-quotient (see `ExploreOptions::sym_conflate`).
+    conflate: bool,
+    /// Positions that must not move: the intruder's and the fault
+    /// model's seats.
+    pinned: Vec<Path>,
+}
+
+/// Everything the store remembers about how one state was canonicalized:
+/// the winning copy permutation, the canonicalizer journal of the winning
+/// serialization, and the name-table length — the raw material for merge
+/// isomorphisms.
+#[derive(Debug, Clone, Default)]
+struct SymAnnot {
+    perm: PathPerm,
+    journal: Vec<u32>,
+    names_len: u32,
+}
+
+/// One state's canonical identity as the store computes it.
+struct CanonOut {
+    key: u128,
+    /// The full canonical string, present iff `verify_keys`.
+    string: Option<String>,
+    annot: SymAnnot,
+}
+
 /// The state store: LTS states, their exploration payloads, and the
 /// canonical-key index (hashed, with an optional parallel string index
 /// for differential verification).
@@ -639,62 +938,223 @@ struct StateStore {
     /// Present iff [`ExploreOptions::verify_keys`]: the same interning
     /// decisions re-derived from full canonical strings.
     strings: Option<HashMap<String, usize>>,
+    /// Canonicalization annotations, parallel to `states` (empty
+    /// annotations when not tracking).
+    annots: Vec<SymAnnot>,
+    isos: IsoTable,
+    sym: SymCtx,
 }
 
 impl StateStore {
-    fn new(verify_keys: bool) -> StateStore {
+    fn new(verify_keys: bool, sym: SymCtx) -> StateStore {
         StateStore {
             strings: verify_keys.then(HashMap::new),
+            isos: IsoTable::new(),
+            sym,
             ..StateStore::default()
         }
     }
 
-    /// Stores `sd` as a brand-new state under `key` without consulting
-    /// the governor — used for the initial state, which is always kept
-    /// so a partial answer is never empty.
-    fn push(&mut self, key: u128, sd: StateData, queue: &mut VecDeque<usize>) -> usize {
+    /// The canonical identity of `sd` under the configured reductions.
+    ///
+    /// Without tracking this is the historical raw key.  With the
+    /// symmetry quotient, the key is the minimum over the
+    /// signature-guided candidate permutations of the *physically
+    /// permuted* state's raw key — each candidate is a real state of the
+    /// orbit, so the quotient can never conflate two states a plain
+    /// exploration would distinguish.
+    fn canonical(&self, sd: &StateData) -> CanonOut {
+        let want_string = self.strings.is_some();
+        if !self.sym.tracking {
+            return CanonOut {
+                key: sd.key(),
+                string: want_string.then(|| sd.key_string()),
+                annot: SymAnnot::default(),
+            };
+        }
+        let names_len = u32::try_from(sd.cfg.names().len()).unwrap_or(u32::MAX);
+        let raw = || {
+            let (key, journal) = sd.key_and_journal();
+            CanonOut {
+                key,
+                string: want_string.then(|| sd.key_string()),
+                annot: SymAnnot {
+                    perm: PathPerm::identity(),
+                    journal,
+                    names_len,
+                },
+            }
+        };
+        if !self.sym.symmetry || !sd.sym_eligible() {
+            return raw();
+        }
+        let groups = symmetry::session_groups(&sd.cfg, &self.sym.pinned);
+        if groups.is_empty() {
+            return raw();
+        }
+        if self.sym.conflate {
+            return self.conflated(sd, &groups, want_string);
+        }
+        // A candidate-cap overflow keeps the raw key: sound, because
+        // permuted siblings overflow identically and fall back alike.
+        let Some((key, journal, perm)) = signature_min(sd, &groups) else {
+            return raw();
+        };
+        if self.sym.verify {
+            verify_orbit_invariance(sd, &groups, key, &self.sym.pinned);
+        }
+        // The string index must follow the *hash* winner: ties between
+        // hash-distinct candidates with string-identical renderings
+        // cannot happen (the hash is a function of the string), and
+        // min-by-string could disagree with min-by-hash.
+        let string = want_string.then(|| sd.permuted(&perm).key_string());
+        CanonOut {
+            key,
+            string,
+            annot: SymAnnot {
+                perm,
+                journal,
+                names_len,
+            },
+        }
+    }
+
+    /// The planted-bug pseudo-quotient: hash the copy-erased state plus
+    /// the sorted per-group signature multisets.  Permutation-invariant —
+    /// and *overmerging*, which the conformance `reduce` oracle must
+    /// catch.
+    fn conflated(
+        &self,
+        sd: &StateData,
+        groups: &[symmetry::SessionGroup],
+        want_string: bool,
+    ) -> CanonOut {
+        let (erased_cfg, erasure) = symmetry::erase_copies(&sd.cfg, groups);
+        let erased = StateData {
+            cfg: erased_cfg,
+            knowledge: sd
+                .knowledge
+                .map_terms(|t| symmetry::rewrite_term(t, &erasure)),
+            fresh_made: sd.fresh_made,
+            net: sd.net.clone(),
+        };
+        let render = |out: &mut dyn FnMut(&str)| {
+            let mut s = String::new();
+            erased.write_key(&mut s);
+            out(&s);
+            for sigs in symmetry::group_signatures(&sd.cfg, groups) {
+                out("|sig:");
+                for sig in sigs {
+                    out(&sig);
+                    out(";");
+                }
+            }
+        };
+        let mut h = CanonHasher::new();
+        render(&mut |part| {
+            use std::fmt::Write as _;
+            let _ = h.write_str(part);
+        });
+        let string = want_string.then(|| {
+            let mut s = String::new();
+            render(&mut |part| s.push_str(part));
+            s
+        });
+        let (_, journal) = sd.key_and_journal();
+        CanonOut {
+            key: h.finish(),
+            string,
+            annot: SymAnnot {
+                perm: PathPerm::identity(),
+                journal,
+                names_len: u32::try_from(sd.cfg.names().len()).unwrap_or(u32::MAX),
+            },
+        }
+    }
+
+    /// Stores `sd` as a brand-new state without consulting the governor —
+    /// used for the initial state, which is always kept so a partial
+    /// answer is never empty.
+    fn push(&mut self, out: CanonOut, sd: StateData, queue: &mut VecDeque<usize>) -> usize {
         let i = self.states.len();
         self.states.push(LtsState {
-            key,
+            key: out.key,
             barbs: sd.cfg.barbs(),
             edges: Vec::new(),
             config: sd.cfg.clone(),
             knowledge: sd.knowledge.clone(),
         });
         if let Some(strings) = &mut self.strings {
-            strings.insert(sd.key_string(), i);
+            if let Some(s) = out.string {
+                strings.insert(s, i);
+            }
         }
-        self.index.insert(key, i);
+        self.index.insert(out.key, i);
         self.data.push(sd);
+        self.annots.push(out.annot);
         queue.push_back(i);
         i
     }
 
-    /// Interns `sd`, returning its index, or `None` when the state
-    /// budget is already spent (noted on the governor).
+    /// Interns `sd`, returning its index plus the id of the isomorphism
+    /// mapping the stored representative's coordinates to `sd`'s (`0`,
+    /// the identity, for new states and untracked stores), or `None` when
+    /// the state budget is already spent (noted on the governor).
     fn intern(
         &mut self,
         sd: StateData,
         gov: &mut Governor,
         queue: &mut VecDeque<usize>,
-    ) -> Option<usize> {
-        let key = sd.key();
-        let hit = self.index.get(&key).copied();
+    ) -> Option<(usize, u32)> {
+        let out = self.canonical(&sd);
+        let hit = self.index.get(&out.key).copied();
         if let Some(strings) = &self.strings {
-            let string_hit = strings.get(&sd.key_string()).copied();
+            let string_hit = out
+                .string
+                .as_ref()
+                .and_then(|s| strings.get(s))
+                .copied();
             assert_eq!(
-                hit, string_hit,
-                "hashed interning diverged from string interning at key {key:#034x}: \
-                 a 128-bit collision or a canonicalization bug"
+                hit,
+                string_hit,
+                "hashed interning diverged from string interning at key {:#034x}: \
+                 a 128-bit collision or a canonicalization bug",
+                out.key
             );
         }
         if let Some(i) = hit {
-            return Some(i);
+            let iso = if self.sym.tracking {
+                self.merge_iso(i, &out.annot)
+            } else {
+                0
+            };
+            return Some((i, iso));
         }
         if !gov.admit_state(self.states.len()) {
             return None;
         }
-        Some(self.push(key, sd, queue))
+        Some((self.push(out, sd, queue), 0))
+    }
+
+    /// The isomorphism from the representative state `rep`'s raw
+    /// coordinates to the just-merged state's: compose the
+    /// representative's canonicalizing permutation with the inverse of
+    /// the newcomer's, and zip the two canonicalizer journals (equal
+    /// canonical strings assign their name slots in the same order) with
+    /// a shifted tail for names allocated after the merge point.
+    fn merge_iso(&mut self, rep: usize, new: &SymAnnot) -> u32 {
+        let old = &self.annots[rep];
+        let perm = old.perm.then(&new.perm.invert());
+        let ids = old
+            .journal
+            .iter()
+            .zip(new.journal.iter())
+            .filter(|(a, b)| a != b)
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        let shift = i64::from(new.names_len) - i64::from(old.names_len);
+        self.isos
+            .intern(Iso::new(perm, ids, old.names_len, shift))
     }
 }
 
@@ -740,12 +1200,29 @@ impl Explorer {
             deadline: self.opts.deadline,
         };
         let mut gov = Governor::new(self.opts.budget);
-        let mut store = StateStore::new(self.opts.verify_keys);
+        // Any reduction forces iso tracking: merges stop being identity
+        // renamings, so traces must be able to undo them.
+        let tracking = self.opts.track_isos || self.opts.reduce.enabled();
+        let mut pinned: Vec<Path> = Vec::new();
+        if let Some(spec) = &self.opts.intruder {
+            pinned.push(spec.position.clone());
+        }
+        if let Some(fspec) = &self.opts.faults {
+            pinned.push(fspec.position.clone());
+        }
+        let sym = SymCtx {
+            tracking,
+            symmetry: self.opts.reduce.symmetry,
+            verify: self.opts.verify_symmetry,
+            conflate: self.opts.sym_conflate,
+            pinned,
+        };
+        let mut store = StateStore::new(self.opts.verify_keys, sym);
         let mut queue: VecDeque<usize> = VecDeque::new();
         // The initial state is always interned, even under a zero
         // budget, so a partial answer is never empty.
-        let key = initial.key();
-        store.push(key, initial, &mut queue);
+        let out = store.canonical(&initial);
+        store.push(out, initial, &mut queue);
         // Fully-expanded flags, parallel to `states`.
         let mut expanded: Vec<bool> = Vec::new();
         // The sequential engine's derivation memo (each parallel worker
@@ -753,6 +1230,9 @@ impl Explorer {
         let mut cache = DeriveCache::new();
 
         let mut edges_total = 0usize;
+        let mut edge_isos: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        let mut states_quotiented = 0u64;
+        let mut por_pruned = 0u64;
         // Layered BFS.  Draining the queue one layer at a time visits
         // states in exactly the order the one-at-a-time loop would (pop
         // front, intern new states at the back), which lets the workers
@@ -799,17 +1279,27 @@ impl Explorer {
                         self.caught_successors(cur, &sd, &mut cache)?
                     }
                 };
-                if !gov.charge_steps(succ.len().max(1)) {
+                if !gov.charge_steps(succ.moves.len().max(1)) {
                     cut_off!();
                 }
-                for (label, next) in succ {
+                // Pruning is accounted only when the state is actually
+                // consumed, so the counter is worker-count independent.
+                por_pruned += succ.pruned;
+                for (label, next) in succ.moves {
                     if !gov.admit_transition(edges_total) {
                         cut_off!();
                     }
                     match store.intern(next, &mut gov, &mut queue) {
-                        Some(tgt) => {
+                        Some((tgt, iso)) => {
+                            let edge_pos = store.states[cur].edges.len();
                             store.states[cur].edges.push((label, tgt));
                             edges_total += 1;
+                            if iso != 0 {
+                                edge_isos.insert((cur, edge_pos), iso);
+                                if store.isos.get(iso).permutes_paths() {
+                                    states_quotiented += 1;
+                                }
+                            }
                         }
                         None => {
                             cut_off!();
@@ -833,6 +1323,8 @@ impl Explorer {
         let stats = ExploreStats {
             states: states.len(),
             edges: edges_total,
+            states_quotiented,
+            por_pruned,
         };
         let coverage = CoverageStats {
             states: states.len(),
@@ -841,12 +1333,17 @@ impl Explorer {
             frontier: frontier.len(),
             steps: gov.steps_spent(),
         };
+        let isos = store.isos.into_isos();
         Ok(Lts {
             states,
             stats,
             coverage,
             exhausted: gov.exhausted(),
             frontier,
+            // An all-identity table with no recorded edges means nothing
+            // to undo: ship empty so downstream fast paths stay exact.
+            isos: if edge_isos.is_empty() { Vec::new() } else { isos },
+            edge_isos,
         })
     }
 
@@ -865,8 +1362,8 @@ impl Explorer {
         store: &StateStore,
         workers: usize,
         clock: &WallClock<'_>,
-    ) -> Vec<Option<Result<Vec<(Label, StateData)>, VerifyError>>> {
-        let mut computed: Vec<Option<Result<Vec<(Label, StateData)>, VerifyError>>> =
+    ) -> Vec<Option<Result<SuccSet, VerifyError>>> {
+        let mut computed: Vec<Option<Result<SuccSet, VerifyError>>> =
             (0..layer.len()).map(|_| None).collect();
         let pool = workers.min(layer.len());
         if pool > 1 {
@@ -903,7 +1400,7 @@ impl Explorer {
         cur: usize,
         sd: &StateData,
         cache: &mut DeriveCache,
-    ) -> Result<Vec<(Label, StateData)>, VerifyError> {
+    ) -> Result<SuccSet, VerifyError> {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(n) = self.opts.panic_after_states {
                 assert!(
@@ -923,14 +1420,11 @@ impl Explorer {
         })
     }
 
-    /// All successor states of `sd` with their labels.  `cache`
+    /// All successor states of `sd` with their labels (possibly reduced
+    /// to an ample subset — see [`ReduceOptions::por`]).  `cache`
     /// memoizes intruder derivability queries; it never changes the
     /// result, only the cost.
-    fn successors(
-        &self,
-        sd: &StateData,
-        cache: &mut DeriveCache,
-    ) -> Result<Vec<(Label, StateData)>, VerifyError> {
+    fn successors(&self, sd: &StateData, cache: &mut DeriveCache) -> Result<SuccSet, VerifyError> {
         let mut out = Vec::new();
 
         // Internal machine actions.
@@ -985,7 +1479,76 @@ impl Explorer {
             self.fault_moves(sd, fspec, &mut out);
         }
 
-        Ok(out)
+        if self.opts.reduce.por && out.len() > 1 {
+            if let Some(pick) = self.ample_index(sd, &out) {
+                let pruned = (out.len() - 1) as u64;
+                let chosen = out.swap_remove(pick);
+                return Ok(SuccSet {
+                    moves: vec![chosen],
+                    pruned,
+                });
+            }
+        }
+        Ok(SuccSet {
+            moves: out,
+            pruned: 0,
+        })
+    }
+
+    /// The ample-set selection: an index into `out` whose single move is
+    /// a sound stand-in for the whole successor set, or `None` when every
+    /// interleaving must be explored.
+    ///
+    /// Two shapes qualify, both invisible, both commuting with every
+    /// other enabled move, and both incapable of disabling one:
+    ///
+    /// 1. **Unfold priority** — a replication unfolding only splits its
+    ///    own `Bang` leaf; no other move touches that leaf, nothing
+    ///    disables an unfolding, and its bounded per-leaf counter rules
+    ///    out postponement cycles.
+    /// 2. **Private communication** — an internal communication whose
+    ///    subject is a restricted name occurring exactly twice in the
+    ///    entire state (the sender's and the receiver's subject), with a
+    ///    base spelling outside the intruder's channel set and every
+    ///    fault clause.  No third party — tester, intruder, network, or
+    ///    other process — can ever interact with that channel, so the
+    ///    communication is independent of every other move, and each
+    ///    firing consumes an I/O prefix pair, ruling out cycles.
+    fn ample_index(&self, sd: &StateData, out: &[(Label, StateData)]) -> Option<usize> {
+        for (i, (label, _)) in out.iter().enumerate() {
+            if matches!(
+                label,
+                Label::Tau(StepDesc::Internal(StepInfo::Unfold { .. }))
+            ) {
+                return Some(i);
+            }
+        }
+        for (i, (label, _)) in out.iter().enumerate() {
+            let Label::Tau(StepDesc::Internal(StepInfo::Comm(ci))) = label else {
+                continue;
+            };
+            let RtTerm::Id(id) = &ci.subject else {
+                continue;
+            };
+            let entry = sd.cfg.names().entry(*id);
+            if !entry.restricted {
+                continue;
+            }
+            if let Some(spec) = &self.opts.intruder {
+                if spec.channels.contains(&entry.base) {
+                    continue;
+                }
+            }
+            if let Some(fspec) = &self.opts.faults {
+                if fspec.clauses.iter().any(|c| c.chan == entry.base) {
+                    continue;
+                }
+            }
+            if state_occurrences(sd, *id) == 2 {
+                return Some(i);
+            }
+        }
+        None
     }
 
     /// The faulty network's moves: clause-driven captures (drop,
@@ -1309,6 +1872,92 @@ impl Explorer {
             None => {}
         }
         cands
+    }
+}
+
+/// A state's successor moves, plus how many sibling moves the
+/// partial-order reduction pruned to get there.
+#[derive(Debug)]
+struct SuccSet {
+    moves: Vec<(Label, StateData)>,
+    pruned: u64,
+}
+
+/// Counts the occurrences of name `id` across the entire state: every
+/// leaf (channel subjects, payloads, continuations), the intruder
+/// knowledge, and the network buffer and log.  Two occurrences of a
+/// restricted name mean nobody else can ever use the channel.
+fn state_occurrences(sd: &StateData, id: spi_semantics::NameId) -> usize {
+    let mut n = 0;
+    for (_, leaf) in sd.cfg.tree().leaves() {
+        n += leaf_occurrences(leaf, id);
+    }
+    for t in sd.knowledge.iter() {
+        n += term_occurrences(t, id);
+    }
+    if let Some(net) = &sd.net {
+        for (_, t) in net.buffer.iter().chain(net.log.iter()) {
+            n += term_occurrences(t, id);
+        }
+    }
+    n
+}
+
+fn term_occurrences(t: &RtTerm, id: spi_semantics::NameId) -> usize {
+    match t {
+        RtTerm::Id(i) => usize::from(*i == id),
+        RtTerm::Var(_) | RtTerm::Sym(_) => 0,
+        RtTerm::Pair { fst, snd, .. } => term_occurrences(fst, id) + term_occurrences(snd, id),
+        RtTerm::Enc { body, key, .. } => {
+            body.iter().map(|x| term_occurrences(x, id)).sum::<usize>() + term_occurrences(key, id)
+        }
+        RtTerm::LocatedLit { inner, .. } => term_occurrences(inner, id),
+    }
+}
+
+fn chan_occurrences(ch: &spi_semantics::RtChannel, id: spi_semantics::NameId) -> usize {
+    term_occurrences(&ch.subject, id)
+}
+
+fn proc_occurrences(p: &RtProcess, id: spi_semantics::NameId) -> usize {
+    match p {
+        RtProcess::Nil => 0,
+        RtProcess::Output(ch, t, cont) => {
+            chan_occurrences(ch, id) + term_occurrences(t, id) + proc_occurrences(cont, id)
+        }
+        RtProcess::Input(ch, _, cont) => chan_occurrences(ch, id) + proc_occurrences(cont, id),
+        RtProcess::Restrict(_, body) | RtProcess::Bang(body) => proc_occurrences(body, id),
+        RtProcess::Par(l, r) => proc_occurrences(l, id) + proc_occurrences(r, id),
+        RtProcess::Match(a, b, cont) | RtProcess::AddrMatchT(a, b, cont) => {
+            term_occurrences(a, id) + term_occurrences(b, id) + proc_occurrences(cont, id)
+        }
+        RtProcess::AddrMatchL(a, _, cont) => term_occurrences(a, id) + proc_occurrences(cont, id),
+        RtProcess::Split { pair, body, .. } => {
+            term_occurrences(pair, id) + proc_occurrences(body, id)
+        }
+        RtProcess::Case {
+            scrutinee,
+            key,
+            body,
+            ..
+        } => {
+            term_occurrences(scrutinee, id)
+                + term_occurrences(key, id)
+                + proc_occurrences(body, id)
+        }
+    }
+}
+
+fn leaf_occurrences(leaf: &LeafState, id: spi_semantics::NameId) -> usize {
+    match leaf {
+        LeafState::Dead => 0,
+        LeafState::Out {
+            chan,
+            payload,
+            cont,
+        } => chan_occurrences(chan, id) + term_occurrences(payload, id) + proc_occurrences(cont, id),
+        LeafState::In { chan, cont, .. } => chan_occurrences(chan, id) + proc_occurrences(cont, id),
+        LeafState::Bang { body, .. } => proc_occurrences(body, id),
     }
 }
 
@@ -1804,5 +2453,197 @@ mod tests {
             fault_opts(FaultSpec::single(FaultKind::Drop, "c", 1)),
         );
         assert!(lts.states.len() >= 3, "{}", lts.states.len());
+    }
+
+    const SESSIONS: &str = "!((^m)(c<m> | c(x).observe<x>))";
+
+    fn session_opts(reduce: ReduceOptions) -> ExploreOptions {
+        ExploreOptions {
+            unfold_bound: 3,
+            reduce,
+            ..ExploreOptions::default()
+        }
+    }
+
+    #[test]
+    fn symmetry_quotient_collapses_session_permutations() {
+        let plain = explore(SESSIONS, session_opts(ReduceOptions::none()));
+        let reduced = explore(
+            SESSIONS,
+            session_opts(ReduceOptions {
+                symmetry: true,
+                por: false,
+            }),
+        );
+        assert!(
+            reduced.stats.states * 2 <= plain.stats.states,
+            "expected >=2x: {} vs {}",
+            reduced.stats.states,
+            plain.stats.states
+        );
+        assert!(reduced.stats.states_quotiented > 0);
+        assert_eq!(plain.stats.por_pruned, 0);
+        assert!(reduced.complete());
+    }
+
+    #[test]
+    fn reduced_exploration_preserves_weak_traces() {
+        use crate::traces::weak_traces;
+        // The unreduced arm tracks isos too, so both sides extract the
+        // *exact* raw trace set and compare without merge artifacts.
+        let tracked = explore(
+            SESSIONS,
+            ExploreOptions {
+                track_isos: true,
+                ..session_opts(ReduceOptions::none())
+            },
+        );
+        for reduce in [
+            ReduceOptions {
+                symmetry: true,
+                por: false,
+            },
+            ReduceOptions {
+                symmetry: false,
+                por: true,
+            },
+            ReduceOptions::full(),
+        ] {
+            let reduced = explore(SESSIONS, session_opts(reduce));
+            assert_eq!(
+                weak_traces(&reduced, 4),
+                weak_traces(&tracked, 4),
+                "mode {}",
+                reduce.mode()
+            );
+            assert_eq!(
+                reduced.weak_barbs(),
+                tracked.weak_barbs(),
+                "mode {}",
+                reduce.mode()
+            );
+        }
+    }
+
+    #[test]
+    fn por_prunes_private_communications() {
+        let src = "(^k)(k<m>.0 | k(x).0) | observe<a>";
+        let plain = explore(src, ExploreOptions::default());
+        let por = explore(
+            src,
+            ExploreOptions {
+                reduce: ReduceOptions {
+                    symmetry: false,
+                    por: true,
+                },
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(por.stats.por_pruned > 0);
+        assert!(por.stats.states < plain.stats.states);
+        use crate::traces::weak_traces;
+        let tracked = explore(
+            src,
+            ExploreOptions {
+                track_isos: true,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(weak_traces(&por, 3), weak_traces(&tracked, 3));
+    }
+
+    #[test]
+    fn reduction_is_deterministic_across_worker_counts() {
+        let base = explore(
+            SESSIONS,
+            ExploreOptions {
+                workers: 1,
+                ..session_opts(ReduceOptions::full())
+            },
+        )
+        .fingerprint();
+        for workers in [2, 8] {
+            let fp = explore(
+                SESSIONS,
+                ExploreOptions {
+                    workers,
+                    ..session_opts(ReduceOptions::full())
+                },
+            )
+            .fingerprint();
+            assert_eq!(fp, base, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn verify_symmetry_accepts_the_signature_guided_quotient() {
+        // `verify_symmetry` panics if the candidate set ever misses the
+        // true orbit minimum; surviving the exploration is the assertion.
+        let lts = explore(
+            SESSIONS,
+            ExploreOptions {
+                verify_symmetry: true,
+                verify_keys: true,
+                ..session_opts(ReduceOptions {
+                    symmetry: true,
+                    por: false,
+                })
+            },
+        );
+        assert!(lts.complete());
+    }
+
+    #[test]
+    fn track_isos_alone_keeps_the_state_space() {
+        use crate::traces::weak_traces;
+        let src = "(^m)(c<m> | c(x).observe<x>)";
+        let plain = explore(src, ExploreOptions::default());
+        let tracked = explore(
+            src,
+            ExploreOptions {
+                track_isos: true,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(plain.stats.states, tracked.stats.states);
+        assert_eq!(plain.stats.edges, tracked.stats.edges);
+        assert_eq!(weak_traces(&plain, 3), weak_traces(&tracked, 3));
+    }
+
+    #[test]
+    fn conflating_pseudo_quotient_is_a_real_planted_bug() {
+        // The erasing pseudo-quotient must overmerge (fewer states than
+        // the sound quotient on some input) — otherwise the conformance
+        // oracle would have nothing to catch.
+        let src = "!((^m)(^n)(c<m>.c<n> | c(x).c(y).d<x>.d<y>)) | d(z)";
+        let sound = explore(
+            src,
+            ExploreOptions {
+                unfold_bound: 3,
+                reduce: ReduceOptions {
+                    symmetry: true,
+                    por: false,
+                },
+                ..ExploreOptions::default()
+            },
+        );
+        let buggy = explore(
+            src,
+            ExploreOptions {
+                unfold_bound: 3,
+                reduce: ReduceOptions {
+                    symmetry: true,
+                    por: false,
+                },
+                sym_conflate: true,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(
+            buggy.stats.states < sound.stats.states,
+            "conflation merges inequivalent states: {} vs {}",
+            buggy.stats.states,
+            sound.stats.states
+        );
     }
 }

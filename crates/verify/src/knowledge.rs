@@ -164,6 +164,18 @@ impl Knowledge {
         self.generation
     }
 
+    /// A copy with every stored message rewritten through `f`.  Intended
+    /// for structure-preserving renamings (copy permutations rewriting
+    /// creator stamps): such maps send the analyzed fixpoint to the
+    /// analyzed fixpoint, so no re-analysis runs.
+    #[must_use]
+    pub fn map_terms<F: Fn(&RtTerm) -> RtTerm>(&self, f: F) -> Knowledge {
+        Knowledge {
+            analyzed: Arc::new(self.analyzed.iter().map(f).collect()),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Can the intruder derive `goal`?  Synthesis over the analyzed set:
     /// a term is derivable when stored, or buildable by pairing /
     /// encryption from derivable parts.

@@ -41,6 +41,7 @@ mod dot;
 mod error;
 mod explore;
 pub mod faultsim;
+mod iso;
 pub mod jsonlite;
 mod knowledge;
 mod obs;
@@ -59,9 +60,10 @@ pub use campaign::{
 pub use dot::to_dot;
 pub use error::VerifyError;
 pub use explore::{
-    ExploreOptions, ExploreStats, Explorer, IntruderSpec, Label, Lts, LtsState, StepDesc,
-    TauClosures,
+    ExploreOptions, ExploreStats, Explorer, IntruderSpec, Label, Lts, LtsState, ReduceOptions,
+    StepDesc, TauClosures,
 };
+pub use iso::{Iso, IsoTable};
 pub use knowledge::{DeriveCache, Knowledge};
 pub use obs::{ObsEvent, ObsTerm, TraceRenamer};
 pub use secrecy::{check_secrecy, SecrecyReport};

@@ -19,7 +19,7 @@ use spi_syntax::{Name, Process};
 use crate::{
     find_realization, trace_preorder_sound, Budget, CampaignOptions, CampaignReport,
     CoverageStats, ExploreOptions, ExploreStats, Explorer, IntruderSpec, Lts,
-    MinimalCounterexample, ResourceKind, StepDesc, TraceVerdict, VerifyError,
+    MinimalCounterexample, ReduceOptions, ResourceKind, StepDesc, TraceVerdict, VerifyError,
 };
 
 /// Which inclusion failed in an equivalence check.
@@ -87,6 +87,9 @@ pub struct VerificationReport {
     pub abstract_coverage: CoverageStats,
     /// How many concrete traces were checked for inclusion.
     pub traces_checked: usize,
+    /// Which state-space reductions the explorations ran under (both
+    /// sides use the same mode; reductions preserve the verdict).
+    pub reduce: ReduceOptions,
 }
 
 /// Checks that a concrete protocol securely implements an abstract one.
@@ -133,6 +136,8 @@ pub struct Verifier {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
     verify_keys: bool,
+    reduce: ReduceOptions,
+    verify_symmetry: bool,
 }
 
 impl Verifier {
@@ -159,6 +164,8 @@ impl Verifier {
             deadline: None,
             cancel: None,
             verify_keys: false,
+            reduce: ReduceOptions::none(),
+            verify_symmetry: false,
         }
     }
 
@@ -262,6 +269,28 @@ impl Verifier {
         self
     }
 
+    /// Sets the state-space reductions every exploration runs under (see
+    /// [`ReduceOptions`]).  Reductions preserve verdicts: the symmetry
+    /// quotient merges only genuinely isomorphic states and trace
+    /// extraction undoes the renaming, while the partial-order reduction
+    /// prunes only always-commuting invisible interleavings.  Off by
+    /// default (the historical state space).
+    #[must_use]
+    pub fn reduce(mut self, reduce: ReduceOptions) -> Verifier {
+        self.reduce = reduce;
+        self
+    }
+
+    /// Brute-force-checks every quotiented state key for orbit
+    /// invariance, panicking when the signature-guided candidate set
+    /// fails to collapse a permutation orbit.  Debugging aid in the
+    /// spirit of [`Verifier::verify_keys`]; costly, off by default.
+    #[must_use]
+    pub fn verify_symmetry(mut self, on: bool) -> Verifier {
+        self.verify_symmetry = on;
+        self
+    }
+
     /// Replaces the role map used for narration: pairs of role name and
     /// position (bit path) *within* the protocol.  The default is the
     /// two-party layout `A ↦ ‖0`, `B ↦ ‖1` of the paper's protocols
@@ -310,6 +339,8 @@ impl Verifier {
             deadline: self.deadline,
             cancel: self.cancel.clone(),
             verify_keys: self.verify_keys,
+            reduce: self.reduce,
+            verify_symmetry: self.verify_symmetry,
             ..ExploreOptions::default()
         }
     }
@@ -373,6 +404,7 @@ impl Verifier {
             concrete_coverage: concrete_lts.coverage,
             abstract_coverage: abstract_lts.coverage,
             traces_checked,
+            reduce: self.reduce,
         })
     }
 
@@ -436,6 +468,8 @@ impl Verifier {
             workers: self.workers,
             deadline: self.deadline,
             cancel: self.cancel.clone(),
+            reduce: self.reduce,
+            verify_symmetry: self.verify_symmetry,
             ..ExploreOptions::default()
         };
         crate::definition3_preorder(
@@ -803,6 +837,31 @@ mod tests {
             .run_campaign(&p(PM3), &p(PM_ABS), &v.campaign_options(1))
             .unwrap();
         assert!(report.all_survive(), "{report:?}");
+    }
+
+    #[test]
+    fn reduction_preserves_verdicts_and_shrinks_the_search() {
+        const PM3: &str = "(^kAB)(!(^m)c(ns).c<{m, ns}kAB> | \
+             !(^nb)c<nb>.c(x).case x of {z, w}kAB in [w = nb]observe<z>)";
+        let plain = Verifier::new(["c"]).sessions(2);
+        let reduced = plain.clone().reduce(ReduceOptions::full());
+        // The replay attack on Pm2 survives reduction; Pm3 still holds.
+        let attack = reduced.check(&p(PM2), &p(PM_ABS)).unwrap();
+        assert!(matches!(attack.verdict, Verdict::Attack(_)), "{attack:?}");
+        assert_eq!(attack.reduce, ReduceOptions::full());
+        let secure = reduced.check(&p(PM3), &p(PM_ABS)).unwrap();
+        assert!(
+            matches!(secure.verdict, Verdict::SecurelyImplements),
+            "{secure:?}"
+        );
+        // And the reduced search is strictly smaller.
+        let baseline = plain.check(&p(PM2), &p(PM_ABS)).unwrap();
+        assert!(
+            attack.concrete_stats.states < baseline.concrete_stats.states,
+            "{} vs {}",
+            attack.concrete_stats.states,
+            baseline.concrete_stats.states
+        );
     }
 
     #[test]
