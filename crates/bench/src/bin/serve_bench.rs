@@ -110,6 +110,118 @@ fn fleet_questions() -> Vec<String> {
         .collect()
 }
 
+/// Connection-count tiers for the concurrency series.
+const CONCURRENCY_TIERS: [usize; 4] = [1, 100, 1_000, 10_000];
+const CONC_COLD_RUNS: usize = 10;
+const CONC_WARM_RUNS: usize = 100;
+/// Idle connections held in-process before spilling to helper
+/// processes (the in-process client and server ends each cost an fd,
+/// and RLIMIT_NOFILE on a stock box is ~20k — the 10 000-connection
+/// tier must not eat the whole budget from inside one process).
+const IDLE_IN_PROCESS_MAX: usize = 4_000;
+
+struct ConcurrencyRecord {
+    connections: usize,
+    cold_p50_ms: f64,
+    cold_p99_ms: f64,
+    warm_p50_ms: f64,
+    warm_p99_ms: f64,
+}
+
+/// The idle herd for one tier: `n` open-and-silent connections, the
+/// first chunk held as in-process sockets, the rest parked in bash
+/// helper children (`/dev/tcp`) so the bench process's fd budget
+/// covers the server side of all ten thousand.
+struct IdleHerd {
+    local: Vec<std::net::TcpStream>,
+    helpers: Vec<std::process::Child>,
+}
+
+impl IdleHerd {
+    fn open(n: usize, addr: &str) -> IdleHerd {
+        let in_process = n.min(IDLE_IN_PROCESS_MAX);
+        let local: Vec<std::net::TcpStream> = (0..in_process)
+            .map(|_| std::net::TcpStream::connect(addr).expect("idle connection opens"))
+            .collect();
+        let mut helpers = Vec::new();
+        let mut remaining = n - in_process;
+        let (ip, port) = addr.split_once(':').expect("host:port");
+        while remaining > 0 {
+            let chunk = remaining.min(IDLE_IN_PROCESS_MAX);
+            remaining -= chunk;
+            let script = format!(
+                r#"for i in $(seq 1 {chunk}); do exec {{fd}}<>"/dev/tcp/{ip}/{port}" || exit 1; done; echo up; read -r _"#
+            );
+            let mut child = std::process::Command::new("bash")
+                .args(["-c", &script])
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("bash helper spawns (the 10k tier needs /dev/tcp)");
+            // The helper prints one line once every connection is up.
+            let mut line = String::new();
+            use std::io::BufRead as _;
+            std::io::BufReader::new(child.stdout.take().expect("helper stdout"))
+                .read_line(&mut line)
+                .expect("helper reports readiness");
+            assert_eq!(line.trim(), "up", "helper opened its connections");
+            helpers.push(child);
+        }
+        IdleHerd { local, helpers }
+    }
+
+    fn close(mut self) {
+        self.local.clear();
+        for mut h in self.helpers.drain(..) {
+            drop(h.stdin.take()); // unblocks the trailing `read`
+            let _ = h.wait();
+        }
+    }
+}
+
+/// One tier of the concurrency series: `n` connections total, `n - 1`
+/// idle, one doing the talking.
+fn concurrency_record(n: usize, cold_line: &str, warm_line: &str) -> ConcurrencyRecord {
+    let handle = serve(
+        Arc::new(VerifierEngine {
+            explore_workers: Some(1),
+        }),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            snapshot: None,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+    let herd = IdleHerd::open(n.saturating_sub(1), &addr);
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    let (_, primed) = sample_ms(&mut client, warm_line);
+    assert!(!primed, "the priming request must run the engine");
+    let mut cold: Vec<f64> = (0..CONC_COLD_RUNS)
+        .map(|_| sample_ms(&mut client, cold_line).0)
+        .collect();
+    let mut warm: Vec<f64> = (0..CONC_WARM_RUNS)
+        .map(|_| {
+            let (ms, cached) = sample_ms(&mut client, warm_line);
+            assert!(cached, "warm samples must be cache hits");
+            ms
+        })
+        .collect();
+
+    herd.close();
+    handle.join();
+    ConcurrencyRecord {
+        connections: n,
+        cold_p50_ms: percentile(&mut cold, 50),
+        cold_p99_ms: percentile(&mut cold, 99),
+        warm_p50_ms: percentile(&mut warm, 50),
+        warm_p99_ms: percentile(&mut warm, 99),
+    }
+}
+
 struct FleetRecord {
     workers: usize,
     cold_p99_ms: f64,
@@ -234,6 +346,44 @@ fn main() {
     let speedup = cold_ms / warm_ms;
     handle.join();
 
+    // The concurrency series: the same question asked while 0/99/999/
+    // 9999 other connections sit idle on the epoll front end.  A
+    // cheaper instance (pm2 at 2 sessions) keeps the cold tier
+    // affordable at every connection count.
+    let concrete = read_spec("examples/protocols/pm2.spi");
+    let spec = read_spec("examples/protocols/pm.spi");
+    let conc_warm_line = Json::Obj(vec![
+        ("op".to_string(), Json::str("verify")),
+        ("concrete".into(), Json::str(concrete)),
+        ("abstract".into(), Json::str(spec)),
+        ("sessions".into(), Json::count(2)),
+    ])
+    .render_compact();
+    let conc_cold_line = format!(
+        "{}{}",
+        &conc_warm_line[..conc_warm_line.len() - 1],
+        r#","no_cache":true}"#
+    );
+    let series: Vec<ConcurrencyRecord> = CONCURRENCY_TIERS
+        .iter()
+        .map(|&n| concurrency_record(n, &conc_cold_line, &conc_warm_line))
+        .collect();
+    let series_rows: Vec<String> = series
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{
+      "connections": {},
+      "cold_p50_ms": {:.3},
+      "cold_p99_ms": {:.3},
+      "warm_p50_ms": {:.3},
+      "warm_p99_ms": {:.3}
+    }}"#,
+                r.connections, r.cold_p50_ms, r.cold_p99_ms, r.warm_p50_ms, r.warm_p99_ms
+            )
+        })
+        .collect();
+
     // Size each fleet node's cache to half the working set: measure a
     // representative entry (digest key + op + body bytes) and budget
     // for FLEET_SET/2 of them, so one node must evict while four hold
@@ -303,6 +453,10 @@ fn main() {
       "speedup": {speedup:.1}
     }}
   ],
+  "concurrency_methodology": "One spi serve daemon (4 request workers, epoll reactor front end) answers pm2-vs-pm verify requests at 2 sessions while N-1 other connections sit open and silent (held as plain sockets; beyond 4000 they live in bash /dev/tcp helper children so one process's fd budget covers the server side of the 10000-connection tier). Per tier: one priming fill, then {CONC_COLD_RUNS} no_cache=true cold samples and {CONC_WARM_RUNS} cache-hit warm samples on a single talking connection; p50/p99 are client-side per-line round-trip times. Flat latency across tiers is the claim: idle connections are epoll registrations, not threads, so ten thousand of them must not tax the one doing the work.",
+  "concurrency_records": [
+{series_rows}
+  ],
   "fleet_methodology": "A coordinator (spi fleet) fronts 1/2/4 spi serve workers over loopback; requests shard by content digest on a consistent-hash ring. The working set is {FLEET_SET} distinct pm2-vs-pm verify questions (visible bound 3..{FLEET_SET_END}) and every worker cache budget holds only half of it, so this single-core box measures aggregate cache capacity, not CPU parallelism: one node keeps evicting and re-exploring under a seeded pseudo-random revisit order, four nodes hold the whole set across shards. cold_p99_ms is the p99 of {FLEET_COLD_RUNS} no_cache=true requests through the dispatch path; warm_reqs_per_sec is {FLEET_WARM_RUNS} pseudo-random requests after one priming pass, timed end to end on one client connection. warm_scaling_1_to_4 must be >= 1.5.",
   "fleet_records": [
 {fleet_rows}
@@ -311,6 +465,7 @@ fn main() {
 }}"#,
         FLEET_SET_END = 3 + FLEET_SET,
         fleet_rows = fleet_records.join(",\n"),
+        series_rows = series_rows.join(",\n"),
     );
     assert!(
         speedup >= 10.0,

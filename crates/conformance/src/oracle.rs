@@ -519,6 +519,7 @@ impl Server {
             snapshot: None,
             queue_cap: 8,
             default_timeout_secs: None,
+            ..ServerOptions::default()
         };
         let engine = Arc::new(VerifierEngine {
             explore_workers: Some(1),
@@ -659,6 +660,7 @@ impl Fleet {
             snapshot: None,
             queue_cap: 8,
             default_timeout_secs: None,
+            ..ServerOptions::default()
         };
         let workers = [
             serve(engine(), worker_opts()),

@@ -27,9 +27,13 @@
 //!           [--cache-bytes N] [--snapshot FILE] (newline-delimited JSON
 //!           [--queue N] [--timeout-secs S]      over TCP); stdin-close or
 //!           [--explore-workers N]               a shutdown request drains
+//!           [--read-deadline-ms N]              slowloris reap for partial
+//!           [--write-buf-bytes N]               lines, write-buffer cap,
+//!           [--quota-rate N] [--quota-burst N]  per-tenant admission quotas
 //!           [--join COORD] [--advertise ADDR]   join a fleet: heartbeat the
 //!           [--heartbeat-ms N]                  coordinator, gossip-warm on
-//!                                               (re)join
+//!                                               (re)join, hand the cache
+//!                                               shard off on drain
 //! spi fleet [--addr HOST:PORT] [--quorum N]   run a fleet coordinator that
 //!           [--unit-size N] [--hedge-ms N]      shards requests over joined
 //!           [--heartbeat-ms N] [--fail-after-ms N]  workers by content
@@ -39,7 +43,8 @@
 //!            [--connect-timeout MS] [--read-timeout MS]  stdin) and print
 //!            [--retries N] [--backoff-ms N]    responses; bare words like
 //!            [--fallback local|off]            `ping`/`stats`/`shutdown`
-//!                                              expand to request lines
+//!            [--progress MS]                   expand to request lines;
+//!                                              --progress streams heartbeats
 //! ```
 //!
 //! `--budget` dimensions: `states`, `transitions`, `fuel`, `knowledge`,
@@ -138,12 +143,13 @@ fn print_usage() {
          spi paper [--sessions N]\n  \
          spi serve [--addr HOST:PORT] [--workers N] [--cache-bytes N] [--snapshot FILE]\n    \
          [--queue N] [--timeout-secs S] [--explore-workers N]\n    \
+         [--read-deadline-ms N] [--write-buf-bytes N] [--quota-rate N] [--quota-burst N]\n    \
          [--join COORD] [--advertise ADDR] [--heartbeat-ms N]\n  \
          spi fleet [--addr HOST:PORT] [--quorum N] [--unit-size N] [--hedge-ms N]\n    \
          [--heartbeat-ms N] [--fail-after-ms N] [--retry-rounds N]\n    \
          [--chaos SEED] [--chaos-horizon N] [--explore-workers N]\n  \
          spi client [--addr HOST:PORT] [--connect-timeout MS] [--read-timeout MS]\n    \
-         [--retries N] [--backoff-ms N] [--fallback local|off] [REQUEST]..."
+         [--retries N] [--backoff-ms N] [--fallback local|off] [--progress MS] [REQUEST]..."
     );
 }
 
@@ -669,24 +675,32 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if flag(&flags, "timeout-secs").is_some() {
         opts.default_timeout_secs = Some(numeric_flag(&flags, "timeout-secs", 0u64)?);
     }
+    opts.read_deadline_ms = numeric_flag(&flags, "read-deadline-ms", opts.read_deadline_ms)?;
+    opts.write_buf_bytes = numeric_flag(&flags, "write-buf-bytes", opts.write_buf_bytes)?;
+    opts.quota_rate = numeric_flag(&flags, "quota-rate", opts.quota_rate)?;
+    opts.quota_burst = numeric_flag(&flags, "quota-burst", opts.quota_burst)?;
     // Parallelism comes from the request pool by default; each
     // exploration stays single-threaded unless asked otherwise.
     let explore_workers: usize = numeric_flag(&flags, "explore-workers", 1)?;
     let engine = std::sync::Arc::new(FullEngine::new(Some(explore_workers.max(1))));
     let handle = serve(engine, opts)?;
     println!("spi-serve: listening on {}", handle.addr());
-    if let Some(coordinator) = flag(&flags, "join") {
-        let coordinator = coordinator.to_string();
-        // What the coordinator should dial back: defaults to the bound
-        // address, overridable when that is not reachable from outside
-        // (e.g. bound to 0.0.0.0 behind a specific interface).
-        let advertise = flag(&flags, "advertise")
-            .map(ToString::to_string)
-            .unwrap_or_else(|| handle.addr().to_string());
-        let every_ms: u64 = numeric_flag(&flags, "heartbeat-ms", 200)?;
-        let cache = handle.cache_handle();
-        std::thread::spawn(move || heartbeat_loop(&coordinator, &advertise, every_ms, &cache));
-    }
+    let heartbeats = flag(&flags, "join")
+        .map(|coordinator| -> Result<_, String> {
+            let coordinator = coordinator.to_string();
+            // What the coordinator should dial back: defaults to the bound
+            // address, overridable when that is not reachable from outside
+            // (e.g. bound to 0.0.0.0 behind a specific interface).
+            let advertise = flag(&flags, "advertise")
+                .map(ToString::to_string)
+                .unwrap_or_else(|| handle.addr().to_string());
+            let every_ms: u64 = numeric_flag(&flags, "heartbeat-ms", 200)?;
+            let cache = handle.cache_handle();
+            Ok(std::thread::spawn(move || {
+                heartbeat_loop(&coordinator, &advertise, every_ms, &cache);
+            }))
+        })
+        .transpose()?;
     // Drain triggers: a `shutdown` request over the wire, or stdin
     // closing (the supervisor-friendly stand-in for SIGTERM — run the
     // daemon with a piped stdin and close it to drain).
@@ -698,6 +712,12 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         drainer.shutdown();
     });
     handle.join_on_drain();
+    // The heartbeat thread's last act is the `leave` announcement that
+    // hands the cache shard to the surviving ring owners — wait for it
+    // so a supervisor's kill after drain loses no warm entries.
+    if let Some(hb) = heartbeats {
+        let _ = hb.join();
+    }
     eprintln!("spi-serve: drained");
     Ok(ExitCode::SUCCESS)
 }
@@ -706,14 +726,18 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
 /// `rejoined` acknowledgement (first contact, or first contact after
 /// the coordinator lost us) triggers a gossip pull from every listed
 /// peer, so a restarted worker's first repeated question is already a
-/// cache hit.
+/// cache hit.  On drain, the loop's last act is a `leave`
+/// announcement carrying this worker's cache entries: the coordinator
+/// removes the node from the ring immediately (no failure-detection
+/// lag) and pushes each entry to its new ring owner, so draining then
+/// killing the process loses no warm cache entry.
 fn heartbeat_loop(
     coordinator: &str,
     advertise: &str,
     every_ms: u64,
     cache: &spi_auth::server::CacheHandle,
 ) {
-    use spi_auth::server::{pull_from, Client};
+    use spi_auth::server::{gossip_body, pull_from, Client};
     use spi_auth::verify::jsonlite::Json;
     let connect = std::time::Duration::from_millis(1000);
     let line = format!(r#"{{"op":"join","addr":"{advertise}"}}"#);
@@ -747,6 +771,27 @@ fn heartbeat_loop(
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(every_ms));
+    }
+    let entries = cache.entries();
+    let leave = Json::Obj(vec![
+        ("op".to_string(), Json::str("leave")),
+        ("addr".to_string(), Json::str(advertise)),
+        ("cache".to_string(), gossip_body(&entries)),
+    ])
+    .render_compact();
+    let announced = Client::connect_with(coordinator, Some(connect)).and_then(|mut c| {
+        c.read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        c.roundtrip(&leave)
+    });
+    match announced {
+        Ok(reply) => {
+            let handed = Json::parse(&reply)
+                .ok()
+                .and_then(|v| v.get("body")?.get("handed_off")?.as_int())
+                .unwrap_or(0);
+            eprintln!("spi-serve: announced leave, handed off {handed} cache entries");
+        }
+        Err(e) => eprintln!("spi-serve: leave announcement failed: {e}"),
     }
 }
 
@@ -803,10 +848,18 @@ struct ClientNet {
 
 /// Sends one request line with reconnect-on-failure and exponential
 /// backoff, reusing `cached` (an open connection) across calls.
+///
+/// `{"status":"progress",…}` heartbeat lines go to `on_progress` as
+/// they arrive; the returned line is the final answer.  Because the
+/// socket read timeout applies per *line*, a heartbeating server
+/// resets `--read-timeout` with every progress event — a long
+/// campaign that keeps proving liveness is never mistaken for a dead
+/// server, while a silent one still times out promptly.
 fn client_send(
     net: &ClientNet,
     cached: &mut Option<spi_auth::server::Client>,
     line: &str,
+    on_progress: &mut dyn FnMut(&str),
 ) -> Result<String, String> {
     use spi_auth::server::Client;
     let mut backoff = std::time::Duration::from_millis(net.backoff_ms.max(1));
@@ -831,7 +884,11 @@ fn client_send(
                 }
             }
         }
-        match cached.as_mut().expect("connected above").roundtrip(line) {
+        match cached
+            .as_mut()
+            .expect("connected above")
+            .roundtrip_streaming(line, &mut *on_progress)
+        {
             Ok(response) => return Ok(response),
             Err(e) => {
                 // The connection is suspect; reconnect on the retry.
@@ -861,6 +918,7 @@ fn run_job_locally(line: &str) -> Result<String, String> {
             .timeout_secs
             .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s)),
         cancel: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        progress: None,
     };
     let envelope = match FullEngine::new(Some(1)).run(&job, &ctl).body {
         Ok(body) => {
@@ -873,6 +931,32 @@ fn run_job_locally(line: &str) -> Result<String, String> {
         Err(e) => error_response(op, &e),
     };
     Ok(envelope.render_compact())
+}
+
+/// Adds `"progress_ms":MS` to a job request line (verify, campaign,
+/// conformance-replay) that does not already carry one.  Control
+/// requests and lines that spell their own interval pass through
+/// untouched; `progress_ms` is execution-only, so the injection never
+/// changes the request's cache digest.
+fn inject_progress(line: &str, ms: u64) -> String {
+    use spi_auth::verify::jsonlite::Json;
+    let Ok(Json::Obj(mut fields)) = Json::parse(line) else {
+        return line.to_string();
+    };
+    let op = fields
+        .iter()
+        .find(|(k, _)| k == "op")
+        .and_then(|(_, v)| v.as_str());
+    if !matches!(op, Some("verify" | "campaign" | "conformance-replay"))
+        || fields.iter().any(|(k, _)| k == "progress_ms")
+    {
+        return line.to_string();
+    }
+    fields.push((
+        "progress_ms".to_string(),
+        Json::count(usize::try_from(ms).unwrap_or(usize::MAX)),
+    ));
+    Json::Obj(fields).render_compact()
 }
 
 fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
@@ -895,6 +979,12 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
             Some(other) => return Err(format!("--fallback expects local|off, got {other:?}")),
         },
     };
+    // `--progress MS` subscribes job requests to server heartbeats (a
+    // `progress_ms` wire field) and prints each one as it streams in.
+    let progress_ms = match numeric_flag(&flags, "progress", 0u64)? {
+        0 => None,
+        ms => Some(ms),
+    };
     let mut cached = None;
     let mut all_ok = true;
     let mut send = |line: &str| -> Result<bool, String> {
@@ -905,7 +995,18 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         } else {
             format!(r#"{{"op":"{}"}}"#, line.trim())
         };
-        let response = match client_send(&net, &mut cached, &line) {
+        let line = match progress_ms {
+            Some(ms) => inject_progress(&line, ms),
+            None => line,
+        };
+        // Beats go to stderr: stdout stays one response line per
+        // request, so pipelines parsing it never see a heartbeat.
+        let mut on_progress = |beat: &str| {
+            if progress_ms.is_some() {
+                eprintln!("{beat}");
+            }
+        };
+        let response = match client_send(&net, &mut cached, &line, &mut on_progress) {
             Ok(r) => r,
             Err(e) if net.fallback_local => {
                 eprintln!("spi-client: {} unreachable ({e}); running locally", net.addr);

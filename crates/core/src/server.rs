@@ -9,12 +9,14 @@
 //! the response body.
 
 pub use spi_server::{
-    campaign_body, coordinate, error_response, ok_response, oneshot, parse_request, pull_from,
-    rejected_response, serve, verify_body, CacheHandle, ChaosEvent, ChaosPlan, Client,
-    CoordinatorHandle, CoordinatorOptions, CoordinatorShutdown, Engine, EngineOutcome, JobRequest,
-    Membership, Mode, Request, ResultCache, Ring, RunControl, ServerHandle, ServerOptions,
-    ShutdownHandle, Singleflight, VerifierEngine,
+    campaign_body, coordinate, error_response, ok_response, oneshot, parse_request,
+    progress_response, pull_from, push_to, rejected_response, serve, shed_response, verify_body,
+    CacheHandle, ChaosEvent, ChaosPlan, Client, CoordinatorHandle, CoordinatorOptions,
+    CoordinatorShutdown, Engine, EngineOutcome, JobRequest, Membership, Mode, Priority, Request,
+    ResultCache, Ring, RunControl, ServerHandle, ServerOptions, ShutdownHandle, Singleflight,
+    TenantQuotas, VerifierEngine,
 };
+pub use spi_server::gossip::gossip_body;
 
 use std::sync::Mutex;
 
@@ -119,6 +121,7 @@ mod tests {
         RunControl {
             deadline: None,
             cancel: Arc::new(AtomicBool::new(false)),
+            progress: None,
         }
     }
 
@@ -137,6 +140,9 @@ mod tests {
             oracles: oracles.iter().map(ToString::to_string).collect(),
             timeout_secs: None,
             no_cache: false,
+            tenant: None,
+            deadline_ms: None,
+            progress_ms: None,
             unit: None,
             reduce: spi_verify::ReduceOptions::none(),
         }

@@ -1,0 +1,206 @@
+//! Admission policy for the C10k front end: per-tenant token-bucket
+//! quotas and two priority classes.
+//!
+//! The daemon already degrades a full queue to a structured `rejected`
+//! answer; this module decides *who* gets the queue slots before depth
+//! is even considered:
+//!
+//! * **Tenants.**  Every job carries a quota-accounting id — the wire
+//!   `tenant` field, defaulting to the peer address — and each tenant
+//!   owns a token bucket refilled at `rate` tokens/second up to
+//!   `burst`.  A drained bucket answers `rejected` with a
+//!   `retry_after_ms` hint (when the next token lands), so one noisy
+//!   tenant cannot starve the rest.  Accounting rides the same
+//!   integer-milli arithmetic as the rest of the workspace — no
+//!   floats, so hints are deterministic for a given clock reading.
+//! * **Priorities.**  Interactive `verify` jobs queue ahead of batch
+//!   `campaign` / `conformance-replay` jobs, because a human is
+//!   usually behind the former and a sweep behind the latter.  Both
+//!   classes share one depth cap; priority reorders, never preempts.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::protocol::Mode;
+
+/// The queue class of a job: interactive jobs pop first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// A `verify` request — somebody is waiting at a prompt.
+    Interactive,
+    /// A `campaign` or `conformance-replay` request — part of a sweep
+    /// that cares about throughput, not latency.
+    Batch,
+}
+
+impl Priority {
+    /// The class of a job mode.
+    #[must_use]
+    pub fn of(mode: Mode) -> Priority {
+        match mode {
+            Mode::Verify => Priority::Interactive,
+            Mode::Campaign | Mode::ConformanceReplay => Priority::Batch,
+        }
+    }
+}
+
+/// Milli-tokens per token: buckets count in thousandths so refill
+/// arithmetic stays integral at millisecond granularity.
+const MILLI: u64 = 1000;
+
+/// How many tenants the quota table tracks before idle buckets are
+/// swept.  A full bucket carries no information (it admits exactly like
+/// a fresh one), so sweeping full buckets changes no decision.
+const SWEEP_AT: usize = 4096;
+
+#[derive(Debug)]
+struct Bucket {
+    tokens_milli: u64,
+    refilled: Instant,
+}
+
+/// Per-tenant token buckets.  `rate == 0` disables quotas entirely
+/// (every admit succeeds and no state is kept).
+#[derive(Debug)]
+pub struct TenantQuotas {
+    rate: u64,
+    burst: u64,
+    buckets: HashMap<String, Bucket>,
+}
+
+impl TenantQuotas {
+    /// A quota table refilling `rate` tokens/second per tenant up to a
+    /// `burst` cap (a `burst` of 0 is normalized to 1 so a configured
+    /// rate is usable at all).
+    #[must_use]
+    pub fn new(rate: u64, burst: u64) -> TenantQuotas {
+        TenantQuotas {
+            rate,
+            burst: burst.max(1),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Whether quotas are enforced at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.rate > 0
+    }
+
+    /// Takes one token from `tenant`'s bucket at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// A drained bucket returns `Err(retry_after_ms)` — the
+    /// milliseconds until the bucket holds a whole token again.
+    pub fn admit(&mut self, tenant: &str, now: Instant) -> Result<(), u64> {
+        if self.rate == 0 {
+            return Ok(());
+        }
+        if self.buckets.len() >= SWEEP_AT && !self.buckets.contains_key(tenant) {
+            let rate = self.rate;
+            let burst_milli = self.burst * MILLI;
+            self.buckets.retain(|_, b| {
+                let refill = elapsed_ms(b.refilled, now).saturating_mul(rate);
+                b.tokens_milli.saturating_add(refill) < burst_milli
+            });
+        }
+        let burst_milli = self.burst * MILLI;
+        let bucket = self
+            .buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| Bucket {
+                tokens_milli: burst_milli,
+                refilled: now,
+            });
+        let refill = elapsed_ms(bucket.refilled, now).saturating_mul(self.rate);
+        bucket.tokens_milli = bucket.tokens_milli.saturating_add(refill).min(burst_milli);
+        bucket.refilled = now;
+        if bucket.tokens_milli >= MILLI {
+            bucket.tokens_milli -= MILLI;
+            Ok(())
+        } else {
+            let deficit = MILLI - bucket.tokens_milli;
+            Err(deficit.div_ceil(self.rate).max(1))
+        }
+    }
+
+    /// How many tenants currently hold bucket state.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+fn elapsed_ms(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_millis()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn priorities_follow_the_mode() {
+        assert_eq!(Priority::of(Mode::Verify), Priority::Interactive);
+        assert_eq!(Priority::of(Mode::Campaign), Priority::Batch);
+        assert_eq!(Priority::of(Mode::ConformanceReplay), Priority::Batch);
+    }
+
+    #[test]
+    fn zero_rate_admits_everything_statelessly() {
+        let mut q = TenantQuotas::new(0, 8);
+        let now = Instant::now();
+        for _ in 0..10_000 {
+            assert!(q.admit("anyone", now).is_ok());
+        }
+        assert_eq!(q.tenants(), 0);
+    }
+
+    #[test]
+    fn burst_then_deny_with_retry_hint() {
+        let mut q = TenantQuotas::new(10, 3);
+        let now = Instant::now();
+        for _ in 0..3 {
+            assert!(q.admit("alice", now).is_ok());
+        }
+        let retry = q.admit("alice", now).unwrap_err();
+        // 10 tokens/s = one per 100 ms; an empty bucket needs the full
+        // token.
+        assert_eq!(retry, 100);
+        // Another tenant is unaffected.
+        assert!(q.admit("bob", now).is_ok());
+    }
+
+    #[test]
+    fn refill_restores_tokens_over_time() {
+        let mut q = TenantQuotas::new(10, 1);
+        let t0 = Instant::now();
+        assert!(q.admit("alice", t0).is_ok());
+        assert!(q.admit("alice", t0).is_err());
+        // 100 ms later exactly one token has landed.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(q.admit("alice", t1).is_ok());
+        assert!(q.admit("alice", t1).is_err());
+        // Refill never exceeds the burst cap.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(q.admit("alice", t2).is_ok());
+        assert!(q.admit("alice", t2).is_err());
+    }
+
+    #[test]
+    fn full_buckets_are_swept_not_leaked() {
+        let mut q = TenantQuotas::new(1000, 1);
+        let t0 = Instant::now();
+        for i in 0..SWEEP_AT {
+            assert!(q.admit(&format!("tenant-{i}"), t0).is_ok());
+        }
+        assert_eq!(q.tenants(), SWEEP_AT);
+        // Much later every old bucket is full again; a new tenant's
+        // arrival sweeps them all.
+        let t1 = t0 + Duration::from_secs(60);
+        assert!(q.admit("fresh", t1).is_ok());
+        assert_eq!(q.tenants(), 1);
+    }
+}

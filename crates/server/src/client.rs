@@ -95,6 +95,46 @@ impl Client {
         }
         Ok(response.trim_end().to_string())
     }
+
+    /// Sends one request line and reads until the *final* response
+    /// line, handing every `{"status":"progress",…}` heartbeat to
+    /// `on_progress` along the way.
+    ///
+    /// The socket read timeout (see [`Client::read_timeout`]) applies
+    /// per line, so a server streaming heartbeats keeps a short
+    /// timeout alive for as long as it keeps making progress — the
+    /// point of heartbeats: *working* and *dead* become
+    /// distinguishable without an hours-long timeout.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O trouble or a server that closed the connection.
+    pub fn roundtrip_streaming(
+        &mut self,
+        line: &str,
+        mut on_progress: impl FnMut(&str),
+    ) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
+        loop {
+            let mut response = String::new();
+            let n = self
+                .reader
+                .read_line(&mut response)
+                .map_err(|e| format!("cannot read response: {e}"))?;
+            if n == 0 {
+                return Err("the server closed the connection".into());
+            }
+            let response = response.trim_end().to_string();
+            // The server's own renderer puts `status` first, so the
+            // prefix check is exact — no need to parse megabyte-sized
+            // final bodies just to classify them.
+            if response.starts_with("{\"status\":\"progress\"") {
+                on_progress(&response);
+                continue;
+            }
+            return Ok(response);
+        }
+    }
 }
 
 /// One-shot convenience: connect, send a line, read the response.

@@ -124,7 +124,13 @@ struct Coord {
     retried: AtomicU64,
     hedges: AtomicU64,
     hedge_wins: AtomicU64,
+    /// Hedges *not* fired because the primary proved alive through a
+    /// progress heartbeat while the hedge timer ran.
+    hedges_deferred: AtomicU64,
     redispatched: AtomicU64,
+    /// Cache entries pushed to new ring owners when workers announced
+    /// a drain (`leave`).
+    handoff_entries: AtomicU64,
     dispatch_latency: Histogram,
     /// At most one in-flight dispatch per digest: the coordinator holds
     /// no result cache, so without this two cold clients racing on the
@@ -254,7 +260,9 @@ pub fn coordinate(
         retried: AtomicU64::new(0),
         hedges: AtomicU64::new(0),
         hedge_wins: AtomicU64::new(0),
+        hedges_deferred: AtomicU64::new(0),
         redispatched: AtomicU64::new(0),
+        handoff_entries: AtomicU64::new(0),
         dispatch_latency: Histogram::default(),
         flight: Singleflight::new(),
         replies: Mutex::new(VecDeque::new()),
@@ -335,9 +343,78 @@ fn handle_line(coord: &Arc<Coord>, line: &str) -> String {
             "the coordinator holds no result cache; gossip with a worker",
         )
         .render_compact(),
+        Ok(Request::GossipPush { .. }) => error_response(
+            "gossip-push",
+            "the coordinator holds no result cache; push to a worker",
+        )
+        .render_compact(),
         Ok(Request::Join { addr }) => handle_join(coord, &addr).render_compact(),
+        Ok(Request::Leave { addr, cache }) => handle_leave(coord, &addr, cache.as_ref()).render_compact(),
         Ok(Request::Job(job)) => handle_job(coord, &job),
     }
+}
+
+/// A worker announcing its drain, optionally handing over its cache
+/// shard.  The coordinator removes it from the ring *now* (no waiting
+/// for the failure detector) and pushes each handed-over entry to the
+/// worker that now owns its digest — so a drain-then-kill loses no
+/// warm cache entry and the first post-drain request is still a hit.
+fn handle_leave(coord: &Arc<Coord>, addr: &str, cache: Option<&Json>) -> Json {
+    coord.members.mark_dead(addr);
+    let mut handed_off = 0usize;
+    let mut targets = 0usize;
+    if let Some(body) = cache {
+        match crate::gossip::parse_gossip(body) {
+            Err(e) => return error_response("leave", &format!("refusing the handoff: {e}")),
+            Ok(entries) if entries.is_empty() => {}
+            Ok(entries) => {
+                let idx = coord.requests.load(Ordering::SeqCst);
+                let survivors: Vec<String> = reachable_workers(coord, idx)
+                    .into_iter()
+                    .filter(|a| a != addr)
+                    .collect();
+                if !survivors.is_empty() {
+                    // Route each entry to the worker its digest now
+                    // lands on, grouping so each new owner gets one
+                    // digest-guarded push.
+                    let ring = Ring::new(survivors);
+                    let mut per_owner: Vec<(String, crate::snapshot::Entries)> = Vec::new();
+                    for entry in entries {
+                        let Some(owner) = ring.candidates(&entry.0).next() else {
+                            continue;
+                        };
+                        match per_owner.iter_mut().find(|(a, _)| a == owner) {
+                            Some((_, batch)) => batch.push(entry),
+                            None => per_owner.push((owner.to_string(), vec![entry])),
+                        }
+                    }
+                    let connect = Duration::from_millis(coord.opts.connect_timeout_ms);
+                    let read = Duration::from_millis(coord.opts.read_timeout_ms);
+                    for (owner, batch) in per_owner {
+                        match crate::gossip::push_to(&owner, &batch, connect, read) {
+                            Ok(_) => {
+                                handed_off += batch.len();
+                                targets += 1;
+                            }
+                            Err(_) => coord.members.mark_dead(&owner),
+                        }
+                    }
+                    coord
+                        .handoff_entries
+                        .fetch_add(u64::try_from(handed_off).unwrap_or(0), Ordering::SeqCst);
+                }
+            }
+        }
+    }
+    ok_response(
+        "leave",
+        None,
+        false,
+        Json::Obj(vec![
+            ("handed_off".to_string(), Json::count(handed_off)),
+            ("targets".to_string(), Json::count(targets)),
+        ]),
+    )
 }
 
 fn handle_join(coord: &Arc<Coord>, addr: &str) -> Json {
@@ -390,7 +467,9 @@ fn stats_response(coord: &Arc<Coord>) -> Json {
         ("retried".to_string(), load(&coord.retried)),
         ("hedges".to_string(), load(&coord.hedges)),
         ("hedge_wins".to_string(), load(&coord.hedge_wins)),
+        ("hedges_deferred".to_string(), load(&coord.hedges_deferred)),
         ("redispatched".to_string(), load(&coord.redispatched)),
+        ("handoff_entries".to_string(), load(&coord.handoff_entries)),
         ("flight_collapsed".to_string(), load(&coord.flight_collapsed)),
         ("dispatch_latency".to_string(), coord.dispatch_latency.to_json()),
         (
@@ -550,7 +629,17 @@ fn recall_reply(coord: &Arc<Coord>, digest: &str) -> Option<String> {
 /// an error when no worker could be made to answer — the caller then
 /// degrades to local execution.
 fn try_route(coord: &Arc<Coord>, idx: u64, job: &JobRequest, digest: &str) -> Result<String, String> {
-    let line = job.wire_json().render_compact();
+    // Ask the worker for progress heartbeats while it runs, so a busy
+    // worker is distinguishable from a dead one: heartbeats defer the
+    // hedge (and keep the read timeout alive).  `progress_ms` is
+    // execution-only — it never enters the digest, so the worker's
+    // cache bytes are untouched.  Heartbeats are consumed here, not
+    // relayed: the coordinator's own clients see one final line.
+    let mut dispatch = job.clone();
+    if dispatch.progress_ms.is_none() {
+        dispatch.progress_ms = Some((coord.opts.hedge_after_ms / 2).clamp(50, 1000));
+    }
+    let line = dispatch.wire_json().render_compact();
     let mut backoff = Duration::from_millis(10);
     for round in 0..=coord.opts.retry_rounds {
         let alive = reachable_workers(coord, idx);
@@ -586,29 +675,41 @@ fn try_route(coord: &Arc<Coord>, idx: u64, job: &JobRequest, digest: &str) -> Re
     Err("every candidate failed or rejected".into())
 }
 
-fn spawn_dispatch(
-    coord: &Arc<Coord>,
-    addr: String,
-    line: String,
-    tx: mpsc::Sender<(String, Result<String, String>)>,
-) {
+/// What a dispatch leg reports back: liveness, then the answer.
+enum DispatchMsg {
+    /// The worker streamed a progress heartbeat — it is alive and
+    /// working, whatever the wall clock says.
+    Progress(String),
+    /// The leg finished (reply or transport failure).
+    Final(String, Result<String, String>),
+}
+
+fn spawn_dispatch(coord: &Arc<Coord>, addr: String, line: String, tx: mpsc::Sender<DispatchMsg>) {
     let connect = Duration::from_millis(coord.opts.connect_timeout_ms);
     let read = Duration::from_millis(coord.opts.read_timeout_ms);
     std::thread::spawn(move || {
+        let progress_tx = tx.clone();
+        let progress_addr = addr.clone();
         let result = Client::connect_with(&addr, Some(connect)).and_then(|mut c| {
             c.read_timeout(Some(read))?;
-            c.roundtrip(&line)
+            c.roundtrip_streaming(&line, move |_| {
+                let _ = progress_tx.send(DispatchMsg::Progress(progress_addr.clone()));
+            })
         });
         // The receiver may be gone (the other leg already answered).
-        let _ = tx.send((addr, result));
+        let _ = tx.send(DispatchMsg::Final(addr, result));
     });
 }
 
 /// One dispatch with a hedged backup: if the primary has not answered
-/// by `max(hedge floor, observed p99)`, a second identical request
-/// goes to `backup` and the first answer wins.  Duplicated work is
-/// harmless — requests are content-addressed, so the slower leg lands
-/// on a cache entry or collapses in the worker's singleflight.
+/// *or heartbeated* by `max(hedge floor, observed p99)`, a second
+/// identical request goes to `backup` and the first answer wins.
+/// Duplicated work is harmless — requests are content-addressed, so
+/// the slower leg lands on a cache entry or collapses in the worker's
+/// singleflight.  A primary that streams progress heartbeats resets
+/// the hedge timer each time: a long campaign on a healthy worker is
+/// *slow*, not *stuck*, and double-firing it would waste half the
+/// fleet's capacity on duplicates.
 fn dispatch_hedged(
     coord: &Arc<Coord>,
     primary: &str,
@@ -626,7 +727,18 @@ fn dispatch_hedged(
     let mut wait = hedge_after;
     loop {
         match rx.recv_timeout(wait) {
-            Ok((addr, Ok(reply))) => {
+            Ok(DispatchMsg::Progress(addr)) => {
+                coord.members.heartbeat(&addr);
+                if !hedged && addr == primary {
+                    // Alive and working: push the hedge out by a full
+                    // window rather than double-firing on it.
+                    coord.hedges_deferred.fetch_add(1, Ordering::SeqCst);
+                    wait = hedge_after;
+                }
+                // A heartbeat from a hedged leg just restarts the
+                // (long) read wait, which recv_timeout does anyway.
+            }
+            Ok(DispatchMsg::Final(addr, Ok(reply))) => {
                 let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 coord.dispatch_latency.record_us(us);
                 if hedged && addr != primary {
@@ -634,7 +746,7 @@ fn dispatch_hedged(
                 }
                 return Ok(reply);
             }
-            Ok((addr, Err(e))) => {
+            Ok(DispatchMsg::Final(addr, Err(e))) => {
                 coord.members.mark_dead(&addr);
                 outstanding -= 1;
                 if outstanding == 0 {
@@ -672,6 +784,7 @@ fn run_local(coord: &Arc<Coord>, job: &JobRequest, digest: &str) -> String {
             .timeout_secs
             .map(|s| Instant::now() + Duration::from_secs(s)),
         cancel: Arc::clone(&coord.cancel),
+        progress: None,
     };
     match coord.engine.run(job, &ctl).body {
         Ok(body) => {
@@ -775,6 +888,7 @@ fn run_unit(
                     .timeout_secs
                     .map(|s| Instant::now() + Duration::from_secs(s)),
                 cancel: Arc::clone(&coord.cancel),
+                progress: None,
             };
             coord.engine.run(&sub, &ctl).body
         }

@@ -97,6 +97,40 @@ pub fn pull_from(
     parse_gossip(body)
 }
 
+/// Pushes cache entries *to* a peer (`{"op":"gossip-push"}`) — the
+/// proactive half of gossip, used by the coordinator to hand a
+/// draining worker's shard to its new ring owners before the process
+/// dies.  The receiver digest-verifies the payload exactly as a pull.
+///
+/// # Errors
+///
+/// Fails when the peer is unreachable or refuses the payload.
+pub fn push_to(
+    addr: &str,
+    entries: &[(String, String, String)],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<usize, String> {
+    let mut client = Client::connect_with(addr, Some(connect_timeout))?;
+    client.read_timeout(Some(read_timeout))?;
+    let line = Json::Obj(vec![
+        ("op".into(), Json::str("gossip-push")),
+        ("cache".into(), gossip_body(entries)),
+    ])
+    .render_compact();
+    let reply = client.roundtrip(&line)?;
+    let json = Json::parse(&reply).map_err(|e| format!("malformed gossip-push reply: {e}"))?;
+    if json.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("gossip push refused: {reply}"));
+    }
+    let merged = json
+        .get("body")
+        .and_then(|b| b.get("merged"))
+        .and_then(Json::as_int)
+        .unwrap_or(0);
+    Ok(usize::try_from(merged).unwrap_or(0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

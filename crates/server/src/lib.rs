@@ -40,10 +40,22 @@
 //! quorum loss.  Workers warm their cache shard from peers via
 //! identity-digest-guarded [`gossip`], and a seeded [`chaos`] plan
 //! drills the whole arrangement deterministically.
+//!
+//! The front end is a C10k-grade epoll **readiness loop**
+//! ([`reactor`]): every connection is non-blocking and owned by one
+//! reactor thread, so idle connections cost no threads, slow senders
+//! are reaped at a read deadline, slow readers hit a bounded write
+//! buffer, and long campaigns can stream `{"status":"progress",…}`
+//! heartbeats.  [`admission`] layers per-tenant token-bucket quotas
+//! and a two-class priority queue in front of the worker pool.
+//!
+//! The crate is `unsafe`-free except for [`reactor`]'s thin epoll FFI
+//! shim, which is the only module allowed to opt out.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod chaos;
 pub mod client;
@@ -53,21 +65,24 @@ pub mod flight;
 pub mod gossip;
 pub mod membership;
 pub mod protocol;
+pub mod reactor;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
 
+pub use admission::{Priority, TenantQuotas};
 pub use cache::ResultCache;
 pub use chaos::{ChaosEvent, ChaosPlan};
 pub use client::{oneshot, Client};
 pub use coordinator::{coordinate, CoordinatorHandle, CoordinatorOptions, CoordinatorShutdown};
-pub use gossip::pull_from;
+pub use gossip::{pull_from, push_to};
 pub use flight::Singleflight;
 pub use membership::Membership;
 pub use protocol::{
-    campaign_body, error_response, ok_response, parse_request, parse_source, rejected_response,
-    verify_body, JobRequest, Mode, Request,
+    campaign_body, error_response, ok_response, parse_request, parse_source, progress_response,
+    rejected_response, shed_response, verify_body, JobRequest, Mode, Request,
 };
+pub use reactor::Poller;
 pub use service::{
     serve, CacheHandle, Engine, EngineOutcome, RunControl, ServerHandle, ServerOptions,
     ShutdownHandle, VerifierEngine,

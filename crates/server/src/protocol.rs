@@ -17,9 +17,17 @@
 //! (comma-separated clauses), `intruder`, `faults_depth`, `oracles`,
 //! `timeout_secs`, and `no_cache`.  Campaign jobs may carry a
 //! `"unit":{"offset":N,"count":M}` work-unit restriction (how a fleet
-//! coordinator shards one campaign).  Control ops are `ping`, `stats`,
-//! `shutdown`, `join` (worker registration/heartbeat), and `gossip`
-//! (cache-warming pull).
+//! coordinator shards one campaign), plus three execution-only knobs
+//! that never enter the content digest: `tenant` (the quota-accounting
+//! id, defaulting to the peer address), `deadline_ms` (a relative
+//! wall-clock deadline folded into the server-side cut-off), and
+//! `progress_ms` (ask for `{"status":"progress",…}` heartbeat lines at
+//! that interval while the job runs; the final reply is always the
+//! first non-progress line).  Control ops are `ping`, `stats`,
+//! `shutdown`, `join` (worker registration/heartbeat), `leave` (a
+//! worker announcing drain, optionally handing off its cache), `gossip`
+//! (cache-warming pull), and `gossip-push` (digest-guarded cache
+//! handoff from a coordinator).
 //!
 //! The verify/campaign **body encoders** here are the single source of
 //! the JSON result shapes: the daemon, the cache snapshot, and the
@@ -76,6 +84,24 @@ pub enum Request {
     /// response body reuses the identity-digest-guarded snapshot codec,
     /// so a forged or torn transfer is refused by the receiver.
     Gossip,
+    /// A worker announcing a graceful drain to its coordinator, so the
+    /// ring can reassign its shard *before* the process dies.  The
+    /// optional `cache` carries the worker's entries in the gossip
+    /// encoding for proactive handoff to the next ring candidates.
+    Leave {
+        /// The advertised address the worker joined under.
+        addr: String,
+        /// The departing worker's cache in the gossip encoding
+        /// (identity-digest-guarded), if it chose to hand entries off.
+        cache: Option<Json>,
+    },
+    /// A digest-guarded cache handoff: "absorb these entries".  The
+    /// receiver verifies the gossip identity digest before merging, so
+    /// a forged or torn push merges nothing.
+    GossipPush {
+        /// The pushed entries in the gossip encoding.
+        cache: Json,
+    },
     /// A verification job.
     Job(Box<JobRequest>),
 }
@@ -114,6 +140,19 @@ pub struct JobRequest {
     pub timeout_secs: Option<u64>,
     /// Bypass the result cache (both lookup and fill).
     pub no_cache: bool,
+    /// The quota-accounting tenant id.  Execution-only: it decides
+    /// *whether* the server admits the job, never what the answer is,
+    /// so it stays out of the content digest.  Defaults server-side to
+    /// the peer address when absent.
+    pub tenant: Option<String>,
+    /// Relative wall-clock deadline in milliseconds, folded into the
+    /// server-side cut-off as `min(timeout_secs, deadline_ms)`.
+    /// Execution-only, like `timeout_secs`.
+    pub deadline_ms: Option<u64>,
+    /// Heartbeat interval in milliseconds: while the job runs, the
+    /// server emits `{"status":"progress",…}` lines at this cadence.
+    /// `None` (or 0) streams nothing.  Execution-only.
+    pub progress_ms: Option<u64>,
     /// Campaign work unit: decide only the schedules at enumeration
     /// indices `[offset, offset + count)`.  This is how a fleet
     /// coordinator shards one campaign across workers; units are part
@@ -147,7 +186,8 @@ impl JobRequest {
     /// specs parsed and re-printed (so formatting differences vanish),
     /// the budget in its canonical spelling, the fault schedule in its
     /// canonical key.  Execution-only knobs (`timeout_secs`,
-    /// `no_cache`) are excluded — they change *when* an answer arrives,
+    /// `no_cache`, `tenant`, `deadline_ms`, `progress_ms`) are
+    /// excluded — they change *when* (and whether) an answer arrives,
     /// never *what* it is.
     ///
     /// # Errors
@@ -259,6 +299,21 @@ impl JobRequest {
         if self.no_cache {
             fields.push(("no_cache".into(), Json::Bool(true)));
         }
+        if let Some(tenant) = &self.tenant {
+            fields.push(("tenant".into(), Json::str(tenant.clone())));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push((
+                "deadline_ms".into(),
+                Json::Int(i64::try_from(ms).unwrap_or(i64::MAX)),
+            ));
+        }
+        if let Some(ms) = self.progress_ms {
+            fields.push((
+                "progress_ms".into(),
+                Json::Int(i64::try_from(ms).unwrap_or(i64::MAX)),
+            ));
+        }
         if let Some((offset, count)) = self.unit {
             fields.push((
                 "unit".into(),
@@ -357,12 +412,29 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 addr: addr.to_string(),
             });
         }
+        "leave" => {
+            let addr = v
+                .get("addr")
+                .and_then(Json::as_str)
+                .ok_or("\"leave\" needs a string \"addr\" field")?;
+            return Ok(Request::Leave {
+                addr: addr.to_string(),
+                cache: v.get("cache").cloned(),
+            });
+        }
+        "gossip-push" => {
+            let cache = v
+                .get("cache")
+                .cloned()
+                .ok_or("\"gossip-push\" needs a \"cache\" object")?;
+            return Ok(Request::GossipPush { cache });
+        }
         "verify" => Mode::Verify,
         "campaign" => Mode::Campaign,
         "conformance-replay" => Mode::ConformanceReplay,
         other => {
             return Err(format!(
-                "unknown op {other:?} (expected verify|campaign|conformance-replay|ping|stats|join|gossip|shutdown)"
+                "unknown op {other:?} (expected verify|campaign|conformance-replay|ping|stats|join|leave|gossip|gossip-push|shutdown)"
             ))
         }
     };
@@ -396,12 +468,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or("\"faults\" expects a clause-list string")?,
         )?,
     };
-    let timeout_secs = match v.get("timeout_secs") {
+    let get_ms = |key: &'static str| -> Result<Option<u64>, String> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(j) => j
+                .as_int()
+                .and_then(|n| u64::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| format!("{key:?} expects a non-negative integer")),
+        }
+    };
+    let timeout_secs = get_ms("timeout_secs")?;
+    let deadline_ms = get_ms("deadline_ms")?;
+    let progress_ms = get_ms("progress_ms")?;
+    let tenant = match v.get("tenant") {
         None => None,
         Some(j) => Some(
-            j.as_int()
-                .and_then(|n| u64::try_from(n).ok())
-                .ok_or("\"timeout_secs\" expects a non-negative integer")?,
+            j.as_str()
+                .map(str::to_owned)
+                .ok_or("\"tenant\" expects a string")?,
         ),
     };
     let reduce = match v.get("reduce") {
@@ -442,6 +527,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         reduce,
         timeout_secs,
         no_cache: get_bool(&v, "no_cache", false)?,
+        tenant,
+        deadline_ms,
+        progress_ms,
         unit,
     })))
 }
@@ -482,6 +570,51 @@ pub fn rejected_response(op: &str, reason: &str) -> Json {
         ("op".into(), Json::str(op)),
         ("reason".into(), Json::str(reason)),
     ])
+}
+
+/// A rejection with a `Retry-After`-style hint: how long (in
+/// milliseconds) the client should back off before retrying.  The shape
+/// is [`rejected_response`] plus a `retry_after_ms` field, so existing
+/// clients that only look at `status`/`reason` keep working.
+#[must_use]
+pub fn shed_response(op: &str, reason: &str, retry_after_ms: u64) -> Json {
+    Json::Obj(vec![
+        ("status".into(), Json::str("rejected")),
+        ("op".into(), Json::str(op)),
+        ("reason".into(), Json::str(reason)),
+        (
+            "retry_after_ms".into(),
+            Json::Int(i64::try_from(retry_after_ms).unwrap_or(i64::MAX)),
+        ),
+    ])
+}
+
+/// A streaming heartbeat emitted while a job runs (requested via
+/// `progress_ms`).  Clients must keep reading: the final reply is the
+/// first line whose `status` is not `"progress"`.
+#[must_use]
+pub fn progress_response(
+    op: &str,
+    spec_digest: Option<&str>,
+    states_explored: u64,
+    schedules_classified: u64,
+) -> Json {
+    let mut fields = vec![
+        ("status".to_string(), Json::str("progress")),
+        ("op".to_string(), Json::str(op)),
+    ];
+    if let Some(d) = spec_digest {
+        fields.push(("spec_digest".into(), Json::str(d)));
+    }
+    fields.push((
+        "states_explored".into(),
+        Json::Int(i64::try_from(states_explored).unwrap_or(i64::MAX)),
+    ));
+    fields.push((
+        "schedules_classified".into(),
+        Json::Int(i64::try_from(schedules_classified).unwrap_or(i64::MAX)),
+    ));
+    Json::Obj(fields)
 }
 
 fn coverage_json(c: &CoverageStats) -> Json {
@@ -652,6 +785,12 @@ mod tests {
             r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1,"timeout_secs":5,"no_cache":true}"#,
         );
         assert_eq!(a.digest().unwrap(), c.digest().unwrap());
+        // ...and neither do the admission/streaming knobs: a tenant id,
+        // a deadline, or a heartbeat request must hit the same cache key.
+        let h = job(
+            r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":1,"tenant":"alice","deadline_ms":2500,"progress_ms":100}"#,
+        );
+        assert_eq!(a.digest().unwrap(), h.digest().unwrap());
         // ...but every semantic knob does.
         let d = job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":2"));
         assert_ne!(a.digest().unwrap(), d.digest().unwrap());
@@ -709,7 +848,7 @@ mod tests {
     fn wire_json_round_trips_to_the_same_digest() {
         for line in [
             VERIFY_LINE,
-            r#"{"op":"campaign","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","faults_depth":1,"unit":{"offset":1,"count":3},"budget":"states=50","faults":"drop:c:1,replay:c:2","intruder":false,"timeout_secs":9,"no_cache":true}"#,
+            r#"{"op":"campaign","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","faults_depth":1,"unit":{"offset":1,"count":3},"budget":"states=50","faults":"drop:c:1,replay:c:2","intruder":false,"timeout_secs":9,"no_cache":true,"tenant":"batch-7","deadline_ms":60000,"progress_ms":200}"#,
             r#"{"op":"verify","concrete":"(^m)c<m>|c(x).observe<x>","abstract":"(^m)c<m>|c(x).observe<x>","sessions":2,"reduce":"full"}"#,
         ] {
             let original = job(line);
@@ -720,7 +859,58 @@ mod tests {
             assert_eq!(original.unit, back.unit);
             assert_eq!(original.timeout_secs, back.timeout_secs);
             assert_eq!(original.no_cache, back.no_cache);
+            assert_eq!(original.tenant, back.tenant);
+            assert_eq!(original.deadline_ms, back.deadline_ms);
+            assert_eq!(original.progress_ms, back.progress_ms);
         }
+    }
+
+    #[test]
+    fn leave_and_gossip_push_parse() {
+        match parse_request(r#"{"op":"leave","addr":"127.0.0.1:7777"}"#).unwrap() {
+            Request::Leave { addr, cache } => {
+                assert_eq!(addr, "127.0.0.1:7777");
+                assert!(cache.is_none());
+            }
+            other => panic!("expected leave, got {other:?}"),
+        }
+        match parse_request(
+            r#"{"op":"leave","addr":"127.0.0.1:7777","cache":{"version":1,"identity":"fnv:x","entries":[]}}"#,
+        )
+        .unwrap()
+        {
+            Request::Leave { cache, .. } => assert!(cache.is_some()),
+            other => panic!("expected leave, got {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"leave"}"#).is_err(), "addr required");
+        match parse_request(
+            r#"{"op":"gossip-push","cache":{"version":1,"identity":"fnv:x","entries":[]}}"#,
+        )
+        .unwrap()
+        {
+            Request::GossipPush { cache } => assert!(cache.get("entries").is_some()),
+            other => panic!("expected gossip-push, got {other:?}"),
+        }
+        assert!(
+            parse_request(r#"{"op":"gossip-push"}"#).is_err(),
+            "cache required"
+        );
+    }
+
+    #[test]
+    fn streaming_and_shed_envelopes() {
+        let p = progress_response("campaign", Some("fnv:0123"), 42, 7).render_compact();
+        let back = Json::parse(&p).unwrap();
+        assert_eq!(back.get("status").and_then(Json::as_str), Some("progress"));
+        assert_eq!(back.get("states_explored").and_then(Json::as_int), Some(42));
+        assert_eq!(
+            back.get("schedules_classified").and_then(Json::as_int),
+            Some(7)
+        );
+        let s = shed_response("verify", "queue full (8 pending)", 250).render_compact();
+        let back = Json::parse(&s).unwrap();
+        assert_eq!(back.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(back.get("retry_after_ms").and_then(Json::as_int), Some(250));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! A thin, std-only wrapper over Linux `epoll` — the readiness core of
+//! the C10k front end.
+//!
+//! The workspace bakes in no external crates, so the four syscalls the
+//! reactor needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `eventfd`) are declared directly against the C library the binary
+//! already links.  Everything else — non-blocking accept, reads, and
+//! writes — goes through the safe [`std::net`] API
+//! (`set_nonblocking` + `ErrorKind::WouldBlock`), so the unsafe
+//! surface is exactly these declarations and the buffer handed to
+//! `epoll_wait`.
+//!
+//! Design points:
+//!
+//! * **One token per registration.**  Callers attach a `u64` token to
+//!   each file descriptor; [`Poller::wait`] hands back `(token,
+//!   readable, writable, hangup)` triples.  The reactor uses the token
+//!   as a connection id, so a stale event after a close can be
+//!   recognized and dropped.
+//! * **Edge cases stay level-triggered.**  Registrations are
+//!   level-triggered (the epoll default): a connection with unread
+//!   bytes or unflushed output keeps firing until drained, which makes
+//!   the event loop obviously restartable after any partial read or
+//!   write.
+//! * **A self-wake eventfd.**  Worker threads finish jobs off-loop and
+//!   must nudge the reactor to deliver the replies; [`Poller::wake`]
+//!   writes one count to an `eventfd` registered under
+//!   [`WAKE_TOKEN`], and the loop drains it on wakeup.  Wakes coalesce
+//!   (the counter accumulates), so a burst of completions costs one
+//!   loop iteration.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_void};
+
+/// The token [`Poller::wait`] reports when the self-wake eventfd fired.
+/// Callers must not register their own descriptors under it.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+// The subset of <sys/epoll.h> and <sys/eventfd.h> the reactor uses.
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `struct epoll_event`; packed on x86-64 (the kernel ABI), naturally
+/// aligned elsewhere — the same layout rule every C toolchain applies.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// The descriptor is readable (or a peer half-closed: `EPOLLRDHUP`
+    /// folds in here so a read observes the EOF).
+    pub readable: bool,
+    /// The descriptor accepts writes.
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored — the connection is
+    /// done regardless of buffered plans.
+    pub hangup: bool,
+}
+
+/// An epoll instance plus a self-wake eventfd.
+///
+/// `Sync` by construction: `wake` is the only method other threads
+/// call, and a `write(2)` to an eventfd is atomic.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    wakefd: RawFd,
+}
+
+// The poller is shared so worker threads can `wake` it; both fds are
+// plain kernel handles and every syscall here is thread-safe.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates the epoll instance and registers the wake eventfd under
+    /// [`WAKE_TOKEN`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1`/`eventfd` failures (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wakefd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if wakefd < 0 {
+            let e = io::Error::last_os_error();
+            unsafe { close(epfd) };
+            return Err(e);
+        }
+        let poller = Poller { epfd, wakefd };
+        poller.register(wakefd, WAKE_TOKEN, true, false)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        let mut events = EPOLLRDHUP;
+        if readable {
+            events |= EPOLLIN;
+        }
+        if writable {
+            events |= EPOLLOUT;
+        }
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &raw mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers a descriptor under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (bad fd, duplicate add).
+    pub fn register(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, readable, writable)
+    }
+
+    /// Updates the interest set of a registered descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures.
+    pub fn rearm(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
+    }
+
+    /// Removes a descriptor.  Safe to call on an already-closed fd (the
+    /// error is swallowed — the kernel dropped the registration with
+    /// the descriptor anyway).
+    pub fn deregister(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, false, false);
+    }
+
+    /// Waits for readiness, up to `timeout_ms` (`None` blocks
+    /// indefinitely).  Returns the fired events; an elapsed timeout
+    /// returns an empty vector.  The wake eventfd is drained here, so
+    /// a [`WAKE_TOKEN`] event means "check your message queues" with
+    /// no further reading required.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failures other than `EINTR` (which
+    /// retries).
+    pub fn wait(&self, timeout_ms: Option<u64>, out: &mut Vec<Event>) -> io::Result<()> {
+        out.clear();
+        let timeout = timeout_ms.map_or(-1, |ms| c_int::try_from(ms).unwrap_or(c_int::MAX));
+        let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+        let n = loop {
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    c_int::try_from(buf.len()).unwrap_or(c_int::MAX),
+                    timeout,
+                )
+            };
+            if rc >= 0 {
+                break usize::try_from(rc).unwrap_or(0);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &buf[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let events = { ev.events };
+            let token = { ev.data };
+            if token == WAKE_TOKEN {
+                self.drain_wake();
+                out.push(Event {
+                    token,
+                    readable: false,
+                    writable: false,
+                    hangup: false,
+                });
+                continue;
+            }
+            out.push(Event {
+                token,
+                readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                writable: events & EPOLLOUT != 0,
+                hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Nudges a blocked [`Poller::wait`] from any thread.  Wakes
+    /// coalesce; calling this redundantly is cheap and harmless.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        let _ = unsafe { write(self.wakefd, (&raw const one).cast::<c_void>(), 8) };
+    }
+
+    fn drain_wake(&self) {
+        let mut counter: u64 = 0;
+        // Nonblocking: one read resets the counter; EAGAIN means a
+        // racing drain already did.
+        let _ = unsafe { read(self.wakefd, (&raw mut counter).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.wakefd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_fires_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        poller.wake();
+        poller.wake();
+        poller.wake();
+        let mut events = Vec::new();
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, WAKE_TOKEN);
+        // Drained: the next wait times out empty.
+        poller.wait(Some(0), &mut events).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn timeout_returns_empty() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        poller.wait(Some(10), &mut events).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_is_reported_by_token() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 7, true, false)
+            .unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(Some(50), &mut events).unwrap();
+        assert!(events.is_empty(), "no bytes yet");
+
+        client.write_all(b"hello\n").unwrap();
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread bytes keep the event firing.
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events.len(), 1, "level-triggered re-report");
+
+        let mut buf = [0u8; 16];
+        let n = (&server_side).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello\n");
+        poller.wait(Some(20), &mut events).unwrap();
+        assert!(events.is_empty(), "drained");
+
+        // Peer close surfaces as readable (EOF) and/or hangup.
+        drop(client);
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable || events[0].hangup);
+        poller.deregister(server_side.as_raw_fd());
+    }
+
+    #[test]
+    fn rearm_switches_interest_to_writes() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 3, true, false)
+            .unwrap();
+        poller
+            .rearm(server_side.as_raw_fd(), 3, false, true)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable, "an idle socket is writable");
+    }
+}

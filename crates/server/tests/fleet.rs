@@ -337,6 +337,68 @@ fn gossip_between_disjoint_caches_converges_to_the_union() {
 }
 
 #[test]
+fn drain_handoff_keeps_warm_entries_after_the_worker_dies() {
+    let (coordinator, mut workers) = start_fleet(2, |_| {});
+    let addr = coordinator.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Warm the fleet: the answer lands in exactly one worker's shard.
+    let line = verify_line(P2, 1);
+    let first = parsed(&client.roundtrip(&line).unwrap());
+    assert_eq!(field(&first, "status").as_str(), Some("ok"));
+    assert_eq!(field(&first, "cached").as_bool(), Some(false));
+
+    // The owner drains: it announces `leave` carrying its cache shard
+    // (exactly what `spi serve --join` does on drain), then dies.
+    let owner_idx = workers
+        .iter()
+        .position(|w| !w.cache_entries().is_empty())
+        .expect("one worker owns the warm entry");
+    let owner = workers.remove(owner_idx);
+    let leave = Json::Obj(vec![
+        ("op".to_string(), Json::str("leave")),
+        ("addr".to_string(), Json::str(owner.addr().to_string())),
+        (
+            "cache".to_string(),
+            spi_server::gossip::gossip_body(&owner.cache_entries()),
+        ),
+    ])
+    .render_compact();
+    let resp = parsed(&client.roundtrip(&leave).unwrap());
+    assert_eq!(field(&resp, "status").as_str(), Some("ok"), "{resp:?}");
+    let body = field(&resp, "body");
+    assert!(
+        field(body, "handed_off").as_int().unwrap() >= 1,
+        "the shard moved: {body:?}"
+    );
+    owner.join(); // drain-then-kill
+
+    // The repeat must still be a cache hit — the surviving worker now
+    // owns the digest AND holds the pushed entry, so nothing re-runs.
+    let survivor = &workers[0];
+    let before = survivor.executions();
+    let again = parsed(&client.roundtrip(&line).unwrap());
+    assert_eq!(field(&again, "status").as_str(), Some("ok"), "{again:?}");
+    assert_eq!(
+        field(&again, "cached").as_bool(),
+        Some(true),
+        "drain-then-kill lost the warm entry: {again:?}"
+    );
+    assert_eq!(field(&again, "body"), field(&first, "body"));
+    assert_eq!(survivor.executions(), before, "no re-exploration");
+
+    let stats = parsed(&client.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let body = field(&stats, "body");
+    assert!(field(body, "handoff_entries").as_int().unwrap() >= 1);
+    assert_eq!(field(body, "workers_alive").as_int(), Some(1));
+
+    coordinator.join();
+    for w in workers {
+        w.join();
+    }
+}
+
+#[test]
 fn join_on_a_plain_worker_is_a_clean_error() {
     let worker = start_worker();
     let mut client = Client::connect(&worker.addr().to_string()).unwrap();

@@ -44,7 +44,8 @@
 
 use std::collections::HashMap;
 use std::path::{Path as FsPath, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use spi_semantics::{FaultClause, FaultKind, FaultSpec};
@@ -92,6 +93,11 @@ pub struct CampaignOptions {
     /// coordinator can concatenate unit reports back into the
     /// byte-identical single-process report.  `None` decides everything.
     pub schedule_range: Option<(usize, usize)>,
+    /// A shared progress counter bumped once per freshly decided
+    /// schedule (relaxed ordering).  Services stream it as a liveness
+    /// heartbeat; it is excluded from the campaign identity digest, so
+    /// it never affects checkpoints or results.  `None` costs nothing.
+    pub progress: Option<Arc<AtomicU64>>,
 }
 
 impl CampaignOptions {
@@ -114,6 +120,7 @@ impl CampaignOptions {
             resume: false,
             stop_after: None,
             schedule_range: None,
+            progress: None,
         }
     }
 }
@@ -278,6 +285,9 @@ pub fn run_campaign(
             outcome,
         });
         fresh += 1;
+        if let Some(p) = &opts.progress {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(path) = &opts.checkpoint_path {
             if opts.checkpoint_every > 0 && fresh.is_multiple_of(opts.checkpoint_every) {
                 write_checkpoint(path, &identity, &results)?;

@@ -2,7 +2,7 @@
 //! resource governor, and an optional faulty network.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -189,6 +189,11 @@ pub struct ExploreOptions {
     /// report).  Campaign drivers use one flag across many explorations
     /// to cancel a whole sweep at once.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// A shared progress counter the explorer bumps once per consumed
+    /// (fully expanded) state, with relaxed ordering.  Long-running
+    /// services stream it as a liveness heartbeat while a job runs;
+    /// `None` (the default) costs nothing and never affects results.
+    pub progress: Option<Arc<AtomicU64>>,
     /// Test-only crash hook: successor computations for states with an
     /// index at or past the value panic.  Exercises the worker
     /// `catch_unwind` isolation without planting bugs in the semantics.
@@ -232,6 +237,7 @@ impl Default for ExploreOptions {
             sym_conflate: false,
             deadline: None,
             cancel: None,
+            progress: None,
             panic_after_states: None,
         }
     }
@@ -1310,6 +1316,9 @@ impl Explorer {
                     expanded.resize(store.states.len(), false);
                 }
                 expanded[cur] = true;
+                if let Some(p) = &self.opts.progress {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
 

@@ -8,7 +8,7 @@
 //! harness — shares one implementation; `spi-auth` re-exports it
 //! unchanged.
 
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -135,6 +135,8 @@ pub struct Verifier {
     workers: usize,
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    progress_states: Option<Arc<AtomicU64>>,
+    progress_schedules: Option<Arc<AtomicU64>>,
     verify_keys: bool,
     reduce: ReduceOptions,
     verify_symmetry: bool,
@@ -163,6 +165,8 @@ impl Verifier {
             workers: ExploreOptions::available_workers(),
             deadline: None,
             cancel: None,
+            progress_states: None,
+            progress_schedules: None,
             verify_keys: false,
             reduce: ReduceOptions::none(),
             verify_symmetry: false,
@@ -188,6 +192,19 @@ impl Verifier {
     #[must_use]
     pub fn cancel(mut self, flag: Arc<AtomicBool>) -> Verifier {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Shares live progress counters with every run this verifier
+    /// performs: `states` is bumped once per fully explored state and
+    /// `schedules` once per freshly decided campaign schedule (both
+    /// with relaxed ordering).  The `spi serve` front end streams them
+    /// as heartbeat events so clients can tell "working" from "dead";
+    /// the counters never influence verdicts, statistics, or digests.
+    #[must_use]
+    pub fn progress(mut self, states: Arc<AtomicU64>, schedules: Arc<AtomicU64>) -> Verifier {
+        self.progress_states = Some(states);
+        self.progress_schedules = Some(schedules);
         self
     }
 
@@ -338,6 +355,7 @@ impl Verifier {
             workers: self.workers,
             deadline: self.deadline,
             cancel: self.cancel.clone(),
+            progress: self.progress_states.clone(),
             verify_keys: self.verify_keys,
             reduce: self.reduce,
             verify_symmetry: self.verify_symmetry,
@@ -468,6 +486,7 @@ impl Verifier {
             workers: self.workers,
             deadline: self.deadline,
             cancel: self.cancel.clone(),
+            progress: self.progress_states.clone(),
             reduce: self.reduce,
             verify_symmetry: self.verify_symmetry,
             ..ExploreOptions::default()
@@ -513,6 +532,7 @@ impl Verifier {
             ..self.explore_opts()
         };
         opts.max_visible = self.max_visible;
+        opts.progress = self.progress_schedules.clone();
         opts
     }
 
