@@ -3,23 +3,31 @@
 //! instances and print one JSON record per configuration, suitable for
 //! appending to `BENCH_campaign.json`.
 //!
-//! Run with `cargo run --release -p spi-bench --bin campaign_throughput -- <label> <workers>`.
+//! Run with `cargo run --release -p spi-bench --bin campaign_throughput -- <label> <workers> [engine]`.
 //! The label tags the engine variant being measured; the harness always
 //! goes through the public `Verifier::run_campaign` API so successive
 //! generations are measured the same way.  `workers == 0` leaves the
-//! verifier at its default (available parallelism).
+//! verifier at its default (available parallelism).  The optional third
+//! argument picks the decision procedure (`trace`, `bisim` or `both` —
+//! `both` exercises the bisim-first early-reject fast path, and the
+//! record carries the `early_rejects` counter).
 
 use std::time::Instant;
 
-use spi_auth::Verifier;
+use spi_auth::{Engine, Verifier};
 use spi_protocols::multi;
 use spi_syntax::Process;
 
 const RUNS: usize = 5;
 const DEPTH: usize = 2;
 
-/// Median campaign wall-clock plus the (engine-invariant) outcome tally.
-fn median_ms(verifier: &Verifier, concrete: &Process, spec: &Process) -> (f64, usize, (usize, usize, usize)) {
+/// Median campaign wall-clock plus the (engine-invariant) outcome tally
+/// and the early-reject count.
+fn median_ms(
+    verifier: &Verifier,
+    concrete: &Process,
+    spec: &Process,
+) -> (f64, usize, (usize, usize, usize), u64) {
     let opts = verifier.campaign_options(DEPTH);
     // Warm-up run (also gives us the schedule count and the tally).
     let report = verifier
@@ -27,6 +35,7 @@ fn median_ms(verifier: &Verifier, concrete: &Process, spec: &Process) -> (f64, u
         .expect("campaign runs");
     let enumerated = report.enumerated;
     let tally = report.tally();
+    let early_rejects = report.early_rejects;
     let mut samples: Vec<f64> = (0..RUNS)
         .map(|_| {
             let start = Instant::now();
@@ -39,7 +48,7 @@ fn median_ms(verifier: &Verifier, concrete: &Process, spec: &Process) -> (f64, u
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (samples[samples.len() / 2], enumerated, tally)
+    (samples[samples.len() / 2], enumerated, tally, early_rejects)
 }
 
 fn main() {
@@ -50,23 +59,29 @@ fn main() {
         .nth(2)
         .and_then(|w| w.parse().ok())
         .unwrap_or(0);
+    let engine = std::env::args()
+        .nth(3)
+        .map(|m| Engine::parse(&m).expect("engine: trace|bisim|both"))
+        .unwrap_or_default();
     let spec = multi::abstract_protocol("c", "observe").expect("well-formed");
     let pm2 = multi::shared_key("c", "observe");
     let pm3 = multi::challenge_response("c", "observe");
     let instances: [(&str, &Process); 2] = [("pm2_naive", &pm2), ("pm3_nonce", &pm3)];
     for (name, concrete) in instances {
         let verifier = configure(
-            Verifier::new(["c"]).sessions(2).no_intruder(),
+            Verifier::new(["c"]).sessions(2).no_intruder().engine(engine),
             workers,
         );
-        let (ms, enumerated, (attacks, survive, inconclusive)) =
+        let (ms, enumerated, (attacks, survive, inconclusive), early_rejects) =
             median_ms(&verifier, concrete, &spec);
         let per_sec = enumerated as f64 / (ms / 1e3);
         println!(
             "{{\"engine\": \"{label}\", \"instance\": \"{name}\", \"depth\": {DEPTH}, \
-             \"schedules\": {enumerated}, \"attacks\": {attacks}, \"survive\": {survive}, \
-             \"inconclusive\": {inconclusive}, \"median_ms\": {ms:.2}, \
-             \"schedules_per_sec\": {per_sec:.1}, \"runs\": {RUNS}}}"
+             \"decision_engine\": \"{}\", \"schedules\": {enumerated}, \"attacks\": {attacks}, \
+             \"survive\": {survive}, \"inconclusive\": {inconclusive}, \
+             \"early_rejects\": {early_rejects}, \"median_ms\": {ms:.2}, \
+             \"schedules_per_sec\": {per_sec:.1}, \"runs\": {RUNS}}}",
+            engine.mode()
         );
     }
 }

@@ -128,6 +128,7 @@ pub fn generate(seed: u64, index: u64, size: &GenSize) -> TestCase {
         chans: CHANNEL_POOL[..(size.channels as usize).clamp(1, CHANNEL_POOL.len())].to_vec(),
         keys: KEY_POOL[..(size.keys as usize).clamp(1, KEY_POOL.len())].to_vec(),
         fresh: 0,
+        scoped: Vec::new(),
     };
     let spec = g.system();
     debug_assert!(spec.free_vars().is_empty(), "generated spec must be closed");
@@ -154,11 +155,23 @@ struct Gen<'a> {
     chans: Vec<&'static str>,
     keys: Vec<&'static str>,
     fresh: u32,
+    /// Restricted names currently in scope.  Terms occasionally draw
+    /// from this stack, so fresh names travel in payloads (and under
+    /// encryptions) — the surface where nonce-lineage canonization and
+    /// environment-knowledge analysis actually have work to do.
+    scoped: Vec<Name>,
 }
 
 impl Gen<'_> {
     fn system(&mut self) -> Process {
         let sessions = self.size.sessions.max(1);
+        // A private session name shared by all roles exercises the
+        // restriction-scoping paths of the machine and the printer; with
+        // it in scope, role bodies may mention it in payloads.
+        let session_name = self.rng.chance(60);
+        if session_name {
+            self.scoped.push(Name::new("s"));
+        }
         let mut roles = Vec::new();
         for _ in 0..sessions {
             let mut vars = Vec::new();
@@ -170,9 +183,8 @@ impl Gen<'_> {
             .into_iter()
             .reduce(Process::par)
             .unwrap_or(Process::Nil);
-        // A private session name shared by all roles exercises the
-        // restriction-scoping paths of the machine and the printer.
-        if self.rng.chance(60) {
+        if session_name {
+            self.scoped.pop();
             Process::restrict("s", body)
         } else {
             body
@@ -203,7 +215,10 @@ impl Gen<'_> {
             }
             55..=64 => {
                 let n = self.fresh_name();
-                Process::Restrict(n, Box::new(self.seq(depth - 1, vars)))
+                self.scoped.push(n.clone());
+                let body = self.seq(depth - 1, vars);
+                self.scoped.pop();
+                Process::Restrict(n, Box::new(body))
             }
             65..=72 => {
                 let m = self.term(vars, 1);
@@ -282,6 +297,10 @@ impl Gen<'_> {
 
     fn term(&mut self, vars: &[Var], fuel: u32) -> Term {
         if fuel == 0 || self.rng.chance(55) {
+            if !self.scoped.is_empty() && self.rng.chance(25) {
+                let scoped = self.rng.pick(&self.scoped).clone();
+                return Term::Name(scoped);
+            }
             return if !vars.is_empty() && self.rng.chance(35) {
                 Term::Var(self.rng.pick(vars).clone())
             } else {

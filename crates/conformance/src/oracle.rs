@@ -3,7 +3,7 @@
 //! An [`Oracle`] is a differential property every well-formed
 //! specification must satisfy: two engine paths that claim to compute the
 //! same thing are run side by side and any disagreement is a [`Verdict::Fail`].
-//! The built-in suite covers the eight seams where the workspace
+//! The built-in suite covers the nine seams where the workspace
 //! maintains redundant machinery:
 //!
 //! * **roundtrip** — the exact printer against the parser;
@@ -22,7 +22,11 @@
 //! * **fleet** — a coordinator fronting two workers under a seeded
 //!   chaos plan (a worker is killed mid-sequence) against the same
 //!   direct run: re-dispatch and degradation must never change a byte
-//!   of the verdict body.
+//!   of the verdict body;
+//! * **engines** — the hedged-bisimulation decision procedure against
+//!   the trace engine: the determinized tree's canonical trace language
+//!   must equal the weak trace set of the same LTS, and both procedures
+//!   must reach the same verdict on the (concrete, spec) question.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -33,7 +37,8 @@ use spi_server::{
 };
 use spi_verify::jsonlite::Json;
 use spi_verify::{
-    run_campaign, weak_traces, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer,
+    bisim_preorder_sound_with, bisim_traces, run_campaign, trace_preorder_sound, weak_traces,
+    BisimOptions, Budget, CampaignOptions, CampaignReport, ExploreOptions, Explorer,
     ReduceOptions, Verifier,
 };
 use spi_syntax::{parse, Process};
@@ -69,10 +74,16 @@ pub enum Injection {
     /// different states, exactly the overmerge the `reduce` oracle
     /// exists to rule out.
     SymNoPerm,
+    /// Skip one analysis rule in the bisimulation engine's environment
+    /// knowledge (everything under an encryption stays opaque, so the
+    /// hedge under-closes and distinct fresh names render alike) — an
+    /// unsound knowledge closure, exactly the divergence the `engines`
+    /// oracle exists to rule out.
+    BisimSkipAnalysis,
 }
 
 impl Injection {
-    /// Parses `truncate-keys:N` or `sym-no-perm`.
+    /// Parses `truncate-keys:N`, `sym-no-perm` or `bisim-skip-analysis`.
     ///
     /// # Errors
     ///
@@ -81,23 +92,29 @@ impl Injection {
         if s == "sym-no-perm" {
             return Ok(Injection::SymNoPerm);
         }
+        if s == "bisim-skip-analysis" {
+            return Ok(Injection::BisimSkipAnalysis);
+        }
         match s.split_once(':') {
             Some(("truncate-keys", n)) => n
                 .parse::<usize>()
                 .map(Injection::TruncateCanonKeys)
                 .map_err(|_| format!("bad injection length `{n}` (want an integer)")),
             _ => Err(format!(
-                "unknown injection `{s}` (valid: truncate-keys:N, sym-no-perm)"
+                "unknown injection `{s}` (valid: truncate-keys:N, sym-no-perm, \
+                 bisim-skip-analysis)"
             )),
         }
     }
 
-    /// The directive spelling, `truncate-keys:N` or `sym-no-perm`.
+    /// The directive spelling, `truncate-keys:N`, `sym-no-perm` or
+    /// `bisim-skip-analysis`.
     #[must_use]
     pub fn directive(&self) -> String {
         match self {
             Injection::TruncateCanonKeys(n) => format!("truncate-keys:{n}"),
             Injection::SymNoPerm => "sym-no-perm".to_string(),
+            Injection::BisimSkipAnalysis => "bisim-skip-analysis".to_string(),
         }
     }
 }
@@ -152,6 +169,7 @@ pub fn builtin_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(Checkpoint),
         Box::new(Server),
         Box::new(Fleet),
+        Box::new(Engines),
     ]
 }
 
@@ -311,7 +329,7 @@ impl Oracle for CowState {
                 .iter()
                 .map(|k| k.chars().take(n).collect())
                 .collect(),
-            Some(Injection::SymNoPerm) | None => cow.keys,
+            Some(Injection::SymNoPerm | Injection::BisimSkipAnalysis) | None => cow.keys,
         };
         if cow_keys.len() != deep.keys.len() {
             return Verdict::Fail(format!(
@@ -796,6 +814,76 @@ impl Oracle for Fleet {
     }
 }
 
+/// The hedged-bisimulation decision procedure against the trace engine.
+///
+/// Two comparisons per case, both over iso-tracked explorations:
+///
+/// 1. **trace language** — the canonical trace set the bisimulation
+///    engine's determinized configuration tree generates must equal the
+///    weak trace set of the same LTS, string for string.  This is the
+///    sensitive surface: an under-closing hedge (the planted
+///    `bisim-skip-analysis` bug) degrades the canonical rendering of
+///    names learned by analysis, visible on a *single* system;
+/// 2. **verdict** — both procedures must classify the (concrete, spec)
+///    question identically, the same cross-check `--engine both` runs.
+struct Engines;
+
+impl Oracle for Engines {
+    fn name(&self) -> &'static str {
+        "engines"
+    }
+
+    fn check(&self, case: &TestCase, env: &OracleEnv) -> Verdict {
+        const VISIBLE: usize = 4;
+        let bisim_opts = BisimOptions {
+            skip_analysis: env.injection == Some(Injection::BisimSkipAnalysis),
+        };
+        // Iso tracking on both arms: the bisimulation engine canonizes
+        // through the explorer's isomorphisms, so identity merges would
+        // compare bookkeeping, not semantics.
+        let base = ExploreOptions {
+            faults: case.faults.clone(),
+            track_isos: true,
+            ..explore_opts(env)
+        };
+        let spec_lts = match Explorer::new(base.clone()).explore(&case.spec) {
+            Ok(lts) => lts,
+            Err(e) => return Verdict::Skip(format!("spec exploration failed: {e}")),
+        };
+        if !spec_lts.complete() {
+            return Verdict::Skip(format!(
+                "state space truncated at {} states",
+                env.max_states
+            ));
+        }
+        let want = weak_traces(&spec_lts, VISIBLE);
+        let got = bisim_traces(&spec_lts, VISIBLE, &bisim_opts);
+        if got != want {
+            let lost = want.difference(&got).count();
+            let invented = got.difference(&want).count();
+            return Verdict::Fail(format!(
+                "the bisimulation engine's canonical trace language differs from the \
+                 trace engine's: {lost} trace(s) lost, {invented} invented \
+                 (over {} traces)",
+                want.len()
+            ));
+        }
+        let concrete_lts = match Explorer::new(base).explore(&case.concrete) {
+            Ok(lts) => lts,
+            Err(e) => return Verdict::Skip(format!("concrete exploration failed: {e}")),
+        };
+        let t = trace_preorder_sound(&concrete_lts, &spec_lts, VISIBLE);
+        let b = bisim_preorder_sound_with(&concrete_lts, &spec_lts, VISIBLE, &bisim_opts);
+        if std::mem::discriminant(&t) != std::mem::discriminant(&b) {
+            return Verdict::Fail(format!(
+                "decision procedures disagree on the verdict: \
+                 trace engine says {t:?}, bisimulation engine says {b:?}"
+            ));
+        }
+        Verdict::Pass
+    }
+}
+
 fn compare_reports(full: &CampaignReport, resumed: &CampaignReport) -> Verdict {
     if full.identity != resumed.identity {
         return Verdict::Fail(format!(
@@ -912,10 +1000,57 @@ mod tests {
 
     #[test]
     fn injection_directives_round_trip() {
-        for inj in [Injection::TruncateCanonKeys(2), Injection::SymNoPerm] {
+        for inj in [
+            Injection::TruncateCanonKeys(2),
+            Injection::SymNoPerm,
+            Injection::BisimSkipAnalysis,
+        ] {
             assert_eq!(Injection::parse(&inj.directive()), Ok(inj));
         }
         assert!(Injection::parse("sym-no-perm:3").is_err());
+        assert!(Injection::parse("bisim-skip-analysis:1").is_err());
+    }
+
+    #[test]
+    fn the_engines_oracle_is_builtin() {
+        assert!(builtin_names().contains(&"engines"));
+        assert!(oracle_by_name("engines").is_some());
+    }
+
+    #[test]
+    fn the_engines_oracle_passes_on_encrypted_sessions() {
+        let p = parse("(^k)(^m)(c<{m}k> | c(x).observe<x>)").expect("parses");
+        let verdict =
+            check_process(&Engines, &p, None, &["c".to_string()], &OracleEnv::default());
+        assert_eq!(verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn the_engines_oracle_catches_the_skipped_analysis_rule() {
+        // Two fresh names travel under the same key: with full analysis
+        // the canonical traces link each payload to its own nonce index,
+        // but the under-closing hedge leaves everything under an
+        // encryption opaque — the degraded renderings diverge from the
+        // trace engine's on a single system.
+        let p = parse("(^k)(^m)(^n)(c<{m}k>.c<{n}k>)").expect("parses");
+        let env = OracleEnv {
+            injection: Some(Injection::BisimSkipAnalysis),
+            ..OracleEnv::default()
+        };
+        let verdict = check_process(&Engines, &p, None, &["c".to_string()], &env);
+        assert!(
+            matches!(verdict, Verdict::Fail(_)),
+            "planted under-closure went uncaught: {verdict:?}"
+        );
+        // Without the injection the same process passes.
+        let verdict = check_process(
+            &Engines,
+            &p,
+            None,
+            &["c".to_string()],
+            &OracleEnv::default(),
+        );
+        assert_eq!(verdict, Verdict::Pass);
     }
 
     #[test]

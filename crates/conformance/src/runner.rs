@@ -294,6 +294,40 @@ mod tests {
     }
 
     #[test]
+    fn injected_bisim_analysis_bug_is_caught_and_shrunk() {
+        let dir = std::env::temp_dir().join(format!(
+            "spi-conformance-bisim-regressions-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = ConformanceOptions::new(7, 40);
+        opts.size = GenSize::small();
+        opts.oracles = vec!["engines".to_string()];
+        opts.env.injection = Some(Injection::BisimSkipAnalysis);
+        opts.regressions_dir = Some(dir.clone());
+        let report = run_conformance(&opts).expect("runs");
+        assert!(
+            !report.failures.is_empty(),
+            "planted bisim bug went uncaught: {report}"
+        );
+        let smallest = report
+            .failures
+            .iter()
+            .map(|f| f.minimal.lines().count())
+            .min()
+            .unwrap_or(usize::MAX);
+        assert!(
+            smallest < 12,
+            "expected a reproducer under 12 lines, got {smallest}"
+        );
+        assert!(
+            report.failures.iter().any(|f| f.reproducer.is_some()),
+            "no reproducer written: {report}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn injected_symmetry_bug_is_caught_and_shrunk() {
         let mut opts = ConformanceOptions::new(7, 40);
         opts.size = GenSize::small();

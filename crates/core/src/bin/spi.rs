@@ -9,6 +9,7 @@
 //!            [--budget states=N,fuel=N,...] [--fault kind:chan[:max]]...
 //!            [--intruder on|off] [--workers N] [--timeout-secs S]
 //!            [--reduce none|symmetry|por|full] [--verify-symmetry on|off]
+//!            [--engine trace|bisim|both]
 //! spi campaign <concrete> <abstract>        sweep every fault schedule up
 //!            [--faults-depth K] [--chan c]...  to K unit firings, shrink
 //!            [--checkpoint FILE] [--resume FILE]  failures to 1-minimal
@@ -22,6 +23,8 @@
 //!            [--size small|medium|large]    fuzzing: generated specs vs
 //!            [--oracles a,b,...]            the oracle suite, failures
 //!            [--regressions DIR]            shrunk to .spi reproducers
+//!            [--inject NAME]                plant a known bug (harness
+//!                                           self-test: expect failures)
 //! spi paper [--sessions N]                  re-derive the paper's results
 //! spi serve [--addr HOST:PORT] [--workers N]  run the verification daemon
 //!           [--cache-bytes N] [--snapshot FILE] (newline-delimited JSON
@@ -58,9 +61,14 @@
 //! full canonical strings alongside the hashed keys, panicking on any
 //! disagreement.  `--reduce` turns on the session-symmetry quotient
 //! and/or partial-order reduction; `--verify-symmetry on` cross-checks
-//! the quotient's orbit invariance state by state.  `spi conformance`
+//! the quotient's orbit invariance state by state.  `--engine` picks
+//! the decision procedure: the trace engine (default), the on-the-fly
+//! hedged-bisimulation engine, or `both` to cross-check them — a
+//! disagreement fails loudly with the minimal witness, and `both`
+//! campaigns skip the trace comparison on schedules the bisimulation
+//! check already rejects.  `spi conformance`
 //! oracles: `roundtrip`, `workers`, `hashkeys`, `cowstate`, `reduce`,
-//! `checkpoint`, `server`, `fleet`.  `spi verify` and
+//! `checkpoint`, `server`, `fleet`, `engines`.  `spi verify` and
 //! `spi campaign` accept `--format text|json`; the JSON shapes are the
 //! exact bodies the daemon serves, so scripts see one schema either
 //! way.
@@ -133,13 +141,15 @@ fn print_usage() {
          spi verify <concrete> <abstract> [--chan NAME]... [--sessions N] [--visible N]\n    \
          [--budget states=N,transitions=N,fuel=N,knowledge=N,steps=N]\n    \
          [--fault kind:chan[:max],...]... [--intruder on|off] [--workers N] [--timeout-secs S]\n    \
-         [--reduce none|symmetry|por|full] [--verify-symmetry on|off] [--verify-keys on|off]\n  \
+         [--reduce none|symmetry|por|full] [--verify-symmetry on|off] [--verify-keys on|off]\n    \
+         [--engine trace|bisim|both]\n  \
          spi campaign <concrete> <abstract> [--faults-depth K] [--checkpoint FILE]\n    \
          [--resume FILE] [--checkpoint-every N] [--stop-after N] (plus verify flags)\n  \
          spi explore <file> [--chan NAME]... [--sessions N] [--dot FILE]\n  \
          spi narrate <narration-file> [--sessions N]\n  \
          spi conformance [--seed N] [--cases N] [--size small|medium|large]\n    \
-         [--oracles NAME,...] [--regressions DIR] [--unfold N] [--max-states N]\n  \
+         [--oracles NAME,...] [--regressions DIR] [--unfold N] [--max-states N]\n    \
+         [--inject truncate-keys:N|sym-no-perm|bisim-skip-analysis]\n  \
          spi paper [--sessions N]\n  \
          spi serve [--addr HOST:PORT] [--workers N] [--cache-bytes N] [--snapshot FILE]\n    \
          [--queue N] [--timeout-secs S] [--explore-workers N]\n    \
@@ -368,6 +378,11 @@ fn build_verifier(flags: &[(&str, &str)]) -> Result<Verifier, String> {
             .ok_or_else(|| format!("--reduce expects none|symmetry|por|full, got {mode:?}"))?;
         verifier = verifier.reduce(reduce);
     }
+    if let Some(mode) = flag(flags, "engine") {
+        let engine = spi_auth::Engine::parse(mode)
+            .ok_or_else(|| format!("--engine expects trace|bisim|both, got {mode:?}"))?;
+        verifier = verifier.engine(engine);
+    }
     match flag(flags, "verify-symmetry") {
         None | Some("off") => {}
         Some("on") => verifier = verifier.verify_symmetry(true),
@@ -540,6 +555,13 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     }
     let (attacks, survives, inconclusive) = report.tally();
     println!("summary: {attacks} attacks, {survives} survive, {inconclusive} inconclusive");
+    if report.early_rejects > 0 {
+        println!(
+            "engine: bisim fast path early-rejected {} classification(s), \
+             skipping their trace comparisons",
+            report.early_rejects
+        );
+    }
     if let Some((r, cex)) = report.attacks().next() {
         println!(
             "minimal counterexample (schedule {}, found under {}):",

@@ -46,7 +46,7 @@ pub mod server;
 
 pub use spi_semantics::{FaultClause, FaultKind, FaultParseError, FaultSpec};
 pub use spi_verify::{
-    Attack, Budget, CampaignOptions, CampaignReport, CoverageStats, EquivDirection,
+    Attack, Budget, CampaignOptions, CampaignReport, CoverageStats, Engine, EquivDirection,
     MinimalCounterexample, ReduceOptions, ResourceKind, ScheduleOutcome, ScheduleResult, Verdict,
     VerificationReport, Verifier,
 };

@@ -145,6 +145,7 @@ mod tests {
             progress_ms: None,
             unit: None,
             reduce: spi_verify::ReduceOptions::none(),
+            engine: spi_verify::Engine::Trace,
         }
     }
 

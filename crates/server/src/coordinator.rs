@@ -904,6 +904,7 @@ fn merge_units(job: &JobRequest, digest: &str, total: usize, slots: UnitSlots) -
     let mut identity: Option<String> = None;
     let mut results: Vec<Json> = Vec::with_capacity(total);
     let (mut attacks, mut survives, mut inconclusive) = (0usize, 0usize, 0usize);
+    let mut early_rejects: i64 = 0;
     for slot in slots {
         let body = match slot {
             Some(Ok(body)) => body,
@@ -923,6 +924,9 @@ fn merge_units(job: &JobRequest, digest: &str, total: usize, slots: UnitSlots) -
         if body.get("interrupted").and_then(Json::as_bool) != Some(false) {
             return None;
         }
+        // Present only when the unit's bisim fast path fired (see
+        // `protocol::campaign_body`); the merged counter is the sum.
+        early_rejects += body.get("early_rejects").and_then(Json::as_int).unwrap_or(0);
         for r in body.get("results").and_then(Json::as_arr)? {
             match r.get("outcome").and_then(Json::as_str) {
                 Some("attack") => attacks += 1,
@@ -935,15 +939,19 @@ fn merge_units(job: &JobRequest, digest: &str, total: usize, slots: UnitSlots) -
     }
     let identity = identity?;
     // The exact field order of `protocol::campaign_body`.
-    let body = Json::Obj(vec![
-        ("enumerated".into(), Json::count(total)),
+    let mut fields = vec![
+        ("enumerated".to_string(), Json::count(total)),
         ("attacks".into(), Json::count(attacks)),
         ("survives".into(), Json::count(survives)),
         ("inconclusive".into(), Json::count(inconclusive)),
         ("interrupted".into(), Json::Bool(false)),
         ("identity".into(), Json::str(identity)),
-        ("results".into(), Json::Arr(results)),
-    ]);
+    ];
+    if early_rejects > 0 {
+        fields.push(("early_rejects".into(), Json::Int(early_rejects)));
+    }
+    fields.push(("results".into(), Json::Arr(results)));
+    let body = Json::Obj(fields);
     let mut envelope = ok_response(job.mode.keyword(), Some(digest), false, body);
     if let Json::Obj(fields) = &mut envelope {
         fields.push(("via".to_string(), Json::str("fleet")));

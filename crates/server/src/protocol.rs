@@ -36,7 +36,9 @@
 use spi_semantics::{FaultClause, FaultSpec};
 use spi_syntax::Process;
 use spi_verify::jsonlite::Json;
-use spi_verify::{Budget, CampaignReport, CoverageStats, ReduceOptions, Verdict, VerificationReport};
+use spi_verify::{
+    Budget, CampaignReport, CoverageStats, Engine, ReduceOptions, Verdict, VerificationReport,
+};
 
 use crate::digest::digest;
 
@@ -136,6 +138,14 @@ pub struct JobRequest {
     /// spaces answer the same question, but cached bodies carry
     /// reduction statistics, so the digests must differ).
     pub reduce: ReduceOptions,
+    /// Which decision procedure(s) answer the job.  Part of the
+    /// canonical description — the trace and bisimulation engines agree
+    /// on verdicts, but cached bodies differ (engine tag, early-reject
+    /// counters), so a bisim result must never be served for a trace
+    /// request or vice versa.  Old clients never send the field; it
+    /// defaults to [`Engine::Trace`] and stays out of the digest there,
+    /// so pre-engine cache entries remain addressable.
+    pub engine: Engine,
     /// Per-request wall-clock limit.
     pub timeout_secs: Option<u64>,
     /// Bypass the result cache (both lookup and fill).
@@ -221,6 +231,11 @@ impl JobRequest {
         if self.reduce.enabled() {
             let _ = write!(desc, "|reduce={}", self.reduce.mode());
         }
+        // Same back-compat rule: the default engine leaves the digest
+        // byte-identical to pre-engine requests.
+        if self.engine != Engine::Trace {
+            let _ = write!(desc, "|engine={}", self.engine.mode());
+        }
         match self.mode {
             Mode::Campaign => {
                 let _ = write!(desc, "|depth={}", self.faults_depth);
@@ -285,6 +300,9 @@ impl JobRequest {
         fields.push(("intruder".into(), Json::Bool(self.intruder)));
         if self.reduce.enabled() {
             fields.push(("reduce".into(), Json::str(self.reduce.mode())));
+        }
+        if self.engine != Engine::Trace {
+            fields.push(("engine".into(), Json::str(self.engine.mode())));
         }
         fields.push(("faults_depth".into(), Json::count(self.faults_depth)));
         if !self.oracles.is_empty() {
@@ -499,6 +517,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| format!("\"reduce\" expects none|symmetry|por|full, got {s:?}"))?
         }
     };
+    let engine = match v.get("engine") {
+        None => Engine::Trace,
+        Some(j) => {
+            let s = j.as_str().ok_or("\"engine\" expects trace|bisim|both")?;
+            Engine::parse(s)
+                .ok_or_else(|| format!("\"engine\" expects trace|bisim|both, got {s:?}"))?
+        }
+    };
     let unit = match v.get("unit") {
         None => None,
         Some(u) => {
@@ -525,6 +551,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         faults_depth: get_usize(&v, "faults_depth", 2)?,
         oracles: get_str_arr(&v, "oracles")?,
         reduce,
+        engine,
         timeout_secs,
         no_cache: get_bool(&v, "no_cache", false)?,
         tenant,
@@ -667,6 +694,11 @@ pub fn verify_body(report: &VerificationReport) -> Json {
         Json::count(report.abstract_stats.states),
     ));
     fields.push(("traces_checked".into(), Json::count(report.traces_checked)));
+    // Emitted only for the non-default engines, so pre-engine cached
+    // bodies and fresh trace-engine bodies stay byte-identical.
+    if report.engine != Engine::Trace {
+        fields.push(("engine".into(), Json::str(report.engine.mode())));
+    }
     if report.reduce.enabled() {
         let quotiented = report.concrete_stats.states_quotiented
             + report.abstract_stats.states_quotiented;
@@ -694,24 +726,33 @@ pub fn verify_body(report: &VerificationReport) -> Json {
 #[must_use]
 pub fn campaign_body(report: &CampaignReport) -> Json {
     let (attacks, survives, inconclusive) = report.tally();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("enumerated".into(), Json::count(report.enumerated)),
         ("attacks".into(), Json::count(attacks)),
         ("survives".into(), Json::count(survives)),
         ("inconclusive".into(), Json::count(inconclusive)),
         ("interrupted".into(), Json::Bool(report.interrupted)),
         ("identity".into(), Json::str(report.identity.clone())),
-        (
-            "results".into(),
-            Json::Arr(
-                report
-                    .results
-                    .iter()
-                    .map(spi_verify::ScheduleResult::to_json)
-                    .collect(),
-            ),
+    ];
+    // Nonzero only under `--engine both`; omitted otherwise so existing
+    // cached bodies keep their exact shape.
+    if report.early_rejects > 0 {
+        fields.push((
+            "early_rejects".into(),
+            Json::Int(i64::try_from(report.early_rejects).unwrap_or(i64::MAX)),
+        ));
+    }
+    fields.push((
+        "results".into(),
+        Json::Arr(
+            report
+                .results
+                .iter()
+                .map(spi_verify::ScheduleResult::to_json)
+                .collect(),
         ),
-    ])
+    ));
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -809,6 +850,52 @@ mod tests {
             &VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"reduce\":\"bogus\"")
         )
         .is_err());
+    }
+
+    #[test]
+    fn engine_field_round_trips_and_keeps_old_digests() {
+        // Old clients never send "engine": the job defaults to the
+        // trace engine and its digest is byte-identical to a request
+        // that spells the default out — warm caches survive the upgrade.
+        let old = job(VERIFY_LINE);
+        assert_eq!(old.engine, Engine::Trace);
+        assert!(
+            !old.canonical().unwrap().contains("engine"),
+            "default engine stays out of the canonical description"
+        );
+        let explicit =
+            job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"engine\":\"trace\""));
+        assert_eq!(old.digest().unwrap(), explicit.digest().unwrap());
+        assert!(
+            !old.wire_json().render_compact().contains("engine"),
+            "the default engine is not re-emitted on the wire"
+        );
+
+        // The non-default engines are semantic knobs: distinct digests
+        // (a bisim body must never be served for a trace request), and
+        // the field survives a wire round-trip.
+        for spelled in ["bisim", "both"] {
+            let line = VERIFY_LINE.replace(
+                "\"sessions\":1",
+                &format!("\"sessions\":1,\"engine\":\"{spelled}\""),
+            );
+            let j = job(&line);
+            assert_eq!(j.engine.mode(), spelled);
+            assert_ne!(old.digest().unwrap(), j.digest().unwrap());
+            let back = job(&j.wire_json().render_compact());
+            assert_eq!(back.engine, j.engine);
+            assert_eq!(back.digest().unwrap(), j.digest().unwrap());
+        }
+        let bisim =
+            job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"engine\":\"bisim\""));
+        let both =
+            job(&VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"engine\":\"both\""));
+        assert_ne!(bisim.digest().unwrap(), both.digest().unwrap());
+        assert!(parse_request(
+            &VERIFY_LINE.replace("\"sessions\":1", "\"sessions\":1,\"engine\":\"quantum\"")
+        )
+        .unwrap_err()
+        .contains("trace|bisim|both"));
     }
 
     #[test]

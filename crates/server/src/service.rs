@@ -157,7 +157,7 @@ impl VerifierEngine {
         if !job.intruder {
             v = v.no_intruder();
         }
-        v.reduce(job.reduce)
+        v.reduce(job.reduce).engine(job.engine)
     }
 }
 

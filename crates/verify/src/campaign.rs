@@ -53,8 +53,10 @@ use spi_syntax::{Name, Process};
 
 use crate::checkpoint::Json;
 use crate::faultsim::multi_fault_schedules;
+use crate::verifier::verdict_summary;
 use crate::{
-    trace_preorder_sound, weak_traces, ExploreOptions, Explorer, TraceVerdict, VerifyError,
+    bisim_preorder_sound, trace_preorder_sound, weak_traces, Engine, ExploreOptions, Explorer,
+    TraceVerdict, VerifyError,
 };
 
 /// Configuration of one fault campaign.
@@ -72,6 +74,13 @@ pub struct CampaignOptions {
     pub explore: ExploreOptions,
     /// Visible-trace depth of each may-testing comparison.
     pub max_visible: usize,
+    /// Which decision procedure(s) classify each schedule.  Under
+    /// [`Engine::Both`] the campaign runs the bisimulation check first
+    /// and — because a bisimulation failure implies a trace-preorder
+    /// failure — skips the full trace-set comparison on every schedule
+    /// the bisimulation check already classifies as an attack (counted
+    /// in [`CampaignReport::early_rejects`]).
+    pub engine: Engine,
     /// Where to write (and resume) the checkpoint file, if anywhere.
     pub checkpoint_path: Option<PathBuf>,
     /// Checkpoint after every this many freshly decided schedules
@@ -115,6 +124,7 @@ impl CampaignOptions {
             depth,
             explore: ExploreOptions::default(),
             max_visible: 6,
+            engine: Engine::default(),
             checkpoint_path: None,
             checkpoint_every: 8,
             resume: false,
@@ -187,6 +197,13 @@ pub struct CampaignReport {
     /// `true` when the campaign stopped early (wall clock, cancellation,
     /// or `stop_after`) — the remaining schedules are undecided.
     pub interrupted: bool,
+    /// Under [`Engine::Both`], how many classifications (schedule
+    /// decisions *and* shrink probes) the bisimulation fast path
+    /// resolved as attacks without running the trace-set comparison.
+    /// Always zero for the single-engine modes, and a run-local work
+    /// statistic only: resumed schedules replay their checkpointed
+    /// outcome and perform no classification at all.
+    pub early_rejects: u64,
     /// The campaign identity digest (binds checkpoints to their inputs).
     pub identity: String,
 }
@@ -255,6 +272,7 @@ pub fn run_campaign(
     let mut cache: HashMap<String, Classified> = HashMap::new();
     let mut resumed = 0usize;
     let mut fresh = 0usize;
+    let mut early_rejects = 0u64;
     let mut interrupted = false;
     for (index, sched) in schedules.iter().enumerate() {
         if let Some((offset, count)) = opts.schedule_range {
@@ -278,7 +296,7 @@ pub fn run_campaign(
             interrupted = true;
             break;
         }
-        let outcome = decide_schedule(concrete, spec, opts, sched, &mut cache)?;
+        let outcome = decide_schedule(concrete, spec, opts, sched, &mut cache, &mut early_rejects)?;
         results.push(ScheduleResult {
             key,
             schedule: sched.clone(),
@@ -303,6 +321,7 @@ pub fn run_campaign(
         resumed,
         fresh,
         interrupted,
+        early_rejects,
         identity,
     })
 }
@@ -322,12 +341,13 @@ fn classify_cached(
     opts: &CampaignOptions,
     sched: &FaultSpec,
     cache: &mut HashMap<String, Classified>,
+    early_rejects: &mut u64,
 ) -> Result<Classified, VerifyError> {
     let key = sched.canonical_key();
     if let Some(c) = cache.get(&key) {
         return Ok(c.clone());
     }
-    let c = classify(concrete, spec, opts, sched)?;
+    let c = classify(concrete, spec, opts, sched, early_rejects)?;
     cache.insert(key, c.clone());
     Ok(c)
 }
@@ -337,6 +357,7 @@ fn classify(
     spec: &Process,
     opts: &CampaignOptions,
     sched: &FaultSpec,
+    early_rejects: &mut u64,
 ) -> Result<Classified, VerifyError> {
     let explorer = Explorer::new(schedule_opts(opts, sched));
     let explore = |p: &Process| match explorer.explore(p) {
@@ -353,15 +374,40 @@ fn classify(
         Ok(lts) => lts,
         Err(reason) => return Ok(Classified::Inconclusive { reason }),
     };
-    Ok(
-        match trace_preorder_sound(&concrete_lts, &spec_lts, opts.max_visible) {
-            TraceVerdict::Holds { checked } => Classified::Survives { checked },
-            TraceVerdict::Fails { witness } => Classified::Attack { witness },
-            TraceVerdict::Inconclusive { exhausted } => Classified::Inconclusive {
-                reason: format!("{exhausted} budget exhausted mid-schedule"),
-            },
+    let verdict = match opts.engine {
+        Engine::Trace => trace_preorder_sound(&concrete_lts, &spec_lts, opts.max_visible),
+        Engine::Bisim => bisim_preorder_sound(&concrete_lts, &spec_lts, opts.max_visible),
+        Engine::Both => {
+            // Fast path: a (sound) bisimulation failure implies a
+            // trace-preorder failure, so an attack verdict here skips
+            // the full trace-set comparison for this schedule.
+            let b = bisim_preorder_sound(&concrete_lts, &spec_lts, opts.max_visible);
+            if matches!(b, TraceVerdict::Fails { .. }) {
+                *early_rejects += 1;
+                b
+            } else {
+                let t = trace_preorder_sound(&concrete_lts, &spec_lts, opts.max_visible);
+                if std::mem::discriminant(&t) != std::mem::discriminant(&b) {
+                    return Err(VerifyError::EngineDisagreement {
+                        trace: verdict_summary(&t),
+                        bisim: verdict_summary(&b),
+                        witness: match &t {
+                            TraceVerdict::Fails { witness } => witness.clone(),
+                            _ => Vec::new(),
+                        },
+                    });
+                }
+                t
+            }
+        }
+    };
+    Ok(match verdict {
+        TraceVerdict::Holds { checked } => Classified::Survives { checked },
+        TraceVerdict::Fails { witness } => Classified::Attack { witness },
+        TraceVerdict::Inconclusive { exhausted } => Classified::Inconclusive {
+            reason: format!("{exhausted} budget exhausted mid-schedule"),
         },
-    )
+    })
 }
 
 fn schedule_opts(opts: &CampaignOptions, sched: &FaultSpec) -> ExploreOptions {
@@ -377,15 +423,16 @@ fn decide_schedule(
     opts: &CampaignOptions,
     sched: &FaultSpec,
     cache: &mut HashMap<String, Classified>,
+    early_rejects: &mut u64,
 ) -> Result<ScheduleOutcome, VerifyError> {
-    match classify_cached(concrete, spec, opts, sched, cache)? {
+    match classify_cached(concrete, spec, opts, sched, cache, early_rejects)? {
         Classified::Survives { checked } => Ok(ScheduleOutcome::Survives {
             traces_checked: checked,
         }),
         Classified::Inconclusive { reason } => Ok(ScheduleOutcome::Inconclusive { reason }),
         Classified::Attack { witness } => {
             let (minimal, witness, shrink_steps) =
-                shrink_schedule(concrete, spec, opts, sched, witness, cache)?;
+                shrink_schedule(concrete, spec, opts, sched, witness, cache, early_rejects)?;
             let trace = minimize_trace(spec, opts, &minimal, witness);
             Ok(ScheduleOutcome::Attack(Box::new(MinimalCounterexample {
                 original: sched.canonical(),
@@ -408,6 +455,7 @@ fn shrink_schedule(
     original: &FaultSpec,
     first_witness: Vec<String>,
     cache: &mut HashMap<String, Classified>,
+    early_rejects: &mut u64,
 ) -> Result<(FaultSpec, Vec<String>, usize), VerifyError> {
     let mut cur = original.canonical();
     let mut cur_witness = first_witness;
@@ -421,7 +469,7 @@ fn shrink_schedule(
                 cand.clauses.remove(i);
             }
             if let Classified::Attack { witness } =
-                classify_cached(concrete, spec, opts, &cand, cache)?
+                classify_cached(concrete, spec, opts, &cand, cache, early_rejects)?
             {
                 cur = cand;
                 cur_witness = witness;
@@ -491,6 +539,11 @@ fn campaign_identity(concrete: &Process, spec: &Process, opts: &CampaignOptions)
         opts.depth, opts.max_visible, opts.explore.budget, opts.explore.intruder,
         opts.explore.unfold_bound
     );
+    // Appended only when non-default so that every pre-engine checkpoint
+    // (and every trace-engine one written since) keeps its digest.
+    if opts.engine != Engine::Trace {
+        let _ = write!(desc, "|engine={}", opts.engine.mode());
+    }
     format!("fnv:{:016x}", fnv64(&desc))
 }
 
@@ -744,6 +797,41 @@ mod tests {
         assert_eq!(padded.1.shrink_steps, 1);
         assert_eq!(padded.1.schedule.canonical_key(), "duplicate:c:1@1");
         assert_eq!(padded.1.original.canonical_key(), "drop:c:1+duplicate:c:1@1");
+    }
+
+    #[test]
+    fn engine_both_early_rejects_attacks_without_changing_the_tally() {
+        let trace = run_campaign(&greedy(), &single_shot(), &opts(2)).unwrap();
+        assert_eq!(trace.early_rejects, 0, "single-engine runs never skip");
+
+        let mut o = opts(2);
+        o.engine = Engine::Both;
+        let both = run_campaign(&greedy(), &single_shot(), &o).unwrap();
+        // Every attacking classification (schedule decisions and shrink
+        // probes alike) was settled by the bisimulation check alone.
+        assert!(both.early_rejects > 0, "{both:?}");
+        assert_eq!(both.tally(), trace.tally());
+        assert_ne!(both.identity, trace.identity, "engine is digested");
+        for (t, b) in trace.results.iter().zip(&both.results) {
+            assert_eq!(t.key, b.key);
+            match (&t.outcome, &b.outcome) {
+                (ScheduleOutcome::Attack(tc), ScheduleOutcome::Attack(bc)) => {
+                    assert_eq!(tc.schedule, bc.schedule, "same minimal schedule");
+                    assert_eq!(tc.trace.len(), bc.trace.len(), "same witness length");
+                }
+                (t, b) => assert_eq!(
+                    std::mem::discriminant(t),
+                    std::mem::discriminant(b),
+                    "{t:?} vs {b:?}"
+                ),
+            }
+        }
+
+        let mut o = opts(2);
+        o.engine = Engine::Bisim;
+        let bisim = run_campaign(&greedy(), &single_shot(), &o).unwrap();
+        assert_eq!(bisim.early_rejects, 0, "nothing to skip without a cross-check");
+        assert_eq!(bisim.tally(), trace.tally());
     }
 
     #[test]

@@ -38,6 +38,19 @@ pub enum VerifyError {
         /// What went wrong.
         reason: String,
     },
+    /// The two decision procedures disagreed under `--engine both`.
+    /// This can only mean a bug in one of the engines — the verdict
+    /// cannot be trusted, so the run fails loudly instead of picking a
+    /// side.
+    EngineDisagreement {
+        /// The trace engine's verdict, rendered.
+        trace: String,
+        /// The bisimulation engine's verdict, rendered.
+        bisim: String,
+        /// The minimal distinguishing trace claimed by whichever engine
+        /// answered *Fails* (empty if neither did).
+        witness: Vec<String>,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -53,6 +66,18 @@ impl fmt::Display for VerifyError {
             VerifyError::Checkpoint { reason } => {
                 write!(f, "campaign checkpoint error: {reason}")
             }
+            VerifyError::EngineDisagreement {
+                trace,
+                bisim,
+                witness,
+            } => {
+                write!(
+                    f,
+                    "decision procedures disagree: trace engine says {trace}, \
+                     bisimulation engine says {bisim}; minimal witness: [{}]",
+                    witness.join(", ")
+                )
+            }
         }
     }
 }
@@ -63,7 +88,8 @@ impl Error for VerifyError {
             VerifyError::Machine(e) => Some(e),
             VerifyError::StateBudgetExceeded { .. }
             | VerifyError::WorkerPanic { .. }
-            | VerifyError::Checkpoint { .. } => None,
+            | VerifyError::Checkpoint { .. }
+            | VerifyError::EngineDisagreement { .. } => None,
         }
     }
 }

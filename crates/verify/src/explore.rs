@@ -424,6 +424,13 @@ pub struct ExploreStats {
     /// How many successor moves the partial-order reduction pruned.
     /// Zero when POR is off.
     pub por_pruned: u64,
+    /// How many successors the `verify_symmetry` brute-force orbit check
+    /// audited *before* POR pruning.  Pruned successors are never
+    /// interned, so the intern-time check alone would silently skip
+    /// them; this counter proves the pre-POR pass covered them.  Zero
+    /// unless `verify_symmetry`, POR and the symmetry quotient are all
+    /// on.
+    pub sym_prechecked: u64,
 }
 
 /// The labelled transition system produced by an [`Explorer`].
@@ -1209,13 +1216,7 @@ impl Explorer {
         // Any reduction forces iso tracking: merges stop being identity
         // renamings, so traces must be able to undo them.
         let tracking = self.opts.track_isos || self.opts.reduce.enabled();
-        let mut pinned: Vec<Path> = Vec::new();
-        if let Some(spec) = &self.opts.intruder {
-            pinned.push(spec.position.clone());
-        }
-        if let Some(fspec) = &self.opts.faults {
-            pinned.push(fspec.position.clone());
-        }
+        let pinned = self.pinned_positions();
         let sym = SymCtx {
             tracking,
             symmetry: self.opts.reduce.symmetry,
@@ -1239,6 +1240,7 @@ impl Explorer {
         let mut edge_isos: BTreeMap<(usize, usize), u32> = BTreeMap::new();
         let mut states_quotiented = 0u64;
         let mut por_pruned = 0u64;
+        let mut sym_prechecked = 0u64;
         // Layered BFS.  Draining the queue one layer at a time visits
         // states in exactly the order the one-at-a-time loop would (pop
         // front, intern new states at the back), which lets the workers
@@ -1291,6 +1293,7 @@ impl Explorer {
                 // Pruning is accounted only when the state is actually
                 // consumed, so the counter is worker-count independent.
                 por_pruned += succ.pruned;
+                sym_prechecked += succ.prechecked;
                 for (label, next) in succ.moves {
                     if !gov.admit_transition(edges_total) {
                         cut_off!();
@@ -1334,6 +1337,7 @@ impl Explorer {
             edges: edges_total,
             states_quotiented,
             por_pruned,
+            sym_prechecked,
         };
         let coverage = CoverageStats {
             states: states.len(),
@@ -1490,18 +1494,69 @@ impl Explorer {
 
         if self.opts.reduce.por && out.len() > 1 {
             if let Some(pick) = self.ample_index(sd, &out) {
+                // `verify_symmetry` must audit what symmetry actually
+                // quotients.  Successors dropped here are never
+                // interned, so the intern-time orbit check in
+                // `StateStore::canonical` would silently skip them —
+                // run the brute-force check on the *whole* successor
+                // set before the ample selection discards siblings.
+                let prechecked = if self.opts.verify_symmetry && self.opts.reduce.symmetry {
+                    self.precheck_orbit_invariance(&out)
+                } else {
+                    0
+                };
                 let pruned = (out.len() - 1) as u64;
                 let chosen = out.swap_remove(pick);
                 return Ok(SuccSet {
                     moves: vec![chosen],
                     pruned,
+                    prechecked,
                 });
             }
         }
         Ok(SuccSet {
             moves: out,
             pruned: 0,
+            prechecked: 0,
         })
+    }
+
+    /// The positions no copy permutation may move: the intruder's and
+    /// the fault model's seats.
+    fn pinned_positions(&self) -> Vec<Path> {
+        let mut pinned: Vec<Path> = Vec::new();
+        if let Some(spec) = &self.opts.intruder {
+            pinned.push(spec.position.clone());
+        }
+        if let Some(fspec) = &self.opts.faults {
+            pinned.push(fspec.position.clone());
+        }
+        pinned
+    }
+
+    /// Pre-POR `verify_symmetry` pass: brute-force orbit invariance over
+    /// every symmetry-eligible successor, returning how many were
+    /// audited.  Panics (inside [`verify_orbit_invariance`]) if any
+    /// permuted variant quotients to a different key.
+    fn precheck_orbit_invariance(&self, out: &[(Label, StateData)]) -> u64 {
+        let pinned = self.pinned_positions();
+        let mut prechecked = 0u64;
+        for (_, next) in out {
+            if !next.sym_eligible() {
+                continue;
+            }
+            let groups = symmetry::session_groups(&next.cfg, &pinned);
+            if groups.is_empty() {
+                continue;
+            }
+            // A candidate-cap overflow falls back to raw keys at intern
+            // time; there is nothing quotient-specific to audit then.
+            if let Some((key, _, _)) = signature_min(next, &groups) {
+                verify_orbit_invariance(next, &groups, key, &pinned);
+                prechecked += 1;
+            }
+        }
+        prechecked
     }
 
     /// The ample-set selection: an index into `out` whose single move is
@@ -1890,6 +1945,8 @@ impl Explorer {
 struct SuccSet {
     moves: Vec<(Label, StateData)>,
     pruned: u64,
+    /// Successors audited by the pre-POR `verify_symmetry` pass.
+    prechecked: u64,
 }
 
 /// Counts the occurrences of name `id` across the entire state: every
@@ -2600,6 +2657,41 @@ mod tests {
             },
         );
         assert!(lts.complete());
+    }
+
+    #[test]
+    fn verify_symmetry_audits_successors_before_por_pruning() {
+        // Regression: POR-pruned successors are never interned, so the
+        // intern-time orbit check in `StateStore::canonical` never saw
+        // them — `verify_symmetry` used to validate only the ample
+        // survivor.  The pre-POR pass must audit the *full* successor
+        // set (panicking on any orbit-invariance violation), and the
+        // counter proves it ran while pruning was actually happening.
+        let lts = explore(
+            SESSIONS,
+            ExploreOptions {
+                verify_symmetry: true,
+                ..session_opts(ReduceOptions::full())
+            },
+        );
+        assert!(lts.complete());
+        assert!(lts.stats.por_pruned > 0, "POR must actually prune here");
+        assert!(
+            lts.stats.sym_prechecked > 0,
+            "the orbit check must run pre-POR, covering pruned successors"
+        );
+        // Without POR nothing is pruned, so nothing needs prechecking.
+        let unpruned = explore(
+            SESSIONS,
+            ExploreOptions {
+                verify_symmetry: true,
+                ..session_opts(ReduceOptions {
+                    symmetry: true,
+                    por: false,
+                })
+            },
+        );
+        assert_eq!(unpruned.stats.sym_prechecked, 0);
     }
 
     #[test]

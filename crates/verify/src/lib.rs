@@ -21,6 +21,11 @@
 //!   trace inclusion over origin-annotated observations (testers observe
 //!   message origins through the address-matching operator, so the
 //!   creator position is part of every observation);
+//! * [`bisim_preorder`] — the same relation decided by an independent
+//!   second engine, an on-the-fly hedged bisimulation over configuration
+//!   pairs with symbolic environment knowledge as hedges ([`Hedge`]);
+//!   [`Engine`] selects which procedure(s) a run trusts, and `both`
+//!   cross-checks them on every verdict;
 //! * [`simulates`] — a weak barbed simulation checker, the proof technique
 //!   used by the paper for Propositions 2 and 4;
 //! * [`may_exhibit`] / [`passes_test`] — the tests `(T, β)` of
@@ -34,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bisim;
 mod budget;
 pub mod campaign;
 mod checkpoint;
@@ -41,6 +47,7 @@ mod dot;
 mod error;
 mod explore;
 pub mod faultsim;
+mod hedges;
 mod iso;
 pub mod jsonlite;
 mod knowledge;
@@ -52,7 +59,12 @@ mod testgen;
 mod traces;
 mod verifier;
 
+pub use bisim::{
+    bisim_preorder, bisim_preorder_sound, bisim_preorder_sound_with, bisim_preorder_with,
+    bisim_traces, BisimOptions, Engine,
+};
 pub use budget::{Budget, CoverageStats, Governor, ResourceKind};
+pub use hedges::{EnvKnowledge, Hedge};
 pub use campaign::{
     run_campaign, CampaignOptions, CampaignReport, MinimalCounterexample, ScheduleOutcome,
     ScheduleResult,

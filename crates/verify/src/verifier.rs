@@ -17,9 +17,9 @@ use spi_semantics::{FaultSpec, RoleMap, StepInfo};
 use spi_syntax::{Name, Process};
 
 use crate::{
-    find_realization, trace_preorder_sound, Budget, CampaignOptions, CampaignReport,
-    CoverageStats, ExploreOptions, ExploreStats, Explorer, IntruderSpec, Lts,
-    MinimalCounterexample, ReduceOptions, ResourceKind, StepDesc, TraceVerdict, VerifyError,
+    bisim_preorder_sound, find_realization, trace_preorder_sound, Budget, CampaignOptions,
+    CampaignReport, CoverageStats, Engine, ExploreOptions, ExploreStats, Explorer, IntruderSpec,
+    Lts, MinimalCounterexample, ReduceOptions, ResourceKind, StepDesc, TraceVerdict, VerifyError,
 };
 
 /// Which inclusion failed in an equivalence check.
@@ -85,11 +85,17 @@ pub struct VerificationReport {
     pub concrete_coverage: CoverageStats,
     /// Coverage of the abstract exploration.
     pub abstract_coverage: CoverageStats,
-    /// How many concrete traces were checked for inclusion.
+    /// How many concrete traces (trace engine) or canonical experiments
+    /// (bisimulation engine) were checked for inclusion.
     pub traces_checked: usize,
     /// Which state-space reductions the explorations ran under (both
     /// sides use the same mode; reductions preserve the verdict).
     pub reduce: ReduceOptions,
+    /// Which decision procedure(s) produced the verdict.  Under
+    /// [`Engine::Both`] the procedures were cross-checked and agreed
+    /// (disagreement is a loud [`VerifyError::EngineDisagreement`], not
+    /// a report).
+    pub engine: Engine,
 }
 
 /// Checks that a concrete protocol securely implements an abstract one.
@@ -140,6 +146,7 @@ pub struct Verifier {
     verify_keys: bool,
     reduce: ReduceOptions,
     verify_symmetry: bool,
+    engine: Engine,
 }
 
 impl Verifier {
@@ -170,6 +177,7 @@ impl Verifier {
             verify_keys: false,
             reduce: ReduceOptions::none(),
             verify_symmetry: false,
+            engine: Engine::Trace,
         }
     }
 
@@ -308,6 +316,18 @@ impl Verifier {
         self
     }
 
+    /// Selects the decision procedure(s): the trace engine (default),
+    /// the on-the-fly hedged-bisimulation engine, or both.  The engines
+    /// decide the same relation by independent algorithms; under
+    /// [`Engine::Both`] every verdict is cross-checked and any
+    /// disagreement fails the run loudly with
+    /// [`VerifyError::EngineDisagreement`].
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Verifier {
+        self.engine = engine;
+        self
+    }
+
     /// Replaces the role map used for narration: pairs of role name and
     /// position (bit path) *within* the protocol.  The default is the
     /// two-party layout `A ↦ ‖0`, `B ↦ ‖1` of the paper's protocols
@@ -386,7 +406,7 @@ impl Verifier {
         let concrete_lts = self.explore(concrete)?;
         let abstract_lts = self.explore(abstract_spec)?;
         let (verdict, traces_checked) =
-            match trace_preorder_sound(&concrete_lts, &abstract_lts, self.max_visible) {
+            match self.decide(&concrete_lts, &abstract_lts)? {
                 TraceVerdict::Holds { checked } => (Verdict::SecurelyImplements, checked),
                 TraceVerdict::Fails { witness } => {
                     let narration = self.narrate_witness(&concrete_lts, &witness);
@@ -423,7 +443,47 @@ impl Verifier {
             abstract_coverage: abstract_lts.coverage,
             traces_checked,
             reduce: self.reduce,
+            engine: self.engine,
         })
+    }
+
+    /// Runs the configured decision procedure(s) on a pair of explored
+    /// systems.  Under [`Engine::Both`] the verdicts are cross-checked:
+    /// agreement returns the trace engine's answer (its witness
+    /// tie-break prefers origin-rich counterexamples), disagreement is
+    /// the loud [`VerifyError::EngineDisagreement`].
+    fn decide(
+        &self,
+        concrete_lts: &Lts,
+        abstract_lts: &Lts,
+    ) -> Result<TraceVerdict, VerifyError> {
+        let trace =
+            || trace_preorder_sound(concrete_lts, abstract_lts, self.max_visible);
+        let bisim =
+            || bisim_preorder_sound(concrete_lts, abstract_lts, self.max_visible);
+        match self.engine {
+            Engine::Trace => Ok(trace()),
+            Engine::Bisim => Ok(bisim()),
+            Engine::Both => {
+                let t = trace();
+                let b = bisim();
+                if std::mem::discriminant(&t) != std::mem::discriminant(&b) {
+                    let witness = [&t, &b]
+                        .into_iter()
+                        .find_map(|v| match v {
+                            TraceVerdict::Fails { witness } => Some(witness.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    return Err(VerifyError::EngineDisagreement {
+                        trace: verdict_summary(&t),
+                        bisim: verdict_summary(&b),
+                        witness,
+                    });
+                }
+                Ok(t)
+            }
+        }
     }
 
     /// Checks **testing equivalence**: the may-testing preorder in both
@@ -532,6 +592,7 @@ impl Verifier {
             ..self.explore_opts()
         };
         opts.max_visible = self.max_visible;
+        opts.engine = self.engine;
         opts.progress = self.progress_schedules.clone();
         opts
     }
@@ -686,6 +747,15 @@ impl Verifier {
             }
         }
         lines
+    }
+}
+
+/// A one-line rendering of a [`TraceVerdict`] for disagreement reports.
+pub(crate) fn verdict_summary(v: &TraceVerdict) -> String {
+    match v {
+        TraceVerdict::Holds { .. } => "holds".into(),
+        TraceVerdict::Fails { witness } => format!("fails ({} events)", witness.len()),
+        TraceVerdict::Inconclusive { exhausted } => format!("inconclusive ({exhausted:?})"),
     }
 }
 
@@ -882,6 +952,32 @@ mod tests {
             attack.concrete_stats.states,
             baseline.concrete_stats.states
         );
+    }
+
+    #[test]
+    fn every_engine_reaches_the_same_verdicts() {
+        for engine in [Engine::Trace, Engine::Bisim, Engine::Both] {
+            let v1 = Verifier::new(["c"]).sessions(1).engine(engine);
+            let ok = v1.check(&p(P2), &p(P_ABS)).unwrap();
+            assert!(
+                matches!(ok.verdict, Verdict::SecurelyImplements),
+                "{engine}: {:?}",
+                ok.verdict
+            );
+            assert_eq!(ok.engine, engine);
+            assert!(ok.traces_checked > 0, "{engine}");
+            let attack = v1.check(&p(P1), &p(P_ABS)).unwrap();
+            let Verdict::Attack(a) = attack.verdict else {
+                panic!("{engine}: expected an attack, got {:?}", attack.verdict);
+            };
+            assert!(!a.narration.is_empty(), "{engine}: witness narrates");
+        }
+        // Cross-checked on the replay-prone multi-session protocol too.
+        let v = Verifier::new(["c"]).sessions(2).engine(Engine::Both);
+        assert!(matches!(
+            v.check(&p(PM2), &p(PM_ABS)).unwrap().verdict,
+            Verdict::Attack(_)
+        ));
     }
 
     #[test]

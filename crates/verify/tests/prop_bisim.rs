@@ -1,0 +1,207 @@
+//! Property-based tests of the second decision procedure: the hedged
+//! bisimulation engine agrees with the trace engine on arbitrary
+//! systems (at every reduction setting and worker count), the hedge's
+//! analysis closure is idempotent and saturated, and every
+//! counterexample the bisimulation checker extracts replays as a real
+//! distinguishing trace.
+
+use proptest::prelude::*;
+use spi_addr::Path;
+use spi_syntax::{Name, Process, Term, Var};
+use spi_verify::{
+    bisim_preorder_sound, trace_preorder_sound, weak_traces, Budget, ExploreOptions, Explorer,
+    Hedge, Lts, ObsTerm, ReduceOptions, TraceVerdict,
+};
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop_oneof![
+        Just(Name::new("c")),
+        Just(Name::new("d")),
+        Just(Name::new("m")),
+    ]
+}
+
+/// A payload that sometimes hides the session nonce under encryption —
+/// the shape that exercises the hedge's ciphertext analysis rule.
+fn arb_payload() -> impl Strategy<Value = Term> {
+    (arb_name(), AnyBool).prop_map(|(m, encrypt)| {
+        if encrypt {
+            Term::enc(vec![Term::Name(m)], Term::name("k"))
+        } else {
+            Term::Name(m)
+        }
+    })
+}
+
+/// A small closed process over the public channels `c`/`d`, the free
+/// key `k`, and the session-local nonce `m`.
+fn arb_body(depth: u32) -> BoxedStrategy<Process> {
+    if depth == 0 {
+        return prop_oneof![
+            Just(Process::Nil),
+            (arb_name(), arb_payload())
+                .prop_map(|(c, m)| Process::output(Term::Name(c), m, Process::Nil)),
+        ]
+        .boxed();
+    }
+    prop_oneof![
+        Just(Process::Nil),
+        (arb_name(), arb_payload(), arb_body(depth - 1))
+            .prop_map(|(c, m, p)| Process::output(Term::Name(c), m, p)),
+        (arb_name(), arb_body(depth - 1)).prop_map(|(c, p)| Process::input(
+            Term::Name(c),
+            Var::new("x"),
+            p
+        )),
+        (arb_body(depth - 1), arb_body(depth - 1)).prop_map(|(l, r)| Process::par(l, r)),
+    ]
+    .boxed()
+}
+
+/// A session system: the body restricts its own nonce `m`, so fresh
+/// names flow through payloads (sometimes under encryption) and the two
+/// engines must agree on how the environment links them.
+fn arb_system() -> impl Strategy<Value = Process> {
+    (arb_body(2), arb_body(1)).prop_map(|(body, observer)| {
+        Process::par(Process::restrict(Name::new("m"), body), observer)
+    })
+}
+
+fn opts(reduce: ReduceOptions, workers: usize) -> ExploreOptions {
+    ExploreOptions {
+        unfold_bound: 2,
+        budget: Budget::unlimited().states(3_000),
+        reduce,
+        workers,
+        ..ExploreOptions::default()
+    }
+}
+
+/// Explores and returns the LTS only when the budget did not truncate
+/// it (half-explored systems make both engines inconclusive).
+fn explored(sys: &Process, o: ExploreOptions) -> Option<Lts> {
+    Explorer::new(o).explore(sys).ok().filter(Lts::complete)
+}
+
+/// Observation-term strategy mirroring what the explorer emits: free
+/// names, creator-stamped fresh names, pairs, and ciphertexts.
+fn arb_obsterm(depth: u32) -> BoxedStrategy<ObsTerm> {
+    let creator = || "00".parse::<Path>().expect("valid path");
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(move |nonce| ObsTerm::Fresh {
+            nonce,
+            creator: "00".parse().expect("valid path"),
+        }),
+        prop_oneof![Just("a"), Just("k")].prop_map(|n| ObsTerm::Free(Name::new(n))),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        leaf,
+        (arb_obsterm(depth - 1), arb_obsterm(depth - 1))
+            .prop_map(|(a, b)| ObsTerm::Pair(Box::new(a), Box::new(b), None)),
+        (
+            prop::collection::vec(arb_obsterm(depth - 1), 1..3),
+            arb_obsterm(depth - 1)
+        )
+            .prop_map(move |(body, key)| ObsTerm::Enc(body, Box::new(key), Some(creator()))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two decision procedures reach the same verdict on every
+    /// generated implementation/specification pair, at every reduction
+    /// setting and worker count.  (Witness traces may differ in the
+    /// Fails case — both are minimal, not unique — so the comparison is
+    /// on the verdict discriminant, same as `--engine both`.)
+    #[test]
+    fn the_engines_agree_on_arbitrary_systems(
+        implementation in arb_system(),
+        specification in arb_system(),
+    ) {
+        for reduce in [ReduceOptions::none(), ReduceOptions::full()] {
+            for workers in [1usize, 2, 8] {
+                let o = opts(reduce, workers);
+                let Some(il) = explored(&implementation, o.clone()) else { return Ok(()); };
+                let Some(sl) = explored(&specification, o) else { return Ok(()); };
+                let t = trace_preorder_sound(&il, &sl, 4);
+                let b = bisim_preorder_sound(&il, &sl, 4);
+                prop_assert_eq!(
+                    std::mem::discriminant(&t),
+                    std::mem::discriminant(&b),
+                    "engines disagree at reduce={:?} workers={}: trace={:?} bisim={:?}",
+                    reduce, workers, t, b
+                );
+            }
+        }
+    }
+
+    /// Identity pairs never distinguish: extending an empty hedge with
+    /// `(t, t)` keeps it consistent and the pair synthesizable.
+    #[test]
+    fn identity_pairs_keep_the_hedge_consistent(t in arb_obsterm(3)) {
+        let mut h = Hedge::new();
+        prop_assert!(h.extend(t.clone(), t.clone()), "identity pair clashed");
+        prop_assert!(h.consistent(), "identity pair broke consistency");
+        prop_assert!(h.synthesizes(&t, &t), "identity pair not synthesizable");
+    }
+
+    /// The analysis closure is idempotent and saturated: re-extending a
+    /// hedge with pairs it already analyzed changes nothing, and no held
+    /// ciphertext pair has a synthesizable key pair (it would have been
+    /// decomposed).
+    #[test]
+    fn hedge_analysis_is_idempotent_and_saturated(
+        pairs in prop::collection::vec((arb_obsterm(2), arb_obsterm(2)), 1..4),
+    ) {
+        let mut h = Hedge::new();
+        for (l, r) in &pairs {
+            let _ = h.extend(l.clone(), r.clone());
+        }
+        let mut again = h.clone();
+        for (l, r) in &pairs {
+            let _ = again.extend(l.clone(), r.clone());
+        }
+        prop_assert_eq!(&again, &h, "re-analysis of known pairs changed the hedge");
+        for (l, r) in h.iter() {
+            prop_assert!(
+                h.synthesizes(l, r),
+                "irreducible pair not synthesizable: {:?} / {:?}", l, r
+            );
+            if let (ObsTerm::Enc(_, k1, _), ObsTerm::Enc(_, k2, _)) = (l, r) {
+                prop_assert!(
+                    !h.synthesizes(k1, k2),
+                    "held ciphertext pair is analyzable — the hedge under-closed"
+                );
+            }
+        }
+    }
+
+    /// Counterexamples replay: every distinguishing trace the
+    /// bisimulation engine extracts is a weak trace of the
+    /// implementation and not of the specification.
+    #[test]
+    fn bisim_counterexamples_replay_as_distinguishing_traces(
+        implementation in arb_system(),
+        specification in arb_system(),
+    ) {
+        let o = opts(ReduceOptions::none(), 1);
+        let Some(il) = explored(&implementation, o.clone()) else { return Ok(()); };
+        let Some(sl) = explored(&specification, o) else { return Ok(()); };
+        if let TraceVerdict::Fails { witness } = bisim_preorder_sound(&il, &sl, 4) {
+            prop_assert!(!witness.is_empty(), "empty witness distinguishes nothing");
+            prop_assert!(
+                weak_traces(&il, 4).contains(&witness),
+                "witness is not a trace of the implementation: {:?}", witness
+            );
+            prop_assert!(
+                !weak_traces(&sl, 4).contains(&witness),
+                "witness is a trace of the specification too: {:?}", witness
+            );
+        }
+    }
+}
